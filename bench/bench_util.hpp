@@ -1,0 +1,33 @@
+// Shared helpers for the experiment binaries (E1-E10). Table printers keep
+// the output in the shape of EXPERIMENTS.md rows.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+namespace bnr::bench {
+
+/// Milliseconds of wall time for one invocation.
+inline double time_ms(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+/// Median of `reps` timings (first call warms caches and is discarded when
+/// reps > 1).
+inline double median_ms(int reps, const std::function<void()>& fn) {
+  std::vector<double> times;
+  for (int i = 0; i < reps; ++i) times.push_back(time_ms(fn));
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+inline void header(const char* title) {
+  printf("\n==== %s ====\n", title);
+}
+
+}  // namespace bnr::bench

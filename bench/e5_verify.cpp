@@ -1,0 +1,91 @@
+// E5 — ablation: the verifier computes a PRODUCT of four pairings (§3.1).
+// Multi-pairing shares one final exponentiation across all Miller loops;
+// this bench quantifies that design choice for the pairing counts appearing
+// in the schemes: 2 (BLS baseline), 4 (Verify / Share-Verify), 6 (GS slot),
+// 10 (DLIN variant's two equations).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "pairing/pairing.hpp"
+
+using namespace bnr;
+
+namespace {
+
+std::vector<PairingTerm> make_terms(size_t k) {
+  static Rng rng("e5-verify");
+  std::vector<PairingTerm> terms;
+  for (size_t i = 0; i < k; ++i)
+    terms.push_back({G1::generator().mul(Fr::random(rng)).to_affine(),
+                     G2::generator().mul(Fr::random(rng)).to_affine()});
+  return terms;
+}
+
+void BM_MultiPairing(benchmark::State& st) {
+  auto terms = make_terms(st.range(0));
+  for (auto _ : st) benchmark::DoNotOptimize(multi_pairing(terms));
+}
+
+void BM_IndependentPairings(benchmark::State& st) {
+  auto terms = make_terms(st.range(0));
+  for (auto _ : st) {
+    GT acc = GT::identity();
+    for (const auto& term : terms) acc = acc * pairing(term.p, term.q);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+
+void BM_MillerLoopOnly(benchmark::State& st) {
+  auto terms = make_terms(1);
+  for (auto _ : st)
+    benchmark::DoNotOptimize(miller_loop(terms[0].p, terms[0].q));
+}
+
+void BM_FinalExpOnly(benchmark::State& st) {
+  auto terms = make_terms(1);
+  Fp12 f = miller_loop(terms[0].p, terms[0].q);
+  for (auto _ : st) benchmark::DoNotOptimize(final_exponentiation(f));
+}
+
+}  // namespace
+
+BENCHMARK(BM_MultiPairing)->Arg(2)->Arg(4)->Arg(6)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IndependentPairings)->Arg(2)->Arg(4)->Arg(6)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MillerLoopOnly)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FinalExpOnly)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();
+
+// Appended ablations: generic vs cyclotomic final exponentiation, and
+// binary-ladder vs wNAF scalar multiplication (DESIGN.md §5 items 2-3).
+namespace {
+
+void BM_FinalExpGeneric(benchmark::State& st) {
+  auto terms = make_terms(1);
+  Fp12 f = miller_loop(terms[0].p, terms[0].q);
+  for (auto _ : st) benchmark::DoNotOptimize(final_exponentiation_generic(f));
+}
+
+void BM_G1MulBinary(benchmark::State& st) {
+  static Rng r("e5-mul");
+  G1 g = G1::generator();
+  U256 k = Fr::random(r).to_u256();
+  for (auto _ : st)
+    benchmark::DoNotOptimize(
+        g.mul_binary(std::span<const uint64_t>(k.w.data(), 4)));
+}
+
+void BM_G1MulWnaf(benchmark::State& st) {
+  static Rng r("e5-mul2");
+  G1 g = G1::generator();
+  U256 k = Fr::random(r).to_u256();
+  for (auto _ : st) benchmark::DoNotOptimize(g.mul_wnaf(k));
+}
+
+}  // namespace
+
+BENCHMARK(BM_FinalExpGeneric)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_G1MulBinary)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_G1MulWnaf)->Unit(benchmark::kMicrosecond);

@@ -1,0 +1,64 @@
+// E6 — signature aggregation (App. G): aggregate size stays 2 group
+// elements regardless of the number of (key, message) pairs; verification
+// is one product of 2 + 2*l pairings plus l key sanity checks, vs l
+// independent 4-pairing verifications.
+#include "bench_util.hpp"
+#include "threshold/aggregate_scheme.hpp"
+
+using namespace bnr;
+using namespace bnr::bench;
+
+int main() {
+  threshold::SystemParams sp = threshold::SystemParams::derive("e6");
+  threshold::AggregateScheme scheme(sp);
+  Rng rng("e6-aggregate");
+
+  header("E6: certification-chain aggregation (App. G)");
+
+  // Pre-generate a pool of committees (n=3, t=1 each).
+  const size_t max_l = 16;
+  std::vector<threshold::AggKeyMaterial> kms;
+  std::vector<threshold::AggStatement> statements;
+  std::vector<threshold::Signature> sigs;
+  for (size_t j = 0; j < max_l; ++j) {
+    kms.push_back(scheme.dist_keygen(3, 1, rng));
+    Bytes m = to_bytes("cert #" + std::to_string(j));
+    std::vector<threshold::PartialSignature> parts;
+    for (uint32_t i = 1; i <= 2; ++i)
+      parts.push_back(scheme.share_sign(kms[j].pk, kms[j].shares[i - 1], m));
+    statements.push_back({kms[j].pk, m});
+    sigs.push_back(scheme.combine(kms[j], m, parts));
+  }
+
+  printf("%4s | %12s %12s | %14s %16s\n", "l", "agg size", "indiv size",
+         "agg-verify ms", "indiv-verify ms");
+  for (size_t l : {1, 2, 4, 8, 16}) {
+    std::span<const threshold::AggStatement> sts(statements.data(), l);
+    std::span<const threshold::Signature> ss(sigs.data(), l);
+    auto agg = scheme.aggregate(sts, ss);
+    if (!agg) {
+      printf("aggregation failed at l=%zu\n", l);
+      return 1;
+    }
+    bool ok = true;
+    double agg_ms =
+        median_ms(3, [&] { ok &= scheme.aggregate_verify(sts, *agg); });
+    double ind_ms = median_ms(3, [&] {
+      for (size_t j = 0; j < l; ++j)
+        ok &= scheme.verify(statements[j].pk, statements[j].message, sigs[j]);
+    });
+    if (!ok) {
+      printf("verification failed at l=%zu\n", l);
+      return 1;
+    }
+    printf("%4zu | %10zu B %10zu B | %14.1f %16.1f\n", l,
+           agg->serialize().size(), l * sigs[0].serialize().size(), agg_ms,
+           ind_ms);
+  }
+  printf("\nShape check vs paper: aggregate size CONSTANT in l (2 group "
+         "elements) vs linear for\nindividual signatures — the compression "
+         "claim. Verification stays linear in l on both\npaths (the "
+         "aggregate additionally pays the per-key sanity pairing check, "
+         "App. G).\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// E9 — the standard-model scheme's cost vs the message bit-length L and vs
+// the RO scheme. Paper (§1, §4): "somewhat less efficient than its
+// random-oracle-based counterpart but ... sufficiently efficient for
+// practical applications".
+#include "bench_util.hpp"
+#include "stdmodel/std_scheme.hpp"
+#include "threshold/ro_scheme.hpp"
+
+using namespace bnr;
+using namespace bnr::bench;
+
+int main() {
+  Rng rng("e9-std");
+  const size_t n = 5, t = 2;
+  Bytes m = to_bytes("standard model message");
+
+  header("E9: standard-model scheme vs L, and vs the RO scheme");
+  printf("%6s | %10s %12s %11s %10s | %10s\n", "L", "sign-ms", "shr-vrfy-ms",
+         "combine-ms", "verify-ms", "sig bytes");
+
+  for (size_t L : {64, 128, 256}) {
+    auto params = stdmodel::StdParams::derive("e9-L" + std::to_string(L), L);
+    stdmodel::StdScheme scheme(params);
+    auto km = scheme.dist_keygen(n, t, rng);
+    std::vector<stdmodel::StdPartialSignature> parts;
+    for (uint32_t i = 1; i <= t + 1; ++i)
+      parts.push_back(scheme.share_sign(km.shares[i - 1], m, rng));
+    stdmodel::StdSignature sig = scheme.combine(km, m, parts, rng);
+
+    double sign_ms = median_ms(
+        3, [&] { (void)scheme.share_sign(km.shares[0], m, rng); });
+    double sv_ms = median_ms(
+        3, [&] { (void)scheme.share_verify(km.vks[0], m, parts[0]); });
+    double combine_ms =
+        median_ms(3, [&] { (void)scheme.combine(km, m, parts, rng); });
+    double verify_ms =
+        median_ms(3, [&] { (void)scheme.verify(km.pk, m, sig); });
+    printf("%6zu | %10.2f %12.2f %11.2f %10.2f | %8zu B\n", L, sign_ms,
+           sv_ms, combine_ms, verify_ms, sig.serialize().size());
+  }
+
+  {  // RO scheme reference row.
+    threshold::SystemParams sp = threshold::SystemParams::derive("e9-ro");
+    threshold::RoScheme scheme(sp);
+    auto km = scheme.dist_keygen(n, t, rng);
+    std::vector<threshold::PartialSignature> parts;
+    for (uint32_t i = 1; i <= t + 1; ++i)
+      parts.push_back(scheme.share_sign(km.shares[i - 1], m));
+    auto sig = scheme.combine(km, m, parts);
+    double sign_ms =
+        median_ms(3, [&] { (void)scheme.share_sign(km.shares[0], m); });
+    double sv_ms = median_ms(
+        3, [&] { (void)scheme.share_verify(km.vks[0], m, parts[0]); });
+    double combine_ms =
+        median_ms(3, [&] { (void)scheme.combine(km, m, parts); });
+    double verify_ms =
+        median_ms(3, [&] { (void)scheme.verify(km.pk, m, sig); });
+    printf("%6s | %10.2f %12.2f %11.2f %10.2f | %8zu B\n", "RO", sign_ms,
+           sv_ms, combine_ms, verify_ms, sig.serialize().size());
+  }
+
+  printf("\nShape check vs paper: std-model signing grows with L only "
+         "through the f_M aggregation (cheap group additions); signatures "
+         "are 2048 b vs 512 b and verification pays ~2x the pairings of the "
+         "RO scheme.\n");
+  return 0;
+}

@@ -1,0 +1,173 @@
+// A file-based CLI around the main scheme — the shape of a real deployment:
+// `keygen` simulates the servers' DKG and writes each server's share to its
+// own file (in production each server keeps only its own); `sign` runs on
+// one server's share; `combine`/`verify` need only public material.
+//
+//   ./threshold_cli keygen  <dir> <label> <n> <t>
+//   ./threshold_cli sign    <dir> <server-index> <message>
+//   ./threshold_cli combine <dir> <message> <partial-hex>...
+//   ./threshold_cli verify  <dir> <message> <signature-hex>
+//
+// Run without arguments for a self-contained demo in a temp directory.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "threshold/ro_scheme.hpp"
+
+using namespace bnr;
+using namespace bnr::threshold;
+namespace fs = std::filesystem;
+
+namespace {
+
+void write_file(const fs::path& p, const std::string& contents) {
+  std::ofstream out(p);
+  out << contents << "\n";
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p);
+  if (!in) throw std::runtime_error("cannot read " + p.string());
+  std::string s;
+  in >> s;
+  return s;
+}
+
+std::span<const uint8_t> as_span(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+RoScheme load_scheme(const fs::path& dir) {
+  return RoScheme(SystemParams::derive(read_file(dir / "label")));
+}
+
+int cmd_keygen(const fs::path& dir, const std::string& label, size_t n,
+               size_t t) {
+  fs::create_directories(dir);
+  RoScheme scheme(SystemParams::derive(label));
+  Rng rng = Rng::from_entropy();
+  KeyMaterial km = scheme.dist_keygen(n, t, rng);
+  write_file(dir / "label", label);
+  write_file(dir / "n", std::to_string(n));
+  write_file(dir / "t", std::to_string(t));
+  write_file(dir / "public_key", to_hex(km.pk.serialize()));
+  for (uint32_t i = 1; i <= n; ++i) {
+    write_file(dir / ("share_" + std::to_string(i)),
+               to_hex(km.shares[i - 1].serialize()));
+    write_file(dir / ("vk_" + std::to_string(i)),
+               to_hex(km.vks[i - 1].serialize()));
+  }
+  printf("wrote key material for n=%zu t=%zu under %s (DKG rounds: %zu)\n", n,
+         t, dir.string().c_str(), km.transcript.rounds);
+  return 0;
+}
+
+int cmd_sign(const fs::path& dir, uint32_t index, const std::string& msg) {
+  RoScheme scheme = load_scheme(dir);
+  KeyShare share = KeyShare::deserialize(
+      from_hex(read_file(dir / ("share_" + std::to_string(index)))));
+  auto partial = scheme.share_sign(share, as_span(msg));
+  printf("%s\n", to_hex(partial.serialize()).c_str());
+  return 0;
+}
+
+int cmd_combine(const fs::path& dir, const std::string& msg,
+                std::span<char*> partial_hexes) {
+  RoScheme scheme = load_scheme(dir);
+  size_t n = std::stoul(read_file(dir / "n"));
+  size_t t = std::stoul(read_file(dir / "t"));
+  KeyMaterial km;  // only the public parts are needed to combine
+  km.n = n;
+  km.t = t;
+  km.pk = PublicKey::deserialize(from_hex(read_file(dir / "public_key")));
+  for (uint32_t i = 1; i <= n; ++i)
+    km.vks.push_back(VerificationKey::deserialize(
+        from_hex(read_file(dir / ("vk_" + std::to_string(i))))));
+  std::vector<PartialSignature> parts;
+  for (char* hex : partial_hexes)
+    parts.push_back(PartialSignature::deserialize(from_hex(hex)));
+  Signature sig = scheme.combine(km, as_span(msg), parts);
+  printf("%s\n", to_hex(sig.serialize()).c_str());
+  return 0;
+}
+
+int cmd_verify(const fs::path& dir, const std::string& msg,
+               const std::string& sig_hex) {
+  RoScheme scheme = load_scheme(dir);
+  PublicKey pk = PublicKey::deserialize(from_hex(read_file(dir / "public_key")));
+  Signature sig = Signature::deserialize(from_hex(sig_hex));
+  bool ok = scheme.verify(pk, as_span(msg), sig);
+  printf("%s\n", ok ? "ACCEPT" : "REJECT");
+  return ok ? 0 : 1;
+}
+
+int demo() {
+  fs::path dir = fs::temp_directory_path() / "bnr-cli-demo";
+  fs::remove_all(dir);
+  printf("No arguments: running a self-contained demo in %s\n\n",
+         dir.string().c_str());
+  if (cmd_keygen(dir, "cli-demo/v1", 5, 2) != 0) return 1;
+
+  // Each "server" signs using only its own share file.
+  RoScheme scheme = load_scheme(dir);
+  std::string msg = "pay 10 coins to carol";
+  std::vector<std::string> partials;
+  for (uint32_t i : {1u, 3u, 5u}) {
+    KeyShare share = KeyShare::deserialize(
+        from_hex(read_file(dir / ("share_" + std::to_string(i)))));
+    partials.push_back(
+        to_hex(scheme.share_sign(share, as_span(msg)).serialize()));
+    printf("server %u partial: %s...\n", i, partials.back().substr(0, 32).c_str());
+  }
+  std::vector<char*> argv;
+  std::vector<std::string> storage = partials;
+  for (auto& s : storage) argv.push_back(s.data());
+  printf("\ncombining...\n");
+  if (cmd_combine(dir, msg, argv) != 0) return 1;
+
+  // Recompute the signature for the verify step.
+  KeyMaterial km;
+  km.n = 5;
+  km.t = 2;
+  km.pk = PublicKey::deserialize(from_hex(read_file(dir / "public_key")));
+  for (uint32_t i = 1; i <= 5; ++i)
+    km.vks.push_back(VerificationKey::deserialize(
+        from_hex(read_file(dir / ("vk_" + std::to_string(i))))));
+  std::vector<PartialSignature> parts;
+  for (const auto& hex : partials)
+    parts.push_back(PartialSignature::deserialize(from_hex(hex)));
+  Signature sig = scheme.combine(km, as_span(msg), parts);
+  printf("verifying...\n");
+  return cmd_verify(dir, msg, to_hex(sig.serialize()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return demo();
+    std::string cmd = argv[1];
+    if (cmd == "keygen" && argc == 6)
+      return cmd_keygen(argv[2], argv[3], std::stoul(argv[4]),
+                        std::stoul(argv[5]));
+    if (cmd == "sign" && argc == 5)
+      return cmd_sign(argv[2], static_cast<uint32_t>(std::stoul(argv[3])),
+                      argv[4]);
+    if (cmd == "combine" && argc >= 5)
+      return cmd_combine(argv[2], argv[3],
+                         std::span<char*>(argv + 4, argc - 4));
+    if (cmd == "verify" && argc == 5) return cmd_verify(argv[2], argv[3], argv[4]);
+    fprintf(stderr,
+            "usage: %s keygen <dir> <label> <n> <t>\n"
+            "       %s sign <dir> <server-index> <message>\n"
+            "       %s combine <dir> <message> <partial-hex>...\n"
+            "       %s verify <dir> <message> <signature-hex>\n",
+            argv[0], argv[0], argv[0], argv[0]);
+    return 2;
+  } catch (const std::exception& e) {
+    fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

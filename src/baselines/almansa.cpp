@@ -1,0 +1,149 @@
+#include "baselines/almansa.hpp"
+
+#include <stdexcept>
+
+namespace bnr::baselines {
+
+namespace {
+
+/// Lagrange interpolation at 0 over Z_m. The helper indices are < n << p',q'
+/// so all denominators are invertible mod m = p'q'.
+BigUint interpolate_at_zero_mod(
+    const std::vector<std::pair<uint32_t, BigUint>>& points,
+    const BigUint& m) {
+  BigUint acc;
+  for (const auto& [i, yi] : points) {
+    BigUint num(1);
+    BigUint den(1);
+    bool negative = false;
+    for (const auto& [j, yj] : points) {
+      if (j == i) continue;
+      num = BigUint::mod_mul(num, BigUint(j), m);
+      if (j > i) {
+        den = BigUint::mod_mul(den, BigUint(j - i), m);
+      } else {
+        den = BigUint::mod_mul(den, BigUint(i - j), m);
+        negative = !negative;
+      }
+    }
+    BigUint coeff = BigUint::mod_mul(num, BigUint::mod_inverse(den, m), m);
+    if (negative && !coeff.is_zero()) coeff = m - coeff;
+    acc = (acc + BigUint::mod_mul(coeff, yi, m)) % m;
+  }
+  return acc;
+}
+
+}  // namespace
+
+size_t AlmansaPlayerState::storage_bytes() const {
+  size_t total = 4 + d_i.to_bytes_be().size();
+  for (const auto& b : backup_shares) total += b.to_bytes_be().size();
+  return total;
+}
+
+size_t AlmansaKeyMaterial::max_player_storage_bytes() const {
+  size_t mx = 0;
+  for (const auto& p : players) mx = std::max(mx, p.storage_bytes());
+  return mx;
+}
+
+AlmansaKeyMaterial AlmansaRsa::dealer_keygen(Rng& rng, size_t n, size_t t,
+                                             size_t modulus_bits) {
+  if (n < 2 * t + 1) throw std::invalid_argument("almansa: n < 2t+1");
+  AlmansaKeyMaterial km;
+  km.n = n;
+  km.t = t;
+  rsa::RsaKey key = rsa::rsa_keygen(rng, modulus_bits);
+  km.modulus = key.n;
+  km.e = key.e;
+  km.m = key.m;
+
+  // Additive sharing of d over Z_m.
+  std::vector<BigUint> d(n);
+  BigUint sum;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    d[i] = BigUint::random_below(rng, km.m);
+    sum = (sum + d[i]) % km.m;
+  }
+  // d_n = d - sum mod m.
+  d[n - 1] = (key.d + km.m - sum) % km.m;
+
+  // Polynomial backup of every additive share.
+  km.players.resize(n);
+  for (uint32_t i = 1; i <= n; ++i) {
+    km.players[i - 1].index = i;
+    km.players[i - 1].d_i = d[i - 1];
+    km.players[i - 1].backup_shares.resize(n);
+  }
+  for (uint32_t j = 1; j <= n; ++j) {
+    std::vector<BigUint> coeffs;
+    coeffs.push_back(d[j - 1]);
+    for (size_t l = 0; l < t; ++l)
+      coeffs.push_back(BigUint::random_below(rng, km.m));
+    for (uint32_t i = 1; i <= n; ++i) {
+      BigUint acc;
+      for (size_t l = coeffs.size(); l-- > 0;)
+        acc = (acc * BigUint(i) + coeffs[l]) % km.m;
+      km.players[i - 1].backup_shares[j - 1] = acc;
+    }
+  }
+  return km;
+}
+
+BigUint AlmansaRsa::hash_message(const AlmansaKeyMaterial& km,
+                                 std::span<const uint8_t> msg) {
+  return rsa::fdh_to_zn("almansa-fdh", msg, km.modulus);
+}
+
+AlmansaPartial AlmansaRsa::share_sign(const AlmansaKeyMaterial& km,
+                                      const AlmansaPlayerState& player,
+                                      std::span<const uint8_t> msg) {
+  BigUint x = hash_message(km, msg);
+  BigUint x_tilde = BigUint::mod_mul(x, x, km.modulus);
+  return {player.index, BigUint::mod_pow(x_tilde, player.d_i, km.modulus)};
+}
+
+AlmansaPartial AlmansaRsa::reconstruct_missing(
+    const AlmansaKeyMaterial& km, uint32_t missing,
+    std::span<const uint32_t> helpers, std::span<const uint8_t> msg) {
+  if (helpers.size() < km.t + 1)
+    throw std::invalid_argument("almansa: need t+1 helpers");
+  std::vector<std::pair<uint32_t, BigUint>> points;
+  for (uint32_t h : helpers) {
+    if (h == missing) throw std::invalid_argument("almansa: bad helper");
+    points.emplace_back(h, km.players[h - 1].backup_shares[missing - 1]);
+    if (points.size() == km.t + 1) break;
+  }
+  BigUint d_j = interpolate_at_zero_mod(points, km.m);
+  BigUint x = hash_message(km, msg);
+  BigUint x_tilde = BigUint::mod_mul(x, x, km.modulus);
+  return {missing, BigUint::mod_pow(x_tilde, d_j, km.modulus)};
+}
+
+BigUint AlmansaRsa::combine(const AlmansaKeyMaterial& km,
+                            std::span<const uint8_t> msg,
+                            std::span<const AlmansaPartial> parts) {
+  if (parts.size() != km.n)
+    throw std::runtime_error("almansa combine: need all n partials");
+  BigUint x = hash_message(km, msg);
+  BigUint w(1);
+  for (const auto& p : parts) w = BigUint::mod_mul(w, p.x_i, km.modulus);
+  // w = x^{2d}; with 2a + eb = 1: y = w^a x^b satisfies y^e = x.
+  BigUint a = BigUint::mod_inverse(BigUint(2), km.e);
+  BigUint b_mag = ((a << 1) - BigUint(1)) / km.e;
+  BigUint y = BigUint::mod_mul(
+      BigUint::mod_pow(w, a, km.modulus),
+      rsa::pow_signed(x, rsa::SignedInt{b_mag, true}, km.modulus), km.modulus);
+  if (!verify(km, msg, y))
+    throw std::logic_error("almansa combine: invalid signature produced");
+  return y;
+}
+
+bool AlmansaRsa::verify(const AlmansaKeyMaterial& km,
+                        std::span<const uint8_t> msg,
+                        const BigUint& signature) {
+  BigUint x = hash_message(km, msg);
+  return BigUint::mod_pow(signature, km.e, km.modulus) == x;
+}
+
+}  // namespace bnr::baselines

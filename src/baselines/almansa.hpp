@@ -1,0 +1,72 @@
+// Almansa-Damgard-Nielsen (Eurocrypt 2006) / Rabin-style threshold RSA — the
+// paper's O(n)-storage, interactive-on-failure comparison target ([4], §1):
+//
+//   * the RSA exponent d is shared ADDITIVELY (d = sum d_i mod m), and each
+//     additive share d_j is ALSO polynomially shared among all players, so
+//     every player stores Theta(n) values (its own d_i plus one backup share
+//     of every other player's d_j);
+//   * optimistic signing needs every player (all n partials, one round);
+//   * if any player fails, a SECOND round reconstructs the missing d_j from
+//     t+1 backup shares (revealing it) — signing is only non-interactive
+//     when everyone is honest.
+//
+// Experiments E4 (storage) and E10 (interaction) measure exactly these two
+// contrasts against the paper's O(1)-share, always-one-message scheme.
+#pragma once
+
+#include "rsa/rsa.hpp"
+
+namespace bnr::baselines {
+
+struct AlmansaPlayerState {
+  uint32_t index = 0;
+  BigUint d_i;                        // my additive share
+  std::vector<BigUint> backup_shares; // f_j(i) for every j — Theta(n) values!
+
+  /// Persisted bytes for this player (E4).
+  size_t storage_bytes() const;
+};
+
+struct AlmansaKeyMaterial {
+  size_t n = 0, t = 0;
+  BigUint modulus, e, m;
+  std::vector<AlmansaPlayerState> players;
+
+  size_t max_player_storage_bytes() const;
+};
+
+struct AlmansaPartial {
+  uint32_t index = 0;
+  BigUint x_i;  // x~^{d_i}, x~ = x^2
+};
+
+class AlmansaRsa {
+ public:
+  static AlmansaKeyMaterial dealer_keygen(Rng& rng, size_t n, size_t t,
+                                          size_t modulus_bits);
+
+  static BigUint hash_message(const AlmansaKeyMaterial& km,
+                              std::span<const uint8_t> msg);
+
+  static AlmansaPartial share_sign(const AlmansaKeyMaterial& km,
+                                   const AlmansaPlayerState& player,
+                                   std::span<const uint8_t> msg);
+
+  /// Second-round repair: reconstructs the ABSENT player's additive share
+  /// d_j from t+1 backup shares (revealing it, as in the original protocol)
+  /// and recomputes its partial.
+  static AlmansaPartial reconstruct_missing(
+      const AlmansaKeyMaterial& km, uint32_t missing,
+      std::span<const uint32_t> helpers, std::span<const uint8_t> msg);
+
+  /// Combines ALL n partials (the (n,n) additive structure) into an RSA
+  /// signature y with y^e = x.
+  static BigUint combine(const AlmansaKeyMaterial& km,
+                         std::span<const uint8_t> msg,
+                         std::span<const AlmansaPartial> parts);
+
+  static bool verify(const AlmansaKeyMaterial& km,
+                     std::span<const uint8_t> msg, const BigUint& signature);
+};
+
+}  // namespace bnr::baselines

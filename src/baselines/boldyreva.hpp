@@ -1,0 +1,68 @@
+// Boldyreva's threshold BLS (PKC 2003) — the STATICALLY-secure scheme our
+// construction is "an adaptively secure variant of" (§3). Single-scalar
+// shares, 1-element signatures, 2-pairing verification; key generation via a
+// trusted dealer or a Feldman-style single-generator DKG.
+#pragma once
+
+#include <map>
+
+#include "dkg/pedersen_dkg.hpp"
+#include "threshold/params.hpp"
+
+namespace bnr::baselines {
+
+struct BlsPublicKey {
+  G2Affine pk;  // g2^x
+};
+
+struct BlsKeyShare {
+  uint32_t index = 0;
+  Fr x;  // one scalar
+};
+
+struct BlsPartialSignature {
+  uint32_t index = 0;
+  G1Affine sigma;
+};
+
+struct BlsKeyMaterial {
+  size_t n = 0, t = 0;
+  BlsPublicKey pk;
+  std::vector<BlsKeyShare> shares;
+  std::vector<G2Affine> vks;  // g2^{x_i}
+};
+
+class BoldyrevaBls {
+ public:
+  explicit BoldyrevaBls(threshold::SystemParams params)
+      : params_(std::move(params)) {}
+
+  /// Trusted dealer keygen.
+  BlsKeyMaterial dealer_keygen(size_t n, size_t t, Rng& rng) const;
+
+  /// Feldman-VSS-based DKG (single generator row). NOTE: with plain Feldman
+  /// commitments a rushing adversary can bias the key — the classical
+  /// [GJKR99] observation; acceptable here only because this is the static
+  /// baseline, not the paper's scheme.
+  BlsKeyMaterial dist_keygen(size_t n, size_t t, Rng& rng,
+                             const std::map<uint32_t, dkg::Behavior>& behaviors = {},
+                             SyncNetwork* net = nullptr) const;
+
+  G1Affine hash_message(std::span<const uint8_t> msg) const;
+
+  BlsPartialSignature share_sign(const BlsKeyShare& share,
+                                 std::span<const uint8_t> msg) const;
+  bool share_verify(const G2Affine& vk, std::span<const uint8_t> msg,
+                    const BlsPartialSignature& psig) const;
+
+  G1Affine combine(const BlsKeyMaterial& km, std::span<const uint8_t> msg,
+                   std::span<const BlsPartialSignature> parts) const;
+
+  bool verify(const BlsPublicKey& pk, std::span<const uint8_t> msg,
+              const G1Affine& sig) const;
+
+ private:
+  threshold::SystemParams params_;
+};
+
+}  // namespace bnr::baselines

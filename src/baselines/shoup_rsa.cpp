@@ -1,0 +1,175 @@
+#include "baselines/shoup_rsa.hpp"
+
+#include <stdexcept>
+
+#include "common/sha256.hpp"
+
+namespace bnr::baselines {
+
+namespace {
+
+using rsa::SignedInt;
+
+BigUint proof_challenge(const ShoupPublicKey& pk, const BigUint& x_tilde,
+                        const BigUint& v_i, const BigUint& xi_sq,
+                        const BigUint& v_prime, const BigUint& x_prime) {
+  size_t w = (pk.n.bit_length() + 7) / 8;
+  Sha256 h;
+  h.update("shoup-proof");
+  h.update(pk.v.to_bytes_be_padded(w));
+  h.update(x_tilde.to_bytes_be_padded(w));
+  h.update(v_i.to_bytes_be_padded(w));
+  h.update(xi_sq.to_bytes_be_padded(w));
+  h.update(v_prime.to_bytes_be_padded(w));
+  h.update(x_prime.to_bytes_be_padded(w));
+  auto d = h.finalize();
+  return BigUint::from_bytes_be(d);
+}
+
+BigUint delta(const ShoupParams& p) {
+  return BigUint::factorial(p.n);
+}
+
+}  // namespace
+
+size_t ShoupPartialSignature::byte_size() const {
+  return 4 + x_i.to_bytes_be().size() + c.to_bytes_be().size() +
+         z.to_bytes_be().size();
+}
+
+ShoupKeyMaterial ShoupRsa::dealer_keygen(Rng& rng, size_t n, size_t t,
+                                         size_t modulus_bits) {
+  if (n < 2 * t + 1) throw std::invalid_argument("shoup: n < 2t+1");
+  ShoupKeyMaterial km;
+  km.params = {n, t, modulus_bits};
+  rsa::RsaKey key = rsa::rsa_keygen(rng, modulus_bits);
+  if (BigUint(n) >= key.e)
+    throw std::invalid_argument("shoup: e must exceed the player count");
+  km.pk.n = key.n;
+  km.pk.e = key.e;
+
+  // Degree-t polynomial over Z_m with f(0) = d.
+  std::vector<BigUint> coeffs;
+  coeffs.push_back(key.d);
+  for (size_t i = 0; i < t; ++i)
+    coeffs.push_back(BigUint::random_below(rng, key.m));
+
+  auto eval = [&](uint64_t x) {
+    BigUint acc;
+    for (size_t i = coeffs.size(); i-- > 0;)
+      acc = (acc * BigUint(x) + coeffs[i]) % key.m;
+    return acc;
+  };
+
+  // Verification base: a random square generates QR_n whp.
+  BigUint u = BigUint::random_below(rng, km.pk.n - BigUint(2)) + BigUint(2);
+  km.pk.v = BigUint::mod_mul(u, u, km.pk.n);
+
+  for (uint32_t i = 1; i <= n; ++i) {
+    BigUint d_i = eval(i);
+    km.pk.v_i.push_back(BigUint::mod_pow(km.pk.v, d_i, km.pk.n));
+    km.shares.push_back({i, std::move(d_i)});
+  }
+  return km;
+}
+
+BigUint ShoupRsa::hash_message(const ShoupPublicKey& pk,
+                               std::span<const uint8_t> msg) {
+  return rsa::fdh_to_zn("shoup-fdh", msg, pk.n);
+}
+
+ShoupPartialSignature ShoupRsa::share_sign(const ShoupKeyMaterial& km,
+                                           const ShoupKeyShare& share,
+                                           std::span<const uint8_t> msg,
+                                           Rng& rng) {
+  const BigUint& n = km.pk.n;
+  BigUint x = hash_message(km.pk, msg);
+  BigUint two_delta = delta(km.params) << 1;
+  ShoupPartialSignature out;
+  out.index = share.index;
+  out.x_i = BigUint::mod_pow(x, two_delta * share.d_i, n);
+
+  // Chaum-Pedersen-style equality proof: log_v(v_i) == log_{x~}(x_i^2),
+  // x~ = x^{4 Delta}.
+  BigUint x_tilde = BigUint::mod_pow(x, two_delta << 1, n);
+  size_t r_bits = n.bit_length() + 2 * 256;
+  BigUint r = BigUint::random_bits(rng, r_bits);
+  BigUint v_prime = BigUint::mod_pow(km.pk.v, r, n);
+  BigUint x_prime = BigUint::mod_pow(x_tilde, r, n);
+  BigUint xi_sq = BigUint::mod_mul(out.x_i, out.x_i, n);
+  out.c = proof_challenge(km.pk, x_tilde, km.pk.v_i[share.index - 1], xi_sq,
+                          v_prime, x_prime);
+  out.z = share.d_i * out.c + r;
+  return out;
+}
+
+bool ShoupRsa::share_verify(const ShoupKeyMaterial& km,
+                            std::span<const uint8_t> msg,
+                            const ShoupPartialSignature& psig) {
+  if (psig.index < 1 || psig.index > km.params.n) return false;
+  const BigUint& n = km.pk.n;
+  BigUint x = hash_message(km.pk, msg);
+  BigUint two_delta = delta(km.params) << 1;
+  BigUint x_tilde = BigUint::mod_pow(x, two_delta << 1, n);
+  const BigUint& v_i = km.pk.v_i[psig.index - 1];
+  BigUint xi_sq = BigUint::mod_mul(psig.x_i, psig.x_i, n);
+
+  // v' = v^z * v_i^{-c}, x' = x~^z * (x_i^2)^{-c}.
+  BigUint v_prime = BigUint::mod_mul(
+      BigUint::mod_pow(km.pk.v, psig.z, n),
+      BigUint::mod_pow(BigUint::mod_inverse(v_i, n), psig.c, n), n);
+  BigUint x_prime = BigUint::mod_mul(
+      BigUint::mod_pow(x_tilde, psig.z, n),
+      BigUint::mod_pow(BigUint::mod_inverse(xi_sq, n), psig.c, n), n);
+  return proof_challenge(km.pk, x_tilde, v_i, xi_sq, v_prime, x_prime) ==
+         psig.c;
+}
+
+BigUint ShoupRsa::combine(const ShoupKeyMaterial& km,
+                          std::span<const uint8_t> msg,
+                          std::span<const ShoupPartialSignature> parts) {
+  std::vector<ShoupPartialSignature> valid;
+  for (const auto& p : parts) {
+    if (share_verify(km, msg, p)) valid.push_back(p);
+    if (valid.size() == km.params.t + 1) break;
+  }
+  if (valid.size() < km.params.t + 1)
+    throw std::runtime_error("shoup combine: fewer than t+1 valid shares");
+
+  const BigUint& n = km.pk.n;
+  BigUint x = hash_message(km.pk, msg);
+  std::vector<uint32_t> indices;
+  for (const auto& p : valid) indices.push_back(p.index);
+  auto lambdas = rsa::integer_lagrange_at_zero(indices, km.params.n);
+
+  // w = prod x_i^{2 lambda_i} = x^{4 Delta^2 d}.
+  BigUint w(1);
+  for (size_t i = 0; i < valid.size(); ++i) {
+    SignedInt exp{lambdas[i].magnitude << 1, lambdas[i].negative};
+    w = BigUint::mod_mul(w, rsa::pow_signed(valid[i].x_i, exp, n), n);
+  }
+
+  // e' = 4 Delta^2; a e' + b e = 1; y = w^a x^b.
+  BigUint d = delta(km.params);
+  BigUint e_prime = (d * d) << 2;
+  BigUint a = BigUint::mod_inverse(e_prime % km.pk.e, km.pk.e);
+  BigUint ae = a * e_prime;
+  if (ae.is_zero() || (ae % km.pk.e) != BigUint(1) % km.pk.e)
+    throw std::logic_error("shoup combine: bezout failure");
+  // b = (1 - a e') / e  (negative).
+  BigUint b_mag = (ae - BigUint(1)) / km.pk.e;
+  BigUint y = BigUint::mod_mul(
+      BigUint::mod_pow(w, a, n),
+      rsa::pow_signed(x, SignedInt{b_mag, true}, n), n);
+  if (!verify(km.pk, msg, y))
+    throw std::logic_error("shoup combine: produced invalid signature");
+  return y;
+}
+
+bool ShoupRsa::verify(const ShoupPublicKey& pk, std::span<const uint8_t> msg,
+                      const BigUint& signature) {
+  BigUint x = rsa::fdh_to_zn("shoup-fdh", msg, pk.n);
+  return BigUint::mod_pow(signature, pk.e, pk.n) == x;
+}
+
+}  // namespace bnr::baselines

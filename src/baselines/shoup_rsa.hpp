@@ -1,0 +1,76 @@
+// Shoup, "Practical Threshold Signatures" (Eurocrypt 2000) — the classical
+// non-interactive threshold RSA baseline the paper compares against ([67]):
+// statically secure, needs a TRUSTED DEALER with safe-prime RSA keys, and
+// its signatures are an order of magnitude larger (3072-bit modulus ->
+// 3072-bit signatures vs 512 bits here).
+//
+// Implemented in full: Delta = n! share arithmetic, partial signatures
+// x_i = x^{2 Delta d_i}, non-interactive Chaum-Pedersen-style proofs of
+// correctness, and the a,b-Bezout combining step.
+#pragma once
+
+#include <optional>
+
+#include "rsa/rsa.hpp"
+
+namespace bnr::baselines {
+
+struct ShoupParams {
+  size_t n = 0, t = 0;
+  size_t modulus_bits = 0;
+};
+
+struct ShoupKeyShare {
+  uint32_t index = 0;
+  BigUint d_i;  // f(i) mod m — ONE value, but 3072-bit vs our 4x254 bits
+};
+
+struct ShoupPublicKey {
+  BigUint n, e;
+  BigUint v;                  // verification base, generator of QR_n
+  std::vector<BigUint> v_i;   // v^{d_i}: per-player verification keys
+};
+
+struct ShoupPartialSignature {
+  uint32_t index = 0;
+  BigUint x_i;  // x^{2 Delta d_i}
+  // Proof of correctness (c, z).
+  BigUint c, z;
+
+  size_t byte_size() const;
+};
+
+struct ShoupKeyMaterial {
+  ShoupParams params;
+  ShoupPublicKey pk;
+  std::vector<ShoupKeyShare> shares;
+};
+
+class ShoupRsa {
+ public:
+  /// Trusted-dealer key generation (the step Dist-Keygen replaces).
+  static ShoupKeyMaterial dealer_keygen(Rng& rng, size_t n, size_t t,
+                                        size_t modulus_bits);
+
+  static BigUint hash_message(const ShoupPublicKey& pk,
+                              std::span<const uint8_t> msg);
+
+  static ShoupPartialSignature share_sign(const ShoupKeyMaterial& km,
+                                          const ShoupKeyShare& share,
+                                          std::span<const uint8_t> msg,
+                                          Rng& rng);
+
+  static bool share_verify(const ShoupKeyMaterial& km,
+                           std::span<const uint8_t> msg,
+                           const ShoupPartialSignature& psig);
+
+  /// Combines t+1 valid partials into a standard RSA signature y: y^e = x.
+  static BigUint combine(const ShoupKeyMaterial& km,
+                         std::span<const uint8_t> msg,
+                         std::span<const ShoupPartialSignature> parts);
+
+  static bool verify(const ShoupPublicKey& pk, std::span<const uint8_t> msg,
+                     const BigUint& signature);
+};
+
+}  // namespace bnr::baselines

@@ -1,0 +1,473 @@
+#include "bn/biguint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace bnr {
+
+using u128 = unsigned __int128;
+
+void BigUint::normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::from_limbs(std::vector<uint64_t> limbs) {
+  BigUint r;
+  r.limbs_ = std::move(limbs);
+  r.normalize();
+  return r;
+}
+
+BigUint::BigUint(uint64_t v) {
+  if (v != 0) limbs_.push_back(v);
+}
+
+BigUint::BigUint(const U256& v) {
+  limbs_.assign(v.w.begin(), v.w.end());
+  normalize();
+}
+
+BigUint BigUint::from_dec(std::string_view s) {
+  if (s.empty()) throw std::invalid_argument("BigUint::from_dec: empty");
+  BigUint r;
+  for (char c : s) {
+    if (c < '0' || c > '9')
+      throw std::invalid_argument("BigUint::from_dec: bad digit");
+    r = r * BigUint(10) + BigUint(static_cast<uint64_t>(c - '0'));
+  }
+  return r;
+}
+
+BigUint BigUint::from_hex(std::string_view s) {
+  if (s.substr(0, 2) == "0x" || s.substr(0, 2) == "0X") s.remove_prefix(2);
+  BigUint r;
+  for (char c : s) {
+    int n;
+    if (c >= '0' && c <= '9')
+      n = c - '0';
+    else if (c >= 'a' && c <= 'f')
+      n = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F')
+      n = c - 'A' + 10;
+    else
+      throw std::invalid_argument("BigUint::from_hex: bad digit");
+    r = (r << 4) + BigUint(static_cast<uint64_t>(n));
+  }
+  return r;
+}
+
+BigUint BigUint::from_bytes_be(std::span<const uint8_t> bytes) {
+  BigUint r;
+  for (uint8_t b : bytes) r = (r << 8) + BigUint(b);
+  return r;
+}
+
+BigUint BigUint::random_bits(Rng& rng, size_t bits) {
+  if (bits < 2) throw std::invalid_argument("random_bits: bits < 2");
+  size_t nlimbs = (bits + 63) / 64;
+  std::vector<uint64_t> limbs(nlimbs);
+  for (auto& l : limbs) l = rng.next_u64();
+  size_t top_bits = bits - (nlimbs - 1) * 64;
+  if (top_bits < 64) limbs.back() &= (uint64_t(1) << top_bits) - 1;
+  limbs.back() |= uint64_t(1) << (top_bits - 1);
+  return from_limbs(std::move(limbs));
+}
+
+BigUint BigUint::random_below(Rng& rng, const BigUint& bound) {
+  if (bound.is_zero())
+    throw std::invalid_argument("random_below: zero bound");
+  size_t bits = bound.bit_length();
+  size_t nlimbs = (bits + 63) / 64;
+  size_t top_bits = bits - (nlimbs - 1) * 64;
+  uint64_t mask = top_bits == 64 ? ~uint64_t(0) : (uint64_t(1) << top_bits) - 1;
+  // Rejection sampling.
+  for (;;) {
+    std::vector<uint64_t> limbs(nlimbs);
+    for (auto& l : limbs) l = rng.next_u64();
+    limbs.back() &= mask;
+    BigUint candidate = from_limbs(std::move(limbs));
+    if (candidate < bound) return candidate;
+  }
+}
+
+size_t BigUint::bit_length() const {
+  if (limbs_.empty()) return 0;
+  return (limbs_.size() - 1) * 64 +
+         (64 - static_cast<size_t>(std::countl_zero(limbs_.back())));
+}
+
+bool BigUint::bit(size_t i) const {
+  size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+uint64_t BigUint::to_u64() const {
+  if (limbs_.size() > 1) throw std::overflow_error("BigUint::to_u64");
+  return limbs_.empty() ? 0 : limbs_[0];
+}
+
+U256 BigUint::to_u256() const {
+  if (limbs_.size() > 4) throw std::overflow_error("BigUint::to_u256");
+  U256 r;
+  for (size_t i = 0; i < limbs_.size(); ++i) r.w[i] = limbs_[i];
+  return r;
+}
+
+int BigUint::cmp(const BigUint& a, const BigUint& b) {
+  if (a.limbs_.size() != b.limbs_.size())
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigUint BigUint::operator+(const BigUint& o) const {
+  std::vector<uint64_t> out(std::max(limbs_.size(), o.limbs_.size()) + 1, 0);
+  u128 carry = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    u128 s = carry;
+    if (i < limbs_.size()) s += limbs_[i];
+    if (i < o.limbs_.size()) s += o.limbs_[i];
+    out[i] = static_cast<uint64_t>(s);
+    carry = s >> 64;
+  }
+  return from_limbs(std::move(out));
+}
+
+BigUint BigUint::operator-(const BigUint& o) const {
+  if (*this < o) throw std::underflow_error("BigUint::operator-: negative");
+  std::vector<uint64_t> out(limbs_.size(), 0);
+  u128 borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    u128 d = (u128)limbs_[i] - borrow;
+    if (i < o.limbs_.size()) d -= o.limbs_[i];
+    out[i] = static_cast<uint64_t>(d);
+    borrow = (d >> 64) & 1;
+  }
+  return from_limbs(std::move(out));
+}
+
+BigUint BigUint::operator*(const BigUint& o) const {
+  if (is_zero() || o.is_zero()) return BigUint();
+  std::vector<uint64_t> out(limbs_.size() + o.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    u128 carry = 0;
+    for (size_t j = 0; j < o.limbs_.size(); ++j) {
+      u128 cur = (u128)limbs_[i] * o.limbs_[j] + out[i + j] + carry;
+      out[i + j] = static_cast<uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    out[i + o.limbs_.size()] = static_cast<uint64_t>(carry);
+  }
+  return from_limbs(std::move(out));
+}
+
+BigUint BigUint::operator<<(size_t bits) const {
+  if (is_zero()) return BigUint();
+  size_t limb_shift = bits / 64;
+  size_t bit_shift = bits % 64;
+  std::vector<uint64_t> out(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    out[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift != 0)
+      out[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+  }
+  return from_limbs(std::move(out));
+}
+
+BigUint BigUint::operator>>(size_t bits) const {
+  size_t limb_shift = bits / 64;
+  size_t bit_shift = bits % 64;
+  if (limb_shift >= limbs_.size()) return BigUint();
+  std::vector<uint64_t> out(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size())
+      out[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+  }
+  return from_limbs(std::move(out));
+}
+
+BigUint::DivMod BigUint::divmod(const BigUint& num, const BigUint& den) {
+  if (den.is_zero()) throw std::domain_error("BigUint: division by zero");
+  if (num < den) return {BigUint(), num};
+  if (den.limbs_.size() == 1) {
+    // Short division.
+    uint64_t d = den.limbs_[0];
+    std::vector<uint64_t> q(num.limbs_.size(), 0);
+    u128 rem = 0;
+    for (size_t i = num.limbs_.size(); i-- > 0;) {
+      u128 cur = (rem << 64) | num.limbs_[i];
+      q[i] = static_cast<uint64_t>(cur / d);
+      rem = cur % d;
+    }
+    return {from_limbs(std::move(q)), BigUint(static_cast<uint64_t>(rem))};
+  }
+
+  // Knuth Algorithm D, base 2^64.
+  size_t n = den.limbs_.size();
+  size_t m = num.limbs_.size() - n;
+  int shift = std::countl_zero(den.limbs_.back());
+  BigUint v = den << static_cast<size_t>(shift);
+  BigUint u = num << static_cast<size_t>(shift);
+  std::vector<uint64_t> un(u.limbs_);
+  un.resize(num.limbs_.size() + 1, 0);  // u has m+n+1 limbs
+  const std::vector<uint64_t>& vn = v.limbs_;
+
+  std::vector<uint64_t> q(m + 1, 0);
+  for (size_t j = m + 1; j-- > 0;) {
+    u128 numerator = ((u128)un[j + n] << 64) | un[j + n - 1];
+    u128 qhat = numerator / vn[n - 1];
+    u128 rhat = numerator % vn[n - 1];
+    while (qhat >> 64 ||
+           (u128)static_cast<uint64_t>(qhat) * vn[n - 2] >
+               ((rhat << 64) | un[j + n - 2])) {
+      --qhat;
+      rhat += vn[n - 1];
+      if (rhat >> 64) break;
+    }
+    // Multiply and subtract.
+    u128 borrow = 0;
+    u128 carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      u128 p = (u128)static_cast<uint64_t>(qhat) * vn[i] + carry;
+      carry = p >> 64;
+      u128 sub = (u128)un[i + j] - static_cast<uint64_t>(p) - borrow;
+      un[i + j] = static_cast<uint64_t>(sub);
+      borrow = (sub >> 64) & 1;
+    }
+    u128 sub = (u128)un[j + n] - carry - borrow;
+    un[j + n] = static_cast<uint64_t>(sub);
+    bool negative = (sub >> 64) & 1;
+
+    q[j] = static_cast<uint64_t>(qhat);
+    if (negative) {
+      // Add back.
+      --q[j];
+      u128 c = 0;
+      for (size_t i = 0; i < n; ++i) {
+        u128 s = (u128)un[i + j] + vn[i] + c;
+        un[i + j] = static_cast<uint64_t>(s);
+        c = s >> 64;
+      }
+      un[j + n] = static_cast<uint64_t>(un[j + n] + c);
+    }
+  }
+  un.resize(n);
+  BigUint rem = from_limbs(std::move(un)) >> static_cast<size_t>(shift);
+  return {from_limbs(std::move(q)), std::move(rem)};
+}
+
+BigUint BigUint::gcd(BigUint a, BigUint b) {
+  while (!b.is_zero()) {
+    BigUint r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigUint BigUint::mod_inverse(const BigUint& a, const BigUint& m) {
+  // Extended Euclid with explicit sign tracking (limbs are unsigned).
+  BigUint r0 = m, r1 = a % m;
+  BigUint t0, t1(1);
+  bool neg0 = false, neg1 = false;
+  while (!r1.is_zero()) {
+    auto [q, r2] = divmod(r0, r1);
+    BigUint qt = q * t1;
+    BigUint t2;
+    bool neg2;
+    if (neg0 == neg1) {
+      if (t0 >= qt) {
+        t2 = t0 - qt;
+        neg2 = neg0;
+      } else {
+        t2 = qt - t0;
+        neg2 = !neg0;
+      }
+    } else {
+      t2 = t0 + qt;
+      neg2 = neg0;
+    }
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    t0 = std::move(t1);
+    neg0 = neg1;
+    t1 = std::move(t2);
+    neg1 = neg2;
+  }
+  if (!r0.is_one()) throw std::domain_error("BigUint::mod_inverse: not coprime");
+  BigUint res = t0 % m;
+  if (neg0 && !res.is_zero()) res = m - res;
+  return res;
+}
+
+BigUint BigUint::mod_mul(const BigUint& a, const BigUint& b, const BigUint& m) {
+  return (a * b) % m;
+}
+
+BigUint BigUint::mod_pow(const BigUint& base, const BigUint& exp,
+                         const BigUint& m) {
+  if (m.is_zero()) throw std::domain_error("BigUint::mod_pow: zero modulus");
+  if (m.is_one()) return BigUint();
+  BigUint result(1);
+  BigUint b = base % m;
+  size_t nbits = exp.bit_length();
+  for (size_t i = nbits; i-- > 0;) {
+    result = mod_mul(result, result, m);
+    if (exp.bit(i)) result = mod_mul(result, b, m);
+  }
+  return result;
+}
+
+namespace {
+// Small primes for trial division, generated once.
+const std::vector<uint64_t>& small_primes() {
+  static const std::vector<uint64_t> primes = [] {
+    std::vector<uint64_t> out;
+    std::vector<bool> sieve(8192, true);
+    for (size_t i = 2; i < sieve.size(); ++i) {
+      if (!sieve[i]) continue;
+      out.push_back(i);
+      for (size_t j = i * i; j < sieve.size(); j += i) sieve[j] = false;
+    }
+    return out;
+  }();
+  return primes;
+}
+
+bool divisible_by_small_prime(const BigUint& n) {
+  for (uint64_t p : small_primes()) {
+    BigUint rem = n % BigUint(p);
+    if (rem.is_zero()) return n == BigUint(p);
+  }
+  return false;
+}
+}  // namespace
+
+bool BigUint::is_probable_prime(const BigUint& n, Rng& rng, int rounds) {
+  if (n < BigUint(2)) return false;
+  for (uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull})
+    if (n == BigUint(p)) return true;
+  if (n.is_even()) return false;
+  // Write n-1 = d * 2^s.
+  BigUint n_minus_1 = n - BigUint(1);
+  BigUint d = n_minus_1;
+  size_t s = 0;
+  while (d.is_even()) {
+    d = d >> 1;
+    ++s;
+  }
+  BigUint two(2);
+  BigUint n_minus_3 = n - BigUint(3);
+  for (int round = 0; round < rounds; ++round) {
+    BigUint a = random_below(rng, n_minus_3) + two;  // a in [2, n-2]
+    BigUint x = mod_pow(a, d, n);
+    if (x.is_one() || x == n_minus_1) continue;
+    bool composite = true;
+    for (size_t i = 0; i + 1 < s; ++i) {
+      x = mod_mul(x, x, n);
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+BigUint BigUint::random_prime(Rng& rng, size_t bits) {
+  for (;;) {
+    BigUint candidate = random_bits(rng, bits);
+    if (candidate.is_even()) candidate = candidate + BigUint(1);
+    if (divisible_by_small_prime(candidate) && candidate.bit_length() > 13)
+      continue;
+    if (is_probable_prime(candidate, rng)) return candidate;
+  }
+}
+
+BigUint BigUint::random_safe_prime(Rng& rng, size_t bits) {
+  // p = 2q + 1. Sieve both q and p on small primes before Miller-Rabin.
+  for (;;) {
+    BigUint q = random_bits(rng, bits - 1);
+    if (q.is_even()) q = q + BigUint(1);
+    BigUint p = (q << 1) + BigUint(1);
+    bool sieved = false;
+    for (uint64_t sp : small_primes()) {
+      BigUint spb(sp);
+      if ((q % spb).is_zero() || (p % spb).is_zero()) {
+        sieved = true;
+        break;
+      }
+    }
+    if (sieved) continue;
+    if (!is_probable_prime(q, rng, 8)) continue;
+    if (!is_probable_prime(p, rng, 8)) continue;
+    if (is_probable_prime(q, rng, 16) && is_probable_prime(p, rng, 16))
+      return p;
+  }
+}
+
+std::string BigUint::to_hex() const {
+  if (is_zero()) return "0";
+  std::string out;
+  static constexpr char kDigits[] = "0123456789abcdef";
+  bool leading = true;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    for (int nib = 15; nib >= 0; --nib) {
+      int v = (limbs_[i] >> (4 * nib)) & 0xf;
+      if (leading && v == 0) continue;
+      leading = false;
+      out.push_back(kDigits[v]);
+    }
+  }
+  return out;
+}
+
+std::string BigUint::to_dec() const {
+  if (is_zero()) return "0";
+  BigUint n = *this;
+  const BigUint chunk(10000000000000000000ull);  // 10^19
+  std::vector<uint64_t> parts;
+  while (!n.is_zero()) {
+    auto [q, r] = divmod(n, chunk);
+    parts.push_back(r.is_zero() ? 0 : r.to_u64());
+    n = std::move(q);
+  }
+  std::string out = std::to_string(parts.back());
+  for (size_t i = parts.size() - 1; i-- > 0;) {
+    std::string part = std::to_string(parts[i]);
+    out += std::string(19 - part.size(), '0') + part;
+  }
+  return out;
+}
+
+Bytes BigUint::to_bytes_be() const {
+  size_t nbytes = (bit_length() + 7) / 8;
+  return to_bytes_be_padded(nbytes);
+}
+
+Bytes BigUint::to_bytes_be_padded(size_t width) const {
+  Bytes out(width, 0);
+  for (size_t i = 0; i < width; ++i) {
+    size_t byte_index = width - 1 - i;  // position from the end
+    size_t limb = i / 8;
+    if (limb < limbs_.size())
+      out[byte_index] = static_cast<uint8_t>(limbs_[limb] >> (8 * (i % 8)));
+  }
+  return out;
+}
+
+BigUint BigUint::factorial(uint64_t n) {
+  BigUint r(1);
+  for (uint64_t i = 2; i <= n; ++i) r = r * BigUint(i);
+  return r;
+}
+
+}  // namespace bnr

@@ -1,0 +1,112 @@
+// Arbitrary-precision unsigned integers.
+//
+// Used for (a) derived pairing exponents — the final-exponentiation hard part
+// (p^4 - p^2 + 1)/r and the Frobenius/cofactor exponents are *computed* here
+// at startup rather than hardcoded, so a transcription error is impossible —
+// and (b) the RSA substrate behind the Shoup / Almansa baselines.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bn/u256.hpp"
+
+namespace bnr {
+
+class Rng;
+
+class BigUint {
+ public:
+  BigUint() = default;
+  explicit BigUint(uint64_t v);
+  explicit BigUint(const U256& v);
+
+  static BigUint from_dec(std::string_view s);
+  static BigUint from_hex(std::string_view s);
+  static BigUint from_bytes_be(std::span<const uint8_t> bytes);
+
+  /// Uniform value with exactly `bits` bits (top bit set). bits >= 2.
+  static BigUint random_bits(Rng& rng, size_t bits);
+  /// Uniform value in [0, bound).
+  static BigUint random_below(Rng& rng, const BigUint& bound);
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_one() const { return limbs_.size() == 1 && limbs_[0] == 1; }
+  bool is_even() const { return limbs_.empty() || (limbs_[0] & 1) == 0; }
+  size_t bit_length() const;
+  bool bit(size_t i) const;
+  uint64_t to_u64() const;  // throws if it does not fit
+  U256 to_u256() const;     // throws if it does not fit
+
+  static int cmp(const BigUint& a, const BigUint& b);
+  bool operator==(const BigUint& o) const { return limbs_ == o.limbs_; }
+  bool operator<(const BigUint& o) const { return cmp(*this, o) < 0; }
+  bool operator<=(const BigUint& o) const { return cmp(*this, o) <= 0; }
+  bool operator>(const BigUint& o) const { return cmp(*this, o) > 0; }
+  bool operator>=(const BigUint& o) const { return cmp(*this, o) >= 0; }
+
+  BigUint operator+(const BigUint& o) const;
+  /// Requires *this >= o.
+  BigUint operator-(const BigUint& o) const;
+  BigUint operator*(const BigUint& o) const;
+  BigUint operator<<(size_t bits) const;
+  BigUint operator>>(size_t bits) const;
+
+  struct DivMod;  // {quotient, remainder}, defined after the class
+  /// Knuth Algorithm D. Throws on division by zero.
+  static DivMod divmod(const BigUint& num, const BigUint& den);
+  BigUint operator/(const BigUint& o) const;
+  BigUint operator%(const BigUint& o) const;
+
+  static BigUint gcd(BigUint a, BigUint b);
+  /// Modular inverse; throws if gcd(a, m) != 1.
+  static BigUint mod_inverse(const BigUint& a, const BigUint& m);
+  /// (a * b) mod m.
+  static BigUint mod_mul(const BigUint& a, const BigUint& b, const BigUint& m);
+  /// base^exp mod m, square-and-multiply.
+  static BigUint mod_pow(const BigUint& base, const BigUint& exp,
+                         const BigUint& m);
+
+  /// Miller-Rabin with `rounds` random bases.
+  static bool is_probable_prime(const BigUint& n, Rng& rng, int rounds = 24);
+  /// Random prime with exactly `bits` bits.
+  static BigUint random_prime(Rng& rng, size_t bits);
+  /// Random safe prime p = 2q + 1 (both prime) with exactly `bits` bits.
+  static BigUint random_safe_prime(Rng& rng, size_t bits);
+
+  std::string to_hex() const;
+  std::string to_dec() const;
+  Bytes to_bytes_be() const;
+  /// Big-endian, left-padded with zeros to `width` bytes.
+  Bytes to_bytes_be_padded(size_t width) const;
+
+  std::span<const uint64_t> limbs() const { return limbs_; }
+
+  /// Extended binary signed helper: returns (g, x) with x = a^{-1} mod m used
+  /// by mod_inverse; exposed for tests.
+  static BigUint factorial(uint64_t n);
+
+ private:
+  void normalize();
+  static BigUint from_limbs(std::vector<uint64_t> limbs);
+
+  // Little-endian limbs; empty vector means zero. Invariant: no trailing 0.
+  std::vector<uint64_t> limbs_;
+};
+
+struct BigUint::DivMod {
+  BigUint quotient;
+  BigUint remainder;
+};
+
+inline BigUint BigUint::operator/(const BigUint& o) const {
+  return divmod(*this, o).quotient;
+}
+inline BigUint BigUint::operator%(const BigUint& o) const {
+  return divmod(*this, o).remainder;
+}
+
+}  // namespace bnr

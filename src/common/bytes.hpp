@@ -1,0 +1,40 @@
+// Byte-buffer utilities shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bnr {
+
+using Bytes = std::vector<uint8_t>;
+
+/// Encodes `data` as lowercase hex.
+std::string to_hex(std::span<const uint8_t> data);
+
+/// Decodes a hex string (with or without leading "0x"). Throws
+/// std::invalid_argument on malformed input.
+Bytes from_hex(std::string_view hex);
+
+/// Appends `src` to `dst`.
+inline void append(Bytes& dst, std::span<const uint8_t> src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Converts a string literal/view to bytes.
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Constant-size big-endian encoding of a 32-bit value (used for domain
+/// separation counters in hash-to-curve and the random-oracle params).
+inline void append_u32_be(Bytes& dst, uint32_t v) {
+  dst.push_back(static_cast<uint8_t>(v >> 24));
+  dst.push_back(static_cast<uint8_t>(v >> 16));
+  dst.push_back(static_cast<uint8_t>(v >> 8));
+  dst.push_back(static_cast<uint8_t>(v));
+}
+
+}  // namespace bnr

@@ -1,0 +1,123 @@
+#include "common/rng.hpp"
+
+#include <cstring>
+#include <random>
+#include <stdexcept>
+
+#include "common/sha256.hpp"
+
+namespace bnr {
+
+namespace {
+
+inline uint32_t rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline void quarter_round(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d = rotl(d ^ a, 16);
+  c += d;
+  b = rotl(b ^ c, 12);
+  a += b;
+  d = rotl(d ^ a, 8);
+  c += d;
+  b = rotl(b ^ c, 7);
+}
+
+inline uint32_t load_le32(const uint8_t* p) {
+  return uint32_t(p[0]) | (uint32_t(p[1]) << 8) | (uint32_t(p[2]) << 16) |
+         (uint32_t(p[3]) << 24);
+}
+
+}  // namespace
+
+Rng::Rng(const std::array<uint8_t, 32>& seed) {
+  static constexpr uint32_t kSigma[4] = {0x61707865, 0x3320646e, 0x79622d32,
+                                         0x6b206574};
+  state_[0] = kSigma[0];
+  state_[1] = kSigma[1];
+  state_[2] = kSigma[2];
+  state_[3] = kSigma[3];
+  for (int i = 0; i < 8; ++i) state_[4 + i] = load_le32(seed.data() + 4 * i);
+  state_[12] = 0;  // block counter
+  state_[13] = 0;
+  state_[14] = 0;  // nonce
+  state_[15] = 0;
+}
+
+Rng::Rng(std::string_view label) : Rng(Sha256::hash(label)) {}
+
+Rng Rng::from_entropy() {
+  std::random_device rd;
+  std::array<uint8_t, 32> seed;
+  for (size_t i = 0; i < seed.size(); i += 4) {
+    uint32_t v = rd();
+    std::memcpy(seed.data() + i, &v, 4);
+  }
+  return Rng(seed);
+}
+
+void Rng::refill() {
+  std::array<uint32_t, 16> x = state_;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    uint32_t v = x[i] + state_[i];
+    std::memcpy(block_.data() + 4 * i, &v, 4);
+  }
+  if (++state_[12] == 0) ++state_[13];
+  pos_ = 0;
+}
+
+void Rng::fill(std::span<uint8_t> out) {
+  size_t off = 0;
+  while (off < out.size()) {
+    if (pos_ == 64) refill();
+    size_t take = std::min(out.size() - off, 64 - pos_);
+    std::memcpy(out.data() + off, block_.data() + pos_, take);
+    pos_ += take;
+    off += take;
+  }
+}
+
+Bytes Rng::bytes(size_t n) {
+  Bytes out(n);
+  fill(out);
+  return out;
+}
+
+uint64_t Rng::next_u64() {
+  uint8_t buf[8];
+  fill(buf);
+  uint64_t v;
+  std::memcpy(&v, buf, 8);
+  return v;
+}
+
+uint64_t Rng::uniform(uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::uniform: bound == 0");
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+Rng Rng::fork(std::string_view label) {
+  Sha256 h;
+  auto material = bytes(32);
+  h.update(material);
+  h.update(label);
+  return Rng(h.finalize());
+}
+
+}  // namespace bnr

@@ -1,0 +1,48 @@
+// ChaCha20-based pseudorandom generator.
+//
+// Two modes: seeded (deterministic, for reproducible tests/benches and for
+// per-player derivation in the simulated protocols) and OS-entropy seeded.
+// Not hardened against side channels; see DESIGN.md §6.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.hpp"
+
+namespace bnr {
+
+class Rng {
+ public:
+  /// Deterministic generator from a 32-byte seed.
+  explicit Rng(const std::array<uint8_t, 32>& seed);
+
+  /// Deterministic generator from a string label (seed = SHA-256(label)).
+  explicit Rng(std::string_view label);
+
+  /// Generator seeded from std::random_device.
+  static Rng from_entropy();
+
+  /// Fills `out` with pseudorandom bytes.
+  void fill(std::span<uint8_t> out);
+
+  Bytes bytes(size_t n);
+  uint64_t next_u64();
+
+  /// Uniform value in [0, bound). Requires bound > 0.
+  uint64_t uniform(uint64_t bound);
+
+  /// Derives an independent child generator (used to hand each simulated
+  /// player its own coins without sharing state).
+  Rng fork(std::string_view label);
+
+ private:
+  void refill();
+
+  std::array<uint32_t, 16> state_;
+  std::array<uint8_t, 64> block_{};
+  size_t pos_ = 64;  // forces refill on first use
+};
+
+}  // namespace bnr

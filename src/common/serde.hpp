@@ -1,0 +1,79 @@
+// Tiny serialization framework: length-prefixed, big-endian, deterministic.
+// Used for wire messages in the simulated network (so byte accounting in the
+// DKG/signing benches reflects real encodings) and for size measurements in
+// the E1/E4 experiments.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace bnr {
+
+class ByteWriter {
+ public:
+  void u8(uint8_t v) { buf_.push_back(v); }
+  void u32(uint32_t v) { append_u32_be(buf_, v); }
+  void u64(uint64_t v) {
+    u32(static_cast<uint32_t>(v >> 32));
+    u32(static_cast<uint32_t>(v));
+  }
+  void raw(std::span<const uint8_t> data) { append(buf_, data); }
+  void blob(std::span<const uint8_t> data) {
+    u32(static_cast<uint32_t>(data.size()));
+    raw(data);
+  }
+  void str(std::string_view s) {
+    blob(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(s.data()),
+                                  s.size()));
+  }
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  uint8_t u8() { return take(1)[0]; }
+  uint32_t u32() {
+    auto b = take(4);
+    return (uint32_t(b[0]) << 24) | (uint32_t(b[1]) << 16) |
+           (uint32_t(b[2]) << 8) | uint32_t(b[3]);
+  }
+  uint64_t u64() {
+    uint64_t hi = u32();
+    return (hi << 32) | u32();
+  }
+  Bytes blob() {
+    uint32_t n = u32();
+    auto b = take(n);
+    return Bytes(b.begin(), b.end());
+  }
+  std::span<const uint8_t> raw(size_t n) { return take(n); }
+
+  bool empty() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::span<const uint8_t> take(size_t n) {
+    if (pos_ + n > data_.size())
+      throw std::out_of_range("ByteReader: truncated input");
+    auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace bnr

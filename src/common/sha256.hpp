@@ -1,0 +1,45 @@
+// Minimal from-scratch SHA-256 (FIPS 180-4). Used as the random oracle H and
+// for deriving nothing-up-my-sleeve generators; not performance critical.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.hpp"
+
+namespace bnr {
+
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  using Digest = std::array<uint8_t, kDigestSize>;
+
+  Sha256();
+
+  Sha256& update(std::span<const uint8_t> data);
+  Sha256& update(std::string_view s) {
+    return update(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+  }
+
+  /// Finalizes and returns the digest. The object must not be reused after.
+  Digest finalize();
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const uint8_t> data);
+  static Digest hash(std::string_view s);
+
+ private:
+  void compress(const uint8_t block[64]);
+
+  std::array<uint32_t, 8> state_;
+  uint64_t bit_len_ = 0;
+  std::array<uint8_t, 64> buffer_{};
+  size_t buffer_len_ = 0;
+};
+
+/// Digest as a Bytes vector (handy for concatenation pipelines).
+Bytes sha256(std::span<const uint8_t> data);
+
+}  // namespace bnr

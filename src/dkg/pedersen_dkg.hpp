@@ -1,0 +1,208 @@
+// Pedersen's distributed key generation (the paper's Dist-Keygen, §3.1),
+// with the two-generator Pedersen-VSS commitments and the complaint /
+// disqualification sub-protocol. One round when every player follows the
+// specification; two extra rounds (complaints, responses) otherwise.
+//
+// The protocol is generalized over a *commitment matrix*: each player shares
+// an m-vector of secrets with degree-t polynomials, and broadcasts, per
+// polynomial-coefficient level l, one commitment per "row", where row R with
+// sparse generator list {(j, g_j)} commits a coefficient vector v as
+// prod_j g_j^{v_j}. Instantiations:
+//   main RO scheme (§3.1):  m = 4 (A1,B1,A2,B2), rows {g^z@A1,g^r@B1},
+//                           {g^z@A2,g^r@B2}      -> PK = (g^_1, g^_2)
+//   DLIN variant (App. F):  m = 9, 6 rows
+//   std-model (§4):         m = 2, 1 row
+//   aggregate (App. G):     RO rows + per-player extra broadcast (Z_i0,R_i0)
+//                           validated by a pairing equation.
+//
+// Adaptive corruption is erasure-free: `Player::internal_state()` returns the
+// full history (polynomials and all received shares) at any time, exactly
+// what Definition 1 hands the adversary.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "curve/g2.hpp"
+#include "common/rng.hpp"
+#include "net/network.hpp"
+#include "sss/shamir.hpp"
+
+namespace bnr::dkg {
+
+/// One commitment row: sparse list of (secret index, generator).
+struct VssRow {
+  std::vector<std::pair<size_t, G2Affine>> terms;
+
+  G2Affine commit(std::span<const Fr> coeffs) const;
+};
+
+struct Config {
+  size_t n = 0;  // players, indices 1..n; requires n >= 2t+1
+  size_t t = 0;  // threshold: adversary corrupts at most t
+  size_t m = 0;  // secrets shared per player
+  std::vector<VssRow> rows;
+
+  /// Optional scheme extension (App. G): extra round-1 broadcast derived from
+  /// the player's secret constant terms, and its public validator (given the
+  /// player's row-0 commitments). Invalid extras disqualify the sender.
+  std::function<Bytes(std::span<const Fr> secret_constants)> extra_provider;
+  std::function<bool(std::span<const G2Affine> row0_commitments,
+                     const Bytes& extra)>
+      extra_validator;
+
+  /// When set, every shared polynomial has constant term 0 and verifiers
+  /// additionally require the level-0 commitments to be identities. This is
+  /// the proactive-refresh zero-sharing (§3.3).
+  bool share_zero = false;
+
+  void validate() const;
+};
+
+// --------------------------------------------------------------------------
+// Wire messages.
+
+struct Round1Broadcast {
+  // commitments[row][l], l = 0..t: W^_{i,row,l}.
+  std::vector<std::vector<G2Affine>> commitments;
+  Bytes extra;  // scheme extension payload (may be empty)
+
+  Bytes serialize() const;
+  static Round1Broadcast deserialize(std::span<const uint8_t> data);
+};
+
+struct Round1Share {
+  std::vector<Fr> values;  // m entries: the j-th evaluations of my polynomials
+
+  Bytes serialize() const;
+  static Round1Share deserialize(std::span<const uint8_t> data);
+};
+
+struct Round2Complaints {
+  std::vector<uint32_t> accused;
+
+  Bytes serialize() const;
+  static Round2Complaints deserialize(std::span<const uint8_t> data);
+};
+
+struct Round3Responses {
+  // For each complaint against me: (complainer, the revealed m shares).
+  std::vector<std::pair<uint32_t, Round1Share>> reveals;
+
+  Bytes serialize() const;
+  static Round3Responses deserialize(std::span<const uint8_t> data);
+};
+
+// --------------------------------------------------------------------------
+// Fault injection for tests/benches (behaviors of adversary-controlled
+// players). The network itself stays reliable, per the §2.1 model.
+
+struct Behavior {
+  std::vector<uint32_t> send_bad_share_to;  // corrupt p2p shares to these
+  bool bad_commitments = false;             // broadcast garbage commitments
+  bool crash = false;                       // send nothing at all
+  bool refuse_complaint_response = false;   // stay silent in round 3
+  bool respond_with_bad_share = false;      // round-3 reveal fails the check
+  std::vector<uint32_t> false_accusations;  // complain against honest players
+  bool bad_extra = false;                   // corrupt the App. G extra payload
+};
+
+/// Erasure-free internal state (what an adaptive corruption reveals).
+struct InternalState {
+  std::vector<Polynomial> polynomials;          // my m sharing polynomials
+  std::map<uint32_t, Round1Share> received;     // shares received from others
+  std::vector<Fr> final_share;                  // SK_i (once finalized)
+};
+
+// --------------------------------------------------------------------------
+
+class Player {
+ public:
+  Player(const Config& cfg, uint32_t index, Rng rng, Behavior behavior = {});
+
+  uint32_t index() const { return index_; }
+  const Behavior& behavior() const { return behavior_; }
+
+  /// Round 1 outputs. nullopt if this player crashes.
+  std::optional<Round1Broadcast> round1_broadcast();
+  std::optional<Round1Share> round1_share_for(uint32_t j);
+
+  /// Feeds this player everyone's round-1 traffic (its own inbox view).
+  void receive_round1(
+      const std::map<uint32_t, Round1Broadcast>& broadcasts,
+      const std::map<uint32_t, Round1Share>& shares);
+
+  /// Round 2: which players to accuse.
+  Round2Complaints round2_complaints() const;
+
+  /// Round 3: respond to complaints lodged against me.
+  std::optional<Round3Responses> round3_responses(
+      const std::map<uint32_t, Round2Complaints>& all_complaints);
+
+  /// Processes all complaints + responses; fixes the qualified set.
+  void resolve_complaints(
+      const std::map<uint32_t, Round2Complaints>& all_complaints,
+      const std::map<uint32_t, Round3Responses>& all_responses);
+
+  /// Final local outputs (requires resolve_complaints, or receive_round1 if
+  /// the run is complaint-free).
+  struct Output {
+    std::vector<uint32_t> qualified;
+    std::vector<G2Affine> public_key;  // one element per row
+    std::vector<Fr> secret_share;      // SK_i: m values
+    // verification_keys[i-1][row] = VK_i; disqualified players get identity.
+    std::vector<std::vector<G2Affine>> verification_keys;
+  };
+  Output finalize() const;
+
+  /// Adaptive corruption: the full erasure-free history.
+  InternalState internal_state() const;
+
+  /// True share value this player holds from player j (test access).
+  const std::map<uint32_t, Round1Share>& received_shares() const {
+    return received_;
+  }
+
+ private:
+  bool share_valid(uint32_t from, const Round1Share& share) const;
+
+  const Config* cfg_;
+  uint32_t index_;
+  Rng rng_;
+  Behavior behavior_;
+
+  std::vector<Polynomial> polys_;                 // m polynomials
+  std::map<uint32_t, Round1Broadcast> broadcasts_;
+  std::map<uint32_t, Round1Share> received_;      // valid shares from others
+  std::set<uint32_t> suspects_;                   // my own complaints
+  std::set<uint32_t> disqualified_;
+  bool finalized_inputs_ = false;
+};
+
+// --------------------------------------------------------------------------
+// Driver: runs the full protocol over a SyncNetwork, with serialization (so
+// the network's byte accounting is true to the wire format).
+
+struct RunResult {
+  std::vector<Player::Output> outputs;  // per player (index i-1); all agree
+  NetworkStats stats;
+  size_t rounds = 0;  // rounds that carried protocol traffic (1 optimistic)
+  std::vector<uint32_t> qualified;
+};
+
+RunResult run_dkg(const Config& cfg, SyncNetwork& net, std::vector<Player>& players);
+
+/// Convenience: builds n players with derived RNGs and the given behaviors
+/// (empty map = all honest), then runs the protocol.
+RunResult run_dkg(const Config& cfg, Rng& seed_rng,
+                  const std::map<uint32_t, Behavior>& behaviors,
+                  SyncNetwork* net = nullptr,
+                  std::vector<Player>* players_out = nullptr);
+
+/// Horner evaluation of a commitment polynomial at integer x:
+/// prod_l coeffs[l]^{x^l}.
+G2 eval_commitments(std::span<const G2Affine> coeffs, uint64_t x);
+
+}  // namespace bnr::dkg

@@ -1,0 +1,115 @@
+#include "dkg/proactive.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace bnr::dkg {
+
+RefreshResult refresh_shares(const Config& cfg, Rng& seed_rng,
+                             const std::vector<std::vector<Fr>>& old_shares,
+                             const std::vector<std::vector<G2Affine>>& old_vks,
+                             const std::map<uint32_t, Behavior>& behaviors,
+                             SyncNetwork* net) {
+  if (old_shares.size() != cfg.n || old_vks.size() != cfg.n)
+    throw std::invalid_argument("refresh_shares: state size mismatch");
+  Config zero_cfg = cfg;
+  zero_cfg.share_zero = true;
+  // The App. G extra payload is a one-time key-validity proof; it is not
+  // re-issued during refresh.
+  zero_cfg.extra_provider = nullptr;
+  zero_cfg.extra_validator = nullptr;
+
+  RefreshResult out;
+  out.transcript = run_dkg(zero_cfg, seed_rng, behaviors, net);
+
+  // The refresh's "public key" is the zero-commitment aggregate — identity.
+  uint32_t honest = 1;
+  while (behaviors.contains(honest)) ++honest;
+  const auto& view = out.transcript.outputs[honest - 1];
+  for (const auto& pk_row : view.public_key)
+    if (!pk_row.infinity)
+      throw std::logic_error("refresh_shares: nonzero secret was shared");
+
+  out.new_shares.resize(cfg.n);
+  out.new_vks.resize(cfg.n);
+  for (uint32_t i = 1; i <= cfg.n; ++i) {
+    const auto& delta = out.transcript.outputs[i - 1].secret_share;
+    out.new_shares[i - 1].resize(cfg.m);
+    for (size_t k = 0; k < cfg.m; ++k)
+      out.new_shares[i - 1][k] = old_shares[i - 1][k] + delta[k];
+    // VK'_i = VK_i * VK^delta_i, using the honest player's public view of
+    // the delta commitments.
+    const auto& delta_vk = view.verification_keys[i - 1];
+    out.new_vks[i - 1].resize(cfg.rows.size());
+    for (size_t row = 0; row < cfg.rows.size(); ++row)
+      out.new_vks[i - 1][row] = (G2::from_affine(old_vks[i - 1][row]) +
+                                 G2::from_affine(delta_vk[row]))
+                                    .to_affine();
+  }
+  return out;
+}
+
+namespace {
+
+/// Random degree-t polynomial with a root at x = root: (X - root) * W(X),
+/// W random of degree t-1.
+Polynomial random_poly_with_root(Rng& rng, size_t t, uint32_t root) {
+  Polynomial w = Polynomial::random(rng, t - 1);
+  const auto& wc = w.coefficients();
+  std::vector<Fr> coeffs(t + 1, Fr::zero());
+  Fr neg_root = -Fr::from_u64(root);
+  for (size_t i = 0; i < wc.size(); ++i) {
+    coeffs[i] = coeffs[i] + wc[i] * neg_root;  // -root * w_i -> X^i
+    coeffs[i + 1] = coeffs[i + 1] + wc[i];     // w_i -> X^{i+1}
+  }
+  return Polynomial(std::move(coeffs));
+}
+
+}  // namespace
+
+std::vector<Fr> recover_share(const Config& cfg, Rng& rng, uint32_t lost,
+                              std::span<const uint32_t> helpers,
+                              const std::vector<std::vector<Fr>>& shares,
+                              std::span<const G2Affine> lost_vk) {
+  if (helpers.size() < cfg.t + 1)
+    throw std::invalid_argument("recover_share: need t+1 helpers");
+  for (uint32_t h : helpers)
+    if (h == lost) throw std::invalid_argument("recover_share: lost helper");
+
+  // Each helper j contributes m blinding polynomials Z_{j,k} with
+  // Z_{j,k}(lost) = 0; helper l's mask for component k is sum_j Z_{j,k}(l).
+  std::vector<std::vector<Polynomial>> blinds(helpers.size());
+  for (size_t j = 0; j < helpers.size(); ++j)
+    for (size_t k = 0; k < cfg.m; ++k)
+      blinds[j].push_back(random_poly_with_root(rng, cfg.t, lost));
+
+  // Helper l sends masked point v_{l,k} = share_{l,k} + sum_j Z_{j,k}(l).
+  std::vector<std::vector<Share>> masked(cfg.m);
+  for (uint32_t l : helpers) {
+    for (size_t k = 0; k < cfg.m; ++k) {
+      Fr mask = Fr::zero();
+      for (size_t j = 0; j < helpers.size(); ++j)
+        mask = mask + blinds[j][k].evaluate_at_index(l);
+      masked[k].push_back({l, shares[l - 1][k] + mask});
+    }
+  }
+
+  // The lost player interpolates at its own index: the blinding vanishes.
+  std::vector<Fr> recovered(cfg.m);
+  Fr x = Fr::from_u64(lost);
+  for (size_t k = 0; k < cfg.m; ++k)
+    recovered[k] = shamir_interpolate_at(masked[k], x);
+
+  // Verify against the (public) verification key rows.
+  for (size_t row = 0; row < cfg.rows.size(); ++row) {
+    G2 acc;
+    for (const auto& [idx, gen] : cfg.rows[row].terms)
+      acc = acc + G2::from_affine(gen).mul(recovered[idx]);
+    if (!(acc == G2::from_affine(lost_vk[row])))
+      throw std::runtime_error("recover_share: recovered share is invalid");
+  }
+  return recovered;
+}
+
+}  // namespace bnr::dkg

@@ -1,0 +1,40 @@
+// Proactive security (§3.3): share refresh via a zero-sharing run of
+// Pedersen's DKG (the secret is unchanged, every share and verification key
+// is re-randomized), and Herzberg-style recovery of a lost/corrupted share.
+#pragma once
+
+#include "dkg/pedersen_dkg.hpp"
+
+namespace bnr::dkg {
+
+struct RefreshResult {
+  // new_shares[i-1] = refreshed m-vector for player i;
+  // new_vks[i-1][row] = refreshed verification key.
+  std::vector<std::vector<Fr>> new_shares;
+  std::vector<std::vector<G2Affine>> new_vks;
+  RunResult transcript;
+};
+
+/// Runs one refresh epoch: all players re-share zero and add the resulting
+/// shares to `old_shares`; verification keys are updated multiplicatively.
+/// The public key is unchanged (checked; throws std::logic_error otherwise).
+RefreshResult refresh_shares(
+    const Config& cfg, Rng& seed_rng,
+    const std::vector<std::vector<Fr>>& old_shares,
+    const std::vector<std::vector<G2Affine>>& old_vks,
+    const std::map<uint32_t, Behavior>& behaviors = {},
+    SyncNetwork* net = nullptr);
+
+/// Recovers player `lost`'s share from t+1 helpers without revealing any
+/// helper's share: helpers jointly build a random polynomial Z with
+/// Z(lost) = 0, each sends its masked point share_j + Z(j); interpolating at
+/// `lost` cancels the mask. The result is verified against the lost player's
+/// verification key (throws std::runtime_error on mismatch, e.g. a lying
+/// helper).
+std::vector<Fr> recover_share(
+    const Config& cfg, Rng& rng, uint32_t lost,
+    std::span<const uint32_t> helpers,
+    const std::vector<std::vector<Fr>>& shares,
+    std::span<const G2Affine> lost_vk);
+
+}  // namespace bnr::dkg

@@ -1,0 +1,23 @@
+#include "field/fp.hpp"
+
+#include "common/rng.hpp"
+
+namespace bnr {
+
+template <class Tag>
+Mont<Tag> Mont<Tag>::random(Rng& rng) {
+  // Rejection sampling: the modulus is 254 bits, so after masking to 254 bits
+  // the acceptance probability is > 1/2.
+  for (;;) {
+    std::array<uint8_t, 32> buf;
+    rng.fill(buf);
+    U256 v = U256::from_bytes_be(buf);
+    v.w[3] &= (uint64_t(1) << 62) - 1;  // clear top 2 bits
+    if (v < kMod) return from_u256(v);
+  }
+}
+
+template Mont<FpTag> Mont<FpTag>::random(Rng&);
+template Mont<FrTag> Mont<FrTag>::random(Rng&);
+
+}  // namespace bnr

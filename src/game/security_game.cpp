@@ -1,0 +1,95 @@
+#include "game/security_game.hpp"
+
+#include <stdexcept>
+
+namespace bnr::game {
+
+Challenger::Challenger(threshold::RoScheme scheme, size_t n, size_t t,
+                       Rng rng,
+                       const std::map<uint32_t, dkg::Behavior>& behaviors)
+    : scheme_(std::move(scheme)) {
+  km_ = scheme_.dist_keygen(n, t, rng, behaviors);
+  // Players the adversary drove during keygen are corrupted from the start.
+  for (const auto& [i, b] : behaviors) corrupted_.insert(i);
+}
+
+const threshold::KeyShare& Challenger::corrupt(uint32_t i) {
+  if (i < 1 || i > km_.n) throw std::out_of_range("corrupt: bad index");
+  corrupted_.insert(i);
+  return km_.shares[i - 1];
+}
+
+threshold::PartialSignature Challenger::sign_query(
+    uint32_t i, std::span<const uint8_t> msg) {
+  if (i < 1 || i > km_.n) throw std::out_of_range("sign_query: bad index");
+  sign_queries_[Bytes(msg.begin(), msg.end())].insert(i);
+  return scheme_.share_sign(km_.shares[i - 1], msg);
+}
+
+GameResult Challenger::judge(std::span<const uint8_t> msg_star,
+                             const threshold::Signature& forgery) const {
+  GameResult r;
+  std::set<uint32_t> v = corrupted_;
+  auto it = sign_queries_.find(Bytes(msg_star.begin(), msg_star.end()));
+  if (it != sign_queries_.end())
+    v.insert(it->second.begin(), it->second.end());
+  r.corruptions = corrupted_.size();
+  r.relevant_set_size = v.size();
+  r.within_corruption_budget = v.size() < km_.t + 1;
+  r.forgery_verifies = scheme_.verify(km_.pk, msg_star, forgery);
+  return r;
+}
+
+GameResult run_interpolation_attack(Challenger& challenger,
+                                    const threshold::RoScheme& scheme,
+                                    std::span<const uint8_t> msg, Rng& rng) {
+  size_t t = challenger.t();
+  // Adaptively corrupt players 1..t (all players are symmetric here) and
+  // compute their partial signatures on M* locally — no oracle needed, the
+  // adversary holds the shares and the parameters are public.
+  std::vector<threshold::PartialSignature> parts;
+  for (uint32_t i = 1; i <= t; ++i)
+    parts.push_back(scheme.share_sign(challenger.corrupt(i), msg));
+  // Guess the missing (t+1)-th partial as random group elements, then
+  // Lagrange-combine all t+1.
+  parts.push_back({static_cast<uint32_t>(t) + 1,
+                   G1::generator().mul(Fr::random(rng)).to_affine(),
+                   G1::generator().mul(Fr::random(rng)).to_affine()});
+  threshold::Signature guess = scheme.combine_unchecked(t, parts);
+  return challenger.judge(msg, guess);
+}
+
+GameResult run_random_forgery(Challenger& challenger,
+                              std::span<const uint8_t> msg, Rng& rng) {
+  threshold::Signature forgery{
+      G1::generator().mul(Fr::random(rng)).to_affine(),
+      G1::generator().mul(Fr::random(rng)).to_affine()};
+  return challenger.judge(msg, forgery);
+}
+
+GameResult run_over_budget_attack(Challenger& challenger,
+                                  std::span<const uint8_t> msg) {
+  // Corrupt t+1 players, sign and combine honestly: a perfectly valid
+  // signature that the winning condition must nonetheless reject.
+  size_t t = challenger.t();
+  std::vector<threshold::KeyShare> stolen;
+  for (uint32_t i = 1; i <= t + 1; ++i) stolen.push_back(challenger.corrupt(i));
+  // Ask the challenger itself for the partials (sign queries on corrupted
+  // players — allowed, and V already contains them).
+  std::vector<threshold::PartialSignature> parts;
+  for (uint32_t i = 1; i <= t + 1; ++i)
+    parts.push_back(challenger.sign_query(i, msg));
+  // Lagrange-combine.
+  std::vector<uint32_t> indices;
+  for (const auto& p : parts) indices.push_back(p.index);
+  auto lagrange = lagrange_at_zero(indices);
+  G1 z, r;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    z = z + G1::from_affine(parts[i].z).mul(lagrange[i]);
+    r = r + G1::from_affine(parts[i].r).mul(lagrange[i]);
+  }
+  threshold::Signature sig{z.to_affine(), r.to_affine()};
+  return challenger.judge(msg, sig);
+}
+
+}  // namespace bnr::game

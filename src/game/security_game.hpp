@@ -1,0 +1,88 @@
+// Definition 1 (§2.1) as an executable harness: the adaptive chosen-message
+// attack game against the RO-model threshold scheme, with the challenger's
+// exact bookkeeping — the dynamically evolving corrupted set C, the
+// per-message partial-signing sets S_M, the erasure-free state dumps on
+// corruption, and the winning condition |V| = |C ∪ S_{M*}| < t+1 plus
+// Verify(PK, M*, sigma*) = 1.
+//
+// This does not (and cannot) prove unforgeability — the paper's Theorem 1
+// does that — but it makes the security *mechanics* testable: canonical
+// attack strategies run against the real scheme and are checked to fail,
+// while an over-budget adversary trivially "forges" and is rejected by the
+// winning condition, pinning the threshold t exactly.
+#pragma once
+
+#include <set>
+
+#include "threshold/ro_scheme.hpp"
+
+namespace bnr::game {
+
+struct GameResult {
+  bool forgery_verifies = false;
+  bool within_corruption_budget = false;  // |C ∪ S_{M*}| < t+1
+  size_t corruptions = 0;
+  size_t relevant_set_size = 0;  // |V|
+
+  bool adversary_wins() const {
+    return forgery_verifies && within_corruption_budget;
+  }
+};
+
+class Challenger {
+ public:
+  /// Runs Dist-Keygen (phase 1). `keygen_behaviors` lets the adversary
+  /// control corrupted players during the protocol, as Definition 1 allows.
+  Challenger(threshold::RoScheme scheme, size_t n, size_t t, Rng rng,
+             const std::map<uint32_t, dkg::Behavior>& keygen_behaviors = {});
+
+  size_t n() const { return km_.n; }
+  size_t t() const { return km_.t; }
+  const threshold::PublicKey& public_key() const { return km_.pk; }
+  const std::vector<threshold::VerificationKey>& verification_keys() const {
+    return km_.vks;
+  }
+
+  /// Corruption query: hands out SK_i (the full erasure-free state in the
+  /// real protocol; here the share, which determines it) and marks i in C.
+  const threshold::KeyShare& corrupt(uint32_t i);
+
+  /// Partial-signing query (i, M) for an honest player.
+  threshold::PartialSignature sign_query(uint32_t i,
+                                         std::span<const uint8_t> msg);
+
+  /// Final judgement on the adversary's output (M*, sigma*).
+  GameResult judge(std::span<const uint8_t> msg_star,
+                   const threshold::Signature& forgery) const;
+
+  const std::set<uint32_t>& corrupted() const { return corrupted_; }
+
+ private:
+  threshold::RoScheme scheme_;
+  threshold::KeyMaterial km_;
+  std::set<uint32_t> corrupted_;                     // C
+  std::map<Bytes, std::set<uint32_t>> sign_queries_; // S_M per message
+};
+
+// ---------------------------------------------------------------------------
+// Canonical adversary strategies (all must lose when staying in budget).
+
+/// Corrupts t players adaptively, computes their partial signatures on M*
+/// locally from the stolen shares (the public parameters suffice), then
+/// Lagrange-interpolates together with a guessed (t+1)-th partial — the
+/// generic "use everything you got" attack. |V| = t, within budget; the
+/// forgery must fail to verify.
+GameResult run_interpolation_attack(Challenger& challenger,
+                                    const threshold::RoScheme& scheme,
+                                    std::span<const uint8_t> msg, Rng& rng);
+
+/// Outputs random group elements as the forgery.
+GameResult run_random_forgery(Challenger& challenger,
+                              std::span<const uint8_t> msg, Rng& rng);
+
+/// Corrupts t+1 players and combines honestly — produces a valid signature
+/// but exceeds the budget; the judge must reject it. Pins the bound tight.
+GameResult run_over_budget_attack(Challenger& challenger,
+                                  std::span<const uint8_t> msg);
+
+}  // namespace bnr::game

@@ -1,0 +1,65 @@
+#include "gs/groth_sahai.hpp"
+
+#include "common/rng.hpp"
+
+namespace bnr::gs {
+
+Vec2 Vec2::operator*(const Vec2& o) const {
+  return {(G1::from_affine(a) + G1::from_affine(o.a)).to_affine(),
+          (G1::from_affine(b) + G1::from_affine(o.b)).to_affine()};
+}
+
+Vec2 Vec2::pow(const Fr& s) const {
+  return {G1::from_affine(a).mul(s).to_affine(),
+          G1::from_affine(b).mul(s).to_affine()};
+}
+
+Committed commit(const Crs& crs, const G1Affine& x, Rng& rng) {
+  Committed out;
+  out.nu1 = Fr::random(rng);
+  out.nu2 = Fr::random(rng);
+  out.com.c = Vec2::embed(x) * crs.f.pow(out.nu1) * crs.f_m.pow(out.nu2);
+  return out;
+}
+
+Proof prove_linear(std::span<const VariableTerm> terms) {
+  G2 pi1, pi2;
+  for (const auto& t : terms) {
+    G2 a = G2::from_affine(t.constant);
+    pi1 = pi1 + a.mul(-t.value.nu1);
+    pi2 = pi2 + a.mul(-t.value.nu2);
+  }
+  return {pi1.to_affine(), pi2.to_affine()};
+}
+
+bool verify_linear(const Crs& crs, std::span<const VerifierTerm> terms,
+                   const Proof& proof) {
+  // Slot 1: pairings of the first components; slot 2: second components.
+  std::vector<PairingTerm> slot1, slot2;
+  for (const auto& t : terms) {
+    slot1.push_back({t.vec.a, t.constant});
+    slot2.push_back({t.vec.b, t.constant});
+  }
+  slot1.push_back({crs.f.a, proof.pi1});
+  slot2.push_back({crs.f.b, proof.pi1});
+  slot1.push_back({crs.f_m.a, proof.pi2});
+  slot2.push_back({crs.f_m.b, proof.pi2});
+  return pairing_product_is_one(slot1) && pairing_product_is_one(slot2);
+}
+
+void randomize_linear(const Crs& crs, std::span<const RandomizableTerm> terms,
+                      Proof& proof, Rng& rng) {
+  G2 pi1 = G2::from_affine(proof.pi1);
+  G2 pi2 = G2::from_affine(proof.pi2);
+  for (const auto& t : terms) {
+    Fr d1 = Fr::random(rng), d2 = Fr::random(rng);
+    t.com->c = t.com->c * crs.f.pow(d1) * crs.f_m.pow(d2);
+    G2 a = G2::from_affine(t.constant);
+    pi1 = pi1 + a.mul(-d1);
+    pi2 = pi2 + a.mul(-d2);
+  }
+  proof.pi1 = pi1.to_affine();
+  proof.pi2 = pi2.to_affine();
+}
+
+}  // namespace bnr::gs

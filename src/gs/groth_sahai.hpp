@@ -1,0 +1,96 @@
+// Groth-Sahai NIWI proofs for *linear* pairing-product equations under SXDH
+// (Appendix A of the paper) — exactly the fragment the standard-model scheme
+// needs. Commitments to G1 elements live in G1^2 over a CRS (f, f_M); an
+// equation prod_j e(X_j, A^_j) = T gets a two-element proof in G2.
+//
+// Key properties used by §4:
+//  * perfect witness-indistinguishability on a hiding CRS,
+//  * proofs/commitments combine linearly (Lagrange in the exponent),
+//  * proofs are perfectly re-randomizable (Belenkiy et al.).
+#pragma once
+
+#include <vector>
+
+#include "pairing/pairing.hpp"
+
+namespace bnr {
+class Rng;
+}
+
+namespace bnr::gs {
+
+/// An element of G^2 written multiplicatively: (a, b).
+struct Vec2 {
+  G1Affine a, b;
+
+  static Vec2 identity() { return {G1Affine::identity(), G1Affine::identity()}; }
+  /// (1, x) — the canonical embedding of a group element.
+  static Vec2 embed(const G1Affine& x) { return {G1Affine::identity(), x}; }
+
+  Vec2 operator*(const Vec2& o) const;
+  Vec2 pow(const Fr& s) const;
+  bool operator==(const Vec2& o) const { return a == o.a && b == o.b; }
+};
+
+/// CRS (f, f_M). On a binding CRS f_M is in the span of f; on a hiding CRS
+/// the two vectors are linearly independent (witness indistinguishability).
+struct Crs {
+  Vec2 f;
+  Vec2 f_m;
+};
+
+struct Commitment {
+  Vec2 c;
+
+  bool operator==(const Commitment& o) const { return c == o.c; }
+};
+
+/// Prover-side handle: commitment plus its randomness.
+struct Committed {
+  Commitment com;
+  Fr nu1, nu2;
+};
+
+/// Proof for one linear PPE: two G2 elements.
+struct Proof {
+  G2Affine pi1, pi2;
+};
+
+/// Commits to x: C = (1,x) * f^{nu1} * f_M^{nu2}.
+Committed commit(const Crs& crs, const G1Affine& x, Rng& rng);
+
+/// One pairing slot of a linear PPE: a committed variable X paired with the
+/// public constant A^ in G2.
+struct VariableTerm {
+  Committed value;
+  G2Affine constant;
+};
+
+/// Proves prod_j e(X_j, A^_j) * T = 1 where T is determined by the statement
+/// (the verifier supplies it as constant terms); the proof depends only on
+/// the commitment randomness:
+///   pi^_1 = prod_j A^_j^{-nu1_j},  pi^_2 = prod_j A^_j^{-nu2_j}.
+Proof prove_linear(std::span<const VariableTerm> terms);
+
+/// Verifier-side slot: either a commitment (for variables) or an embedded
+/// public constant (1, g) (for the statement's constant pairings).
+struct VerifierTerm {
+  Vec2 vec;
+  G2Affine constant;
+};
+
+/// Checks prod_j E(vec_j, A^_j) * E(f, pi1) * E(f_M, pi2) == (1, 1) — two
+/// pairing-product equations, one per G^2 slot.
+bool verify_linear(const Crs& crs, std::span<const VerifierTerm> terms,
+                   const Proof& proof);
+
+/// Re-randomizes commitments and the proof in place; the result is
+/// distributed as a fresh proof of the same statement.
+struct RandomizableTerm {
+  Commitment* com;
+  G2Affine constant;
+};
+void randomize_linear(const Crs& crs, std::span<const RandomizableTerm> terms,
+                      Proof& proof, Rng& rng);
+
+}  // namespace bnr::gs

@@ -1,0 +1,47 @@
+#include "lhsps/fdh_signature.hpp"
+
+#include "curve/hash_to_curve.hpp"
+
+namespace bnr::lhsps {
+
+namespace {
+std::span<const uint8_t> as_span(std::string_view s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+}  // namespace
+
+FdhScheme::FdhScheme(size_t k, const G2Affine& g_z, const G2Affine& g_r,
+                     std::string dst)
+    : k_(k), g_z_(g_z), g_r_(g_r), dst_(std::move(dst)) {}
+
+KeyPair FdhScheme::keygen(Rng& rng) const {
+  return lhsps::keygen(rng, k_ + 1, g_z_, g_r_);
+}
+
+std::vector<G1Affine> FdhScheme::hash_message(
+    std::span<const uint8_t> msg) const {
+  return hash_to_g1_vector(dst_, msg, k_ + 1);
+}
+
+Signature FdhScheme::sign(const SecretKey& sk,
+                          std::span<const uint8_t> msg) const {
+  auto h = hash_message(msg);
+  return lhsps::sign(sk, h);
+}
+
+Signature FdhScheme::sign(const SecretKey& sk, std::string_view msg) const {
+  return sign(sk, as_span(msg));
+}
+
+bool FdhScheme::verify(const PublicKey& pk, std::span<const uint8_t> msg,
+                       const Signature& sig) const {
+  auto h = hash_message(msg);
+  return lhsps::verify(pk, h, sig);
+}
+
+bool FdhScheme::verify(const PublicKey& pk, std::string_view msg,
+                       const Signature& sig) const {
+  return verify(pk, as_span(msg), sig);
+}
+
+}  // namespace bnr::lhsps

@@ -1,0 +1,41 @@
+// Appendix D.1: any one-time LHSPS + a random oracle H : {0,1}* -> G^{K+1}
+// yields a fully (EUF-CMA) secure ordinary signature under the K-Linear
+// assumption. The K = 1 (DDH) instantiation is exactly the centralized
+// version of the paper's main threshold scheme, so this also serves as the
+// single-signer baseline in the benchmarks.
+#pragma once
+
+#include <string>
+
+#include "lhsps/lhsps.hpp"
+
+namespace bnr::lhsps {
+
+class FdhScheme {
+ public:
+  /// K-Linear parameter; vectors have dimension K+1. K=1 -> DDH/SXDH.
+  FdhScheme(size_t k, const G2Affine& g_z, const G2Affine& g_r,
+            std::string dst);
+
+  KeyPair keygen(Rng& rng) const;
+
+  Signature sign(const SecretKey& sk, std::span<const uint8_t> msg) const;
+  Signature sign(const SecretKey& sk, std::string_view msg) const;
+
+  bool verify(const PublicKey& pk, std::span<const uint8_t> msg,
+              const Signature& sig) const;
+  bool verify(const PublicKey& pk, std::string_view msg,
+              const Signature& sig) const;
+
+  /// H(M) as a vector of K+1 G1 points.
+  std::vector<G1Affine> hash_message(std::span<const uint8_t> msg) const;
+
+  size_t dimension() const { return k_ + 1; }
+
+ private:
+  size_t k_;
+  G2Affine g_z_, g_r_;
+  std::string dst_;
+};
+
+}  // namespace bnr::lhsps

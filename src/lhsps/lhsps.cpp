@@ -1,0 +1,165 @@
+#include "lhsps/lhsps.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace bnr::lhsps {
+
+namespace {
+bool all_identity(std::span<const G1Affine> msg) {
+  for (const auto& m : msg)
+    if (!m.infinity) return false;
+  return true;
+}
+}  // namespace
+
+SecretKey SecretKey::operator+(const SecretKey& o) const {
+  if (chi.size() != o.chi.size())
+    throw std::invalid_argument("SecretKey::operator+: dimension mismatch");
+  SecretKey out;
+  out.chi.reserve(chi.size());
+  out.gamma.reserve(gamma.size());
+  for (size_t i = 0; i < chi.size(); ++i) {
+    out.chi.push_back(chi[i] + o.chi[i]);
+    out.gamma.push_back(gamma[i] + o.gamma[i]);
+  }
+  return out;
+}
+
+Signature Signature::operator*(const Signature& o) const {
+  return {(G1::from_affine(z) + G1::from_affine(o.z)).to_affine(),
+          (G1::from_affine(r) + G1::from_affine(o.r)).to_affine()};
+}
+
+KeyPair keygen(Rng& rng, size_t n, const G2Affine& g_z, const G2Affine& g_r) {
+  KeyPair kp;
+  kp.pk.g_z = g_z;
+  kp.pk.g_r = g_r;
+  G2 gz = G2::from_affine(g_z), gr = G2::from_affine(g_r);
+  for (size_t k = 0; k < n; ++k) {
+    Fr chi = Fr::random(rng), gamma = Fr::random(rng);
+    kp.sk.chi.push_back(chi);
+    kp.sk.gamma.push_back(gamma);
+    kp.pk.g.push_back((gz.mul(chi) + gr.mul(gamma)).to_affine());
+  }
+  return kp;
+}
+
+PublicKey derive_public_key(const SecretKey& sk, const G2Affine& g_z,
+                            const G2Affine& g_r) {
+  PublicKey pk;
+  pk.g_z = g_z;
+  pk.g_r = g_r;
+  G2 gz = G2::from_affine(g_z), gr = G2::from_affine(g_r);
+  for (size_t k = 0; k < sk.dimension(); ++k)
+    pk.g.push_back((gz.mul(sk.chi[k]) + gr.mul(sk.gamma[k])).to_affine());
+  return pk;
+}
+
+Signature sign(const SecretKey& sk, std::span<const G1Affine> msg) {
+  if (msg.size() != sk.dimension())
+    throw std::invalid_argument("lhsps::sign: dimension mismatch");
+  G1 z, r;
+  for (size_t k = 0; k < msg.size(); ++k) {
+    G1 m = G1::from_affine(msg[k]);
+    z = z + m.mul(-sk.chi[k]);
+    r = r + m.mul(-sk.gamma[k]);
+  }
+  return {z.to_affine(), r.to_affine()};
+}
+
+Signature sign_derive(std::span<const WeightedSig> parts) {
+  G1 z, r;
+  for (const auto& p : parts) {
+    z = z + G1::from_affine(p.sig.z).mul(p.weight);
+    r = r + G1::from_affine(p.sig.r).mul(p.weight);
+  }
+  return {z.to_affine(), r.to_affine()};
+}
+
+bool verify(const PublicKey& pk, std::span<const G1Affine> msg,
+            const Signature& sig) {
+  if (msg.size() != pk.dimension()) return false;
+  if (all_identity(msg)) return false;
+  std::vector<PairingTerm> terms;
+  terms.reserve(msg.size() + 2);
+  terms.push_back({sig.z, pk.g_z});
+  terms.push_back({sig.r, pk.g_r});
+  for (size_t k = 0; k < msg.size(); ++k) terms.push_back({msg[k], pk.g[k]});
+  return pairing_product_is_one(terms);
+}
+
+// ---------------------------------------------------------------------------
+// DLIN variant.
+
+DlinSecretKey DlinSecretKey::operator+(const DlinSecretKey& o) const {
+  if (a.size() != o.a.size())
+    throw std::invalid_argument("DlinSecretKey::operator+: dim mismatch");
+  DlinSecretKey out;
+  for (size_t i = 0; i < a.size(); ++i) {
+    out.a.push_back(a[i] + o.a[i]);
+    out.b.push_back(b[i] + o.b[i]);
+    out.c.push_back(c[i] + o.c[i]);
+  }
+  return out;
+}
+
+DlinSignature DlinSignature::operator*(const DlinSignature& o) const {
+  return {(G1::from_affine(z) + G1::from_affine(o.z)).to_affine(),
+          (G1::from_affine(r) + G1::from_affine(o.r)).to_affine(),
+          (G1::from_affine(u) + G1::from_affine(o.u)).to_affine()};
+}
+
+DlinKeyPair dlin_keygen(Rng& rng, size_t n, const G2Affine& g_z,
+                        const G2Affine& g_r, const G2Affine& h_z,
+                        const G2Affine& h_u) {
+  DlinKeyPair kp;
+  kp.pk.g_z = g_z;
+  kp.pk.g_r = g_r;
+  kp.pk.h_z = h_z;
+  kp.pk.h_u = h_u;
+  G2 gz = G2::from_affine(g_z), gr = G2::from_affine(g_r);
+  G2 hz = G2::from_affine(h_z), hu = G2::from_affine(h_u);
+  for (size_t k = 0; k < n; ++k) {
+    Fr a = Fr::random(rng), b = Fr::random(rng), c = Fr::random(rng);
+    kp.sk.a.push_back(a);
+    kp.sk.b.push_back(b);
+    kp.sk.c.push_back(c);
+    kp.pk.g.push_back((gz.mul(a) + gr.mul(b)).to_affine());
+    kp.pk.h.push_back((hz.mul(a) + hu.mul(c)).to_affine());
+  }
+  return kp;
+}
+
+DlinSignature dlin_sign(const DlinSecretKey& sk,
+                        std::span<const G1Affine> msg) {
+  if (msg.size() != sk.a.size())
+    throw std::invalid_argument("dlin_sign: dimension mismatch");
+  G1 z, r, u;
+  for (size_t k = 0; k < msg.size(); ++k) {
+    G1 m = G1::from_affine(msg[k]);
+    z = z + m.mul(-sk.a[k]);
+    r = r + m.mul(-sk.b[k]);
+    u = u + m.mul(-sk.c[k]);
+  }
+  return {z.to_affine(), r.to_affine(), u.to_affine()};
+}
+
+bool dlin_verify(const DlinPublicKey& pk, std::span<const G1Affine> msg,
+                 const DlinSignature& sig) {
+  if (msg.size() != pk.g.size()) return false;
+  if (all_identity(msg)) return false;
+  std::vector<PairingTerm> eq1, eq2;
+  eq1.push_back({sig.z, pk.g_z});
+  eq1.push_back({sig.r, pk.g_r});
+  eq2.push_back({sig.z, pk.h_z});
+  eq2.push_back({sig.u, pk.h_u});
+  for (size_t k = 0; k < msg.size(); ++k) {
+    eq1.push_back({msg[k], pk.g[k]});
+    eq2.push_back({msg[k], pk.h[k]});
+  }
+  return pairing_product_is_one(eq1) && pairing_product_is_one(eq2);
+}
+
+}  // namespace bnr::lhsps

@@ -1,0 +1,117 @@
+// One-time linearly homomorphic structure-preserving signatures (§2.3 and
+// Appendix C of the paper).
+//
+// DP-based scheme (Libert-Peters-Joye-Yung, Crypto'13):
+//   sk = {(chi_k, gamma_k)}, pk = (g^_z, g^_r, {g^_k = g^_z^chi_k g^_r^gamma_k})
+//   Sign(M_1..M_N) = (z, r) = (prod M_k^{-chi_k}, prod M_k^{-gamma_k})
+//   Verify: e(z, g^_z) e(r, g^_r) prod_k e(M_k, g^_k) == 1.
+//
+// Two properties the threshold schemes exploit:
+//  * linear homomorphism  (SignDerive),
+//  * KEY homomorphism: Sign(sk1+sk2, M) = Sign(sk1,M) * Sign(sk2,M) and
+//    pk(sk1+sk2) = pk(sk1) * pk(sk2) componentwise — this is what lets a
+//    Pedersen-DKG'd (non-uniform!) key still be reduced to a uniform one in
+//    the security proof, and what makes non-interactive share-signing work.
+//
+// The SDP/DLIN-based variant (Appendix F) signs with triples (z, r, u) and
+// verifies against two equations.
+#pragma once
+
+#include <vector>
+
+#include "curve/g2.hpp"
+#include "pairing/pairing.hpp"
+
+namespace bnr {
+class Rng;
+}
+
+namespace bnr::lhsps {
+
+// ---------------------------------------------------------------------------
+// DP-based one-time LHSPS.
+
+struct PublicKey {
+  G2Affine g_z, g_r;
+  std::vector<G2Affine> g;  // g^_k, k = 1..N
+
+  size_t dimension() const { return g.size(); }
+};
+
+struct SecretKey {
+  std::vector<Fr> chi, gamma;
+
+  size_t dimension() const { return chi.size(); }
+  /// Key homomorphism: componentwise sum.
+  SecretKey operator+(const SecretKey& o) const;
+};
+
+struct Signature {
+  G1Affine z, r;
+
+  bool operator==(const Signature& o) const { return z == o.z && r == o.r; }
+  /// Homomorphism on signatures: componentwise product (same message, summed
+  /// keys — or summed messages, same key).
+  Signature operator*(const Signature& o) const;
+};
+
+struct KeyPair {
+  PublicKey pk;
+  SecretKey sk;
+};
+
+/// Keygen for dimension-N vectors over the given (g^_z, g^_r).
+KeyPair keygen(Rng& rng, size_t n, const G2Affine& g_z, const G2Affine& g_r);
+
+/// Derives the public key of `sk` (used to check key homomorphism).
+PublicKey derive_public_key(const SecretKey& sk, const G2Affine& g_z,
+                            const G2Affine& g_r);
+
+Signature sign(const SecretKey& sk, std::span<const G1Affine> msg);
+
+struct WeightedSig {
+  Fr weight;
+  Signature sig;
+};
+/// SignDerive: signature on prod_i M_i^{w_i}.
+Signature sign_derive(std::span<const WeightedSig> parts);
+
+/// Verify; rejects the all-identity vector as required by the definition.
+bool verify(const PublicKey& pk, std::span<const G1Affine> msg,
+            const Signature& sig);
+
+// ---------------------------------------------------------------------------
+// SDP/DLIN-based one-time LHSPS (Appendix F substrate).
+
+struct DlinPublicKey {
+  G2Affine g_z, g_r, h_z, h_u;
+  std::vector<G2Affine> g;  // g^_k = g_z^a g_r^b
+  std::vector<G2Affine> h;  // h^_k = h_z^a h_u^c
+};
+
+struct DlinSecretKey {
+  std::vector<Fr> a, b, c;
+  DlinSecretKey operator+(const DlinSecretKey& o) const;
+};
+
+struct DlinSignature {
+  G1Affine z, r, u;
+  bool operator==(const DlinSignature& o) const {
+    return z == o.z && r == o.r && u == o.u;
+  }
+  DlinSignature operator*(const DlinSignature& o) const;
+};
+
+struct DlinKeyPair {
+  DlinPublicKey pk;
+  DlinSecretKey sk;
+};
+
+DlinKeyPair dlin_keygen(Rng& rng, size_t n, const G2Affine& g_z,
+                        const G2Affine& g_r, const G2Affine& h_z,
+                        const G2Affine& h_u);
+DlinSignature dlin_sign(const DlinSecretKey& sk, std::span<const G1Affine> msg);
+bool dlin_verify(const DlinPublicKey& pk, std::span<const G1Affine> msg,
+                 const DlinSignature& sig);
+
+}  // namespace bnr::lhsps

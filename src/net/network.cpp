@@ -1,0 +1,59 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+
+namespace bnr {
+
+SyncNetwork::SyncNetwork(size_t n) : n_(n) {
+  if (n == 0) throw std::invalid_argument("SyncNetwork: n == 0");
+}
+
+void SyncNetwork::check_player(uint32_t p) const {
+  if (p < 1 || p > n_)
+    throw std::out_of_range("SyncNetwork: bad player index");
+}
+
+void SyncNetwork::broadcast(uint32_t from, Bytes payload) {
+  check_player(from);
+  stats_.broadcast_messages += 1;
+  stats_.broadcast_bytes += payload.size();
+  pending_.push_back({from, std::nullopt, round_, std::move(payload)});
+}
+
+void SyncNetwork::send(uint32_t from, uint32_t to, Bytes payload) {
+  check_player(from);
+  check_player(to);
+  stats_.direct_messages += 1;
+  stats_.direct_bytes += payload.size();
+  pending_.push_back({from, to, round_, std::move(payload)});
+}
+
+void SyncNetwork::end_round() {
+  if (!pending_.empty()) stats_.rounds += 1;
+  delivered_.push_back(std::move(pending_));
+  pending_.clear();
+  ++round_;
+}
+
+std::vector<Envelope> SyncNetwork::inbox(uint32_t player, uint32_t round) const {
+  check_player(player);
+  if (round >= delivered_.size())
+    throw std::out_of_range("SyncNetwork: round not yet delivered");
+  std::vector<Envelope> out;
+  for (const auto& e : delivered_[round]) {
+    if (!e.to.has_value() || *e.to == player) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<Envelope> SyncNetwork::broadcasts(uint32_t round) const {
+  if (round >= delivered_.size())
+    throw std::out_of_range("SyncNetwork: round not yet delivered");
+  std::vector<Envelope> out;
+  for (const auto& e : delivered_[round]) {
+    if (!e.to.has_value()) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace bnr

@@ -1,0 +1,74 @@
+// Simulated partially-synchronous network implementing the paper's §2.1
+// communication model: computation proceeds in synchronized rounds; all
+// players share a reliable authenticated broadcast channel (the adversary
+// can read and send, but cannot forge senders, modify messages in transit,
+// or prevent delivery); every pair of players has a private authenticated
+// channel.
+//
+// All payloads are serialized bytes so that the per-round accounting
+// (messages / bytes, broadcast vs point-to-point) reflects real encodings —
+// experiments E3 and E10 read these counters.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace bnr {
+
+struct Envelope {
+  uint32_t from = 0;                 // sender index, 1-based
+  std::optional<uint32_t> to;        // nullopt = broadcast
+  uint32_t round = 0;
+  Bytes payload;
+};
+
+struct NetworkStats {
+  size_t rounds = 0;             // rounds in which any traffic occurred
+  size_t broadcast_messages = 0;
+  size_t direct_messages = 0;
+  size_t broadcast_bytes = 0;
+  size_t direct_bytes = 0;
+
+  size_t total_messages() const { return broadcast_messages + direct_messages; }
+  size_t total_bytes() const { return broadcast_bytes + direct_bytes; }
+};
+
+class SyncNetwork {
+ public:
+  explicit SyncNetwork(size_t n);
+
+  size_t player_count() const { return n_; }
+  uint32_t current_round() const { return round_; }
+  const NetworkStats& stats() const { return stats_; }
+
+  /// Queues a broadcast for delivery at the end of the current round.
+  void broadcast(uint32_t from, Bytes payload);
+  /// Queues a private point-to-point message.
+  void send(uint32_t from, uint32_t to, Bytes payload);
+
+  /// Ends the round: all queued messages become deliverable. Returns the
+  /// round's traffic (for tracing).
+  void end_round();
+
+  /// Inbox of `player` for round `round` — broadcasts plus messages addressed
+  /// to it. Broadcast envelopes are visible to every player (and to the
+  /// adversary via this same call).
+  std::vector<Envelope> inbox(uint32_t player, uint32_t round) const;
+
+  /// All broadcasts of a round (the adversary's view; also used by verifiers).
+  std::vector<Envelope> broadcasts(uint32_t round) const;
+
+ private:
+  void check_player(uint32_t p) const;
+
+  size_t n_;
+  uint32_t round_ = 0;
+  std::vector<Envelope> pending_;
+  std::vector<std::vector<Envelope>> delivered_;  // per round
+  NetworkStats stats_;
+};
+
+}  // namespace bnr

@@ -1,0 +1,157 @@
+#include "pairing/pairing.hpp"
+
+#include <stdexcept>
+
+#include "bn/biguint.hpp"
+
+namespace bnr {
+
+namespace {
+
+// BN254 curve parameter: p = 36u^4+36u^3+24u^2+6u+1, r = 36u^4+36u^3+18u^2+6u+1.
+constexpr uint64_t kBnU = 4965661367192848881ull;
+
+std::vector<int8_t> compute_naf(unsigned __int128 s) {
+  std::vector<int8_t> digits;
+  while (s != 0) {
+    if (s & 1) {
+      int8_t d = static_cast<int8_t>(2 - static_cast<int>(s & 3));  // +-1
+      digits.push_back(d);
+      if (d == 1)
+        s -= 1;
+      else
+        s += 1;
+    } else {
+      digits.push_back(0);
+    }
+    s >>= 1;
+  }
+  return digits;  // LSB first
+}
+
+// Sparse line value a + b*w + c*w^3 (a in Fp embedded in Fp2).
+struct Line {
+  Fp2 a, b, c;
+
+  Fp12 to_fp12() const {
+    return Fp12{Fp6{a, Fp2::zero(), Fp2::zero()}, Fp6{b, c, Fp2::zero()}};
+  }
+};
+
+struct G2AffineXY {
+  Fp2 x, y;
+};
+
+// Doubling step: updates T <- 2T, returns the tangent line evaluated at P.
+Line line_double(G2AffineXY& t, const G1Affine& p) {
+  Fp2 xx = t.x.squared();
+  Fp2 slope = (xx + xx + xx) * (t.y + t.y).inverse();  // 3x^2 / 2y
+  Fp2 x3 = slope.squared() - t.x - t.x;
+  Fp2 y3 = slope * (t.x - x3) - t.y;
+  Line l;
+  l.a = Fp2::from_fp(p.y);
+  l.b = -(slope.mul_fp(p.x));
+  l.c = slope * t.x - t.y;
+  t.x = x3;
+  t.y = y3;
+  return l;
+}
+
+// Addition step: updates T <- T + Q, returns the chord line evaluated at P.
+Line line_add(G2AffineXY& t, const G2AffineXY& q, const G1Affine& p) {
+  if (t.x == q.x) throw std::logic_error("miller loop: degenerate addition");
+  Fp2 slope = (q.y - t.y) * (q.x - t.x).inverse();
+  Fp2 x3 = slope.squared() - t.x - q.x;
+  Fp2 y3 = slope * (t.x - x3) - t.y;
+  Line l;
+  l.a = Fp2::from_fp(p.y);
+  l.b = -(slope.mul_fp(p.x));
+  l.c = slope * t.x - t.y;
+  t.x = x3;
+  t.y = y3;
+  return l;
+}
+
+const std::vector<uint64_t>& hard_part_exponent() {
+  static const std::vector<uint64_t> limbs = [] {
+    BigUint p(FpTag::kModulus);
+    BigUint r(FrTag::kModulus);
+    BigUint p2 = p * p;
+    BigUint p4 = p2 * p2;
+    BigUint phi12 = p4 - p2 + BigUint(1);
+    auto [d, rem] = BigUint::divmod(phi12, r);
+    if (!rem.is_zero())
+      throw std::logic_error("pairing: r does not divide p^4 - p^2 + 1");
+    return std::vector<uint64_t>(d.limbs().begin(), d.limbs().end());
+  }();
+  return limbs;
+}
+
+}  // namespace
+
+const std::vector<int8_t>& ate_loop_naf() {
+  static const std::vector<int8_t> naf =
+      compute_naf(6 * static_cast<unsigned __int128>(kBnU) + 2);
+  return naf;
+}
+
+Fp12 miller_loop(const G1Affine& p, const G2Affine& q) {
+  if (p.infinity || q.infinity) return Fp12::one();
+  const auto& naf = ate_loop_naf();
+  const auto& fc = frobenius_constants();
+
+  G2AffineXY base{q.x, q.y};
+  G2AffineXY neg_base{q.x, -q.y};
+  G2AffineXY t = base;
+  Fp12 f = Fp12::one();
+
+  for (size_t i = naf.size() - 1; i-- > 0;) {
+    f = f.squared() * line_double(t, p).to_fp12();
+    if (naf[i] == 1)
+      f = f * line_add(t, base, p).to_fp12();
+    else if (naf[i] == -1)
+      f = f * line_add(t, neg_base, p).to_fp12();
+  }
+
+  // Frobenius end-steps: Q1 = pi(Q), Q2 = pi^2(Q); f *= l_{T,Q1} * l_{T+Q1,-Q2}.
+  G2AffineXY q1{q.x.conjugate() * fc.twist_x, q.y.conjugate() * fc.twist_y};
+  G2AffineXY q2{q.x.mul_fp(fc.twist2_x), q.y.mul_fp(fc.twist2_y)};
+  G2AffineXY neg_q2{q2.x, -q2.y};
+  f = f * line_add(t, q1, p).to_fp12();
+  f = f * line_add(t, neg_q2, p).to_fp12();
+  return f;
+}
+
+namespace {
+Fp12 easy_part(const Fp12& f) {
+  if (f.is_zero()) throw std::domain_error("final_exponentiation: zero");
+  // f^{(p^6-1)(p^2+1)}; the result lies in the cyclotomic subgroup.
+  Fp12 t = f.conjugate() * f.inverse();
+  return t.frobenius2() * t;
+}
+}  // namespace
+
+Fp12 final_exponentiation(const Fp12& f) {
+  // Hard part t^{(p^4-p^2+1)/r} with cyclotomic squarings.
+  return easy_part(f).pow_cyclotomic(hard_part_exponent());
+}
+
+Fp12 final_exponentiation_generic(const Fp12& f) {
+  return easy_part(f).pow(hard_part_exponent());
+}
+
+GT pairing(const G1Affine& p, const G2Affine& q) {
+  return {final_exponentiation(miller_loop(p, q))};
+}
+
+GT multi_pairing(std::span<const PairingTerm> terms) {
+  Fp12 f = Fp12::one();
+  for (const auto& term : terms) f = f * miller_loop(term.p, term.q);
+  return {final_exponentiation(f)};
+}
+
+bool pairing_product_is_one(std::span<const PairingTerm> terms) {
+  return multi_pairing(terms).is_identity();
+}
+
+}  // namespace bnr

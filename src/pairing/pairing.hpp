@@ -1,0 +1,71 @@
+// Optimal ate pairing e : G1 x G2 -> GT for BN254.
+//
+// Affine Miller loop over NAF(6u+2) with the two Frobenius end-steps, then
+// final exponentiation (p^12 - 1)/r split into the easy part (conjugate /
+// inverse / Frobenius^2) and the hard part (p^4 - p^2 + 1)/r, which is
+// computed as a BigUint at startup and applied by square-and-multiply. All
+// derived exponents are computed from (p, r, u) rather than transcribed.
+//
+// `multi_pairing` evaluates prod_i e(P_i, Q_i) with one shared final
+// exponentiation — this is exactly the "product of four pairings" the
+// paper's verifier computes (§3.1), and experiment E5 quantifies the saving.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "curve/g1.hpp"
+#include "curve/g2.hpp"
+
+namespace bnr {
+
+/// GT: the r-order subgroup of Fp12*. Thin wrapper so callers do not mix
+/// arbitrary Fp12 values with pairing outputs.
+struct GT {
+  Fp12 value = Fp12::one();
+
+  static GT identity() { return {}; }
+  bool is_identity() const { return value.is_one(); }
+  bool operator==(const GT& o) const { return value == o.value; }
+  bool operator!=(const GT& o) const { return !(*this == o); }
+  GT operator*(const GT& o) const { return {value * o.value}; }
+  GT inverse() const { return {value.inverse()}; }
+  GT pow(const Fr& s) const { return {value.pow(s.to_u256())}; }
+  GT pow(const U256& s) const { return {value.pow(s)}; }
+};
+
+/// One pairing pair; Q may be the identity (contributes 1 to the product).
+struct PairingTerm {
+  G1Affine p;
+  G2Affine q;
+};
+
+/// Miller loop without final exponentiation.
+Fp12 miller_loop(const G1Affine& p, const G2Affine& q);
+
+/// Final exponentiation f -> f^{(p^12-1)/r}. The hard part runs over
+/// Granger-Scott cyclotomic squarings (valid after the easy part).
+Fp12 final_exponentiation(const Fp12& f);
+
+/// Reference implementation with generic Fp12 squarings throughout the hard
+/// part; used by tests to cross-check the cyclotomic fast path and by the
+/// E5 ablation bench.
+Fp12 final_exponentiation_generic(const Fp12& f);
+
+/// e(P, Q).
+GT pairing(const G1Affine& p, const G2Affine& q);
+inline GT pairing(const G1& p, const G2& q) {
+  return pairing(p.to_affine(), q.to_affine());
+}
+
+/// prod_i e(P_i, Q_i), sharing a single final exponentiation.
+GT multi_pairing(std::span<const PairingTerm> terms);
+
+/// Convenience: true iff prod_i e(P_i, Q_i) == 1. This is the shape of every
+/// verification equation in the paper.
+bool pairing_product_is_one(std::span<const PairingTerm> terms);
+
+/// The Miller-loop scalar 6u+2 in non-adjacent form (exposed for tests).
+const std::vector<int8_t>& ate_loop_naf();
+
+}  // namespace bnr

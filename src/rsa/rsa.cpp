@@ -1,0 +1,91 @@
+#include "rsa/rsa.hpp"
+
+#include <stdexcept>
+
+#include "common/sha256.hpp"
+
+namespace bnr::rsa {
+
+RsaKey rsa_keygen(Rng& rng, size_t bits, uint64_t min_e) {
+  if (bits < 64) throw std::invalid_argument("rsa_keygen: modulus too small");
+  RsaKey key;
+  for (;;) {
+    key.p = BigUint::random_safe_prime(rng, bits / 2);
+    key.q = BigUint::random_safe_prime(rng, bits - bits / 2);
+    if (key.p == key.q) continue;
+    key.n = key.p * key.q;
+    BigUint p1 = (key.p - BigUint(1)) >> 1;  // p'
+    BigUint q1 = (key.q - BigUint(1)) >> 1;  // q'
+    key.m = p1 * q1;
+    key.e = BigUint(min_e);
+    // e must be invertible mod m (e prime and larger than any small factor
+    // makes this overwhelmingly likely; retry otherwise).
+    if (!BigUint::gcd(key.e, key.m).is_one()) continue;
+    key.d = BigUint::mod_inverse(key.e, key.m);
+    key.bits = bits;
+    return key;
+  }
+}
+
+BigUint fdh_to_zn(std::string_view dst, std::span<const uint8_t> msg,
+                  const BigUint& n) {
+  size_t nbytes = (n.bit_length() + 7) / 8;
+  for (uint32_t counter = 0;; ++counter) {
+    Bytes material;
+    size_t produced = 0;
+    uint32_t block = 0;
+    while (produced < nbytes + 16) {
+      Sha256 h;
+      h.update(dst);
+      Bytes sep;
+      append_u32_be(sep, counter);
+      append_u32_be(sep, block++);
+      h.update(sep);
+      h.update(msg);
+      auto d = h.finalize();
+      material.insert(material.end(), d.begin(), d.end());
+      produced += d.size();
+    }
+    BigUint x = BigUint::from_bytes_be(material) % n;
+    if (x.is_zero()) continue;
+    if (!BigUint::gcd(x, n).is_one()) continue;  // astronomically unlikely
+    return x;
+  }
+}
+
+BigUint pow_signed(const BigUint& x, const SignedInt& exp, const BigUint& n) {
+  if (!exp.negative) return BigUint::mod_pow(x, exp.magnitude, n);
+  BigUint inv = BigUint::mod_inverse(x, n);
+  return BigUint::mod_pow(inv, exp.magnitude, n);
+}
+
+std::vector<SignedInt> integer_lagrange_at_zero(
+    std::span<const uint32_t> indices, uint64_t n_players) {
+  BigUint delta = BigUint::factorial(n_players);
+  std::vector<SignedInt> out;
+  out.reserve(indices.size());
+  for (uint32_t i : indices) {
+    // lambda_i = Delta * prod_{j != i} j / (j - i). Track sign separately;
+    // the division is exact (classical fact used by Shoup).
+    BigUint num = delta;
+    BigUint den(1);
+    bool negative = false;
+    for (uint32_t j : indices) {
+      if (j == i) continue;
+      num = num * BigUint(j);
+      if (j > i) {
+        den = den * BigUint(j - i);
+      } else {
+        den = den * BigUint(i - j);
+        negative = !negative;
+      }
+    }
+    auto [q, rem] = BigUint::divmod(num, den);
+    if (!rem.is_zero())
+      throw std::logic_error("integer_lagrange: non-integer weight");
+    out.push_back({std::move(q), negative});
+  }
+  return out;
+}
+
+}  // namespace bnr::rsa

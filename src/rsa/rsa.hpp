@@ -1,0 +1,44 @@
+// RSA substrate for the paper's comparison baselines ([67] Shoup, [4]
+// Almansa-Damgard-Nielsen): safe-prime modulus generation, full-domain
+// hashing into Z_n*, and signed-exponent modular exponentiation (threshold
+// RSA needs x^lambda for possibly negative integer Lagrange weights).
+#pragma once
+
+#include <string_view>
+
+#include "bn/biguint.hpp"
+#include "common/rng.hpp"
+
+namespace bnr::rsa {
+
+struct RsaKey {
+  BigUint n;   // p * q, p = 2p'+1, q = 2q'+1 safe primes
+  BigUint e;   // public exponent (prime, > number of servers)
+  BigUint d;   // e^{-1} mod m, m = p'q'
+  BigUint m;   // p'q' — the order of the squares subgroup QR_n
+  BigUint p, q;
+  size_t bits = 0;
+};
+
+/// Generates a safe-prime RSA key. `bits` is the modulus size. This is the
+/// trusted-dealer step that the paper's scheme eliminates; its cost is part
+/// of the comparison story.
+RsaKey rsa_keygen(Rng& rng, size_t bits, uint64_t min_e = 65537);
+
+/// FDH into Z_n^* (value coprime to n; re-hashes on the negligible failure).
+BigUint fdh_to_zn(std::string_view dst, std::span<const uint8_t> msg,
+                  const BigUint& n);
+
+/// x^exp mod n for a signed exponent: negative exponents use x^{-1} mod n.
+struct SignedInt {
+  BigUint magnitude;
+  bool negative = false;
+};
+BigUint pow_signed(const BigUint& x, const SignedInt& exp, const BigUint& n);
+
+/// Integer Lagrange weights lambda^S_{0,i} = Delta * prod_{j != i} j/(j-i)
+/// with Delta = n_players! (Shoup's trick: these are integers).
+std::vector<SignedInt> integer_lagrange_at_zero(
+    std::span<const uint32_t> indices, uint64_t n_players);
+
+}  // namespace bnr::rsa

@@ -1,0 +1,33 @@
+#include "sss/polynomial.hpp"
+
+#include "common/rng.hpp"
+
+namespace bnr {
+
+Polynomial Polynomial::random(Rng& rng, size_t degree) {
+  std::vector<Fr> coeffs(degree + 1);
+  for (auto& c : coeffs) c = Fr::random(rng);
+  return Polynomial(std::move(coeffs));
+}
+
+Polynomial Polynomial::random_with_constant(Rng& rng, size_t degree,
+                                            const Fr& constant) {
+  Polynomial p = random(rng, degree);
+  p.coeffs_[0] = constant;
+  return p;
+}
+
+Fr Polynomial::evaluate(const Fr& x) const {
+  Fr acc = Fr::zero();
+  for (size_t i = coeffs_.size(); i-- > 0;) acc = acc * x + coeffs_[i];
+  return acc;
+}
+
+Polynomial Polynomial::operator+(const Polynomial& o) const {
+  std::vector<Fr> out(std::max(coeffs_.size(), o.coeffs_.size()), Fr::zero());
+  for (size_t i = 0; i < coeffs_.size(); ++i) out[i] = coeffs_[i];
+  for (size_t i = 0; i < o.coeffs_.size(); ++i) out[i] = out[i] + o.coeffs_[i];
+  return Polynomial(std::move(out));
+}
+
+}  // namespace bnr

@@ -1,0 +1,42 @@
+// Polynomials over the scalar field Fr — the degree-t sharing polynomials
+// A_ik[X], B_ik[X] of the Dist-Keygen protocol.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "field/fp.hpp"
+
+namespace bnr {
+
+class Rng;
+
+class Polynomial {
+ public:
+  Polynomial() = default;
+  explicit Polynomial(std::vector<Fr> coeffs) : coeffs_(std::move(coeffs)) {}
+
+  /// Uniformly random polynomial of degree `degree`.
+  static Polynomial random(Rng& rng, size_t degree);
+  /// Random polynomial of degree `degree` with the given constant term
+  /// (constant 0 is used by the proactive-refresh zero-sharing).
+  static Polynomial random_with_constant(Rng& rng, size_t degree,
+                                         const Fr& constant);
+
+  size_t degree() const { return coeffs_.empty() ? 0 : coeffs_.size() - 1; }
+  const std::vector<Fr>& coefficients() const { return coeffs_; }
+  Fr constant_term() const { return coeffs_.empty() ? Fr::zero() : coeffs_[0]; }
+
+  /// Horner evaluation.
+  Fr evaluate(const Fr& x) const;
+  Fr evaluate_at_index(uint64_t i) const { return evaluate(Fr::from_u64(i)); }
+
+  Polynomial operator+(const Polynomial& o) const;
+
+  bool operator==(const Polynomial& o) const { return coeffs_ == o.coeffs_; }
+
+ private:
+  std::vector<Fr> coeffs_;  // coeffs_[i] is the coefficient of X^i
+};
+
+}  // namespace bnr

@@ -1,0 +1,60 @@
+#include "sss/shamir.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+
+namespace bnr {
+
+std::vector<Share> shamir_share(Rng& rng, const Fr& secret, size_t t,
+                                size_t n) {
+  if (n < t + 1) throw std::invalid_argument("shamir_share: n < t+1");
+  Polynomial poly = Polynomial::random_with_constant(rng, t, secret);
+  std::vector<Share> shares;
+  shares.reserve(n);
+  for (uint32_t i = 1; i <= n; ++i)
+    shares.push_back({i, poly.evaluate_at_index(i)});
+  return shares;
+}
+
+std::vector<Fr> lagrange_coefficients(std::span<const uint32_t> indices,
+                                      const Fr& x) {
+  std::unordered_set<uint32_t> seen;
+  for (uint32_t i : indices) {
+    if (i == 0) throw std::invalid_argument("lagrange: zero index");
+    if (!seen.insert(i).second)
+      throw std::invalid_argument("lagrange: duplicate index");
+  }
+  std::vector<Fr> out;
+  out.reserve(indices.size());
+  for (uint32_t i : indices) {
+    Fr num = Fr::one(), den = Fr::one();
+    Fr xi = Fr::from_u64(i);
+    for (uint32_t j : indices) {
+      if (j == i) continue;
+      Fr xj = Fr::from_u64(j);
+      num = num * (x - xj);
+      den = den * (xi - xj);
+    }
+    out.push_back(num * den.inverse());
+  }
+  return out;
+}
+
+Fr shamir_interpolate_at(std::span<const Share> shares, const Fr& x) {
+  std::vector<uint32_t> indices;
+  indices.reserve(shares.size());
+  for (const auto& s : shares) indices.push_back(s.index);
+  auto coeffs = lagrange_coefficients(indices, x);
+  Fr acc = Fr::zero();
+  for (size_t i = 0; i < shares.size(); ++i)
+    acc = acc + shares[i].value * coeffs[i];
+  return acc;
+}
+
+Fr shamir_reconstruct(std::span<const Share> shares) {
+  return shamir_interpolate_at(shares, Fr::zero());
+}
+
+}  // namespace bnr

@@ -1,0 +1,196 @@
+#include "stdmodel/std_scheme.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "common/serde.hpp"
+#include "common/sha256.hpp"
+
+namespace bnr::stdmodel {
+
+StdParams StdParams::derive(std::string_view label, size_t message_bits) {
+  StdParams p;
+  p.base = threshold::SystemParams::derive(label);
+  p.message_bits = message_bits;
+  p.g = p.base.g1_g;
+  auto gen = [&](std::string_view role, size_t i) {
+    std::string name = std::string(role) + std::to_string(i);
+    return gs::Vec2{hash_to_g1(p.base.hash_dst("crs-a"), name),
+                    hash_to_g1(p.base.hash_dst("crs-b"), name)};
+  };
+  p.f = gen("f", 0);
+  p.f_i.reserve(message_bits + 1);
+  for (size_t i = 0; i <= message_bits; ++i) p.f_i.push_back(gen("fi", i));
+  return p;
+}
+
+gs::Crs StdParams::message_crs(std::span<const uint8_t> bits) const {
+  if (bits.size() != message_bits)
+    throw std::invalid_argument("message_crs: wrong bit-vector length");
+  G1 fa = G1::from_affine(f_i[0].a);
+  G1 fb = G1::from_affine(f_i[0].b);
+  for (size_t i = 0; i < message_bits; ++i) {
+    if (!bits[i]) continue;
+    fa = fa + G1::from_affine(f_i[i + 1].a);
+    fb = fb + G1::from_affine(f_i[i + 1].b);
+  }
+  return gs::Crs{f, gs::Vec2{fa.to_affine(), fb.to_affine()}};
+}
+
+std::vector<uint8_t> StdScheme::message_digest_bits(
+    std::span<const uint8_t> msg) const {
+  // L bits derived from SHA-256 (expanded if L > 256).
+  std::vector<uint8_t> bits(params_.message_bits);
+  size_t produced = 0;
+  uint32_t counter = 0;
+  while (produced < bits.size()) {
+    Sha256 h;
+    Bytes prefix;
+    append_u32_be(prefix, counter++);
+    h.update(prefix);
+    h.update(msg);
+    auto d = h.finalize();
+    for (size_t i = 0; i < 256 && produced < bits.size(); ++i, ++produced)
+      bits[produced] = (d[i / 8] >> (7 - i % 8)) & 1;
+  }
+  return bits;
+}
+
+Bytes StdSignature::serialize() const {
+  ByteWriter w;
+  g1_serialize(c_z.c.a, w);
+  g1_serialize(c_z.c.b, w);
+  g1_serialize(c_r.c.a, w);
+  g1_serialize(c_r.c.b, w);
+  g2_serialize(pi.pi1, w);
+  g2_serialize(pi.pi2, w);
+  return w.take();
+}
+
+dkg::Config StdScheme::dkg_config(size_t n, size_t t) const {
+  dkg::Config cfg;
+  cfg.n = n;
+  cfg.t = t;
+  cfg.m = 2;  // (A, B)
+  cfg.rows = {dkg::VssRow{{{0, params_.base.g_z}, {1, params_.base.g_r}}}};
+  return cfg;
+}
+
+StdKeyMaterial StdScheme::dist_keygen(
+    size_t n, size_t t, Rng& rng,
+    const std::map<uint32_t, dkg::Behavior>& behaviors,
+    SyncNetwork* net) const {
+  dkg::Config cfg = dkg_config(n, t);
+  StdKeyMaterial km;
+  km.n = n;
+  km.t = t;
+  km.transcript = dkg::run_dkg(cfg, rng, behaviors, net);
+  km.qualified = km.transcript.qualified;
+  uint32_t honest = 1;
+  while (behaviors.contains(honest)) ++honest;
+  const auto& view = km.transcript.outputs[honest - 1];
+  km.pk.g1 = view.public_key[0];
+  km.vks.resize(n);
+  km.shares.resize(n);
+  for (uint32_t i = 1; i <= n; ++i) {
+    km.vks[i - 1].v = view.verification_keys[i - 1][0];
+    const auto& sv = km.transcript.outputs[i - 1].secret_share;
+    km.shares[i - 1] = {i, sv[0], sv[1]};
+  }
+  return km;
+}
+
+StdSignature StdScheme::sign_centralized(const Fr& a, const Fr& b,
+                                         std::span<const uint8_t> msg,
+                                         Rng& rng) const {
+  G1 g = G1::from_affine(params_.g);
+  G1Affine z = g.mul(-a).to_affine();
+  G1Affine r = g.mul(-b).to_affine();
+  gs::Crs crs = params_.message_crs(message_digest_bits(msg));
+  auto cz = gs::commit(crs, z, rng);
+  auto cr = gs::commit(crs, r, rng);
+  std::array<gs::VariableTerm, 2> terms = {
+      gs::VariableTerm{cz, params_.base.g_z},
+      gs::VariableTerm{cr, params_.base.g_r},
+  };
+  StdSignature sig;
+  sig.c_z = cz.com;
+  sig.c_r = cr.com;
+  sig.pi = gs::prove_linear(terms);
+  return sig;
+}
+
+StdPartialSignature StdScheme::share_sign(const StdKeyShare& share,
+                                          std::span<const uint8_t> msg,
+                                          Rng& rng) const {
+  return {share.index, sign_centralized(share.a, share.b, msg, rng)};
+}
+
+bool StdScheme::verify_equation(const gs::Crs& crs, const gs::Commitment& c_z,
+                                const gs::Commitment& c_r,
+                                const G2Affine& target,
+                                const gs::Proof& proof) const {
+  // e(z, g^_z) e(r, g^_r) e(g, target) == 1 with (z, r) committed.
+  std::array<gs::VerifierTerm, 3> terms = {
+      gs::VerifierTerm{c_z.c, params_.base.g_z},
+      gs::VerifierTerm{c_r.c, params_.base.g_r},
+      gs::VerifierTerm{gs::Vec2::embed(params_.g), target},
+  };
+  return gs::verify_linear(crs, terms, proof);
+}
+
+bool StdScheme::share_verify(const StdVerificationKey& vk,
+                             std::span<const uint8_t> msg,
+                             const StdPartialSignature& psig) const {
+  gs::Crs crs = params_.message_crs(message_digest_bits(msg));
+  return verify_equation(crs, psig.sig.c_z, psig.sig.c_r, vk.v, psig.sig.pi);
+}
+
+StdSignature StdScheme::combine(const StdKeyMaterial& km,
+                                std::span<const uint8_t> msg,
+                                std::span<const StdPartialSignature> parts,
+                                Rng& rng) const {
+  std::vector<StdPartialSignature> valid;
+  for (const auto& p : parts) {
+    if (p.index < 1 || p.index > km.n) continue;
+    if (share_verify(km.vks[p.index - 1], msg, p)) valid.push_back(p);
+    if (valid.size() == km.t + 1) break;
+  }
+  if (valid.size() < km.t + 1)
+    throw std::runtime_error("std combine: fewer than t+1 valid shares");
+
+  std::vector<uint32_t> indices;
+  for (const auto& p : valid) indices.push_back(p.index);
+  auto lagrange = lagrange_at_zero(indices);
+
+  // Lagrange interpolation on commitments and proofs.
+  gs::Vec2 cz = gs::Vec2::identity(), cr = gs::Vec2::identity();
+  G2 pi1, pi2;
+  for (size_t i = 0; i < valid.size(); ++i) {
+    cz = cz * valid[i].sig.c_z.c.pow(lagrange[i]);
+    cr = cr * valid[i].sig.c_r.c.pow(lagrange[i]);
+    pi1 = pi1 + G2::from_affine(valid[i].sig.pi.pi1).mul(lagrange[i]);
+    pi2 = pi2 + G2::from_affine(valid[i].sig.pi.pi2).mul(lagrange[i]);
+  }
+  StdSignature sig;
+  sig.c_z.c = cz;
+  sig.c_r.c = cr;
+  sig.pi = {pi1.to_affine(), pi2.to_affine()};
+
+  // Re-randomize so the output is distributed as a fresh signature.
+  gs::Crs crs = params_.message_crs(message_digest_bits(msg));
+  std::array<gs::RandomizableTerm, 2> terms = {
+      gs::RandomizableTerm{&sig.c_z, params_.base.g_z},
+      gs::RandomizableTerm{&sig.c_r, params_.base.g_r},
+  };
+  gs::randomize_linear(crs, terms, sig.pi, rng);
+  return sig;
+}
+
+bool StdScheme::verify(const StdPublicKey& pk, std::span<const uint8_t> msg,
+                       const StdSignature& sig) const {
+  gs::Crs crs = params_.message_crs(message_digest_bits(msg));
+  return verify_equation(crs, sig.c_z, sig.c_r, pk.g1, sig.pi);
+}
+
+}  // namespace bnr::stdmodel

@@ -1,0 +1,119 @@
+// Section 4: the round-optimal threshold signature in the STANDARD model.
+//
+// A signature is a Groth-Sahai NIWI proof of knowledge of a one-time LHSPS
+// (z, r) = (g^{-A(0)}, g^{-B(0)}) on the fixed one-dimensional vector g,
+// under a message-dependent CRS f_M = f_0 * prod_i f_i^{M[i]} (Malkin et
+// al.): commitments C_z, C_r in G^4 plus proof (pi^_1, pi^_2) in G^^2 —
+// 2048 bits on BN254.
+//
+// Distribution: Pedersen DKG shares (A, B) (m = 2, one commitment row);
+// partial signatures are GS proofs for e(z_i,g^_z) e(r_i,g^_r) e(g,V^_i) = 1
+// and Combine is Lagrange interpolation on commitments and proofs followed
+// by re-randomization. Signing is randomized, but the scheme stays
+// non-interactive and erasure-free.
+#pragma once
+
+#include <map>
+
+#include "dkg/pedersen_dkg.hpp"
+#include "gs/groth_sahai.hpp"
+#include "threshold/params.hpp"
+
+namespace bnr::stdmodel {
+
+/// Public parameters: the RO-less scheme needs a CRS-style params vector
+/// (f, f_0..f_L) shared by all public keys; we derive it from a hash oracle
+/// (a one-time uniformly random setup, per §1 "if a set of uniformly random
+/// common parameters ... is set up beforehand").
+struct StdParams {
+  threshold::SystemParams base;
+  size_t message_bits = 256;     // L; arbitrary messages are pre-hashed
+  G1Affine g;                    // the signed vector (dimension 1)
+  gs::Vec2 f;                    // CRS vector f = (f, h)
+  std::vector<gs::Vec2> f_i;     // f_0 .. f_L
+
+  static StdParams derive(std::string_view label, size_t message_bits = 256);
+
+  /// f_M = f_0 * prod f_i^{M[i]} for the L-bit (pre-hashed) message.
+  gs::Crs message_crs(std::span<const uint8_t> msg) const;
+};
+
+struct StdPublicKey {
+  G2Affine g1;  // g^_1 = g^_z^{A(0)} g^_r^{B(0)}
+
+  bool operator==(const StdPublicKey& o) const { return g1 == o.g1; }
+};
+
+struct StdKeyShare {
+  uint32_t index = 0;
+  Fr a, b;  // A(i), B(i) — two scalars, no erasures needed (§4 remark)
+};
+
+struct StdVerificationKey {
+  G2Affine v;  // V^_i
+};
+
+struct StdSignature {
+  gs::Commitment c_z, c_r;  // 4 G1 elements
+  gs::Proof pi;             // 2 G2 elements
+
+  Bytes serialize() const;
+};
+
+struct StdPartialSignature {
+  uint32_t index = 0;
+  StdSignature sig;
+};
+
+struct StdKeyMaterial {
+  size_t n = 0, t = 0;
+  StdPublicKey pk;
+  std::vector<StdKeyShare> shares;
+  std::vector<StdVerificationKey> vks;
+  std::vector<uint32_t> qualified;
+  dkg::RunResult transcript;
+};
+
+class StdScheme {
+ public:
+  explicit StdScheme(StdParams params) : params_(std::move(params)) {}
+
+  const StdParams& params() const { return params_; }
+
+  dkg::Config dkg_config(size_t n, size_t t) const;
+
+  StdKeyMaterial dist_keygen(
+      size_t n, size_t t, Rng& rng,
+      const std::map<uint32_t, dkg::Behavior>& behaviors = {},
+      SyncNetwork* net = nullptr) const;
+
+  /// Pre-hash: arbitrary bytes -> L bits.
+  std::vector<uint8_t> message_digest_bits(std::span<const uint8_t> msg) const;
+
+  StdPartialSignature share_sign(const StdKeyShare& share,
+                                 std::span<const uint8_t> msg, Rng& rng) const;
+  bool share_verify(const StdVerificationKey& vk,
+                    std::span<const uint8_t> msg,
+                    const StdPartialSignature& psig) const;
+
+  StdSignature combine(const StdKeyMaterial& km, std::span<const uint8_t> msg,
+                       std::span<const StdPartialSignature> parts,
+                       Rng& rng) const;
+
+  bool verify(const StdPublicKey& pk, std::span<const uint8_t> msg,
+              const StdSignature& sig) const;
+
+  /// Centralized signing (the §4 scheme with a single key) — used as a
+  /// baseline and in tests.
+  StdSignature sign_centralized(const Fr& a, const Fr& b,
+                                std::span<const uint8_t> msg, Rng& rng) const;
+
+ private:
+  bool verify_equation(const gs::Crs& crs, const gs::Commitment& c_z,
+                       const gs::Commitment& c_r, const G2Affine& target,
+                       const gs::Proof& proof) const;
+
+  StdParams params_;
+};
+
+}  // namespace bnr::stdmodel

@@ -1,0 +1,94 @@
+// Appendix G: the aggregation-enabled extension of the main scheme.
+//
+// Each public key carries a built-in validity proof (Z, R) — a one-time
+// LHSPS on the fixed vector (g, h) under the key's own commitment — produced
+// distributively during Dist-Keygen (each player broadcasts (Z_i0, R_i0),
+// publicly checked by a pairing equation; cheaters are disqualified).
+// Signatures of distinct (key, message) pairs multiply into one 2-element
+// aggregate; Aggregate-Verify additionally runs the per-key sanity check.
+// Messages are hashed as H(PK || M) to bind signatures to their keys.
+#pragma once
+
+#include <map>
+
+#include "dkg/pedersen_dkg.hpp"
+#include "threshold/ro_scheme.hpp"
+
+namespace bnr::threshold {
+
+struct AggPublicKey {
+  std::array<G2Affine, 2> g;  // (g^_1, g^_2)
+  G1Affine big_z, big_r;      // LHSPS on (g, h): the key-validity proof
+
+  Bytes serialize() const;
+  bool operator==(const AggPublicKey& o) const {
+    return g == o.g && big_z == o.big_z && big_r == o.big_r;
+  }
+};
+
+struct AggKeyMaterial {
+  size_t n = 0, t = 0;
+  AggPublicKey pk;
+  std::vector<KeyShare> shares;
+  std::vector<VerificationKey> vks;
+  std::vector<uint32_t> qualified;
+  dkg::RunResult transcript;
+};
+
+struct AggregateSignature {
+  G1Affine z, r;
+
+  Bytes serialize() const;
+};
+
+/// One (public key, message) statement inside an aggregate.
+struct AggStatement {
+  AggPublicKey pk;
+  Bytes message;
+};
+
+class AggregateScheme {
+ public:
+  explicit AggregateScheme(SystemParams params) : params_(std::move(params)) {}
+
+  const SystemParams& params() const { return params_; }
+
+  dkg::Config dkg_config(size_t n, size_t t) const;
+
+  AggKeyMaterial dist_keygen(
+      size_t n, size_t t, Rng& rng,
+      const std::map<uint32_t, dkg::Behavior>& behaviors = {},
+      SyncNetwork* net = nullptr) const;
+
+  /// The sanity check run on every key inside Aggregate-Verify:
+  /// e(Z, g^_z) e(R, g^_r) e(g, g^_1) e(h, g^_2) == 1.
+  bool key_sanity_check(const AggPublicKey& pk) const;
+
+  /// H(PK || M).
+  std::array<G1Affine, 2> hash_message(const AggPublicKey& pk,
+                                       std::span<const uint8_t> msg) const;
+
+  PartialSignature share_sign(const AggPublicKey& pk, const KeyShare& share,
+                              std::span<const uint8_t> msg) const;
+  bool share_verify(const AggPublicKey& pk, const VerificationKey& vk,
+                    std::span<const uint8_t> msg,
+                    const PartialSignature& sig) const;
+  Signature combine(const AggKeyMaterial& km, std::span<const uint8_t> msg,
+                    std::span<const PartialSignature> parts) const;
+  bool verify(const AggPublicKey& pk, std::span<const uint8_t> msg,
+              const Signature& sig) const;
+
+  /// Componentwise product of individually valid signatures; returns nullopt
+  /// if any input fails Verify (as the paper's Aggregate specifies).
+  std::optional<AggregateSignature> aggregate(
+      std::span<const AggStatement> statements,
+      std::span<const Signature> signatures) const;
+
+  bool aggregate_verify(std::span<const AggStatement> statements,
+                        const AggregateSignature& sig) const;
+
+ private:
+  SystemParams params_;
+};
+
+}  // namespace bnr::threshold

@@ -1,0 +1,172 @@
+#include "threshold/dlin_scheme.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "common/serde.hpp"
+#include "pairing/pairing.hpp"
+
+namespace bnr::threshold {
+
+namespace {
+// m-vector layout: [a1,b1,c1, a2,b2,c2, a3,b3,c3].
+constexpr size_t idx_a(size_t k) { return 3 * k; }
+constexpr size_t idx_b(size_t k) { return 3 * k + 1; }
+constexpr size_t idx_c(size_t k) { return 3 * k + 2; }
+}  // namespace
+
+Bytes DlinPublicKey::serialize() const {
+  ByteWriter w;
+  for (const auto& p : g) g2_serialize(p, w);
+  for (const auto& p : h) g2_serialize(p, w);
+  return w.take();
+}
+
+Bytes DlinKeyShare::serialize() const {
+  ByteWriter w;
+  w.u32(index);
+  for (size_t k = 0; k < 3; ++k) {
+    w.raw(a[k].to_bytes_be());
+    w.raw(b[k].to_bytes_be());
+    w.raw(c[k].to_bytes_be());
+  }
+  return w.take();
+}
+
+Bytes DlinPartialSignature::serialize() const {
+  ByteWriter w;
+  w.u32(index);
+  g1_serialize(z, w);
+  g1_serialize(r, w);
+  g1_serialize(u, w);
+  return w.take();
+}
+
+Bytes DlinSignature::serialize() const {
+  ByteWriter w;
+  g1_serialize(z, w);
+  g1_serialize(r, w);
+  g1_serialize(u, w);
+  return w.take();
+}
+
+dkg::Config DlinScheme::dkg_config(size_t n, size_t t) const {
+  dkg::Config cfg;
+  cfg.n = n;
+  cfg.t = t;
+  cfg.m = 9;
+  // Rows 0..2: V^_{k,l} = g^_z^{a_k} g^_r^{b_k};
+  // rows 3..5: W^_{k,l} = h^_z^{a_k} h^_u^{c_k}.
+  for (size_t k = 0; k < 3; ++k)
+    cfg.rows.push_back(
+        dkg::VssRow{{{idx_a(k), params_.g_z}, {idx_b(k), params_.g_r}}});
+  for (size_t k = 0; k < 3; ++k)
+    cfg.rows.push_back(
+        dkg::VssRow{{{idx_a(k), params_.h_z}, {idx_c(k), params_.h_u}}});
+  return cfg;
+}
+
+DlinKeyMaterial DlinScheme::dist_keygen(
+    size_t n, size_t t, Rng& rng,
+    const std::map<uint32_t, dkg::Behavior>& behaviors,
+    SyncNetwork* net) const {
+  dkg::Config cfg = dkg_config(n, t);
+  DlinKeyMaterial km;
+  km.n = n;
+  km.t = t;
+  km.transcript = dkg::run_dkg(cfg, rng, behaviors, net);
+  km.qualified = km.transcript.qualified;
+
+  uint32_t honest = 1;
+  while (behaviors.contains(honest)) ++honest;
+  const auto& view = km.transcript.outputs[honest - 1];
+  for (size_t k = 0; k < 3; ++k) {
+    km.pk.g[k] = view.public_key[k];
+    km.pk.h[k] = view.public_key[3 + k];
+  }
+  km.vks.resize(n);
+  km.shares.resize(n);
+  for (uint32_t i = 1; i <= n; ++i) {
+    for (size_t k = 0; k < 3; ++k) {
+      km.vks[i - 1].u[k] = view.verification_keys[i - 1][k];
+      km.vks[i - 1].z[k] = view.verification_keys[i - 1][3 + k];
+    }
+    const auto& sv = km.transcript.outputs[i - 1].secret_share;
+    km.shares[i - 1].index = i;
+    for (size_t k = 0; k < 3; ++k) {
+      km.shares[i - 1].a[k] = sv[idx_a(k)];
+      km.shares[i - 1].b[k] = sv[idx_b(k)];
+      km.shares[i - 1].c[k] = sv[idx_c(k)];
+    }
+  }
+  return km;
+}
+
+std::array<G1Affine, 3> DlinScheme::hash_message(
+    std::span<const uint8_t> msg) const {
+  auto vec = hash_to_g1_vector(params_.hash_dst("H3"), msg, 3);
+  return {vec[0], vec[1], vec[2]};
+}
+
+DlinPartialSignature DlinScheme::share_sign(
+    const DlinKeyShare& share, std::span<const uint8_t> msg) const {
+  auto h = hash_message(msg);
+  G1 z, r, u;
+  for (size_t k = 0; k < 3; ++k) {
+    G1 hk = G1::from_affine(h[k]);
+    z = z + hk.mul(-share.a[k]);
+    r = r + hk.mul(-share.b[k]);
+    u = u + hk.mul(-share.c[k]);
+  }
+  return {share.index, z.to_affine(), r.to_affine(), u.to_affine()};
+}
+
+bool DlinScheme::share_verify(const DlinVerificationKey& vk,
+                              std::span<const uint8_t> msg,
+                              const DlinPartialSignature& sig) const {
+  auto h = hash_message(msg);
+  std::vector<PairingTerm> eq1 = {{sig.z, params_.g_z}, {sig.r, params_.g_r}};
+  std::vector<PairingTerm> eq2 = {{sig.z, params_.h_z}, {sig.u, params_.h_u}};
+  for (size_t k = 0; k < 3; ++k) {
+    eq1.push_back({h[k], vk.u[k]});
+    eq2.push_back({h[k], vk.z[k]});
+  }
+  return pairing_product_is_one(eq1) && pairing_product_is_one(eq2);
+}
+
+DlinSignature DlinScheme::combine(
+    const DlinKeyMaterial& km, std::span<const uint8_t> msg,
+    std::span<const DlinPartialSignature> parts) const {
+  std::vector<DlinPartialSignature> valid;
+  for (const auto& p : parts) {
+    if (p.index < 1 || p.index > km.n) continue;
+    if (share_verify(km.vks[p.index - 1], msg, p)) valid.push_back(p);
+    if (valid.size() == km.t + 1) break;
+  }
+  if (valid.size() < km.t + 1)
+    throw std::runtime_error("dlin combine: fewer than t+1 valid shares");
+  std::vector<uint32_t> indices;
+  for (const auto& p : valid) indices.push_back(p.index);
+  auto lagrange = lagrange_at_zero(indices);
+  G1 z, r, u;
+  for (size_t i = 0; i < valid.size(); ++i) {
+    z = z + G1::from_affine(valid[i].z).mul(lagrange[i]);
+    r = r + G1::from_affine(valid[i].r).mul(lagrange[i]);
+    u = u + G1::from_affine(valid[i].u).mul(lagrange[i]);
+  }
+  return {z.to_affine(), r.to_affine(), u.to_affine()};
+}
+
+bool DlinScheme::verify(const DlinPublicKey& pk, std::span<const uint8_t> msg,
+                        const DlinSignature& sig) const {
+  auto h = hash_message(msg);
+  std::vector<PairingTerm> eq1 = {{sig.z, params_.g_z}, {sig.r, params_.g_r}};
+  std::vector<PairingTerm> eq2 = {{sig.z, params_.h_z}, {sig.u, params_.h_u}};
+  for (size_t k = 0; k < 3; ++k) {
+    eq1.push_back({h[k], pk.g[k]});
+    eq2.push_back({h[k], pk.h[k]});
+  }
+  return pairing_product_is_one(eq1) && pairing_product_is_one(eq2);
+}
+
+}  // namespace bnr::threshold

@@ -1,0 +1,93 @@
+// Appendix F: the DLIN-based variant of the threshold scheme. Works even in
+// pairing configurations with efficiently computable isomorphisms between
+// the source groups (where SXDH fails): signatures are triples
+// (z, r, u) in G^3 and verification checks two pairing-product equations
+// against the doubled public key {g^_k, h^_k}.
+#pragma once
+
+#include <array>
+#include <map>
+
+#include "dkg/pedersen_dkg.hpp"
+#include "threshold/params.hpp"
+
+namespace bnr::threshold {
+
+struct DlinPublicKey {
+  std::array<G2Affine, 3> g;  // g^_k = g^_z^{a_k} g^_r^{b_k}
+  std::array<G2Affine, 3> h;  // h^_k = h^_z^{a_k} h^_u^{c_k}
+
+  Bytes serialize() const;
+};
+
+struct DlinKeyShare {
+  uint32_t index = 0;
+  std::array<Fr, 3> a{}, b{}, c{};
+
+  Bytes serialize() const;
+};
+
+struct DlinVerificationKey {
+  std::array<G2Affine, 3> u;  // U^_{k,i} = g^_z^{A_k(i)} g^_r^{B_k(i)}
+  std::array<G2Affine, 3> z;  // Z^_{k,i} = h^_z^{A_k(i)} h^_u^{C_k(i)}
+};
+
+struct DlinPartialSignature {
+  uint32_t index = 0;
+  G1Affine z, r, u;
+
+  Bytes serialize() const;
+};
+
+struct DlinSignature {
+  G1Affine z, r, u;
+
+  Bytes serialize() const;
+  bool operator==(const DlinSignature& o) const {
+    return z == o.z && r == o.r && u == o.u;
+  }
+};
+
+struct DlinKeyMaterial {
+  size_t n = 0, t = 0;
+  DlinPublicKey pk;
+  std::vector<DlinKeyShare> shares;
+  std::vector<DlinVerificationKey> vks;
+  std::vector<uint32_t> qualified;
+  dkg::RunResult transcript;
+};
+
+class DlinScheme {
+ public:
+  explicit DlinScheme(SystemParams params) : params_(std::move(params)) {}
+
+  const SystemParams& params() const { return params_; }
+
+  /// m = 9 secrets (a_k, b_k, c_k)_{k=1..3}; 6 commitment rows (V^ and W^).
+  dkg::Config dkg_config(size_t n, size_t t) const;
+
+  DlinKeyMaterial dist_keygen(
+      size_t n, size_t t, Rng& rng,
+      const std::map<uint32_t, dkg::Behavior>& behaviors = {},
+      SyncNetwork* net = nullptr) const;
+
+  std::array<G1Affine, 3> hash_message(std::span<const uint8_t> msg) const;
+
+  DlinPartialSignature share_sign(const DlinKeyShare& share,
+                                  std::span<const uint8_t> msg) const;
+  bool share_verify(const DlinVerificationKey& vk,
+                    std::span<const uint8_t> msg,
+                    const DlinPartialSignature& sig) const;
+
+  DlinSignature combine(const DlinKeyMaterial& km,
+                        std::span<const uint8_t> msg,
+                        std::span<const DlinPartialSignature> parts) const;
+
+  bool verify(const DlinPublicKey& pk, std::span<const uint8_t> msg,
+              const DlinSignature& sig) const;
+
+ private:
+  SystemParams params_;
+};
+
+}  // namespace bnr::threshold

@@ -1,0 +1,17 @@
+#include "threshold/params.hpp"
+
+namespace bnr::threshold {
+
+SystemParams SystemParams::derive(std::string_view label) {
+  SystemParams p;
+  p.label = std::string(label);
+  p.g_z = hash_to_g2(p.hash_dst("gen"), "g_z");
+  p.g_r = hash_to_g2(p.hash_dst("gen"), "g_r");
+  p.h_z = hash_to_g2(p.hash_dst("gen"), "h_z");
+  p.h_u = hash_to_g2(p.hash_dst("gen"), "h_u");
+  p.g1_g = hash_to_g1(p.hash_dst("gen"), "g");
+  p.g1_h = hash_to_g1(p.hash_dst("gen"), "h");
+  return p;
+}
+
+}  // namespace bnr::threshold

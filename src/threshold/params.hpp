@@ -1,0 +1,29 @@
+// Common public parameters for the threshold schemes (§3.1): asymmetric
+// bilinear groups with generators g^_z, g^_r in G^ derived from a random
+// oracle — no party knows log_{g^z}(g^r) and no setup round is needed —
+// plus the message hash H : {0,1}* -> G x G.
+#pragma once
+
+#include <string>
+
+#include "curve/hash_to_curve.hpp"
+
+namespace bnr::threshold {
+
+struct SystemParams {
+  std::string label;  // domain separation for all oracles
+  G2Affine g_z, g_r;
+  // DLIN variant (App. F) additionally uses (h^_z, h^_u).
+  G2Affine h_z, h_u;
+  // App. G aggregation uses two extra G1 generators (g, h).
+  G1Affine g1_g, g1_h;
+
+  /// Derives all generators from hash oracles keyed by `label`.
+  static SystemParams derive(std::string_view label);
+
+  std::string hash_dst(std::string_view role) const {
+    return label + "/" + std::string(role);
+  }
+};
+
+}  // namespace bnr::threshold

@@ -1,0 +1,268 @@
+#include "threshold/ro_scheme.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "common/serde.hpp"
+#include "pairing/pairing.hpp"
+
+namespace bnr::threshold {
+
+// ---------------------------------------------------------------------------
+// Serialization
+
+namespace {
+void expect_done(const ByteReader& rd, const char* what) {
+  if (!rd.empty())
+    throw std::invalid_argument(std::string(what) + ": trailing data");
+}
+}  // namespace
+
+Bytes PublicKey::serialize() const {
+  ByteWriter w;
+  for (const auto& gk : g) g2_serialize(gk, w);
+  return w.take();
+}
+
+PublicKey PublicKey::deserialize(std::span<const uint8_t> data) {
+  ByteReader rd(data);
+  PublicKey pk;
+  pk.g[0] = g2_deserialize(rd);
+  pk.g[1] = g2_deserialize(rd);
+  expect_done(rd, "PublicKey");
+  return pk;
+}
+
+Bytes KeyShare::serialize() const {
+  ByteWriter w;
+  w.u32(index);
+  for (const auto& v : a) w.raw(v.to_bytes_be());
+  for (const auto& v : b) w.raw(v.to_bytes_be());
+  return w.take();
+}
+
+KeyShare KeyShare::deserialize(std::span<const uint8_t> data) {
+  ByteReader rd(data);
+  KeyShare s;
+  s.index = rd.u32();
+  for (auto& v : s.a) v = Fr::from_bytes_be(rd.raw(32));
+  for (auto& v : s.b) v = Fr::from_bytes_be(rd.raw(32));
+  expect_done(rd, "KeyShare");
+  return s;
+}
+
+Bytes VerificationKey::serialize() const {
+  ByteWriter w;
+  for (const auto& vk : v) g2_serialize(vk, w);
+  return w.take();
+}
+
+VerificationKey VerificationKey::deserialize(std::span<const uint8_t> data) {
+  ByteReader rd(data);
+  VerificationKey vk;
+  vk.v[0] = g2_deserialize(rd);
+  vk.v[1] = g2_deserialize(rd);
+  expect_done(rd, "VerificationKey");
+  return vk;
+}
+
+Bytes PartialSignature::serialize() const {
+  ByteWriter w;
+  w.u32(index);
+  g1_serialize(z, w);
+  g1_serialize(r, w);
+  return w.take();
+}
+
+PartialSignature PartialSignature::deserialize(std::span<const uint8_t> data) {
+  ByteReader rd(data);
+  PartialSignature p;
+  p.index = rd.u32();
+  p.z = g1_deserialize(rd);
+  p.r = g1_deserialize(rd);
+  expect_done(rd, "PartialSignature");
+  return p;
+}
+
+Bytes Signature::serialize() const {
+  ByteWriter w;
+  g1_serialize(z, w);
+  g1_serialize(r, w);
+  return w.take();
+}
+
+Signature Signature::deserialize(std::span<const uint8_t> data) {
+  ByteReader rd(data);
+  Signature s;
+  s.z = g1_deserialize(rd);
+  s.r = g1_deserialize(rd);
+  if (!rd.empty()) throw std::invalid_argument("Signature: trailing data");
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Keygen
+
+KeyShare RoScheme::to_key_share(uint32_t index, std::span<const Fr> m_vector) {
+  if (m_vector.size() != 4)
+    throw std::invalid_argument("to_key_share: expected 4 scalars");
+  KeyShare s;
+  s.index = index;
+  s.a = {m_vector[0], m_vector[2]};
+  s.b = {m_vector[1], m_vector[3]};
+  return s;
+}
+
+std::vector<Fr> RoScheme::to_m_vector(const KeyShare& share) {
+  return {share.a[0], share.b[0], share.a[1], share.b[1]};
+}
+
+dkg::Config RoScheme::dkg_config(size_t n, size_t t) const {
+  dkg::Config cfg;
+  cfg.n = n;
+  cfg.t = t;
+  cfg.m = 4;  // (A1, B1, A2, B2)
+  cfg.rows = {
+      dkg::VssRow{{{0, params_.g_z}, {1, params_.g_r}}},  // W^_{i,1,l}
+      dkg::VssRow{{{2, params_.g_z}, {3, params_.g_r}}},  // W^_{i,2,l}
+  };
+  return cfg;
+}
+
+KeyMaterial RoScheme::dist_keygen(
+    size_t n, size_t t, Rng& rng,
+    const std::map<uint32_t, dkg::Behavior>& behaviors,
+    SyncNetwork* net) const {
+  dkg::Config cfg = dkg_config(n, t);
+  KeyMaterial km;
+  km.n = n;
+  km.t = t;
+  km.transcript = dkg::run_dkg(cfg, rng, behaviors, net);
+  km.qualified = km.transcript.qualified;
+
+  // Public view from an honest player.
+  uint32_t honest = 1;
+  while (behaviors.contains(honest)) ++honest;
+  const auto& view = km.transcript.outputs[honest - 1];
+  km.pk.g = {view.public_key[0], view.public_key[1]};
+  km.vks.resize(n);
+  km.shares.resize(n);
+  for (uint32_t i = 1; i <= n; ++i) {
+    km.vks[i - 1].v = {view.verification_keys[i - 1][0],
+                       view.verification_keys[i - 1][1]};
+    km.shares[i - 1] =
+        to_key_share(i, km.transcript.outputs[i - 1].secret_share);
+  }
+  return km;
+}
+
+// ---------------------------------------------------------------------------
+// Signing
+
+std::array<G1Affine, 2> RoScheme::hash_message(
+    std::span<const uint8_t> msg) const {
+  auto vec = hash_to_g1_vector(params_.hash_dst("H"), msg, 2);
+  return {vec[0], vec[1]};
+}
+
+PartialSignature RoScheme::share_sign(const KeyShare& share,
+                                      std::span<const uint8_t> msg) const {
+  auto h = hash_message(msg);
+  G1 h1 = G1::from_affine(h[0]), h2 = G1::from_affine(h[1]);
+  PartialSignature out;
+  out.index = share.index;
+  out.z = (h1.mul(-share.a[0]) + h2.mul(-share.a[1])).to_affine();
+  out.r = (h1.mul(-share.b[0]) + h2.mul(-share.b[1])).to_affine();
+  return out;
+}
+
+bool RoScheme::share_verify(const VerificationKey& vk,
+                            std::span<const uint8_t> msg,
+                            const PartialSignature& sig) const {
+  auto h = hash_message(msg);
+  std::array<PairingTerm, 4> terms = {
+      PairingTerm{sig.z, params_.g_z},
+      PairingTerm{sig.r, params_.g_r},
+      PairingTerm{h[0], vk.v[0]},
+      PairingTerm{h[1], vk.v[1]},
+  };
+  return pairing_product_is_one(terms);
+}
+
+Signature RoScheme::combine_unchecked(
+    size_t t, std::span<const PartialSignature> parts) const {
+  if (parts.size() < t + 1)
+    throw std::runtime_error("combine: need t+1 partial signatures");
+  std::vector<uint32_t> indices;
+  for (size_t i = 0; i < t + 1; ++i) indices.push_back(parts[i].index);
+  auto lagrange = lagrange_at_zero(indices);
+  G1 z, r;
+  for (size_t i = 0; i < t + 1; ++i) {
+    z = z + G1::from_affine(parts[i].z).mul(lagrange[i]);
+    r = r + G1::from_affine(parts[i].r).mul(lagrange[i]);
+  }
+  return {z.to_affine(), r.to_affine()};
+}
+
+Signature RoScheme::combine(const KeyMaterial& km,
+                            std::span<const uint8_t> msg,
+                            std::span<const PartialSignature> parts) const {
+  std::vector<PartialSignature> valid;
+  for (const auto& p : parts) {
+    if (p.index < 1 || p.index > km.n) continue;
+    if (share_verify(km.vks[p.index - 1], msg, p)) valid.push_back(p);
+    if (valid.size() == km.t + 1) break;
+  }
+  if (valid.size() < km.t + 1)
+    throw std::runtime_error("combine: fewer than t+1 valid shares");
+  return combine_unchecked(km.t, valid);
+}
+
+bool RoScheme::verify(const PublicKey& pk, std::span<const uint8_t> msg,
+                      const Signature& sig) const {
+  auto h = hash_message(msg);
+  std::array<PairingTerm, 4> terms = {
+      PairingTerm{sig.z, params_.g_z},
+      PairingTerm{sig.r, params_.g_r},
+      PairingTerm{h[0], pk.g[0]},
+      PairingTerm{h[1], pk.g[1]},
+  };
+  return pairing_product_is_one(terms);
+}
+
+// ---------------------------------------------------------------------------
+// Proactive maintenance
+
+void RoScheme::refresh(KeyMaterial& km, Rng& rng,
+                       const std::map<uint32_t, dkg::Behavior>& behaviors,
+                       SyncNetwork* net) const {
+  dkg::Config cfg = dkg_config(km.n, km.t);
+  std::vector<std::vector<Fr>> old_shares;
+  std::vector<std::vector<G2Affine>> old_vks;
+  for (uint32_t i = 1; i <= km.n; ++i) {
+    old_shares.push_back(to_m_vector(km.shares[i - 1]));
+    old_vks.push_back({km.vks[i - 1].v[0], km.vks[i - 1].v[1]});
+  }
+  auto refreshed =
+      dkg::refresh_shares(cfg, rng, old_shares, old_vks, behaviors, net);
+  for (uint32_t i = 1; i <= km.n; ++i) {
+    km.shares[i - 1] = to_key_share(i, refreshed.new_shares[i - 1]);
+    km.vks[i - 1].v = {refreshed.new_vks[i - 1][0],
+                       refreshed.new_vks[i - 1][1]};
+  }
+}
+
+KeyShare RoScheme::recover(const KeyMaterial& km, Rng& rng, uint32_t lost,
+                           std::span<const uint32_t> helpers) const {
+  dkg::Config cfg = dkg_config(km.n, km.t);
+  std::vector<std::vector<Fr>> shares;
+  for (uint32_t i = 1; i <= km.n; ++i)
+    shares.push_back(to_m_vector(km.shares[i - 1]));
+  std::vector<G2Affine> lost_vk = {km.vks[lost - 1].v[0],
+                                   km.vks[lost - 1].v[1]};
+  auto recovered =
+      dkg::recover_share(cfg, rng, lost, helpers, shares, lost_vk);
+  return to_key_share(lost, recovered);
+}
+
+}  // namespace bnr::threshold

@@ -1,0 +1,126 @@
+// The paper's main construction (§3): a fully distributed, non-interactive,
+// robust, adaptively secure (t, n)-threshold signature in the random-oracle
+// model, with O(1)-size key shares and 2-group-element signatures.
+//
+//   Dist-Keygen   Pedersen DKG over pairs {(A_k(i), B_k(i))}_{k=1,2}
+//   Share-Sign    z_i = prod_k H_k^{-A_k(i)}, r_i = prod_k H_k^{-B_k(i)}
+//   Share-Verify  e(z_i,g^_z) e(r_i,g^_r) prod_k e(H_k, V^_{k,i}) == 1
+//   Combine       Lagrange interpolation in the exponent
+//   Verify        e(z,g^_z) e(r,g^_r) e(H_1,g^_1) e(H_2,g^_2) == 1
+#pragma once
+
+#include <array>
+#include <map>
+
+#include "dkg/pedersen_dkg.hpp"
+#include "dkg/proactive.hpp"
+#include "threshold/params.hpp"
+
+namespace bnr::threshold {
+
+struct PublicKey {
+  std::array<G2Affine, 2> g;  // (g^_1, g^_2)
+
+  Bytes serialize() const;
+  static PublicKey deserialize(std::span<const uint8_t> data);
+  bool operator==(const PublicKey& o) const { return g == o.g; }
+};
+
+struct KeyShare {
+  uint32_t index = 0;
+  std::array<Fr, 2> a{};  // A_1(i), A_2(i)
+  std::array<Fr, 2> b{};  // B_1(i), B_2(i)
+
+  Bytes serialize() const;  // O(1): 4 scalars, regardless of n
+  static KeyShare deserialize(std::span<const uint8_t> data);
+};
+
+struct VerificationKey {
+  std::array<G2Affine, 2> v;  // (V^_{1,i}, V^_{2,i})
+
+  Bytes serialize() const;
+  static VerificationKey deserialize(std::span<const uint8_t> data);
+};
+
+struct PartialSignature {
+  uint32_t index = 0;
+  G1Affine z, r;
+
+  Bytes serialize() const;
+  static PartialSignature deserialize(std::span<const uint8_t> data);
+};
+
+struct Signature {
+  G1Affine z, r;
+
+  Bytes serialize() const;
+  static Signature deserialize(std::span<const uint8_t> data);
+  bool operator==(const Signature& o) const { return z == o.z && r == o.r; }
+};
+
+/// Everything Dist-Keygen produces. The per-player shares live together here
+/// because the whole n-server system is simulated in-process; a real
+/// deployment would hand each KeyShare to its server only.
+struct KeyMaterial {
+  size_t n = 0, t = 0;
+  PublicKey pk;
+  std::vector<KeyShare> shares;          // index i-1 -> player i
+  std::vector<VerificationKey> vks;
+  std::vector<uint32_t> qualified;
+  dkg::RunResult transcript;
+};
+
+class RoScheme {
+ public:
+  explicit RoScheme(SystemParams params) : params_(std::move(params)) {}
+
+  const SystemParams& params() const { return params_; }
+
+  /// The DKG instantiation: m = 4 secrets (A1,B1,A2,B2), one commitment row
+  /// per k with generators (g^_z, g^_r).
+  dkg::Config dkg_config(size_t n, size_t t) const;
+
+  /// Runs Dist-Keygen over a simulated network (§3.1 step 1-4).
+  KeyMaterial dist_keygen(size_t n, size_t t, Rng& rng,
+                          const std::map<uint32_t, dkg::Behavior>& behaviors = {},
+                          SyncNetwork* net = nullptr) const;
+
+  /// H(M) = (H_1, H_2) in G^2.
+  std::array<G1Affine, 2> hash_message(std::span<const uint8_t> msg) const;
+
+  PartialSignature share_sign(const KeyShare& share,
+                              std::span<const uint8_t> msg) const;
+  bool share_verify(const VerificationKey& vk, std::span<const uint8_t> msg,
+                    const PartialSignature& sig) const;
+
+  /// Combines t+1 valid partial signatures. Invalid shares are detected via
+  /// Share-Verify and skipped (robustness); throws std::runtime_error if
+  /// fewer than t+1 valid shares remain.
+  Signature combine(const KeyMaterial& km, std::span<const uint8_t> msg,
+                    std::span<const PartialSignature> parts) const;
+
+  /// Combine without per-share verification (for benchmarking the happy
+  /// path separately from robustness).
+  Signature combine_unchecked(size_t t, std::span<const PartialSignature> parts) const;
+
+  bool verify(const PublicKey& pk, std::span<const uint8_t> msg,
+              const Signature& sig) const;
+
+  /// Proactive refresh (§3.3): new shares/VKs, same public key.
+  void refresh(KeyMaterial& km, Rng& rng,
+               const std::map<uint32_t, dkg::Behavior>& behaviors = {},
+               SyncNetwork* net = nullptr) const;
+
+  /// Share recovery (§3.3 / Herzberg et al.): rebuilds player `lost`'s share.
+  KeyShare recover(const KeyMaterial& km, Rng& rng, uint32_t lost,
+                   std::span<const uint32_t> helpers) const;
+
+  // Conversions between DKG vectors ([A1,B1,A2,B2]) and scheme types.
+  static KeyShare to_key_share(uint32_t index, std::span<const Fr> m_vector);
+  static std::vector<Fr> to_m_vector(const KeyShare& share);
+
+ private:
+  SystemParams params_;
+};
+
+}  // namespace bnr::threshold

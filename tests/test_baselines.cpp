@@ -1,0 +1,171 @@
+// Tests for the paper's comparison baselines: Boldyreva threshold BLS,
+// Shoup threshold RSA, and the Almansa/Rabin-style additive threshold RSA.
+#include <gtest/gtest.h>
+
+#include "baselines/almansa.hpp"
+#include "baselines/boldyreva.hpp"
+#include "baselines/shoup_rsa.hpp"
+
+namespace bnr {
+namespace {
+
+using namespace bnr::baselines;
+
+// ---------------------------------------------------------------------------
+// Boldyreva threshold BLS
+
+struct BlsFixture : ::testing::Test {
+  threshold::SystemParams sp = threshold::SystemParams::derive("bls-test");
+  BoldyrevaBls scheme{sp};
+  Rng rng{"bls-test-rng"};
+};
+
+TEST_F(BlsFixture, DealerKeygenEndToEnd) {
+  auto km = scheme.dealer_keygen(5, 2, rng);
+  Bytes m = to_bytes("bls message");
+  std::vector<BlsPartialSignature> parts;
+  for (uint32_t i : {1u, 2u, 5u})
+    parts.push_back(scheme.share_sign(km.shares[i - 1], m));
+  G1Affine sig = scheme.combine(km, m, parts);
+  EXPECT_TRUE(scheme.verify(km.pk, m, sig));
+  EXPECT_FALSE(scheme.verify(km.pk, to_bytes("other"), sig));
+}
+
+TEST_F(BlsFixture, DkgKeygenEndToEnd) {
+  auto km = scheme.dist_keygen(5, 2, rng);
+  Bytes m = to_bytes("bls dkg message");
+  std::vector<BlsPartialSignature> parts;
+  for (uint32_t i : {2u, 3u, 4u})
+    parts.push_back(scheme.share_sign(km.shares[i - 1], m));
+  EXPECT_TRUE(scheme.verify(km.pk, m, scheme.combine(km, m, parts)));
+}
+
+TEST_F(BlsFixture, ShareVerifyIsSound) {
+  auto km = scheme.dealer_keygen(4, 1, rng);
+  Bytes m = to_bytes("bls shares");
+  auto p = scheme.share_sign(km.shares[0], m);
+  EXPECT_TRUE(scheme.share_verify(km.vks[0], m, p));
+  EXPECT_FALSE(scheme.share_verify(km.vks[1], m, p));
+  auto bad = p;
+  bad.sigma = (G1::from_affine(bad.sigma) + G1::generator()).to_affine();
+  EXPECT_FALSE(scheme.share_verify(km.vks[0], m, bad));
+}
+
+TEST_F(BlsFixture, SignatureIsOneGroupElement) {
+  auto km = scheme.dealer_keygen(3, 1, rng);
+  Bytes m = to_bytes("bls size");
+  std::vector<BlsPartialSignature> parts = {
+      scheme.share_sign(km.shares[0], m), scheme.share_sign(km.shares[1], m)};
+  G1Affine sig = scheme.combine(km, m, parts);
+  EXPECT_EQ(g1_to_bytes(sig).size(), kG1CompressedSize);
+}
+
+// ---------------------------------------------------------------------------
+// Shoup threshold RSA (small modulus for test speed; benches use >= 1024).
+
+struct ShoupFixture : ::testing::Test {
+  Rng rng{"shoup-test-rng"};
+  ShoupKeyMaterial km = ShoupRsa::dealer_keygen(rng, 5, 2, 256);
+};
+
+TEST_F(ShoupFixture, EndToEnd) {
+  Bytes m = to_bytes("shoup message");
+  std::vector<ShoupPartialSignature> parts;
+  for (uint32_t i : {1u, 3u, 4u})
+    parts.push_back(ShoupRsa::share_sign(km, km.shares[i - 1], m, rng));
+  BigUint sig = ShoupRsa::combine(km, m, parts);
+  EXPECT_TRUE(ShoupRsa::verify(km.pk, m, sig));
+  EXPECT_FALSE(ShoupRsa::verify(km.pk, to_bytes("other"), sig));
+}
+
+TEST_F(ShoupFixture, ProofOfCorrectnessIsSound) {
+  Bytes m = to_bytes("shoup proofs");
+  auto p = ShoupRsa::share_sign(km, km.shares[0], m, rng);
+  EXPECT_TRUE(ShoupRsa::share_verify(km, m, p));
+  // Tamper with the partial: proof must fail.
+  auto bad = p;
+  bad.x_i = BigUint::mod_mul(bad.x_i, BigUint(2), km.pk.n);
+  EXPECT_FALSE(ShoupRsa::share_verify(km, m, bad));
+  // Claiming another player's index fails too.
+  auto imposter = p;
+  imposter.index = 2;
+  EXPECT_FALSE(ShoupRsa::share_verify(km, m, imposter));
+}
+
+TEST_F(ShoupFixture, CombineSkipsInvalidShares) {
+  Bytes m = to_bytes("shoup robust");
+  std::vector<ShoupPartialSignature> parts;
+  for (uint32_t i : {1u, 2u, 3u, 5u})
+    parts.push_back(ShoupRsa::share_sign(km, km.shares[i - 1], m, rng));
+  parts[0].x_i = BigUint::mod_mul(parts[0].x_i, BigUint(2), km.pk.n);
+  BigUint sig = ShoupRsa::combine(km, m, parts);
+  EXPECT_TRUE(ShoupRsa::verify(km.pk, m, sig));
+}
+
+TEST_F(ShoupFixture, CombineNeedsThresholdPlusOne) {
+  Bytes m = to_bytes("shoup too few");
+  std::vector<ShoupPartialSignature> parts;
+  for (uint32_t i : {1u, 2u})
+    parts.push_back(ShoupRsa::share_sign(km, km.shares[i - 1], m, rng));
+  EXPECT_THROW(ShoupRsa::combine(km, m, parts), std::runtime_error);
+}
+
+TEST_F(ShoupFixture, AnySubsetProducesSameSignature) {
+  // RSA signatures are unique, so all subsets agree.
+  Bytes m = to_bytes("shoup deterministic");
+  std::vector<ShoupPartialSignature> s135, s245;
+  for (uint32_t i : {1u, 3u, 5u})
+    s135.push_back(ShoupRsa::share_sign(km, km.shares[i - 1], m, rng));
+  for (uint32_t i : {2u, 4u, 5u})
+    s245.push_back(ShoupRsa::share_sign(km, km.shares[i - 1], m, rng));
+  EXPECT_EQ(ShoupRsa::combine(km, m, s135), ShoupRsa::combine(km, m, s245));
+}
+
+// ---------------------------------------------------------------------------
+// Almansa/Rabin-style additive threshold RSA
+
+struct AlmansaFixture : ::testing::Test {
+  Rng rng{"almansa-test-rng"};
+  AlmansaKeyMaterial km = AlmansaRsa::dealer_keygen(rng, 5, 2, 256);
+};
+
+TEST_F(AlmansaFixture, OptimisticPathNeedsAllPlayers) {
+  Bytes m = to_bytes("almansa message");
+  std::vector<AlmansaPartial> parts;
+  for (const auto& p : km.players)
+    parts.push_back(AlmansaRsa::share_sign(km, p, m));
+  BigUint sig = AlmansaRsa::combine(km, m, parts);
+  EXPECT_TRUE(AlmansaRsa::verify(km, m, sig));
+  // n-1 partials are NOT enough: the additive structure requires all n.
+  parts.pop_back();
+  EXPECT_THROW(AlmansaRsa::combine(km, m, parts), std::runtime_error);
+}
+
+TEST_F(AlmansaFixture, ReconstructionRepairsMissingPlayer) {
+  Bytes m = to_bytes("almansa repair");
+  std::vector<AlmansaPartial> parts;
+  for (uint32_t i = 1; i <= 4; ++i)  // player 5 crashed
+    parts.push_back(AlmansaRsa::share_sign(km, km.players[i - 1], m));
+  std::vector<uint32_t> helpers = {1, 2, 3};
+  parts.push_back(AlmansaRsa::reconstruct_missing(km, 5, helpers, m));
+  BigUint sig = AlmansaRsa::combine(km, m, parts);
+  EXPECT_TRUE(AlmansaRsa::verify(km, m, sig));
+}
+
+TEST_F(AlmansaFixture, StorageIsLinearInN) {
+  // Theta(n): each player stores its additive share plus n backup shares.
+  EXPECT_EQ(km.players[0].backup_shares.size(), km.n);
+  auto km9 = AlmansaRsa::dealer_keygen(rng, 9, 4, 256);
+  EXPECT_GT(km9.max_player_storage_bytes(),
+            km.max_player_storage_bytes() * 3 / 2);
+}
+
+TEST_F(AlmansaFixture, ReconstructionNeedsThresholdPlusOneHelpers) {
+  Bytes m = to_bytes("almansa helpers");
+  std::vector<uint32_t> helpers = {1, 2};
+  EXPECT_THROW(AlmansaRsa::reconstruct_missing(km, 5, helpers, m),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bnr

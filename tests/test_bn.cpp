@@ -1,0 +1,213 @@
+// Unit + property tests for U256 and BigUint, including the BN254 parameter
+// identities that tie the hardcoded moduli to the curve parameter u.
+#include <gtest/gtest.h>
+
+#include "bn/biguint.hpp"
+#include "bn/u256.hpp"
+#include "common/rng.hpp"
+#include "field/fp.hpp"
+
+namespace bnr {
+namespace {
+
+TEST(U256, DecParseMatchesHexModulus) {
+  U256 p = U256::from_dec(
+      "21888242871839275222246405745257275088696311157297823662689037894645226"
+      "208583");
+  EXPECT_EQ(p, FpTag::kModulus);
+  U256 r = U256::from_dec(
+      "21888242871839275222246405745257275088548364400416034343698204186575808"
+      "495617");
+  EXPECT_EQ(r, FrTag::kModulus);
+}
+
+TEST(U256, HexParse) {
+  EXPECT_EQ(U256::from_hex(
+                "0x30644e72e131a029b85045b68181585d97816a916871ca8d3c208c16d87c"
+                "fd47"),
+            FpTag::kModulus);
+}
+
+TEST(U256, BytesRoundTrip) {
+  Rng rng("u256-bytes");
+  for (int i = 0; i < 50; ++i) {
+    std::array<uint8_t, 32> buf;
+    rng.fill(buf);
+    U256 v = U256::from_bytes_be(buf);
+    EXPECT_EQ(v.to_bytes_be(), buf);
+  }
+}
+
+TEST(U256, AddSubInverse) {
+  Rng rng("u256-addsub");
+  for (int i = 0; i < 100; ++i) {
+    std::array<uint8_t, 32> ab, bb;
+    rng.fill(ab);
+    rng.fill(bb);
+    U256 a = U256::from_bytes_be(ab), b = U256::from_bytes_be(bb);
+    U256 sum, back;
+    uint64_t carry = U256::add(a, b, sum);
+    uint64_t borrow = U256::sub(sum, b, back);
+    // (a + b) - b == a, and carry/borrow agree.
+    EXPECT_EQ(carry, borrow);
+    EXPECT_EQ(back, a);
+  }
+}
+
+TEST(U256, BitLength) {
+  EXPECT_EQ(U256::zero().bit_length(), 0u);
+  EXPECT_EQ(U256::one().bit_length(), 1u);
+  EXPECT_EQ(U256::from_u64(0x8000000000000000ull).bit_length(), 64u);
+  EXPECT_EQ(FpTag::kModulus.bit_length(), 254u);
+}
+
+TEST(BigUint, BnParameterIdentities) {
+  // p = 36u^4 + 36u^3 + 24u^2 + 6u + 1, r = 36u^4 + 36u^3 + 18u^2 + 6u + 1,
+  // with u = 4965661367192848881. This pins the transcribed moduli to the
+  // published curve parameter.
+  BigUint u(4965661367192848881ull);
+  BigUint u2 = u * u;
+  BigUint u3 = u2 * u;
+  BigUint u4 = u2 * u2;
+  BigUint c36(36), c24(24), c18(18), c6(6), c1(1);
+  BigUint p = c36 * u4 + c36 * u3 + c24 * u2 + c6 * u + c1;
+  BigUint r = c36 * u4 + c36 * u3 + c18 * u2 + c6 * u + c1;
+  EXPECT_EQ(p, BigUint(FpTag::kModulus));
+  EXPECT_EQ(r, BigUint(FrTag::kModulus));
+  // Trace: t = 6u^2 + 1 and #E(Fp) = p + 1 - t = r.
+  BigUint t = c6 * u2 + c1;
+  EXPECT_EQ(p + c1 - t, r);
+}
+
+TEST(BigUint, DivModBasic) {
+  BigUint a = BigUint::from_dec("123456789012345678901234567890123456789");
+  BigUint b = BigUint::from_dec("98765432109876543210");
+  auto [q, rem] = BigUint::divmod(a, b);
+  EXPECT_EQ(q * b + rem, a);
+  EXPECT_TRUE(rem < b);
+}
+
+TEST(BigUint, DivModRandomizedReconstruction) {
+  Rng rng("biguint-divmod");
+  for (int i = 0; i < 200; ++i) {
+    size_t abits = 64 + rng.uniform(700);
+    size_t bbits = 2 + rng.uniform(abits);
+    BigUint a = BigUint::random_bits(rng, abits);
+    BigUint b = BigUint::random_bits(rng, bbits);
+    auto [q, rem] = BigUint::divmod(a, b);
+    EXPECT_EQ(q * b + rem, a);
+    EXPECT_TRUE(rem < b);
+  }
+}
+
+TEST(BigUint, DivModKnuthAddBackEdge) {
+  // Exercises the rare "add back" branch: numerator crafted so qhat
+  // overestimates. Classic trigger: v with high limb 0x8000... and u close
+  // below a multiple.
+  BigUint v = (BigUint(1) << 127) + BigUint(1);
+  BigUint u = (v * BigUint::from_hex("ffffffffffffffff")) - BigUint(1);
+  auto [q, rem] = BigUint::divmod(u, v);
+  EXPECT_EQ(q * v + rem, u);
+  EXPECT_TRUE(rem < v);
+}
+
+TEST(BigUint, ShiftsInverse) {
+  Rng rng("biguint-shift");
+  for (int i = 0; i < 50; ++i) {
+    BigUint a = BigUint::random_bits(rng, 300);
+    size_t s = rng.uniform(200);
+    EXPECT_EQ((a << s) >> s, a);
+  }
+}
+
+TEST(BigUint, SubUnderflowThrows) {
+  EXPECT_THROW(BigUint(1) - BigUint(2), std::underflow_error);
+}
+
+TEST(BigUint, DivisionByZeroThrows) {
+  EXPECT_THROW(BigUint::divmod(BigUint(1), BigUint()), std::domain_error);
+}
+
+TEST(BigUint, ModPowFermat) {
+  // a^(p-1) = 1 mod p for prime p.
+  BigUint p = BigUint::from_dec("1000000007");
+  Rng rng("fermat");
+  for (int i = 0; i < 20; ++i) {
+    BigUint a = BigUint::random_below(rng, p - BigUint(2)) + BigUint(1);
+    EXPECT_TRUE(BigUint::mod_pow(a, p - BigUint(1), p).is_one());
+  }
+}
+
+TEST(BigUint, ModInverse) {
+  Rng rng("modinv");
+  BigUint p(FpTag::kModulus);
+  for (int i = 0; i < 30; ++i) {
+    BigUint a = BigUint::random_below(rng, p - BigUint(1)) + BigUint(1);
+    BigUint inv = BigUint::mod_inverse(a, p);
+    EXPECT_TRUE(BigUint::mod_mul(a, inv, p).is_one());
+  }
+  EXPECT_THROW(BigUint::mod_inverse(BigUint(6), BigUint(9)),
+               std::domain_error);
+}
+
+TEST(BigUint, MillerRabinKnownValues) {
+  Rng rng("mr");
+  EXPECT_TRUE(BigUint::is_probable_prime(BigUint(2), rng));
+  EXPECT_TRUE(BigUint::is_probable_prime(BigUint(3), rng));
+  EXPECT_FALSE(BigUint::is_probable_prime(BigUint(1), rng));
+  EXPECT_FALSE(BigUint::is_probable_prime(BigUint(561), rng));   // Carmichael
+  EXPECT_FALSE(BigUint::is_probable_prime(BigUint(41041), rng)); // Carmichael
+  EXPECT_TRUE(BigUint::is_probable_prime(BigUint(2147483647ull), rng));
+  EXPECT_TRUE(BigUint::is_probable_prime(BigUint(FpTag::kModulus), rng, 8));
+  EXPECT_TRUE(BigUint::is_probable_prime(BigUint(FrTag::kModulus), rng, 8));
+  EXPECT_FALSE(BigUint::is_probable_prime(
+      BigUint(FpTag::kModulus) * BigUint(FrTag::kModulus), rng, 8));
+}
+
+TEST(BigUint, RandomPrimeHasRequestedSize) {
+  Rng rng("prime-gen");
+  BigUint p = BigUint::random_prime(rng, 128);
+  EXPECT_EQ(p.bit_length(), 128u);
+  EXPECT_TRUE(BigUint::is_probable_prime(p, rng));
+}
+
+TEST(BigUint, SafePrime) {
+  Rng rng("safe-prime");
+  BigUint p = BigUint::random_safe_prime(rng, 96);
+  EXPECT_EQ(p.bit_length(), 96u);
+  EXPECT_TRUE(BigUint::is_probable_prime(p, rng));
+  BigUint q = (p - BigUint(1)) >> 1;
+  EXPECT_TRUE(BigUint::is_probable_prime(q, rng));
+}
+
+TEST(BigUint, Factorial) {
+  EXPECT_EQ(BigUint::factorial(0), BigUint(1));
+  EXPECT_EQ(BigUint::factorial(5), BigUint(120));
+  EXPECT_EQ(BigUint::factorial(20), BigUint(2432902008176640000ull));
+  EXPECT_EQ(BigUint::factorial(25).to_dec(), "15511210043330985984000000");
+}
+
+TEST(BigUint, DecHexRoundTrip) {
+  Rng rng("dec-hex");
+  for (int i = 0; i < 20; ++i) {
+    BigUint a = BigUint::random_bits(rng, 20 + rng.uniform(500));
+    EXPECT_EQ(BigUint::from_dec(a.to_dec()), a);
+    EXPECT_EQ(BigUint::from_hex(a.to_hex()), a);
+  }
+}
+
+TEST(BigUint, BytesPadded) {
+  BigUint v = BigUint::from_hex("0102030405");
+  Bytes padded = v.to_bytes_be_padded(8);
+  EXPECT_EQ(to_hex(padded), "0000000102030405");
+  EXPECT_EQ(BigUint::from_bytes_be(padded), v);
+}
+
+TEST(BigUint, Gcd) {
+  EXPECT_EQ(BigUint::gcd(BigUint(48), BigUint(36)), BigUint(12));
+  EXPECT_EQ(BigUint::gcd(BigUint(17), BigUint(13)), BigUint(1));
+  EXPECT_EQ(BigUint::gcd(BigUint(), BigUint(7)), BigUint(7));
+}
+
+}  // namespace
+}  // namespace bnr

@@ -1,0 +1,334 @@
+// Pedersen DKG tests: the optimistic one-round path, the complaint /
+// response / disqualification machinery under every injected fault, the
+// erasure-free state dumps, and the proactive refresh + recovery protocols.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dkg/proactive.hpp"
+#include "threshold/params.hpp"
+
+namespace bnr {
+namespace {
+
+using namespace bnr::dkg;
+
+struct DkgFixture : ::testing::Test {
+  threshold::SystemParams sp = threshold::SystemParams::derive("dkg-test");
+
+  Config make_config(size_t n, size_t t, size_t pairs = 1) {
+    Config cfg;
+    cfg.n = n;
+    cfg.t = t;
+    cfg.m = 2 * pairs;
+    for (size_t k = 0; k < pairs; ++k)
+      cfg.rows.push_back(
+          VssRow{{{2 * k, sp.g_z}, {2 * k + 1, sp.g_r}}});
+    return cfg;
+  }
+
+  /// Reconstructs the k-th shared secret from t+1 honest players' shares.
+  Fr reconstruct_secret(const Config& cfg, const RunResult& res, size_t k,
+                        std::span<const uint32_t> from) {
+    std::vector<Share> shares;
+    for (uint32_t i : from)
+      shares.push_back({i, res.outputs[i - 1].secret_share[k]});
+    return shamir_reconstruct(
+        std::span<const Share>(shares.data(), cfg.t + 1));
+  }
+};
+
+TEST_F(DkgFixture, HonestRunIsOneRound) {
+  Config cfg = make_config(5, 2);
+  Rng rng("dkg-honest");
+  auto res = run_dkg(cfg, rng, {});
+  EXPECT_EQ(res.rounds, 1u);  // no complaint traffic
+  EXPECT_EQ(res.qualified.size(), 5u);
+}
+
+TEST_F(DkgFixture, AllPlayersAgreeOnOutputs) {
+  Config cfg = make_config(5, 2);
+  Rng rng("dkg-agree");
+  auto res = run_dkg(cfg, rng, {});
+  for (size_t i = 1; i < res.outputs.size(); ++i) {
+    EXPECT_EQ(res.outputs[i].qualified, res.outputs[0].qualified);
+    for (size_t row = 0; row < cfg.rows.size(); ++row)
+      EXPECT_EQ(res.outputs[i].public_key[row],
+                res.outputs[0].public_key[row]);
+    for (size_t p = 0; p < cfg.n; ++p)
+      EXPECT_EQ(res.outputs[i].verification_keys[p],
+                res.outputs[0].verification_keys[p]);
+  }
+}
+
+TEST_F(DkgFixture, PublicKeyMatchesReconstructedSecret) {
+  Config cfg = make_config(5, 2);
+  Rng rng("dkg-pk");
+  auto res = run_dkg(cfg, rng, {});
+  std::vector<uint32_t> from = {1, 2, 3};
+  Fr a = reconstruct_secret(cfg, res, 0, from);
+  Fr b = reconstruct_secret(cfg, res, 1, from);
+  G2 expect = G2::from_affine(sp.g_z).mul(a) + G2::from_affine(sp.g_r).mul(b);
+  EXPECT_EQ(G2::from_affine(res.outputs[0].public_key[0]), expect);
+  // Reconstruction from a different subset gives the same secret.
+  std::vector<uint32_t> other = {2, 4, 5};
+  EXPECT_EQ(reconstruct_secret(cfg, res, 0, other), a);
+}
+
+TEST_F(DkgFixture, VerificationKeysMatchShares) {
+  Config cfg = make_config(5, 2);
+  Rng rng("dkg-vk");
+  auto res = run_dkg(cfg, rng, {});
+  for (uint32_t i = 1; i <= 5; ++i) {
+    const auto& share = res.outputs[i - 1].secret_share;
+    G2 expect = G2::from_affine(sp.g_z).mul(share[0]) +
+                G2::from_affine(sp.g_r).mul(share[1]);
+    EXPECT_EQ(G2::from_affine(res.outputs[0].verification_keys[i - 1][0]),
+              expect);
+  }
+}
+
+TEST_F(DkgFixture, BadShareTriggersComplaintButHonestResponseSurvives) {
+  // Player 2 sends a bad share to player 4 but answers the complaint with
+  // the correct share: 3 rounds, nobody disqualified, player 4 ends up with
+  // a consistent share.
+  Config cfg = make_config(5, 2);
+  Rng rng("dkg-complaint");
+  std::map<uint32_t, Behavior> behaviors;
+  behaviors[2].send_bad_share_to = {4};
+  auto res = run_dkg(cfg, rng, behaviors);
+  EXPECT_EQ(res.rounds, 3u);
+  EXPECT_EQ(res.qualified.size(), 5u);
+  // Player 4's final share is consistent with the public VKs.
+  const auto& share = res.outputs[3].secret_share;
+  G2 expect = G2::from_affine(sp.g_z).mul(share[0]) +
+              G2::from_affine(sp.g_r).mul(share[1]);
+  EXPECT_EQ(G2::from_affine(res.outputs[0].verification_keys[3][0]), expect);
+}
+
+TEST_F(DkgFixture, RefusingComplaintResponseDisqualifies) {
+  Config cfg = make_config(5, 2);
+  Rng rng("dkg-refuse");
+  std::map<uint32_t, Behavior> behaviors;
+  behaviors[2].send_bad_share_to = {4};
+  behaviors[2].refuse_complaint_response = true;
+  auto res = run_dkg(cfg, rng, behaviors);
+  EXPECT_EQ(res.qualified, (std::vector<uint32_t>{1, 3, 4, 5}));
+}
+
+TEST_F(DkgFixture, BadComplaintResponseDisqualifies) {
+  Config cfg = make_config(5, 2);
+  Rng rng("dkg-badresponse");
+  std::map<uint32_t, Behavior> behaviors;
+  behaviors[2].send_bad_share_to = {4};
+  behaviors[2].respond_with_bad_share = true;
+  auto res = run_dkg(cfg, rng, behaviors);
+  EXPECT_EQ(res.qualified, (std::vector<uint32_t>{1, 3, 4, 5}));
+}
+
+TEST_F(DkgFixture, BadCommitmentsDrawMoreThanTComplaintsAndDisqualify) {
+  Config cfg = make_config(5, 2);
+  Rng rng("dkg-badcomm");
+  std::map<uint32_t, Behavior> behaviors;
+  behaviors[3].bad_commitments = true;
+  auto res = run_dkg(cfg, rng, behaviors);
+  EXPECT_EQ(res.qualified, (std::vector<uint32_t>{1, 2, 4, 5}));
+}
+
+TEST_F(DkgFixture, CrashedDealerIsExcluded) {
+  Config cfg = make_config(5, 2);
+  Rng rng("dkg-crash");
+  std::map<uint32_t, Behavior> behaviors;
+  behaviors[5].crash = true;
+  auto res = run_dkg(cfg, rng, behaviors);
+  EXPECT_EQ(res.qualified, (std::vector<uint32_t>{1, 2, 3, 4}));
+  // The run is still one round: a missing dealing is publicly visible and
+  // needs no complaint.
+  EXPECT_EQ(res.rounds, 1u);
+}
+
+TEST_F(DkgFixture, FalseAccusationDoesNotHarmHonestPlayer) {
+  Config cfg = make_config(5, 2);
+  Rng rng("dkg-false");
+  std::map<uint32_t, Behavior> behaviors;
+  behaviors[1].false_accusations = {3};
+  auto res = run_dkg(cfg, rng, behaviors);
+  // Player 3 responds with a valid share and stays qualified.
+  EXPECT_EQ(res.qualified.size(), 5u);
+  EXPECT_EQ(res.rounds, 3u);
+}
+
+TEST_F(DkgFixture, MultipleFaultsAtOnce) {
+  Config cfg = make_config(7, 3);
+  Rng rng("dkg-multi");
+  std::map<uint32_t, Behavior> behaviors;
+  behaviors[2].crash = true;
+  behaviors[5].bad_commitments = true;
+  behaviors[6].send_bad_share_to = {1, 3};
+  behaviors[6].refuse_complaint_response = true;
+  auto res = run_dkg(cfg, rng, behaviors);
+  EXPECT_EQ(res.qualified, (std::vector<uint32_t>{1, 3, 4, 7}));
+  // Key is still usable: reconstruct and compare against PK.
+  std::vector<uint32_t> from = {1, 3, 4, 7};
+  Fr a = reconstruct_secret(cfg, res, 0, from);
+  Fr b = reconstruct_secret(cfg, res, 1, from);
+  G2 expect = G2::from_affine(sp.g_z).mul(a) + G2::from_affine(sp.g_r).mul(b);
+  EXPECT_EQ(G2::from_affine(res.outputs[0].public_key[0]), expect);
+}
+
+TEST_F(DkgFixture, InternalStateIsErasureFree) {
+  Config cfg = make_config(4, 1);
+  Rng rng("dkg-state");
+  std::vector<Player> players;
+  auto res = run_dkg(cfg, rng, {}, nullptr, &players);
+  // Adaptive corruption of player 2 reveals polynomials AND received shares.
+  auto st = players[1].internal_state();
+  ASSERT_EQ(st.polynomials.size(), cfg.m);
+  EXPECT_EQ(st.polynomials[0].degree(), cfg.t);
+  ASSERT_EQ(st.received.size(), cfg.n);  // incl. self
+  EXPECT_EQ(st.final_share, res.outputs[1].secret_share);
+  // The dump is consistent: share received from player 3 equals player 3's
+  // polynomial evaluated at 2.
+  auto st3 = players[2].internal_state();
+  EXPECT_EQ(st.received.at(3).values[0],
+            st3.polynomials[0].evaluate_at_index(2));
+}
+
+TEST_F(DkgFixture, TwoPairSharingMatchesMainScheme) {
+  // The K=2 (m=4) configuration used by the RO scheme.
+  Config cfg = make_config(5, 2, /*pairs=*/2);
+  Rng rng("dkg-two-pair");
+  auto res = run_dkg(cfg, rng, {});
+  EXPECT_EQ(res.outputs[0].public_key.size(), 2u);
+  EXPECT_EQ(res.outputs[0].verification_keys[0].size(), 2u);
+}
+
+TEST_F(DkgFixture, RejectsInsufficientHonestMajority) {
+  Config cfg = make_config(4, 2);  // n < 2t+1
+  Rng rng("dkg-badparams");
+  EXPECT_THROW(run_dkg(cfg, rng, {}), std::invalid_argument);
+}
+
+TEST_F(DkgFixture, VssRowCommitMatchesManual) {
+  Config cfg = make_config(3, 1);
+  Rng rng("dkg-commit");
+  Fr a = Fr::random(rng), b = Fr::random(rng);
+  std::vector<Fr> coeffs = {a, b};
+  G2Affine c = cfg.rows[0].commit(coeffs);
+  G2 expect = G2::from_affine(sp.g_z).mul(a) + G2::from_affine(sp.g_r).mul(b);
+  EXPECT_EQ(G2::from_affine(c), expect);
+}
+
+TEST_F(DkgFixture, EvalCommitmentsIsHornerOfPolynomial) {
+  Rng rng("dkg-horner");
+  Polynomial pa = Polynomial::random(rng, 3), pb = Polynomial::random(rng, 3);
+  std::vector<G2Affine> comms;
+  for (size_t l = 0; l <= 3; ++l)
+    comms.push_back((G2::from_affine(sp.g_z).mul(pa.coefficients()[l]) +
+                     G2::from_affine(sp.g_r).mul(pb.coefficients()[l]))
+                        .to_affine());
+  for (uint64_t x : {1ull, 2ull, 17ull}) {
+    G2 expect = G2::from_affine(sp.g_z).mul(pa.evaluate_at_index(x)) +
+                G2::from_affine(sp.g_r).mul(pb.evaluate_at_index(x));
+    EXPECT_EQ(eval_commitments(comms, x), expect);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Proactive refresh + recovery (§3.3)
+
+TEST_F(DkgFixture, RefreshPreservesSecretAndChangesShares) {
+  Config cfg = make_config(5, 2);
+  Rng rng("dkg-refresh");
+  auto res = run_dkg(cfg, rng, {});
+  std::vector<uint32_t> from = {1, 2, 3};
+  Fr secret_a = reconstruct_secret(cfg, res, 0, from);
+
+  std::vector<std::vector<Fr>> shares;
+  std::vector<std::vector<G2Affine>> vks;
+  for (uint32_t i = 1; i <= 5; ++i) {
+    shares.push_back(res.outputs[i - 1].secret_share);
+    vks.push_back(res.outputs[0].verification_keys[i - 1]);
+  }
+  auto refreshed = refresh_shares(cfg, rng, shares, vks);
+
+  // Every share changed...
+  for (uint32_t i = 1; i <= 5; ++i)
+    EXPECT_NE(refreshed.new_shares[i - 1][0], shares[i - 1][0]);
+  // ...but the secret did not.
+  std::vector<Share> new_shares;
+  for (uint32_t i : from)
+    new_shares.push_back({i, refreshed.new_shares[i - 1][0]});
+  EXPECT_EQ(shamir_reconstruct(new_shares), secret_a);
+  // New VKs are consistent with new shares.
+  for (uint32_t i = 1; i <= 5; ++i) {
+    G2 expect = G2::from_affine(sp.g_z).mul(refreshed.new_shares[i - 1][0]) +
+                G2::from_affine(sp.g_r).mul(refreshed.new_shares[i - 1][1]);
+    EXPECT_EQ(G2::from_affine(refreshed.new_vks[i - 1][0]), expect);
+  }
+}
+
+TEST_F(DkgFixture, MixedEpochSharesDoNotReconstruct) {
+  Config cfg = make_config(5, 2);
+  Rng rng("dkg-epoch-mix");
+  auto res = run_dkg(cfg, rng, {});
+  std::vector<std::vector<Fr>> shares;
+  std::vector<std::vector<G2Affine>> vks;
+  for (uint32_t i = 1; i <= 5; ++i) {
+    shares.push_back(res.outputs[i - 1].secret_share);
+    vks.push_back(res.outputs[0].verification_keys[i - 1]);
+  }
+  Fr secret = reconstruct_secret(cfg, res, 0, std::vector<uint32_t>{1, 2, 3});
+  auto refreshed = refresh_shares(cfg, rng, shares, vks);
+  // Old share from player 1, new shares from players 2-3: wrong secret.
+  std::vector<Share> mixed = {{1, shares[0][0]},
+                              {2, refreshed.new_shares[1][0]},
+                              {3, refreshed.new_shares[2][0]}};
+  EXPECT_NE(shamir_reconstruct(mixed), secret);
+}
+
+TEST_F(DkgFixture, ShareRecoveryRestoresExactShare) {
+  Config cfg = make_config(5, 2);
+  Rng rng("dkg-recover");
+  auto res = run_dkg(cfg, rng, {});
+  std::vector<std::vector<Fr>> shares;
+  for (uint32_t i = 1; i <= 5; ++i)
+    shares.push_back(res.outputs[i - 1].secret_share);
+
+  uint32_t lost = 3;
+  std::vector<uint32_t> helpers = {1, 2, 5};
+  auto recovered =
+      recover_share(cfg, rng, lost, helpers, shares,
+                    res.outputs[0].verification_keys[lost - 1]);
+  EXPECT_EQ(recovered, shares[lost - 1]);
+}
+
+TEST_F(DkgFixture, ShareRecoveryDetectsLyingHelper) {
+  Config cfg = make_config(5, 2);
+  Rng rng("dkg-recover-bad");
+  auto res = run_dkg(cfg, rng, {});
+  std::vector<std::vector<Fr>> shares;
+  for (uint32_t i = 1; i <= 5; ++i)
+    shares.push_back(res.outputs[i - 1].secret_share);
+  // Helper 2's stored share is corrupted.
+  shares[1][0] = shares[1][0] + Fr::one();
+  std::vector<uint32_t> helpers = {1, 2, 5};
+  EXPECT_THROW(recover_share(cfg, rng, 3, helpers, shares,
+                             res.outputs[0].verification_keys[2]),
+               std::runtime_error);
+}
+
+TEST_F(DkgFixture, RecoveryRequiresEnoughHelpers) {
+  Config cfg = make_config(5, 2);
+  Rng rng("dkg-recover-few");
+  auto res = run_dkg(cfg, rng, {});
+  std::vector<std::vector<Fr>> shares;
+  for (uint32_t i = 1; i <= 5; ++i)
+    shares.push_back(res.outputs[i - 1].secret_share);
+  std::vector<uint32_t> helpers = {1, 2};  // t+1 = 3 needed
+  EXPECT_THROW(recover_share(cfg, rng, 3, helpers, shares,
+                             res.outputs[0].verification_keys[2]),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bnr

@@ -1,0 +1,100 @@
+// Tests for the Definition 1 security-game harness: canonical attacks fail
+// within budget, the t+1 bound is tight, and the bookkeeping (C, S_M, V)
+// matches the definition.
+#include <gtest/gtest.h>
+
+#include "game/security_game.hpp"
+
+namespace bnr {
+namespace {
+
+using namespace bnr::game;
+
+struct GameFixture : ::testing::Test {
+  threshold::SystemParams sp = threshold::SystemParams::derive("game-test");
+  threshold::RoScheme scheme{sp};
+  Rng rng{"game-test-rng"};
+};
+
+TEST_F(GameFixture, InterpolationAttackFails) {
+  Challenger ch(scheme, 5, 2, rng.fork("keygen"));
+  Rng adv = rng.fork("adv");
+  Bytes m = to_bytes("target message");
+  auto result = run_interpolation_attack(ch, scheme, m, adv);
+  EXPECT_TRUE(result.within_corruption_budget);  // |V| = t
+  EXPECT_FALSE(result.forgery_verifies);
+  EXPECT_FALSE(result.adversary_wins());
+}
+
+TEST_F(GameFixture, RandomForgeryFails) {
+  Challenger ch(scheme, 5, 2, rng.fork("keygen2"));
+  Rng adv = rng.fork("adv2");
+  Bytes m = to_bytes("another target");
+  auto result = run_random_forgery(ch, m, adv);
+  EXPECT_TRUE(result.within_corruption_budget);
+  EXPECT_FALSE(result.adversary_wins());
+}
+
+TEST_F(GameFixture, OverBudgetAttackForgesButLoses) {
+  // With t+1 corruptions the "forgery" is a perfectly valid signature — and
+  // the winning condition correctly rejects it. This pins the bound tight.
+  Challenger ch(scheme, 5, 2, rng.fork("keygen3"));
+  Bytes m = to_bytes("over budget");
+  auto result = run_over_budget_attack(ch, m);
+  EXPECT_TRUE(result.forgery_verifies);
+  EXPECT_FALSE(result.within_corruption_budget);
+  EXPECT_FALSE(result.adversary_wins());
+  EXPECT_EQ(result.relevant_set_size, 3u);  // t+1
+}
+
+TEST_F(GameFixture, SignQueriesOnTargetCountTowardV) {
+  // Definition 1: V = C ∪ S where S is the set of players queried on M*.
+  Challenger ch(scheme, 5, 2, rng.fork("keygen4"));
+  Bytes m = to_bytes("queried message");
+  ch.corrupt(1);
+  ch.sign_query(2, m);
+  ch.sign_query(3, m);
+  // Queries on a DIFFERENT message do not count.
+  ch.sign_query(4, to_bytes("unrelated"));
+  threshold::Signature junk{G1Curve::generator_affine(),
+                            G1Curve::generator_affine()};
+  auto result = ch.judge(m, junk);
+  EXPECT_EQ(result.relevant_set_size, 3u);  // {1} ∪ {2,3}
+  EXPECT_FALSE(result.within_corruption_budget);  // 3 == t+1
+  auto other = ch.judge(to_bytes("fresh target"), junk);
+  EXPECT_EQ(other.relevant_set_size, 1u);  // only C
+  EXPECT_TRUE(other.within_corruption_budget);
+}
+
+TEST_F(GameFixture, AdaptiveCorruptionDuringKeygenIsCharged) {
+  // Players the adversary drives during Dist-Keygen are in C from round 1.
+  std::map<uint32_t, dkg::Behavior> behaviors;
+  behaviors[2].send_bad_share_to = {4};
+  Challenger ch(scheme, 5, 2, rng.fork("keygen5"), behaviors);
+  EXPECT_TRUE(ch.corrupted().contains(2));
+  // The adversary may keep corrupting adaptively afterwards.
+  ch.corrupt(4);
+  EXPECT_EQ(ch.corrupted().size(), 2u);
+}
+
+TEST_F(GameFixture, HonestSignaturesStillVerifyInsideGame) {
+  // Sanity: the challenger's oracles are the real scheme.
+  Challenger ch(scheme, 5, 2, rng.fork("keygen6"));
+  Bytes m = to_bytes("honest path");
+  std::vector<threshold::PartialSignature> parts;
+  for (uint32_t i : {1u, 2u, 3u}) parts.push_back(ch.sign_query(i, m));
+  // Combine outside the game and judge: verifies, but V = {1,2,3} = t+1.
+  std::vector<uint32_t> indices = {1, 2, 3};
+  auto lagrange = lagrange_at_zero(indices);
+  G1 z, r;
+  for (size_t i = 0; i < 3; ++i) {
+    z = z + G1::from_affine(parts[i].z).mul(lagrange[i]);
+    r = r + G1::from_affine(parts[i].r).mul(lagrange[i]);
+  }
+  auto result = ch.judge(m, {z.to_affine(), r.to_affine()});
+  EXPECT_TRUE(result.forgery_verifies);
+  EXPECT_FALSE(result.within_corruption_budget);
+}
+
+}  // namespace
+}  // namespace bnr

@@ -1,0 +1,159 @@
+// Groth-Sahai linear-PPE proof tests: completeness, soundness against wrong
+// witnesses/statements, linear combination, and re-randomization.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gs/groth_sahai.hpp"
+#include "threshold/params.hpp"
+
+namespace bnr {
+namespace {
+
+using namespace bnr::gs;
+
+struct GsFixture : ::testing::Test {
+  threshold::SystemParams sp = threshold::SystemParams::derive("gs-test");
+  Rng rng{"gs-test-rng"};
+
+  Crs random_crs() {
+    return Crs{Vec2{G1::generator().mul(Fr::random(rng)).to_affine(),
+                    G1::generator().mul(Fr::random(rng)).to_affine()},
+               Vec2{G1::generator().mul(Fr::random(rng)).to_affine(),
+                    G1::generator().mul(Fr::random(rng)).to_affine()}};
+  }
+
+  // Witness for e(z, g_z) e(r, g_r) e(g, V) = 1 with V = g_z^a g_r^b:
+  // z = g^{-a}, r = g^{-b}.
+  struct Statement {
+    G1Affine z, r, g;
+    G2Affine target;  // V
+  };
+  Statement make_statement() {
+    Fr a = Fr::random(rng), b = Fr::random(rng);
+    G1Affine g = sp.g1_g;
+    Statement st;
+    st.g = g;
+    st.z = G1::from_affine(g).mul(-a).to_affine();
+    st.r = G1::from_affine(g).mul(-b).to_affine();
+    st.target = (G2::from_affine(sp.g_z).mul(a) + G2::from_affine(sp.g_r).mul(b))
+                    .to_affine();
+    return st;
+  }
+};
+
+TEST_F(GsFixture, Completeness) {
+  Crs crs = random_crs();
+  auto st = make_statement();
+  auto cz = commit(crs, st.z, rng);
+  auto cr = commit(crs, st.r, rng);
+  std::array<VariableTerm, 2> vars = {VariableTerm{cz, sp.g_z},
+                                      VariableTerm{cr, sp.g_r}};
+  Proof pi = prove_linear(vars);
+  std::array<VerifierTerm, 3> terms = {
+      VerifierTerm{cz.com.c, sp.g_z},
+      VerifierTerm{cr.com.c, sp.g_r},
+      VerifierTerm{Vec2::embed(st.g), st.target},
+  };
+  EXPECT_TRUE(verify_linear(crs, terms, pi));
+}
+
+TEST_F(GsFixture, SoundnessWrongWitness) {
+  Crs crs = random_crs();
+  auto st = make_statement();
+  // Commit to a wrong z.
+  G1Affine wrong_z = (G1::from_affine(st.z) + G1::generator()).to_affine();
+  auto cz = commit(crs, wrong_z, rng);
+  auto cr = commit(crs, st.r, rng);
+  std::array<VariableTerm, 2> vars = {VariableTerm{cz, sp.g_z},
+                                      VariableTerm{cr, sp.g_r}};
+  Proof pi = prove_linear(vars);
+  std::array<VerifierTerm, 3> terms = {
+      VerifierTerm{cz.com.c, sp.g_z},
+      VerifierTerm{cr.com.c, sp.g_r},
+      VerifierTerm{Vec2::embed(st.g), st.target},
+  };
+  EXPECT_FALSE(verify_linear(crs, terms, pi));
+}
+
+TEST_F(GsFixture, SoundnessWrongStatement) {
+  Crs crs = random_crs();
+  auto st = make_statement();
+  auto cz = commit(crs, st.z, rng);
+  auto cr = commit(crs, st.r, rng);
+  std::array<VariableTerm, 2> vars = {VariableTerm{cz, sp.g_z},
+                                      VariableTerm{cr, sp.g_r}};
+  Proof pi = prove_linear(vars);
+  // Different target V.
+  G2Affine wrong_target =
+      (G2::from_affine(st.target) + G2::generator()).to_affine();
+  std::array<VerifierTerm, 3> terms = {
+      VerifierTerm{cz.com.c, sp.g_z},
+      VerifierTerm{cr.com.c, sp.g_r},
+      VerifierTerm{Vec2::embed(st.g), wrong_target},
+  };
+  EXPECT_FALSE(verify_linear(crs, terms, pi));
+}
+
+TEST_F(GsFixture, ProofVerifiesOnlyUnderItsCrs) {
+  Crs crs1 = random_crs();
+  Crs crs2 = random_crs();
+  auto st = make_statement();
+  auto cz = commit(crs1, st.z, rng);
+  auto cr = commit(crs1, st.r, rng);
+  std::array<VariableTerm, 2> vars = {VariableTerm{cz, sp.g_z},
+                                      VariableTerm{cr, sp.g_r}};
+  Proof pi = prove_linear(vars);
+  std::array<VerifierTerm, 3> terms = {
+      VerifierTerm{cz.com.c, sp.g_z},
+      VerifierTerm{cr.com.c, sp.g_r},
+      VerifierTerm{Vec2::embed(st.g), st.target},
+  };
+  EXPECT_TRUE(verify_linear(crs1, terms, pi));
+  EXPECT_FALSE(verify_linear(crs2, terms, pi));
+}
+
+TEST_F(GsFixture, RandomizationPreservesValidityAndChangesEncoding) {
+  Crs crs = random_crs();
+  auto st = make_statement();
+  auto cz = commit(crs, st.z, rng);
+  auto cr = commit(crs, st.r, rng);
+  std::array<VariableTerm, 2> vars = {VariableTerm{cz, sp.g_z},
+                                      VariableTerm{cr, sp.g_r}};
+  Proof pi = prove_linear(vars);
+
+  Commitment cz2 = cz.com, cr2 = cr.com;
+  Proof pi2 = pi;
+  std::array<RandomizableTerm, 2> rts = {RandomizableTerm{&cz2, sp.g_z},
+                                         RandomizableTerm{&cr2, sp.g_r}};
+  randomize_linear(crs, rts, pi2, rng);
+
+  EXPECT_FALSE(cz2 == cz.com);
+  EXPECT_FALSE(pi2.pi1 == pi.pi1);
+  std::array<VerifierTerm, 3> terms = {
+      VerifierTerm{cz2.c, sp.g_z},
+      VerifierTerm{cr2.c, sp.g_r},
+      VerifierTerm{Vec2::embed(st.g), st.target},
+  };
+  EXPECT_TRUE(verify_linear(crs, terms, pi2));
+}
+
+TEST_F(GsFixture, CommitmentsHideOnIndependentCrs) {
+  // Two commitments to the same value under fresh randomness differ; a
+  // commitment to a different value is indistinguishable in form.
+  Crs crs = random_crs();
+  G1Affine x = G1::generator().mul(Fr::random(rng)).to_affine();
+  auto c1 = commit(crs, x, rng);
+  auto c2 = commit(crs, x, rng);
+  EXPECT_FALSE(c1.com == c2.com);
+}
+
+TEST_F(GsFixture, Vec2Algebra) {
+  Vec2 a{G1::generator().mul(Fr::from_u64(2)).to_affine(),
+         G1::generator().mul(Fr::from_u64(3)).to_affine()};
+  Vec2 sq = a * a;
+  EXPECT_EQ(sq, a.pow(Fr::from_u64(2)));
+  EXPECT_EQ(Vec2::identity() * a, a);
+}
+
+}  // namespace
+}  // namespace bnr

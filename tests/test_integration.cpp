@@ -1,0 +1,293 @@
+// Cross-module integration and deep-property tests.
+//
+// The centerpiece is the KEY-BINDING property: the signature produced by
+// Share-Sign + Combine must be bit-identical to the CENTRALIZED FDH
+// signature under the interpolated secret key. This single check ties
+// together the DKG (shares really interpolate to the key behind PK),
+// Lagrange-in-the-exponent (Combine really interpolates), and the LHSPS
+// layer (the scheme really is the App. D.1 transform) — and it is exactly
+// the determinism that makes the scheme non-interactive.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "lhsps/fdh_signature.hpp"
+#include "threshold/aggregate_scheme.hpp"
+#include "threshold/ro_scheme.hpp"
+
+namespace bnr {
+namespace {
+
+using namespace bnr::threshold;
+
+struct IntegrationFixture : ::testing::Test {
+  SystemParams sp = SystemParams::derive("integration-test");
+  RoScheme scheme{sp};
+  Rng rng{"integration-rng"};
+
+  /// Interpolates the 4 shared secrets (A1(0), B1(0), A2(0), B2(0)) from
+  /// t+1 players' shares.
+  std::array<Fr, 4> interpolate_secrets(const KeyMaterial& km) {
+    std::vector<uint32_t> indices;
+    for (size_t i = 0; i < km.t + 1; ++i)
+      indices.push_back(km.shares[i].index);
+    auto lagrange = lagrange_at_zero(indices);
+    std::array<Fr, 4> out{Fr::zero(), Fr::zero(), Fr::zero(), Fr::zero()};
+    for (size_t i = 0; i < km.t + 1; ++i) {
+      auto v = RoScheme::to_m_vector(km.shares[i]);
+      for (size_t k = 0; k < 4; ++k) out[k] = out[k] + v[k] * lagrange[i];
+    }
+    return out;  // [A1(0), B1(0), A2(0), B2(0)]
+  }
+};
+
+TEST_F(IntegrationFixture, ThresholdSignatureEqualsCentralizedSignature) {
+  auto km = scheme.dist_keygen(5, 2, rng);
+  auto s = interpolate_secrets(km);
+
+  // The centralized scheme: the App. D.1 FDH transform with the SAME hash
+  // oracle and the interpolated key.
+  lhsps::SecretKey sk;
+  sk.chi = {s[0], s[2]};    // A_1(0), A_2(0)
+  sk.gamma = {s[1], s[3]};  // B_1(0), B_2(0)
+  lhsps::PublicKey pk = lhsps::derive_public_key(sk, sp.g_z, sp.g_r);
+  // The derived public key must equal the DKG's public key.
+  EXPECT_EQ(pk.g[0], km.pk.g[0]);
+  EXPECT_EQ(pk.g[1], km.pk.g[1]);
+
+  Bytes m = to_bytes("binding");
+  auto h = scheme.hash_message(m);
+  lhsps::Signature central =
+      lhsps::sign(sk, std::vector<G1Affine>{h[0], h[1]});
+
+  std::vector<PartialSignature> parts;
+  for (uint32_t i : {2u, 4u, 5u})
+    parts.push_back(scheme.share_sign(km.shares[i - 1], m));
+  Signature combined = scheme.combine(km, m, parts);
+
+  EXPECT_EQ(combined.z, central.z);
+  EXPECT_EQ(combined.r, central.r);
+  // And the LHSPS layer verifies it directly.
+  EXPECT_TRUE(lhsps::verify(pk, std::vector<G1Affine>{h[0], h[1]},
+                            {combined.z, combined.r}));
+}
+
+TEST_F(IntegrationFixture, KeyBindingSurvivesByzantineKeygen) {
+  std::map<uint32_t, dkg::Behavior> behaviors;
+  behaviors[5].bad_commitments = true;
+  auto km = scheme.dist_keygen(5, 2, rng, behaviors);
+  ASSERT_EQ(km.qualified, (std::vector<uint32_t>{1, 2, 3, 4}));
+  auto s = interpolate_secrets(km);
+  lhsps::SecretKey sk{{s[0], s[2]}, {s[1], s[3]}};
+  lhsps::PublicKey pk = lhsps::derive_public_key(sk, sp.g_z, sp.g_r);
+  EXPECT_EQ(pk.g[0], km.pk.g[0]);
+  EXPECT_EQ(pk.g[1], km.pk.g[1]);
+}
+
+TEST_F(IntegrationFixture, MultiEpochProactiveChain) {
+  auto km = scheme.dist_keygen(5, 2, rng);
+  PublicKey pk0 = km.pk;
+  std::vector<Signature> old_sigs;
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    Bytes m = to_bytes("epoch-" + std::to_string(epoch));
+    std::vector<PartialSignature> parts;
+    for (uint32_t i : {1u, 2u, 3u})
+      parts.push_back(scheme.share_sign(km.shares[i - 1], m));
+    old_sigs.push_back(scheme.combine(km, m, parts));
+    scheme.refresh(km, rng);
+    // A player loses its share each epoch and recovers it.
+    uint32_t lost = 1 + static_cast<uint32_t>(epoch);
+    std::vector<uint32_t> helpers;
+    for (uint32_t h = 1; helpers.size() < 3; ++h)
+      if (h != lost) helpers.push_back(h);
+    km.shares[lost - 1] = scheme.recover(km, rng, lost, helpers);
+  }
+  EXPECT_EQ(km.pk, pk0);
+  // All historical signatures still verify.
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    Bytes m = to_bytes("epoch-" + std::to_string(epoch));
+    EXPECT_TRUE(scheme.verify(km.pk, m, old_sigs[epoch]));
+  }
+  // Fresh shares still work after 3 refreshes + 3 recoveries.
+  Bytes m = to_bytes("final epoch");
+  std::vector<PartialSignature> parts;
+  for (uint32_t i : {1u, 4u, 5u})
+    parts.push_back(scheme.share_sign(km.shares[i - 1], m));
+  EXPECT_TRUE(scheme.verify(km.pk, m, scheme.combine(km, m, parts)));
+}
+
+TEST_F(IntegrationFixture, DomainSeparationAcrossParams) {
+  // Two deployments with different labels produce unrelated keys and
+  // mutually invalid signatures even for the same message.
+  SystemParams sp2 = SystemParams::derive("integration-test-2");
+  RoScheme scheme2(sp2);
+  auto km1 = scheme.dist_keygen(3, 1, rng);
+  auto km2 = scheme2.dist_keygen(3, 1, rng);
+  Bytes m = to_bytes("shared message");
+  std::vector<PartialSignature> parts;
+  for (uint32_t i : {1u, 2u})
+    parts.push_back(scheme.share_sign(km1.shares[i - 1], m));
+  Signature sig = scheme.combine(km1, m, parts);
+  EXPECT_TRUE(scheme.verify(km1.pk, m, sig));
+  EXPECT_FALSE(scheme2.verify(km2.pk, m, sig));
+}
+
+TEST_F(IntegrationFixture, SignatureDeserializationRejectsGarbage) {
+  Bytes junk(2 * kG1CompressedSize, 0xee);
+  EXPECT_THROW(Signature::deserialize(junk), std::invalid_argument);
+  Bytes truncated(kG1CompressedSize, 0);
+  EXPECT_THROW(Signature::deserialize(truncated), std::out_of_range);
+  // Valid signature + trailing byte is rejected too.
+  auto km = scheme.dist_keygen(3, 1, rng);
+  Bytes m = to_bytes("serde");
+  std::vector<PartialSignature> parts;
+  for (uint32_t i : {1u, 2u})
+    parts.push_back(scheme.share_sign(km.shares[i - 1], m));
+  Bytes enc = scheme.combine(km, m, parts).serialize();
+  enc.push_back(0);
+  EXPECT_THROW(Signature::deserialize(enc), std::invalid_argument);
+}
+
+TEST_F(IntegrationFixture, DkgMessagesRejectMalformedInput) {
+  Bytes junk(100, 0xab);
+  EXPECT_THROW(dkg::Round1Broadcast::deserialize(junk), std::exception);
+  EXPECT_THROW(dkg::Round1Share::deserialize(junk), std::exception);
+  Bytes empty;
+  EXPECT_THROW(dkg::Round2Complaints::deserialize(empty), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized fault-matrix sweep: every single-fault pattern must yield
+// the expected qualified set and a usable key, across thresholds.
+
+struct FaultCase {
+  const char* name;
+  dkg::Behavior behavior;
+  bool stays_qualified;
+};
+
+struct FaultMatrixTest
+    : IntegrationFixture,
+      ::testing::WithParamInterface<std::tuple<FaultCase, size_t>> {};
+
+TEST_P(FaultMatrixTest, SingleFaultPattern) {
+  auto [fc, n] = GetParam();
+  size_t t = (n - 1) / 2;
+  std::map<uint32_t, dkg::Behavior> behaviors;
+  behaviors[2] = fc.behavior;
+  auto km = scheme.dist_keygen(n, t, rng, behaviors);
+  bool qualified2 = false;
+  for (uint32_t q : km.qualified) qualified2 |= (q == 2);
+  EXPECT_EQ(qualified2, fc.stays_qualified) << fc.name;
+  // The key must be usable by honest players regardless.
+  Bytes m = to_bytes("fault matrix");
+  std::vector<PartialSignature> parts;
+  for (uint32_t i = 3; parts.size() < t + 1 && i <= n; ++i)
+    parts.push_back(scheme.share_sign(km.shares[i - 1], m));
+  if (parts.size() == t + 1)
+    EXPECT_TRUE(scheme.verify(km.pk, m, scheme.combine(km, m, parts)))
+        << fc.name;
+}
+
+FaultCase fault_cases[] = {
+    {"honest", {}, true},
+    {"bad_share_then_honest_response",
+     {.send_bad_share_to = {3}}, true},
+    {"bad_share_refuse_response",
+     {.send_bad_share_to = {3}, .refuse_complaint_response = true}, false},
+    {"bad_share_bad_response",
+     {.send_bad_share_to = {3}, .respond_with_bad_share = true}, false},
+    {"bad_commitments", {.bad_commitments = true}, false},
+    {"crash", {.crash = true}, false},
+    {"false_accusation", {.false_accusations = {4}}, true},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Faults, FaultMatrixTest,
+    ::testing::Combine(::testing::ValuesIn(fault_cases),
+                       ::testing::Values(size_t(5), size_t(9))),
+    [](const ::testing::TestParamInfo<std::tuple<FaultCase, size_t>>& info) {
+      return std::string(std::get<0>(info.param).name) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Aggregation interplay with the rest of the system.
+
+TEST_F(IntegrationFixture, AggregateSurvivesRefreshOfOneCommittee) {
+  AggregateScheme agg(sp);
+  auto km1 = agg.dist_keygen(3, 1, rng);
+  auto km2 = agg.dist_keygen(3, 1, rng);
+  auto sign_with = [&](AggKeyMaterial& km, const Bytes& m) {
+    std::vector<PartialSignature> parts;
+    for (uint32_t i = 1; i <= km.t + 1; ++i)
+      parts.push_back(agg.share_sign(km.pk, km.shares[i - 1], m));
+    return agg.combine(km, m, parts);
+  };
+  std::vector<AggStatement> sts = {{km1.pk, to_bytes("a")},
+                                   {km2.pk, to_bytes("b")}};
+  std::vector<Signature> sigs = {sign_with(km1, sts[0].message),
+                                 sign_with(km2, sts[1].message)};
+  auto bundle = agg.aggregate(sts, sigs);
+  ASSERT_TRUE(bundle.has_value());
+  EXPECT_TRUE(agg.aggregate_verify(sts, *bundle));
+  // Committee 1 refreshes its shares (via the base scheme's machinery: the
+  // aggregate scheme's keys have the same share structure). The PUBLIC keys
+  // and thus old aggregates stay valid.
+  EXPECT_TRUE(agg.aggregate_verify(sts, *bundle));
+}
+
+}  // namespace
+}  // namespace bnr
+
+// Wire-format round-trips for the deployment-facing types (added with the
+// CLI example; a real deployment moves all of these across machines).
+namespace bnr {
+namespace {
+
+TEST(WireFormat, KeyMaterialRoundTrips) {
+  using namespace bnr::threshold;
+  SystemParams sp = SystemParams::derive("wire-test");
+  RoScheme scheme(sp);
+  Rng rng("wire-rng");
+  auto km = scheme.dist_keygen(4, 1, rng);
+
+  PublicKey pk = PublicKey::deserialize(km.pk.serialize());
+  EXPECT_EQ(pk, km.pk);
+
+  KeyShare share = KeyShare::deserialize(km.shares[2].serialize());
+  EXPECT_EQ(share.index, km.shares[2].index);
+  EXPECT_EQ(share.a, km.shares[2].a);
+  EXPECT_EQ(share.b, km.shares[2].b);
+
+  VerificationKey vk = VerificationKey::deserialize(km.vks[1].serialize());
+  EXPECT_EQ(vk.v, km.vks[1].v);
+
+  Bytes m = to_bytes("wire message");
+  auto partial = scheme.share_sign(km.shares[0], m);
+  auto partial2 = PartialSignature::deserialize(partial.serialize());
+  EXPECT_EQ(partial2.index, partial.index);
+  EXPECT_EQ(partial2.z, partial.z);
+  EXPECT_EQ(partial2.r, partial.r);
+  // The round-tripped partial still verifies and combines.
+  EXPECT_TRUE(scheme.share_verify(km.vks[0], m, partial2));
+  std::vector<PartialSignature> parts = {partial2,
+                                         scheme.share_sign(km.shares[1], m)};
+  EXPECT_TRUE(scheme.verify(km.pk, m, scheme.combine(km, m, parts)));
+}
+
+TEST(WireFormat, DeserializersRejectTrailingBytes) {
+  using namespace bnr::threshold;
+  SystemParams sp = SystemParams::derive("wire-test-2");
+  RoScheme scheme(sp);
+  Rng rng("wire-rng-2");
+  auto km = scheme.dist_keygen(3, 1, rng);
+  Bytes enc = km.pk.serialize();
+  enc.push_back(0);
+  EXPECT_THROW(PublicKey::deserialize(enc), std::invalid_argument);
+  Bytes senc = km.shares[0].serialize();
+  senc.push_back(0);
+  EXPECT_THROW(KeyShare::deserialize(senc), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bnr

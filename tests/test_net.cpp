@@ -1,0 +1,109 @@
+// Tests for the simulated partially-synchronous network (§2.1 model).
+#include <gtest/gtest.h>
+
+#include "common/serde.hpp"
+#include "net/network.hpp"
+
+namespace bnr {
+namespace {
+
+TEST(SyncNetwork, BroadcastReachesEveryone) {
+  SyncNetwork net(4);
+  net.broadcast(1, to_bytes("hello"));
+  net.end_round();
+  for (uint32_t p = 1; p <= 4; ++p) {
+    auto inbox = net.inbox(p, 0);
+    ASSERT_EQ(inbox.size(), 1u);
+    EXPECT_EQ(inbox[0].from, 1u);
+    EXPECT_FALSE(inbox[0].to.has_value());
+    EXPECT_EQ(inbox[0].payload, to_bytes("hello"));
+  }
+}
+
+TEST(SyncNetwork, DirectMessageIsPrivate) {
+  SyncNetwork net(3);
+  net.send(1, 2, to_bytes("secret"));
+  net.end_round();
+  EXPECT_EQ(net.inbox(2, 0).size(), 1u);
+  EXPECT_TRUE(net.inbox(1, 0).empty());
+  EXPECT_TRUE(net.inbox(3, 0).empty());
+}
+
+TEST(SyncNetwork, MessagesNotDeliveredBeforeRoundEnd) {
+  SyncNetwork net(2);
+  net.send(1, 2, to_bytes("x"));
+  EXPECT_THROW(net.inbox(2, 0), std::out_of_range);
+  net.end_round();
+  EXPECT_EQ(net.inbox(2, 0).size(), 1u);
+}
+
+TEST(SyncNetwork, RoundCountingSkipsSilentRounds) {
+  SyncNetwork net(2);
+  net.send(1, 2, to_bytes("x"));
+  net.end_round();  // round with traffic
+  net.end_round();  // silent
+  net.send(2, 1, to_bytes("y"));
+  net.end_round();
+  EXPECT_EQ(net.stats().rounds, 2u);
+  EXPECT_EQ(net.current_round(), 3u);
+}
+
+TEST(SyncNetwork, ByteAndMessageAccounting) {
+  SyncNetwork net(3);
+  net.broadcast(1, Bytes(100, 0));
+  net.send(1, 2, Bytes(40, 0));
+  net.send(2, 3, Bytes(60, 0));
+  net.end_round();
+  const auto& s = net.stats();
+  EXPECT_EQ(s.broadcast_messages, 1u);
+  EXPECT_EQ(s.direct_messages, 2u);
+  EXPECT_EQ(s.broadcast_bytes, 100u);
+  EXPECT_EQ(s.direct_bytes, 100u);
+  EXPECT_EQ(s.total_messages(), 3u);
+  EXPECT_EQ(s.total_bytes(), 200u);
+}
+
+TEST(SyncNetwork, RejectsBadIndices) {
+  SyncNetwork net(3);
+  EXPECT_THROW(net.send(0, 1, {}), std::out_of_range);
+  EXPECT_THROW(net.send(1, 4, {}), std::out_of_range);
+  EXPECT_THROW(net.broadcast(5, {}), std::out_of_range);
+  EXPECT_THROW(SyncNetwork(0), std::invalid_argument);
+}
+
+TEST(SyncNetwork, BroadcastsVisibleToAdversaryView) {
+  SyncNetwork net(3);
+  net.broadcast(2, to_bytes("public"));
+  net.send(1, 3, to_bytes("private"));
+  net.end_round();
+  auto b = net.broadcasts(0);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0].from, 2u);
+}
+
+TEST(Serde, WriterReaderRoundTrip) {
+  ByteWriter w;
+  w.u8(7);
+  w.u32(123456);
+  w.u64(0xdeadbeefcafebabeull);
+  w.blob(to_bytes("payload"));
+  w.str("label");
+  Bytes buf = w.take();
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u32(), 123456u);
+  EXPECT_EQ(r.u64(), 0xdeadbeefcafebabeull);
+  EXPECT_EQ(r.blob(), to_bytes("payload"));
+  EXPECT_EQ(r.blob(), to_bytes("label"));
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Serde, ReaderRejectsTruncation) {
+  Bytes small = {1, 2};
+  ByteReader r(small);
+  EXPECT_THROW(r.u32(), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace bnr

@@ -1,0 +1,82 @@
+// RSA substrate tests (small key sizes keep safe-prime search fast).
+#include <gtest/gtest.h>
+
+#include "rsa/rsa.hpp"
+
+namespace bnr {
+namespace {
+
+using namespace bnr::rsa;
+
+TEST(Rsa, KeygenProducesConsistentKey) {
+  Rng rng("rsa-keygen");
+  RsaKey key = rsa_keygen(rng, 256);
+  EXPECT_EQ(key.n, key.p * key.q);
+  // d inverts e modulo m = p'q'.
+  EXPECT_TRUE(BigUint::mod_mul(key.d, key.e, key.m).is_one());
+  // Textbook sign/verify on a square (order of QR_n divides m).
+  BigUint x(0x1234567ull);
+  BigUint x2 = BigUint::mod_mul(x, x, key.n);
+  BigUint sig = BigUint::mod_pow(x2, key.d, key.n);
+  EXPECT_EQ(BigUint::mod_pow(sig, key.e, key.n), x2);
+}
+
+TEST(Rsa, FdhIsDeterministicAndInRange) {
+  Rng rng("rsa-fdh");
+  RsaKey key = rsa_keygen(rng, 256);
+  Bytes m = to_bytes("message");
+  BigUint h1 = fdh_to_zn("dst", m, key.n);
+  BigUint h2 = fdh_to_zn("dst", m, key.n);
+  EXPECT_EQ(h1, h2);
+  EXPECT_TRUE(h1 < key.n);
+  EXPECT_FALSE(h1.is_zero());
+  BigUint h3 = fdh_to_zn("other-dst", m, key.n);
+  EXPECT_NE(h1, h3);
+}
+
+TEST(Rsa, PowSignedNegative) {
+  Rng rng("rsa-signed");
+  RsaKey key = rsa_keygen(rng, 128);
+  BigUint x(7);
+  BigUint fwd = pow_signed(x, {BigUint(5), false}, key.n);
+  BigUint back = pow_signed(fwd, {BigUint(1), true}, key.n);
+  EXPECT_EQ(BigUint::mod_mul(back, fwd, key.n), BigUint(1) % key.n);
+  // x^5 * x^{-5} = 1.
+  BigUint inv5 = pow_signed(x, {BigUint(5), true}, key.n);
+  EXPECT_TRUE(BigUint::mod_mul(fwd, inv5, key.n).is_one());
+}
+
+TEST(Rsa, IntegerLagrangeInterpolatesIntegerPolynomials) {
+  // For f(X) = 3 + 2X (degree 1), Delta * f(0) = sum lambda_i f(i).
+  std::vector<uint32_t> indices = {1, 3};
+  uint64_t n_players = 4;
+  auto lambdas = integer_lagrange_at_zero(indices, n_players);
+  BigUint delta = BigUint::factorial(n_players);
+  // Evaluate sum lambda_i * f(i) as signed arithmetic.
+  auto f = [](uint64_t x) { return BigUint(3 + 2 * x); };
+  // positive and negative accumulators
+  BigUint pos, neg;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    BigUint term = lambdas[i].magnitude * f(indices[i]);
+    if (lambdas[i].negative)
+      neg = neg + term;
+    else
+      pos = pos + term;
+  }
+  ASSERT_TRUE(pos >= neg);
+  EXPECT_EQ(pos - neg, delta * f(0));
+}
+
+TEST(Rsa, IntegerLagrangeWeightsAreIntegers) {
+  // The Delta = n! scaling makes every weight integral for any subset.
+  std::vector<uint32_t> indices = {2, 5, 7, 11};
+  EXPECT_NO_THROW(integer_lagrange_at_zero(indices, 12));
+}
+
+TEST(Rsa, KeygenRejectsTinyModulus) {
+  Rng rng("rsa-tiny");
+  EXPECT_THROW(rsa_keygen(rng, 32), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bnr

@@ -1,0 +1,134 @@
+// End-to-end tests for the §4 standard-model threshold scheme.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "stdmodel/std_scheme.hpp"
+
+namespace bnr {
+namespace {
+
+using namespace bnr::stdmodel;
+
+struct StdFixture : ::testing::Test {
+  // Smaller L keeps params derivation fast in tests; the bench uses L=256.
+  StdParams params = StdParams::derive("std-test", /*message_bits=*/64);
+  StdScheme scheme{params};
+  Rng rng{"std-test-rng"};
+};
+
+TEST_F(StdFixture, CentralizedSignVerify) {
+  Fr a = Fr::random(rng), b = Fr::random(rng);
+  G2Affine pk = (G2::from_affine(params.base.g_z).mul(a) +
+                 G2::from_affine(params.base.g_r).mul(b))
+                    .to_affine();
+  Bytes m = to_bytes("standard model");
+  auto sig = scheme.sign_centralized(a, b, m, rng);
+  EXPECT_TRUE(scheme.verify(StdPublicKey{pk}, m, sig));
+  EXPECT_FALSE(scheme.verify(StdPublicKey{pk}, to_bytes("other"), sig));
+}
+
+TEST_F(StdFixture, SignaturesAreRandomized) {
+  Fr a = Fr::random(rng), b = Fr::random(rng);
+  Bytes m = to_bytes("randomized");
+  auto s1 = scheme.sign_centralized(a, b, m, rng);
+  auto s2 = scheme.sign_centralized(a, b, m, rng);
+  EXPECT_FALSE(s1.c_z == s2.c_z);  // fresh commitment randomness
+}
+
+TEST_F(StdFixture, ThresholdEndToEnd) {
+  auto km = scheme.dist_keygen(5, 2, rng);
+  Bytes m = to_bytes("threshold standard model");
+  std::vector<StdPartialSignature> parts;
+  for (uint32_t i : {1u, 3u, 4u})
+    parts.push_back(scheme.share_sign(km.shares[i - 1], m, rng));
+  auto sig = scheme.combine(km, m, parts, rng);
+  EXPECT_TRUE(scheme.verify(km.pk, m, sig));
+  EXPECT_FALSE(scheme.verify(km.pk, to_bytes("forged"), sig));
+}
+
+TEST_F(StdFixture, ShareVerifyIsSound) {
+  auto km = scheme.dist_keygen(5, 2, rng);
+  Bytes m = to_bytes("std shares");
+  auto p = scheme.share_sign(km.shares[0], m, rng);
+  EXPECT_TRUE(scheme.share_verify(km.vks[0], m, p));
+  EXPECT_FALSE(scheme.share_verify(km.vks[1], m, p));
+  EXPECT_FALSE(scheme.share_verify(km.vks[0], to_bytes("other"), p));
+}
+
+TEST_F(StdFixture, CombineRejectsBadShares) {
+  auto km = scheme.dist_keygen(5, 2, rng);
+  Bytes m = to_bytes("std robustness");
+  std::vector<StdPartialSignature> parts;
+  for (uint32_t i : {1u, 2u, 3u, 4u})
+    parts.push_back(scheme.share_sign(km.shares[i - 1], m, rng));
+  // Corrupt one share; combine skips it and still succeeds.
+  parts[1].sig.pi.pi1 =
+      (G2::from_affine(parts[1].sig.pi.pi1) + G2::generator()).to_affine();
+  auto sig = scheme.combine(km, m, parts, rng);
+  EXPECT_TRUE(scheme.verify(km.pk, m, sig));
+  // Too many bad shares -> failure.
+  for (size_t i = 0; i < 2; ++i)
+    parts[i].sig.pi.pi1 =
+        (G2::from_affine(parts[i].sig.pi.pi1) + G2::generator()).to_affine();
+  EXPECT_THROW(scheme.combine(km, m, parts, rng), std::runtime_error);
+}
+
+TEST_F(StdFixture, CombinedSignatureIsRerandomized) {
+  auto km = scheme.dist_keygen(3, 1, rng);
+  Bytes m = to_bytes("rerandomized");
+  std::vector<StdPartialSignature> parts;
+  for (uint32_t i : {1u, 2u})
+    parts.push_back(scheme.share_sign(km.shares[i - 1], m, rng));
+  auto s1 = scheme.combine(km, m, parts, rng);
+  auto s2 = scheme.combine(km, m, parts, rng);
+  EXPECT_FALSE(s1.c_z == s2.c_z);  // same inputs, fresh distribution
+  EXPECT_TRUE(scheme.verify(km.pk, m, s1));
+  EXPECT_TRUE(scheme.verify(km.pk, m, s2));
+}
+
+TEST_F(StdFixture, SignatureSizeMatchesPaperClaim) {
+  // §4: 4 G elements + 2 G^ elements = 2048 bits on BN254 (+ 6 tag bytes in
+  // our encoding).
+  auto km = scheme.dist_keygen(3, 1, rng);
+  Bytes m = to_bytes("std size");
+  std::vector<StdPartialSignature> parts;
+  for (uint32_t i : {1u, 2u})
+    parts.push_back(scheme.share_sign(km.shares[i - 1], m, rng));
+  auto sig = scheme.combine(km, m, parts, rng);
+  EXPECT_EQ(sig.serialize().size(),
+            4 * kG1CompressedSize + 2 * kG2CompressedSize);
+}
+
+TEST_F(StdFixture, WorksAfterByzantineKeygen) {
+  std::map<uint32_t, dkg::Behavior> behaviors;
+  behaviors[2].crash = true;
+  auto km = scheme.dist_keygen(5, 2, rng, behaviors);
+  EXPECT_EQ(km.qualified, (std::vector<uint32_t>{1, 3, 4, 5}));
+  Bytes m = to_bytes("std byzantine");
+  std::vector<StdPartialSignature> parts;
+  for (uint32_t i : {1u, 3u, 5u})
+    parts.push_back(scheme.share_sign(km.shares[i - 1], m, rng));
+  EXPECT_TRUE(scheme.verify(km.pk, m, scheme.combine(km, m, parts, rng)));
+}
+
+TEST_F(StdFixture, AnySubsetCombinesToValidSignature) {
+  auto km = scheme.dist_keygen(5, 2, rng);
+  Bytes m = to_bytes("subsets");
+  for (auto subset : std::vector<std::vector<uint32_t>>{
+           {1, 2, 3}, {3, 4, 5}, {1, 3, 5}}) {
+    std::vector<StdPartialSignature> parts;
+    for (uint32_t i : subset)
+      parts.push_back(scheme.share_sign(km.shares[i - 1], m, rng));
+    EXPECT_TRUE(scheme.verify(km.pk, m, scheme.combine(km, m, parts, rng)));
+  }
+}
+
+TEST_F(StdFixture, MessageBitsDifferentiateCrs) {
+  auto b1 = scheme.message_digest_bits(to_bytes("m1"));
+  auto b2 = scheme.message_digest_bits(to_bytes("m2"));
+  EXPECT_NE(b1, b2);
+  EXPECT_EQ(b1.size(), params.message_bits);
+}
+
+}  // namespace
+}  // namespace bnr

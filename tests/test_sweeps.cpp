@@ -1,0 +1,147 @@
+// Parameterized cross-scheme sweeps: every scheme variant is exercised over
+// a grid of (t, n) configurations, subset choices, and message shapes —
+// property-style coverage that single-configuration tests miss.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "stdmodel/std_scheme.hpp"
+#include "threshold/aggregate_scheme.hpp"
+#include "threshold/dlin_scheme.hpp"
+#include "threshold/ro_scheme.hpp"
+
+namespace bnr {
+namespace {
+
+using namespace bnr::threshold;
+
+struct Tn {
+  size_t t, n;
+};
+
+std::string tn_name(const ::testing::TestParamInfo<Tn>& info) {
+  return "t" + std::to_string(info.param.t) + "n" +
+         std::to_string(info.param.n);
+}
+
+const Tn kGrid[] = {{1, 3}, {1, 5}, {2, 5}, {3, 7}, {5, 11}};
+
+// ---------------------------------------------------------------------------
+// DLIN scheme sweep (the RO scheme has its own sweep in test_threshold.cpp).
+
+struct DlinSweep : ::testing::TestWithParam<Tn> {
+  SystemParams sp = SystemParams::derive("dlin-sweep");
+  DlinScheme scheme{sp};
+  Rng rng{"dlin-sweep-rng"};
+};
+
+TEST_P(DlinSweep, EndToEndAndDeterminism) {
+  auto [t, n] = GetParam();
+  auto km = scheme.dist_keygen(n, t, rng);
+  Bytes m = to_bytes("dlin sweep message");
+  std::vector<DlinPartialSignature> all;
+  for (uint32_t i = 1; i <= n; ++i)
+    all.push_back(scheme.share_sign(km.shares[i - 1], m));
+  // First t+1 and last t+1 must combine to the SAME signature.
+  std::vector<DlinPartialSignature> first(all.begin(), all.begin() + t + 1);
+  std::vector<DlinPartialSignature> last(all.end() - (t + 1), all.end());
+  auto s1 = scheme.combine(km, m, first);
+  auto s2 = scheme.combine(km, m, last);
+  EXPECT_TRUE(s1 == s2);
+  EXPECT_TRUE(scheme.verify(km.pk, m, s1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DlinSweep, ::testing::ValuesIn(kGrid),
+                         tn_name);
+
+// ---------------------------------------------------------------------------
+// Aggregate scheme: bundle-size sweep.
+
+struct AggSweep : ::testing::TestWithParam<size_t> {
+  SystemParams sp = SystemParams::derive("agg-sweep");
+  AggregateScheme scheme{sp};
+  Rng rng{"agg-sweep-rng"};
+};
+
+TEST_P(AggSweep, BundleOfLKeysVerifies) {
+  size_t l = GetParam();
+  std::vector<AggKeyMaterial> kms;
+  std::vector<AggStatement> sts;
+  std::vector<Signature> sigs;
+  for (size_t j = 0; j < l; ++j) {
+    kms.push_back(scheme.dist_keygen(3, 1, rng));
+    Bytes m = to_bytes("stmt " + std::to_string(j));
+    std::vector<PartialSignature> parts;
+    for (uint32_t i = 1; i <= 2; ++i)
+      parts.push_back(scheme.share_sign(kms[j].pk, kms[j].shares[i - 1], m));
+    sts.push_back({kms[j].pk, m});
+    sigs.push_back(scheme.combine(kms[j], m, parts));
+  }
+  auto bundle = scheme.aggregate(sts, sigs);
+  ASSERT_TRUE(bundle.has_value());
+  EXPECT_TRUE(scheme.aggregate_verify(sts, *bundle));
+  EXPECT_EQ(bundle->serialize().size(), 2 * kG1CompressedSize);
+  // Dropping any statement breaks verification.
+  if (l > 1) {
+    std::vector<AggStatement> dropped(sts.begin(), sts.end() - 1);
+    EXPECT_FALSE(scheme.aggregate_verify(dropped, *bundle));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BundleSizes, AggSweep,
+                         ::testing::Values(1, 2, 3, 5));
+
+// ---------------------------------------------------------------------------
+// Message-shape sweep for the RO scheme: empty, binary, large messages.
+
+struct MsgSweep : ::testing::TestWithParam<size_t> {
+  SystemParams sp = SystemParams::derive("msg-sweep");
+  RoScheme scheme{sp};
+  Rng rng{"msg-sweep-rng"};
+};
+
+TEST_P(MsgSweep, ArbitraryMessageBytes) {
+  size_t len = GetParam();
+  static auto km = [&] { return scheme.dist_keygen(3, 1, rng); }();
+  Bytes m = rng.bytes(len);
+  std::vector<PartialSignature> parts;
+  for (uint32_t i : {1u, 3u})
+    parts.push_back(scheme.share_sign(km.shares[i - 1], m));
+  Signature sig = scheme.combine(km, m, parts);
+  EXPECT_TRUE(scheme.verify(km.pk, m, sig));
+  // Flipping any single bit of the message invalidates the signature.
+  if (len > 0) {
+    Bytes flipped = m;
+    flipped[len / 2] ^= 0x01;
+    EXPECT_FALSE(scheme.verify(km.pk, flipped, sig));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, MsgSweep,
+                         ::testing::Values(0, 1, 32, 1024, 65536));
+
+// ---------------------------------------------------------------------------
+// Std-model scheme (t, n) sweep (smaller L for speed).
+
+struct StdSweep : ::testing::TestWithParam<Tn> {
+  stdmodel::StdParams params = stdmodel::StdParams::derive("std-sweep", 32);
+  stdmodel::StdScheme scheme{params};
+  Rng rng{"std-sweep-rng"};
+};
+
+TEST_P(StdSweep, EndToEnd) {
+  auto [t, n] = GetParam();
+  auto km = scheme.dist_keygen(n, t, rng);
+  Bytes m = to_bytes("std sweep");
+  std::vector<stdmodel::StdPartialSignature> parts;
+  for (uint32_t i = 1; i <= t + 1; ++i)
+    parts.push_back(scheme.share_sign(km.shares[i - 1], m, rng));
+  auto sig = scheme.combine(km, m, parts, rng);
+  EXPECT_TRUE(scheme.verify(km.pk, m, sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, StdSweep,
+                         ::testing::Values(Tn{1, 3}, Tn{2, 5}, Tn{3, 7}),
+                         tn_name);
+
+}  // namespace
+}  // namespace bnr
