@@ -1,10 +1,14 @@
 // Shared helpers for the experiment binaries (E1-E10). Table printers keep
-// the output in the shape of EXPERIMENTS.md rows.
+// the output in the shape of EXPERIMENTS.md rows; JsonWriter emits the
+// machine-readable BENCH_*.json files that track the perf trajectory across
+// PRs (one {"name", "ns_per_op"} record per measured operation).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <string>
 #include <vector>
 
 namespace bnr::bench {
@@ -26,8 +30,74 @@ inline double median_ms(int reps, const std::function<void()>& fn) {
   return times[times.size() / 2];
 }
 
+/// Nanoseconds per operation: runs `fn` until `min_total_ms` of wall time
+/// has accumulated (at least `min_reps` times) and returns the median.
+inline double ns_per_op(const std::function<void()>& fn, int min_reps = 5,
+                        double min_total_ms = 50.0) {
+  fn();  // warm-up, discarded
+  std::vector<double> times;
+  double total = 0;
+  while (static_cast<int>(times.size()) < min_reps || total < min_total_ms) {
+    times.push_back(time_ms(fn));
+    total += times.back();
+    if (times.size() >= 10000) break;
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2] * 1e6;
+}
+
 inline void header(const char* title) {
   printf("\n==== %s ====\n", title);
 }
+
+/// Collects (name, ns/op) records and writes them as a JSON array on
+/// flush/destruction. The schema is intentionally tiny so CI diffs of the
+/// perf trajectory stay readable.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string path) : path_(std::move(path)) {}
+  ~JsonWriter() { flush(); }
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void record(const std::string& name, double ns) {
+    records_.push_back({name, ns});
+    printf("%-48s %14.0f ns/op\n", name.c_str(), ns);
+  }
+
+  /// Times `fn` and records the result under `name`.
+  void bench(const std::string& name, const std::function<void()>& fn,
+             int min_reps = 5, double min_total_ms = 50.0) {
+    record(name, ns_per_op(fn, min_reps, min_total_ms));
+  }
+
+  void flush() {
+    if (flushed_) return;
+    flushed_ = true;
+    FILE* f = fopen(path_.c_str(), "w");
+    if (!f) {
+      fprintf(stderr, "JsonWriter: cannot open %s\n", path_.c_str());
+      return;
+    }
+    fprintf(f, "[\n");
+    for (size_t i = 0; i < records_.size(); ++i)
+      fprintf(f, "  {\"name\": \"%s\", \"ns_per_op\": %.1f}%s\n",
+              records_[i].name.c_str(), records_[i].ns,
+              i + 1 < records_.size() ? "," : "");
+    fprintf(f, "]\n");
+    fclose(f);
+    printf("wrote %s (%zu records)\n", path_.c_str(), records_.size());
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    double ns;
+  };
+  std::string path_;
+  std::vector<Record> records_;
+  bool flushed_ = false;
+};
 
 }  // namespace bnr::bench

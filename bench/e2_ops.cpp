@@ -6,6 +6,8 @@
 // exponentiations that grow ~cubically with the modulus.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include "baselines/boldyreva.hpp"
 #include "baselines/shoup_rsa.hpp"
 #include "lhsps/fdh_signature.hpp"
@@ -132,6 +134,12 @@ void BM_Ro_CombineRobust(benchmark::State& st) {
   for (auto _ : st)
     benchmark::DoNotOptimize(f.scheme.combine(f.km, kMsg, f.parts));
 }
+void BM_Ro_VerifyCached(benchmark::State& st) {
+  auto& f = ro();
+  static threshold::RoVerifier verifier(f.scheme, f.km.pk);
+  for (auto _ : st)
+    benchmark::DoNotOptimize(verifier.verify(kMsg, f.sig));
+}
 void BM_Ro_CombineUnchecked(benchmark::State& st) {
   auto& f = ro();
   for (auto _ : st)
@@ -225,6 +233,7 @@ BENCHMARK(BM_Ro_ShareVerify)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Ro_CombineRobust)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Ro_CombineUnchecked)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Ro_Verify)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ro_VerifyCached)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Fdh_Sign)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Fdh_Verify)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Std_ShareSign)->Unit(benchmark::kMillisecond);
@@ -239,4 +248,50 @@ BENCHMARK(BM_Shoup1024_ShareVerify)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Shoup1024_Combine)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Shoup1024_Verify)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+namespace {
+
+// Console reporter that additionally records every run into the shared
+// bench_util JSON schema, so E2 emits BENCH_e2.json like E5 does.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(bnr::bench::JsonWriter& out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run_failed(run, 0)) continue;
+      // GetAdjustedRealTime is per-iteration time in run.time_unit units;
+      // normalize to ns for the shared JSON schema.
+      double ns = run.GetAdjustedRealTime() * 1e9 /
+                  benchmark::GetTimeUnitMultiplier(run.time_unit);
+      out_.record(run.benchmark_name(), ns);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  // google-benchmark renamed Run::error_occurred to Run::skipped in 1.8;
+  // detect whichever this library version has.
+  template <class R>
+  static auto run_failed(const R& r, int) -> decltype(bool(r.skipped)) {
+    return bool(r.skipped);
+  }
+  template <class R>
+  static bool run_failed(const R& r, long) {
+    return r.error_occurred;
+  }
+
+  bnr::bench::JsonWriter& out_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bnr::bench::JsonWriter out("BENCH_e2.json");
+  JsonTeeReporter reporter(out);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  out.flush();
+  return 0;
+}

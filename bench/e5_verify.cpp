@@ -1,12 +1,23 @@
-// E5 — ablation: the verifier computes a PRODUCT of four pairings (§3.1).
-// Multi-pairing shares one final exponentiation across all Miller loops;
-// this bench quantifies that design choice for the pairing counts appearing
-// in the schemes: 2 (BLS baseline), 4 (Verify / Share-Verify), 6 (GS slot),
-// 10 (DLIN variant's two equations).
-#include <benchmark/benchmark.h>
+// E5 — the verification engine ablation. The verifier computes a PRODUCT of
+// four pairings (§3.1); this bench walks the whole optimization ladder:
+//
+//   1. seed reference   affine Miller loops, dense Fp12 line multiplies,
+//                       one shared final exponentiation
+//   2. prepared         projective line precomputation on the fly + sparse
+//                       mul_by_034 evaluation (what multi_pairing now does)
+//   3. cached           G2Prepared lines precomputed once per key
+//                       (RoVerifier) — only line evaluations remain
+//   4. batched          N signatures folded into ONE 4-pairing product via
+//                       128-bit random linear combination + Pippenger MSM
+//
+// Emits BENCH_e5.json records (name, ns/op) so the perf trajectory is
+// tracked from this PR onward.
+#include <cstdio>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "pairing/pairing.hpp"
+#include "threshold/ro_scheme.hpp"
 
 using namespace bnr;
 
@@ -21,71 +32,109 @@ std::vector<PairingTerm> make_terms(size_t k) {
   return terms;
 }
 
-void BM_MultiPairing(benchmark::State& st) {
-  auto terms = make_terms(st.range(0));
-  for (auto _ : st) benchmark::DoNotOptimize(multi_pairing(terms));
-}
+volatile bool sink = false;
 
-void BM_IndependentPairings(benchmark::State& st) {
-  auto terms = make_terms(st.range(0));
-  for (auto _ : st) {
-    GT acc = GT::identity();
-    for (const auto& term : terms) acc = acc * pairing(term.p, term.q);
-    benchmark::DoNotOptimize(acc);
+}  // namespace
+
+int main() {
+  bench::JsonWriter out("BENCH_e5.json");
+
+  // ---- Pairing-layer ladder, at the verifier's term counts. -------------
+  bench::header("pairing product: reference vs prepared");
+  for (size_t k : {2, 4, 6, 10}) {
+    auto terms = make_terms(k);
+    out.bench("multi_pairing_reference/" + std::to_string(k),
+              [&] { sink = multi_pairing_reference(terms).is_identity(); });
+    out.bench("multi_pairing_prepared_on_the_fly/" + std::to_string(k),
+              [&] { sink = multi_pairing(terms).is_identity(); });
+    std::vector<G2Prepared> prepared;
+    prepared.reserve(terms.size());
+    std::vector<PreparedTerm> pts;
+    for (const auto& t : terms) {
+      prepared.emplace_back(t.q);
+      pts.push_back({t.p, &prepared.back()});
+    }
+    out.bench("multi_pairing_cached/" + std::to_string(k),
+              [&] { sink = multi_pairing(pts).is_identity(); });
   }
+
+  bench::header("pairing primitives");
+  {
+    auto terms = make_terms(1);
+    out.bench("miller_loop_reference", [&] {
+      Fp12 f = miller_loop(terms[0].p, terms[0].q);
+      sink = f.is_zero();
+    });
+    out.bench("g2_prepare", [&] { sink = G2Prepared(terms[0].q).infinity(); });
+    G2Prepared prep(terms[0].q);
+    out.bench("miller_loop_prepared", [&] {
+      Fp12 f = miller_loop(terms[0].p, prep);
+      sink = f.is_zero();
+    });
+    Fp12 f = miller_loop(terms[0].p, terms[0].q);
+    out.bench("final_exp_chain",
+              [&] { sink = final_exponentiation(f).is_zero(); });
+    out.bench("final_exp_cyclotomic_ladder",
+              [&] { sink = final_exponentiation_ladder(f).is_zero(); });
+    out.bench("final_exp_generic",
+              [&] { sink = final_exponentiation_generic(f).is_zero(); });
+  }
+
+  // ---- Scheme layer: single verify, cached verify, batch verify. --------
+  bench::header("RoScheme verification");
+  threshold::SystemParams sp = threshold::SystemParams::derive("e5-ro");
+  threshold::RoScheme scheme(sp);
+  Rng rng("e5-ro-rng");
+  auto km = scheme.dist_keygen(3, 1, rng);
+  threshold::RoVerifier verifier(scheme, km.pk);
+
+  constexpr size_t kBatch = 64;
+  std::vector<Bytes> msgs;
+  std::vector<threshold::Signature> sigs;
+  for (size_t j = 0; j < kBatch; ++j) {
+    msgs.push_back(to_bytes("e5 message " + std::to_string(j)));
+    std::vector<threshold::PartialSignature> parts;
+    for (uint32_t i = 1; i <= km.t + 1; ++i)
+      parts.push_back(scheme.share_sign(km.shares[i - 1], msgs.back()));
+    sigs.push_back(scheme.combine_unchecked(km.t, parts));
+  }
+
+  // The seed's verify: affine/dense reference path on the 4-term product.
+  auto verify_seed_path = [&](const Bytes& msg,
+                              const threshold::Signature& sig) {
+    auto h = scheme.hash_message(msg);
+    std::array<PairingTerm, 4> terms = {
+        PairingTerm{sig.z, sp.g_z},
+        PairingTerm{sig.r, sp.g_r},
+        PairingTerm{h[0], km.pk.g[0]},
+        PairingTerm{h[1], km.pk.g[1]},
+    };
+    return multi_pairing_reference(terms).is_identity();
+  };
+
+  out.bench("verify/seed_reference",
+            [&] { sink = verify_seed_path(msgs[0], sigs[0]); }, 5, 200.0);
+  out.bench("verify/unprepared",
+            [&] { sink = scheme.verify(km.pk, msgs[0], sigs[0]); }, 5, 200.0);
+  out.bench("verify/cached",
+            [&] { sink = verifier.verify(msgs[0], sigs[0]); }, 5, 200.0);
+
+  double individual_ns = bench::ns_per_op(
+      [&] {
+        bool ok = true;
+        for (size_t j = 0; j < kBatch; ++j)
+          ok = ok && verifier.verify(msgs[j], sigs[j]);
+        sink = ok;
+      },
+      3, 500.0);
+  out.record("verify/individual_x64", individual_ns);
+  Rng batch_rng("e5-batch-rlc");
+  double batch_ns = bench::ns_per_op(
+      [&] { sink = verifier.batch_verify(msgs, sigs, batch_rng); }, 3, 500.0);
+  out.record("verify/batch_x64", batch_ns);
+  printf("\nbatch_verify(64) speedup over 64 individual verifies: %.2fx\n",
+         individual_ns / batch_ns);
+
+  out.flush();
+  return 0;
 }
-
-void BM_MillerLoopOnly(benchmark::State& st) {
-  auto terms = make_terms(1);
-  for (auto _ : st)
-    benchmark::DoNotOptimize(miller_loop(terms[0].p, terms[0].q));
-}
-
-void BM_FinalExpOnly(benchmark::State& st) {
-  auto terms = make_terms(1);
-  Fp12 f = miller_loop(terms[0].p, terms[0].q);
-  for (auto _ : st) benchmark::DoNotOptimize(final_exponentiation(f));
-}
-
-}  // namespace
-
-BENCHMARK(BM_MultiPairing)->Arg(2)->Arg(4)->Arg(6)->Arg(10)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_IndependentPairings)->Arg(2)->Arg(4)->Arg(6)->Arg(10)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_MillerLoopOnly)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_FinalExpOnly)->Unit(benchmark::kMillisecond);
-
-BENCHMARK_MAIN();
-
-// Appended ablations: generic vs cyclotomic final exponentiation, and
-// binary-ladder vs wNAF scalar multiplication (DESIGN.md §5 items 2-3).
-namespace {
-
-void BM_FinalExpGeneric(benchmark::State& st) {
-  auto terms = make_terms(1);
-  Fp12 f = miller_loop(terms[0].p, terms[0].q);
-  for (auto _ : st) benchmark::DoNotOptimize(final_exponentiation_generic(f));
-}
-
-void BM_G1MulBinary(benchmark::State& st) {
-  static Rng r("e5-mul");
-  G1 g = G1::generator();
-  U256 k = Fr::random(r).to_u256();
-  for (auto _ : st)
-    benchmark::DoNotOptimize(
-        g.mul_binary(std::span<const uint64_t>(k.w.data(), 4)));
-}
-
-void BM_G1MulWnaf(benchmark::State& st) {
-  static Rng r("e5-mul2");
-  G1 g = G1::generator();
-  U256 k = Fr::random(r).to_u256();
-  for (auto _ : st) benchmark::DoNotOptimize(g.mul_wnaf(k));
-}
-
-}  // namespace
-
-BENCHMARK(BM_FinalExpGeneric)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_G1MulBinary)->Unit(benchmark::kMicrosecond);
-BENCHMARK(BM_G1MulWnaf)->Unit(benchmark::kMicrosecond);

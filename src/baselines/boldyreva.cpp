@@ -60,7 +60,11 @@ bool BoldyrevaBls::share_verify(const G2Affine& vk,
                                 std::span<const uint8_t> msg,
                                 const BlsPartialSignature& psig) const {
   // e(sigma_i, g2) == e(H, vk_i)  <=>  e(sigma_i, g2) e(H^{-1}, vk_i) == 1.
-  G1Affine neg_h = -hash_message(msg);
+  return share_verify(vk, -hash_message(msg), psig);
+}
+
+bool BoldyrevaBls::share_verify(const G2Affine& vk, const G1Affine& neg_h,
+                                const BlsPartialSignature& psig) const {
   std::array<PairingTerm, 2> terms = {
       PairingTerm{psig.sigma, G2Curve::generator_affine()},
       PairingTerm{neg_h, vk},
@@ -71,10 +75,11 @@ bool BoldyrevaBls::share_verify(const G2Affine& vk,
 G1Affine BoldyrevaBls::combine(const BlsKeyMaterial& km,
                                std::span<const uint8_t> msg,
                                std::span<const BlsPartialSignature> parts) const {
+  G1Affine neg_h = -hash_message(msg);  // hashed ONCE, not per partial
   std::vector<BlsPartialSignature> valid;
   for (const auto& p : parts) {
     if (p.index < 1 || p.index > km.n) continue;
-    if (share_verify(km.vks[p.index - 1], msg, p)) valid.push_back(p);
+    if (share_verify(km.vks[p.index - 1], neg_h, p)) valid.push_back(p);
     if (valid.size() == km.t + 1) break;
   }
   if (valid.size() < km.t + 1)
@@ -82,10 +87,9 @@ G1Affine BoldyrevaBls::combine(const BlsKeyMaterial& km,
   std::vector<uint32_t> indices;
   for (const auto& p : valid) indices.push_back(p.index);
   auto lagrange = lagrange_at_zero(indices);
-  G1 acc;
-  for (size_t i = 0; i < valid.size(); ++i)
-    acc = acc + G1::from_affine(valid[i].sigma).mul(lagrange[i]);
-  return acc.to_affine();
+  std::vector<G1> sigmas;
+  for (const auto& p : valid) sigmas.push_back(G1::from_affine(p.sigma));
+  return msm<G1>(sigmas, lagrange).to_affine();
 }
 
 bool BoldyrevaBls::verify(const BlsPublicKey& pk,
@@ -95,6 +99,49 @@ bool BoldyrevaBls::verify(const BlsPublicKey& pk,
   std::array<PairingTerm, 2> terms = {
       PairingTerm{sig, G2Curve::generator_affine()},
       PairingTerm{neg_h, pk.pk},
+  };
+  return pairing_product_is_one(terms);
+}
+
+// ---------------------------------------------------------------------------
+// Cached verification
+
+BlsVerifier::BlsVerifier(const BoldyrevaBls& scheme, const BlsPublicKey& pk)
+    : scheme_(scheme),
+      gen_(G2Curve::generator_affine()),
+      pk_(pk.pk) {}
+
+bool BlsVerifier::verify(std::span<const uint8_t> msg,
+                         const G1Affine& sig) const {
+  G1Affine neg_h = -scheme_.hash_message(msg);
+  std::array<PreparedTerm, 2> terms = {
+      PreparedTerm{sig, &gen_},
+      PreparedTerm{neg_h, &pk_},
+  };
+  return pairing_product_is_one(terms);
+}
+
+bool BlsVerifier::batch_verify(std::span<const Bytes> msgs,
+                               std::span<const G1Affine> sigs,
+                               Rng& rng) const {
+  if (msgs.size() != sigs.size())
+    throw std::invalid_argument("bls batch_verify: size mismatch");
+  if (msgs.empty()) return true;
+  const size_t n = msgs.size();
+
+  std::vector<Fr> coeff(n);
+  coeff[0] = Fr::one();
+  for (size_t j = 1; j < n; ++j)
+    coeff[j] = threshold::random_rlc_coefficient(rng);
+
+  std::vector<G1> ss, hs;
+  for (size_t j = 0; j < n; ++j) {
+    ss.push_back(G1::from_affine(sigs[j]));
+    hs.push_back(G1::from_affine(-scheme_.hash_message(msgs[j])));
+  }
+  std::array<PreparedTerm, 2> terms = {
+      PreparedTerm{msm<G1>(ss, coeff).to_affine(), &gen_},
+      PreparedTerm{msm<G1>(hs, coeff).to_affine(), &pk_},
   };
   return pairing_product_is_one(terms);
 }

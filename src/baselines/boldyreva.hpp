@@ -7,6 +7,7 @@
 #include <map>
 
 #include "dkg/pedersen_dkg.hpp"
+#include "pairing/pairing.hpp"
 #include "threshold/params.hpp"
 
 namespace bnr::baselines {
@@ -54,6 +55,9 @@ class BoldyrevaBls {
                                  std::span<const uint8_t> msg) const;
   bool share_verify(const G2Affine& vk, std::span<const uint8_t> msg,
                     const BlsPartialSignature& psig) const;
+  /// Hash-hoisted variant taking the precomputed negated hash -H(M).
+  bool share_verify(const G2Affine& vk, const G1Affine& neg_h,
+                    const BlsPartialSignature& psig) const;
 
   G1Affine combine(const BlsKeyMaterial& km, std::span<const uint8_t> msg,
                    std::span<const BlsPartialSignature> parts) const;
@@ -63,6 +67,23 @@ class BoldyrevaBls {
 
  private:
   threshold::SystemParams params_;
+};
+
+/// Cached verifier for one BLS public key: prepared lines for the fixed G2
+/// generator and for pk, so Verify pays 2 prepared Miller evaluations + one
+/// final exponentiation, and batch_verify folds N signatures into that same
+/// 2-pairing product via 128-bit random linear combination.
+class BlsVerifier {
+ public:
+  BlsVerifier(const BoldyrevaBls& scheme, const BlsPublicKey& pk);
+
+  bool verify(std::span<const uint8_t> msg, const G1Affine& sig) const;
+  bool batch_verify(std::span<const Bytes> msgs,
+                    std::span<const G1Affine> sigs, Rng& rng) const;
+
+ private:
+  BoldyrevaBls scheme_;
+  G2Prepared gen_, pk_;
 };
 
 }  // namespace bnr::baselines

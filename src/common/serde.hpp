@@ -60,6 +60,17 @@ class ByteReader {
   }
   std::span<const uint8_t> raw(size_t n) { return take(n); }
 
+  /// Reads a u32 element count and bounds it by the bytes actually left
+  /// (each element occupies at least `min_elem_bytes` on the wire), so a
+  /// malformed length field throws instead of driving a giant allocation —
+  /// deserializers sit on the network boundary and must not be a DoS vector.
+  uint32_t count(size_t min_elem_bytes) {
+    uint32_t n = u32();
+    if (n != 0 && (min_elem_bytes == 0 || n > remaining() / min_elem_bytes))
+      throw std::out_of_range("ByteReader: count exceeds payload");
+    return n;
+  }
+
   bool empty() const { return pos_ == data_.size(); }
   size_t remaining() const { return data_.size() - pos_; }
 

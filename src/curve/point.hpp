@@ -2,6 +2,7 @@
 // shared by G1 (over Fp) and G2 (over Fp2, the sextic twist).
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -79,6 +80,34 @@ class JacobianPoint {
     a.y = y_ * zinv2 * zinv;
     a.infinity = false;
     return a;
+  }
+
+  /// Normalizes many Jacobian points with ONE field inversion (Montgomery's
+  /// trick): prefix-multiply the Z coordinates, invert the total, unwind.
+  /// Identities pass through as affine identities.
+  static std::vector<Affine> batch_to_affine(std::span<const JacobianPoint> pts) {
+    std::vector<Affine> out(pts.size());
+    std::vector<Field> prefix(pts.size());
+    Field acc = Field::one();
+    bool any = false;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      if (pts[i].is_identity()) continue;
+      prefix[i] = acc;          // product of all earlier non-identity Zs
+      acc = acc * pts[i].z_;
+      any = true;
+    }
+    if (!any) return out;  // all identities (already default-constructed)
+    Field tail_inv = acc.inverse();
+    for (size_t i = pts.size(); i-- > 0;) {
+      if (pts[i].is_identity()) continue;
+      Field zinv = tail_inv * prefix[i];
+      tail_inv = tail_inv * pts[i].z_;
+      Field zinv2 = zinv.squared();
+      out[i].x = pts[i].x_ * zinv2;
+      out[i].y = pts[i].y_ * zinv2 * zinv;
+      out[i].infinity = false;
+    }
+    return out;
   }
 
   JacobianPoint dbl() const {
@@ -246,14 +275,85 @@ class JacobianPoint {
 };
 
 /// Naive multi-scalar multiplication: sum_i points[i] * scalars[i].
+/// Reference path; `msm` switches to Pippenger when the batch amortizes it.
 template <class Point>
-Point msm(std::span<const Point> points, std::span<const Fr> scalars) {
+Point msm_naive(std::span<const Point> points, std::span<const Fr> scalars) {
   if (points.size() != scalars.size())
     throw std::invalid_argument("msm: size mismatch");
   Point acc;
   for (size_t i = 0; i < points.size(); ++i)
     acc = acc + points[i].mul(scalars[i]);
   return acc;
+}
+
+namespace detail {
+
+/// c-bit digit of k starting at bit `pos` (crossing limb boundaries).
+inline uint64_t msm_digit(const U256& k, size_t pos, size_t c) {
+  size_t limb = pos / 64, off = pos % 64;
+  uint64_t d = k.w[limb] >> off;
+  if (off + c > 64 && limb + 1 < 4) d |= k.w[limb + 1] << (64 - off);
+  return d & ((uint64_t(1) << c) - 1);
+}
+
+inline size_t msm_window_bits(size_t n) {
+  if (n < 32) return 3;
+  if (n < 128) return 4;
+  if (n < 512) return 6;
+  if (n < 4096) return 8;
+  return 11;
+}
+
+}  // namespace detail
+
+/// Multi-scalar multiplication sum_i points[i] * scalars[i] via Pippenger
+/// bucket accumulation: per c-bit window, drop each point into the bucket of
+/// its digit, then fold the buckets with a running sum — O(bits/c * (n + 2^c))
+/// additions instead of O(n * bits) doublings. Windows above the largest
+/// scalar's bit length are skipped, so short (e.g. 128-bit batch-RLC)
+/// coefficients cost proportionally less.
+template <class Point>
+Point msm(std::span<const Point> points, std::span<const Fr> scalars) {
+  if (points.size() != scalars.size())
+    throw std::invalid_argument("msm: size mismatch");
+  const size_t n = points.size();
+  if (n < 8) return msm_naive(points, scalars);
+
+  std::vector<U256> ks(n);
+  size_t max_bits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    ks[i] = scalars[i].to_u256();
+    max_bits = std::max(max_bits, ks[i].bit_length());
+  }
+  if (max_bits == 0) return Point::identity();
+
+  const size_t c = detail::msm_window_bits(n);
+  const size_t windows = (max_bits + c - 1) / c;
+  std::vector<Point> buckets((size_t(1) << c) - 1);
+  Point result;
+  for (size_t w = windows; w-- > 0;) {
+    for (size_t s = 0; s < c; ++s) result = result.dbl();
+    for (auto& b : buckets) b = Point::identity();
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t d = detail::msm_digit(ks[i], w * c, c);
+      if (d != 0) buckets[d - 1] = buckets[d - 1] + points[i];
+    }
+    // sum_d d * bucket[d] via the running-sum trick.
+    Point running, sum;
+    for (size_t b = buckets.size(); b-- > 0;) {
+      running = running + buckets[b];
+      sum = sum + running;
+    }
+    result = result + sum;
+  }
+  return result;
+}
+
+/// batch_to_affine as a free function, matching the msm call style.
+template <class Curve>
+std::vector<AffinePoint<Curve>> batch_to_affine(
+    std::span<const JacobianPoint<Curve>> pts) {
+  return JacobianPoint<Curve>::batch_to_affine(pts);
 }
 
 }  // namespace bnr

@@ -17,11 +17,15 @@ Fr read_fr(ByteReader& r) { return Fr::from_bytes_be(r.raw(32)); }
 // ---------------------------------------------------------------------------
 // Config / VssRow
 
-G2Affine VssRow::commit(std::span<const Fr> coeffs) const {
+G2 VssRow::commit_jacobian(std::span<const Fr> coeffs) const {
   G2 acc;
   for (const auto& [idx, gen] : terms)
     acc = acc + G2::from_affine(gen).mul(coeffs[idx]);
-  return acc.to_affine();
+  return acc;
+}
+
+G2Affine VssRow::commit(std::span<const Fr> coeffs) const {
+  return commit_jacobian(coeffs).to_affine();
 }
 
 void Config::validate() const {
@@ -57,10 +61,10 @@ Bytes Round1Broadcast::serialize() const {
 Round1Broadcast Round1Broadcast::deserialize(std::span<const uint8_t> data) {
   ByteReader r(data);
   Round1Broadcast out;
-  uint32_t rows = r.u32();
+  uint32_t rows = r.count(4);  // each row carries at least its u32 length
   out.commitments.resize(rows);
   for (auto& row : out.commitments) {
-    uint32_t len = r.u32();
+    uint32_t len = r.count(kG2CompressedSize);
     row.reserve(len);
     for (uint32_t i = 0; i < len; ++i) row.push_back(g2_deserialize(r));
   }
@@ -79,7 +83,7 @@ Bytes Round1Share::serialize() const {
 Round1Share Round1Share::deserialize(std::span<const uint8_t> data) {
   ByteReader r(data);
   Round1Share out;
-  uint32_t len = r.u32();
+  uint32_t len = r.count(32);  // one Fr each
   out.values.reserve(len);
   for (uint32_t i = 0; i < len; ++i) out.values.push_back(read_fr(r));
   if (!r.empty()) throw std::invalid_argument("Round1Share: trailing data");
@@ -96,7 +100,7 @@ Bytes Round2Complaints::serialize() const {
 Round2Complaints Round2Complaints::deserialize(std::span<const uint8_t> data) {
   ByteReader r(data);
   Round2Complaints out;
-  uint32_t len = r.u32();
+  uint32_t len = r.count(4);  // one u32 each
   out.accused.reserve(len);
   for (uint32_t i = 0; i < len; ++i) out.accused.push_back(r.u32());
   if (!r.empty()) throw std::invalid_argument("Round2Complaints: trailing");
@@ -116,7 +120,7 @@ Bytes Round3Responses::serialize() const {
 Round3Responses Round3Responses::deserialize(std::span<const uint8_t> data) {
   ByteReader r(data);
   Round3Responses out;
-  uint32_t len = r.u32();
+  uint32_t len = r.count(8);  // u32 complainer + u32 blob length each
   for (uint32_t i = 0; i < len; ++i) {
     uint32_t complainer = r.u32();
     Bytes blob = r.blob();
@@ -146,14 +150,23 @@ std::optional<Round1Broadcast> Player::round1_broadcast() {
   if (behavior_.crash) return std::nullopt;
   Round1Broadcast out;
   out.commitments.resize(cfg_->rows.size());
+  // Compute every commitment level in Jacobian form, then normalize the
+  // whole rows*(t+1) block with a single batched inversion.
+  std::vector<G2> raw;
+  raw.reserve(cfg_->rows.size() * (cfg_->t + 1));
   for (size_t row = 0; row < cfg_->rows.size(); ++row) {
     for (size_t l = 0; l <= cfg_->t; ++l) {
       std::vector<Fr> coeffs(cfg_->m);
       for (size_t k = 0; k < cfg_->m; ++k)
         coeffs[k] = polys_[k].coefficients()[l];
-      out.commitments[row].push_back(cfg_->rows[row].commit(coeffs));
+      raw.push_back(cfg_->rows[row].commit_jacobian(coeffs));
     }
   }
+  auto normalized = G2::batch_to_affine(raw);
+  for (size_t row = 0; row < cfg_->rows.size(); ++row)
+    out.commitments[row].assign(
+        normalized.begin() + row * (cfg_->t + 1),
+        normalized.begin() + (row + 1) * (cfg_->t + 1));
   if (behavior_.bad_commitments) {
     // Garbage: random multiples of the generator.
     for (auto& row : out.commitments)
@@ -392,11 +405,21 @@ InternalState Player::internal_state() const {
 // Driver
 
 G2 eval_commitments(std::span<const G2Affine> coeffs, uint64_t x) {
-  G2 acc;
-  U256 xs = U256::from_u64(x);
-  for (size_t l = coeffs.size(); l-- > 0;)
-    acc = acc.mul(xs) + G2::from_affine(coeffs[l]);
-  return acc;
+  // prod_l coeffs[l]^{x^l} as one multi-scalar multiplication over the
+  // power sequence (1, x, x^2, ...); Pippenger keeps the cost at
+  // O(bits/c * (levels + 2^c)) group additions for large t.
+  std::vector<G2> points;
+  std::vector<Fr> powers;
+  points.reserve(coeffs.size());
+  powers.reserve(coeffs.size());
+  Fr xf = Fr::from_u64(x);
+  Fr pw = Fr::one();
+  for (size_t l = 0; l < coeffs.size(); ++l) {
+    points.push_back(G2::from_affine(coeffs[l]));
+    powers.push_back(pw);
+    pw = pw * xf;
+  }
+  return msm<G2>(points, powers);
 }
 
 RunResult run_dkg(const Config& cfg, SyncNetwork& net,

@@ -37,6 +37,9 @@ struct VssRow {
   std::vector<std::pair<size_t, G2Affine>> terms;
 
   G2Affine commit(std::span<const Fr> coeffs) const;
+  /// Same commitment, left unnormalized so callers committing many levels
+  /// can batch the Jacobian->affine conversions into one inversion.
+  G2 commit_jacobian(std::span<const Fr> coeffs) const;
 };
 
 struct Config {

@@ -115,6 +115,16 @@ struct Fp6 {
 
   Fp6 mul_fp2(const Fp2& s) const { return {c0 * s, c1 * s, c2 * s}; }
 
+  /// Sparse multiplication by b0 + b1*v (b2 = 0): 5 Fp2 muls instead of 6.
+  Fp6 mul_by_01(const Fp2& b0, const Fp2& b1) const {
+    Fp2 v0 = c0 * b0;
+    Fp2 v1 = c1 * b1;
+    Fp2 t0 = ((c1 + c2) * b1 - v1).mul_by_xi() + v0;  // a0b0 + xi*a2b1
+    Fp2 t1 = (c0 + c1) * (b0 + b1) - v0 - v1;         // a0b1 + a1b0
+    Fp2 t2 = (c0 + c2) * b0 - v0 + v1;                // a2b0 + a1b1
+    return {t0, t1, t2};
+  }
+
   /// Multiplication by v (the Fp12 quadratic non-residue).
   Fp6 mul_by_v() const { return {c2.mul_by_xi(), c0, c1}; }
 
@@ -153,6 +163,16 @@ struct Fp12 {
     Fp6 t = c0 * c1;
     Fp6 a = (c0 + c1) * (c0 + c1.mul_by_v()) - t - t.mul_by_v();
     return {a, t + t};
+  }
+
+  /// Sparse multiplication by d0 + d3*w + d4*w^3 — exactly the shape of a
+  /// Miller-loop line on the D-twist (positions 0, 3, 4 of the Fp2 basis
+  /// {1, v, v^2, w, vw, v^2w}). 13 Fp2 muls instead of the dense 18.
+  Fp12 mul_by_034(const Fp2& d0, const Fp2& d3, const Fp2& d4) const {
+    Fp6 t0 = c0.mul_fp2(d0);
+    Fp6 t1 = c1.mul_by_01(d3, d4);
+    Fp6 o = (c0 + c1).mul_by_01(d0 + d3, d4);
+    return {t0 + t1.mul_by_v(), o - t0 - t1};
   }
   Fp12 inverse() const {
     Fp6 denom = (c0.squared() - c1.squared().mul_by_v()).inverse();

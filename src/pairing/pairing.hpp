@@ -1,14 +1,30 @@
 // Optimal ate pairing e : G1 x G2 -> GT for BN254.
 //
-// Affine Miller loop over NAF(6u+2) with the two Frobenius end-steps, then
-// final exponentiation (p^12 - 1)/r split into the easy part (conjugate /
-// inverse / Frobenius^2) and the hard part (p^4 - p^2 + 1)/r, which is
-// computed as a BigUint at startup and applied by square-and-multiply. All
-// derived exponents are computed from (p, r, u) rather than transcribed.
+// Two Miller-loop implementations share the NAF(6u+2) schedule and the two
+// Frobenius end-steps:
 //
-// `multi_pairing` evaluates prod_i e(P_i, Q_i) with one shared final
-// exponentiation — this is exactly the "product of four pairings" the
-// paper's verifier computes (§3.1), and experiment E5 quantifies the saving.
+//  * the REFERENCE path (`miller_loop(p, q)`): affine line computation, one
+//    Fp2 inversion per doubling/addition step and a dense Fp12 multiply per
+//    line. Kept as the cross-check oracle and the E5 ablation baseline.
+//  * the PREPARED path: `G2Prepared` precomputes every line coefficient for
+//    a fixed G2 point with projective doubling/addition steps (no inversions
+//    at all); evaluating a pairing against a prepared point is then just a
+//    per-step scaling by (x_P, y_P) folded in with the sparse
+//    `Fp12::mul_by_034`. Projective lines differ from affine ones by Fp2
+//    factors, which the final exponentiation kills (Fp2* has order dividing
+//    p^6 - 1).
+//
+// `multi_pairing` routes through the prepared path (preparing on the fly)
+// and additionally shares the Fp12 squaring chain and the final
+// exponentiation across all terms — exactly the "product of four pairings"
+// the paper's verifier computes (§3.1); experiment E5 quantifies the saving.
+//
+// Final exponentiation (p^12 - 1)/r is split into the easy part (conjugate /
+// inverse / Frobenius^2) and the hard part (p^4 - p^2 + 1)/r, computed by
+// the BN addition chain (three cyclotomic exponentiations by u + Frobenius
+// combines). The full hard-part exponent is still derived from (p, r, u) as
+// a BigUint at startup and drives the ladder/generic reference paths that
+// cross-check the chain.
 #pragma once
 
 #include <utility>
@@ -40,16 +56,61 @@ struct PairingTerm {
   G2Affine q;
 };
 
-/// Miller loop without final exponentiation.
+/// One Miller-loop line l = c0*y_P + c3*x_P*w + c4*w^3, with the
+/// P-independent coefficients stored and the P-scaling deferred to
+/// evaluation time.
+struct EllCoeffs {
+  Fp2 c0, c3, c4;
+};
+
+/// All Miller-loop line coefficients of a fixed G2 point, precomputed once
+/// with projective steps (no Fp2 inversions). Pairing against a G2Prepared
+/// skips every per-step G2 operation; only the line *evaluations* at P
+/// remain. This is the cacheable half of the verifier: g^_z, g^_r, public
+/// keys and verification keys are all fixed key material.
+class G2Prepared {
+ public:
+  G2Prepared() = default;  // identity: contributes 1 to any product
+  explicit G2Prepared(const G2Affine& q);
+
+  bool infinity() const { return infinity_; }
+  const std::vector<EllCoeffs>& coeffs() const { return coeffs_; }
+
+ private:
+  std::vector<EllCoeffs> coeffs_;
+  bool infinity_ = true;
+};
+
+/// One prepared pairing pair. `q` is non-owning; the caller (typically a
+/// cached verifier object) keeps the G2Prepared alive for the call.
+struct PreparedTerm {
+  G1Affine p;
+  const G2Prepared* q = nullptr;
+};
+
+/// Reference Miller loop (affine lines, dense Fp12 multiplies) without final
+/// exponentiation. Oracle for the prepared fast path.
 Fp12 miller_loop(const G1Affine& p, const G2Affine& q);
 
-/// Final exponentiation f -> f^{(p^12-1)/r}. The hard part runs over
-/// Granger-Scott cyclotomic squarings (valid after the easy part).
+/// Prepared Miller loop: consumes precomputed line coefficients.
+Fp12 miller_loop(const G1Affine& p, const G2Prepared& q);
+
+/// Multi-Miller loop over prepared terms, sharing one Fp12 squaring chain
+/// across all terms per NAF step.
+Fp12 miller_loop(std::span<const PreparedTerm> terms);
+
+/// Final exponentiation f -> f^{(p^12-1)/r}. The hard part runs the BN
+/// vectorial addition chain (three cyclotomic exponentiations by u plus
+/// Frobenius combines) — exact, cross-checked against the generic path.
 Fp12 final_exponentiation(const Fp12& f);
 
+/// Ablation midpoint: cyclotomic square-and-multiply over the full
+/// hard-part exponent (the previous default).
+Fp12 final_exponentiation_ladder(const Fp12& f);
+
 /// Reference implementation with generic Fp12 squarings throughout the hard
-/// part; used by tests to cross-check the cyclotomic fast path and by the
-/// E5 ablation bench.
+/// part; used by tests to cross-check both fast paths and by the E5
+/// ablation bench.
 Fp12 final_exponentiation_generic(const Fp12& f);
 
 /// e(P, Q).
@@ -57,13 +118,22 @@ GT pairing(const G1Affine& p, const G2Affine& q);
 inline GT pairing(const G1& p, const G2& q) {
   return pairing(p.to_affine(), q.to_affine());
 }
+GT pairing(const G1Affine& p, const G2Prepared& q);
 
-/// prod_i e(P_i, Q_i), sharing a single final exponentiation.
+/// prod_i e(P_i, Q_i), sharing a single final exponentiation. Prepares each
+/// Q_i on the fly and runs the prepared multi-Miller loop.
 GT multi_pairing(std::span<const PairingTerm> terms);
+GT multi_pairing(std::span<const PreparedTerm> terms);
+
+/// Reference evaluation of the product via the affine/dense path (per-term
+/// reference Miller loops, one shared final exponentiation). Used by tests
+/// to cross-check the prepared engine and by E5 as the seed baseline.
+GT multi_pairing_reference(std::span<const PairingTerm> terms);
 
 /// Convenience: true iff prod_i e(P_i, Q_i) == 1. This is the shape of every
 /// verification equation in the paper.
 bool pairing_product_is_one(std::span<const PairingTerm> terms);
+bool pairing_product_is_one(std::span<const PreparedTerm> terms);
 
 /// The Miller-loop scalar 6u+2 in non-adjacent form (exposed for tests).
 const std::vector<int8_t>& ate_loop_naf();

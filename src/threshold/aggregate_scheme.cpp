@@ -151,7 +151,12 @@ bool AggregateScheme::share_verify(const AggPublicKey& pk,
                                    const VerificationKey& vk,
                                    std::span<const uint8_t> msg,
                                    const PartialSignature& sig) const {
-  auto h = hash_message(pk, msg);
+  return share_verify(vk, hash_message(pk, msg), sig);
+}
+
+bool AggregateScheme::share_verify(const VerificationKey& vk,
+                                   const std::array<G1Affine, 2>& h,
+                                   const PartialSignature& sig) const {
   std::array<PairingTerm, 4> terms = {
       PairingTerm{sig.z, params_.g_z},
       PairingTerm{sig.r, params_.g_r},
@@ -164,10 +169,11 @@ bool AggregateScheme::share_verify(const AggPublicKey& pk,
 Signature AggregateScheme::combine(
     const AggKeyMaterial& km, std::span<const uint8_t> msg,
     std::span<const PartialSignature> parts) const {
+  auto h = hash_message(km.pk, msg);  // hashed ONCE, not per partial
   std::vector<PartialSignature> valid;
   for (const auto& p : parts) {
     if (p.index < 1 || p.index > km.n) continue;
-    if (share_verify(km.pk, km.vks[p.index - 1], msg, p)) valid.push_back(p);
+    if (share_verify(km.vks[p.index - 1], h, p)) valid.push_back(p);
     if (valid.size() == km.t + 1) break;
   }
   if (valid.size() < km.t + 1)
@@ -218,6 +224,59 @@ bool AggregateScheme::aggregate_verify(
     terms.push_back({h[0], st.pk.g[0]});
     terms.push_back({h[1], st.pk.g[1]});
   }
+  return pairing_product_is_one(terms);
+}
+
+// ---------------------------------------------------------------------------
+// Cached verification
+
+AggVerifier::AggVerifier(const AggregateScheme& scheme, const AggPublicKey& pk)
+    : scheme_(scheme),
+      pk_(pk),
+      key_valid_(scheme.key_sanity_check(pk)),
+      prep_{G2Prepared(scheme.params().g_z), G2Prepared(scheme.params().g_r),
+            G2Prepared(pk.g[0]), G2Prepared(pk.g[1])} {}
+
+bool AggVerifier::verify(std::span<const uint8_t> msg,
+                         const Signature& sig) const {
+  if (!key_valid_) return false;
+  auto h = scheme_.hash_message(pk_, msg);
+  std::array<PreparedTerm, 4> terms = {
+      PreparedTerm{sig.z, &prep_[0]},
+      PreparedTerm{sig.r, &prep_[1]},
+      PreparedTerm{h[0], &prep_[2]},
+      PreparedTerm{h[1], &prep_[3]},
+  };
+  return pairing_product_is_one(terms);
+}
+
+bool AggVerifier::batch_verify(std::span<const Bytes> msgs,
+                               std::span<const Signature> sigs,
+                               Rng& rng) const {
+  if (msgs.size() != sigs.size())
+    throw std::invalid_argument("agg batch_verify: size mismatch");
+  if (!key_valid_) return false;
+  if (msgs.empty()) return true;
+  const size_t n = msgs.size();
+
+  std::vector<Fr> coeff(n);
+  coeff[0] = Fr::one();
+  for (size_t j = 1; j < n; ++j) coeff[j] = random_rlc_coefficient(rng);
+
+  std::vector<G1> zs, rs, h1s, h2s;
+  for (size_t j = 0; j < n; ++j) {
+    auto h = scheme_.hash_message(pk_, msgs[j]);
+    zs.push_back(G1::from_affine(sigs[j].z));
+    rs.push_back(G1::from_affine(sigs[j].r));
+    h1s.push_back(G1::from_affine(h[0]));
+    h2s.push_back(G1::from_affine(h[1]));
+  }
+  std::array<PreparedTerm, 4> terms = {
+      PreparedTerm{msm<G1>(zs, coeff).to_affine(), &prep_[0]},
+      PreparedTerm{msm<G1>(rs, coeff).to_affine(), &prep_[1]},
+      PreparedTerm{msm<G1>(h1s, coeff).to_affine(), &prep_[2]},
+      PreparedTerm{msm<G1>(h2s, coeff).to_affine(), &prep_[3]},
+  };
   return pairing_product_is_one(terms);
 }
 

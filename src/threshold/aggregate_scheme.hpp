@@ -73,6 +73,10 @@ class AggregateScheme {
   bool share_verify(const AggPublicKey& pk, const VerificationKey& vk,
                     std::span<const uint8_t> msg,
                     const PartialSignature& sig) const;
+  /// Hash-hoisted variant (Combine hashes H(PK || M) once for all partials).
+  bool share_verify(const VerificationKey& vk,
+                    const std::array<G1Affine, 2>& h,
+                    const PartialSignature& sig) const;
   Signature combine(const AggKeyMaterial& km, std::span<const uint8_t> msg,
                     std::span<const PartialSignature> parts) const;
   bool verify(const AggPublicKey& pk, std::span<const uint8_t> msg,
@@ -89,6 +93,28 @@ class AggregateScheme {
 
  private:
   SystemParams params_;
+};
+
+/// Cached verifier for one aggregation-enabled key: prepares the four fixed
+/// G2 inputs once AND runs the key-validity sanity check (itself a product
+/// of four pairings) a single time at construction instead of per verify.
+class AggVerifier {
+ public:
+  AggVerifier(const AggregateScheme& scheme, const AggPublicKey& pk);
+
+  /// Result of the one-time key sanity check; verify() fails fast when the
+  /// key itself is invalid.
+  bool key_valid() const { return key_valid_; }
+
+  bool verify(std::span<const uint8_t> msg, const Signature& sig) const;
+  bool batch_verify(std::span<const Bytes> msgs,
+                    std::span<const Signature> sigs, Rng& rng) const;
+
+ private:
+  AggregateScheme scheme_;
+  AggPublicKey pk_;
+  bool key_valid_ = false;
+  std::array<G2Prepared, 4> prep_;  // g^_z, g^_r, g^_1, g^_2
 };
 
 }  // namespace bnr::threshold

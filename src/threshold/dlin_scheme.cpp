@@ -124,7 +124,12 @@ DlinPartialSignature DlinScheme::share_sign(
 bool DlinScheme::share_verify(const DlinVerificationKey& vk,
                               std::span<const uint8_t> msg,
                               const DlinPartialSignature& sig) const {
-  auto h = hash_message(msg);
+  return share_verify(vk, hash_message(msg), sig);
+}
+
+bool DlinScheme::share_verify(const DlinVerificationKey& vk,
+                              const std::array<G1Affine, 3>& h,
+                              const DlinPartialSignature& sig) const {
   std::vector<PairingTerm> eq1 = {{sig.z, params_.g_z}, {sig.r, params_.g_r}};
   std::vector<PairingTerm> eq2 = {{sig.z, params_.h_z}, {sig.u, params_.h_u}};
   for (size_t k = 0; k < 3; ++k) {
@@ -137,10 +142,11 @@ bool DlinScheme::share_verify(const DlinVerificationKey& vk,
 DlinSignature DlinScheme::combine(
     const DlinKeyMaterial& km, std::span<const uint8_t> msg,
     std::span<const DlinPartialSignature> parts) const {
+  auto h = hash_message(msg);  // hashed ONCE, not per partial signature
   std::vector<DlinPartialSignature> valid;
   for (const auto& p : parts) {
     if (p.index < 1 || p.index > km.n) continue;
-    if (share_verify(km.vks[p.index - 1], msg, p)) valid.push_back(p);
+    if (share_verify(km.vks[p.index - 1], h, p)) valid.push_back(p);
     if (valid.size() == km.t + 1) break;
   }
   if (valid.size() < km.t + 1)
@@ -148,13 +154,14 @@ DlinSignature DlinScheme::combine(
   std::vector<uint32_t> indices;
   for (const auto& p : valid) indices.push_back(p.index);
   auto lagrange = lagrange_at_zero(indices);
-  G1 z, r, u;
-  for (size_t i = 0; i < valid.size(); ++i) {
-    z = z + G1::from_affine(valid[i].z).mul(lagrange[i]);
-    r = r + G1::from_affine(valid[i].r).mul(lagrange[i]);
-    u = u + G1::from_affine(valid[i].u).mul(lagrange[i]);
+  std::vector<G1> zs, rs, us;
+  for (const auto& p : valid) {
+    zs.push_back(G1::from_affine(p.z));
+    rs.push_back(G1::from_affine(p.r));
+    us.push_back(G1::from_affine(p.u));
   }
-  return {z.to_affine(), r.to_affine(), u.to_affine()};
+  return {msm<G1>(zs, lagrange).to_affine(), msm<G1>(rs, lagrange).to_affine(),
+          msm<G1>(us, lagrange).to_affine()};
 }
 
 bool DlinScheme::verify(const DlinPublicKey& pk, std::span<const uint8_t> msg,
@@ -167,6 +174,70 @@ bool DlinScheme::verify(const DlinPublicKey& pk, std::span<const uint8_t> msg,
     eq2.push_back({h[k], pk.h[k]});
   }
   return pairing_product_is_one(eq1) && pairing_product_is_one(eq2);
+}
+
+// ---------------------------------------------------------------------------
+// Cached verification
+
+DlinVerifier::DlinVerifier(const DlinScheme& scheme, const DlinPublicKey& pk)
+    : scheme_(scheme),
+      gz_(scheme.params().g_z),
+      gr_(scheme.params().g_r),
+      hz_(scheme.params().h_z),
+      hu_(scheme.params().h_u),
+      g_{G2Prepared(pk.g[0]), G2Prepared(pk.g[1]), G2Prepared(pk.g[2])},
+      h_{G2Prepared(pk.h[0]), G2Prepared(pk.h[1]), G2Prepared(pk.h[2])} {}
+
+bool DlinVerifier::verify(std::span<const uint8_t> msg,
+                          const DlinSignature& sig) const {
+  auto h = scheme_.hash_message(msg);
+  std::vector<PreparedTerm> eq1 = {{sig.z, &gz_}, {sig.r, &gr_}};
+  std::vector<PreparedTerm> eq2 = {{sig.z, &hz_}, {sig.u, &hu_}};
+  for (size_t k = 0; k < 3; ++k) {
+    eq1.push_back({h[k], &g_[k]});
+    eq2.push_back({h[k], &h_[k]});
+  }
+  return pairing_product_is_one(eq1) && pairing_product_is_one(eq2);
+}
+
+bool DlinVerifier::batch_verify(std::span<const Bytes> msgs,
+                                std::span<const DlinSignature> sigs,
+                                Rng& rng) const {
+  if (msgs.size() != sigs.size())
+    throw std::invalid_argument("dlin batch_verify: size mismatch");
+  if (msgs.empty()) return true;
+  const size_t n = msgs.size();
+
+  // Independent coefficients for the two equations of each signature. The
+  // fold is sound as long as every coefficient after the pinned first one
+  // is nonzero and sampled after the batch is fixed (pinning one
+  // coefficient to 1 is the standard safe optimization).
+  std::vector<Fr> e1(n), e2(n);
+  for (size_t j = 0; j < n; ++j) {
+    e1[j] = j == 0 ? Fr::one() : random_rlc_coefficient(rng);
+    e2[j] = random_rlc_coefficient(rng);
+  }
+
+  std::vector<G1> zs, rs, us;
+  std::array<std::vector<G1>, 3> hs;
+  for (size_t j = 0; j < n; ++j) {
+    auto h = scheme_.hash_message(msgs[j]);
+    zs.push_back(G1::from_affine(sigs[j].z));
+    rs.push_back(G1::from_affine(sigs[j].r));
+    us.push_back(G1::from_affine(sigs[j].u));
+    for (size_t k = 0; k < 3; ++k) hs[k].push_back(G1::from_affine(h[k]));
+  }
+  std::vector<PreparedTerm> terms = {
+      {msm<G1>(zs, e1).to_affine(), &gz_},
+      {msm<G1>(rs, e1).to_affine(), &gr_},
+      {msm<G1>(zs, e2).to_affine(), &hz_},
+      {msm<G1>(us, e2).to_affine(), &hu_},
+  };
+  for (size_t k = 0; k < 3; ++k) {
+    terms.push_back({msm<G1>(hs[k], e1).to_affine(), &g_[k]});
+    terms.push_back({msm<G1>(hs[k], e2).to_affine(), &h_[k]});
+  }
+  return pairing_product_is_one(terms);
 }
 
 }  // namespace bnr::threshold

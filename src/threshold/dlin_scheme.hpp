@@ -9,6 +9,7 @@
 #include <map>
 
 #include "dkg/pedersen_dkg.hpp"
+#include "pairing/pairing.hpp"
 #include "threshold/params.hpp"
 
 namespace bnr::threshold {
@@ -78,6 +79,10 @@ class DlinScheme {
   bool share_verify(const DlinVerificationKey& vk,
                     std::span<const uint8_t> msg,
                     const DlinPartialSignature& sig) const;
+  /// Hash-hoisted variant (Combine hashes once for all partial signatures).
+  bool share_verify(const DlinVerificationKey& vk,
+                    const std::array<G1Affine, 3>& h,
+                    const DlinPartialSignature& sig) const;
 
   DlinSignature combine(const DlinKeyMaterial& km,
                         std::span<const uint8_t> msg,
@@ -88,6 +93,25 @@ class DlinScheme {
 
  private:
   SystemParams params_;
+};
+
+/// Cached verifier for the DLIN variant: prepares all ten fixed G2 inputs
+/// (g^_z, g^_r, h^_z, h^_u and the six key elements) once. `batch_verify`
+/// folds BOTH verification equations of every signature into a single
+/// 10-pairing product with independent 128-bit RLC coefficients per
+/// (signature, equation) pair.
+class DlinVerifier {
+ public:
+  DlinVerifier(const DlinScheme& scheme, const DlinPublicKey& pk);
+
+  bool verify(std::span<const uint8_t> msg, const DlinSignature& sig) const;
+  bool batch_verify(std::span<const Bytes> msgs,
+                    std::span<const DlinSignature> sigs, Rng& rng) const;
+
+ private:
+  DlinScheme scheme_;
+  G2Prepared gz_, gr_, hz_, hu_;
+  std::array<G2Prepared, 3> g_, h_;
 };
 
 }  // namespace bnr::threshold

@@ -1,6 +1,15 @@
 #include "threshold/params.hpp"
 
+#include "common/rng.hpp"
+
 namespace bnr::threshold {
+
+Fr random_rlc_coefficient(Rng& rng) {
+  for (;;) {
+    U256 v{{rng.next_u64(), rng.next_u64(), 0, 0}};
+    if (!v.is_zero()) return Fr::from_u256(v);
+  }
+}
 
 SystemParams SystemParams::derive(std::string_view label) {
   SystemParams p;

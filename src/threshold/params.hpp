@@ -26,4 +26,10 @@ struct SystemParams {
   }
 };
 
+/// Draws a uniform nonzero 128-bit scalar: the batch-verification RLC
+/// coefficient size. Folding N signatures with such coefficients lets an
+/// invalid batch pass with probability at most ~N/2^128, while keeping the
+/// MSM windows half as deep as full-width scalars would.
+Fr random_rlc_coefficient(Rng& rng);
+
 }  // namespace bnr::threshold

@@ -179,7 +179,12 @@ PartialSignature RoScheme::share_sign(const KeyShare& share,
 bool RoScheme::share_verify(const VerificationKey& vk,
                             std::span<const uint8_t> msg,
                             const PartialSignature& sig) const {
-  auto h = hash_message(msg);
+  return share_verify(vk, hash_message(msg), sig);
+}
+
+bool RoScheme::share_verify(const VerificationKey& vk,
+                            const std::array<G1Affine, 2>& h,
+                            const PartialSignature& sig) const {
   std::array<PairingTerm, 4> terms = {
       PairingTerm{sig.z, params_.g_z},
       PairingTerm{sig.r, params_.g_r},
@@ -196,21 +201,24 @@ Signature RoScheme::combine_unchecked(
   std::vector<uint32_t> indices;
   for (size_t i = 0; i < t + 1; ++i) indices.push_back(parts[i].index);
   auto lagrange = lagrange_at_zero(indices);
-  G1 z, r;
+  std::vector<G1> zs, rs;
+  zs.reserve(t + 1);
+  rs.reserve(t + 1);
   for (size_t i = 0; i < t + 1; ++i) {
-    z = z + G1::from_affine(parts[i].z).mul(lagrange[i]);
-    r = r + G1::from_affine(parts[i].r).mul(lagrange[i]);
+    zs.push_back(G1::from_affine(parts[i].z));
+    rs.push_back(G1::from_affine(parts[i].r));
   }
-  return {z.to_affine(), r.to_affine()};
+  return {msm<G1>(zs, lagrange).to_affine(), msm<G1>(rs, lagrange).to_affine()};
 }
 
 Signature RoScheme::combine(const KeyMaterial& km,
                             std::span<const uint8_t> msg,
                             std::span<const PartialSignature> parts) const {
+  auto h = hash_message(msg);  // hashed ONCE, not per partial signature
   std::vector<PartialSignature> valid;
   for (const auto& p : parts) {
     if (p.index < 1 || p.index > km.n) continue;
-    if (share_verify(km.vks[p.index - 1], msg, p)) valid.push_back(p);
+    if (share_verify(km.vks[p.index - 1], h, p)) valid.push_back(p);
     if (valid.size() == km.t + 1) break;
   }
   if (valid.size() < km.t + 1)
@@ -250,6 +258,59 @@ void RoScheme::refresh(KeyMaterial& km, Rng& rng,
     km.vks[i - 1].v = {refreshed.new_vks[i - 1][0],
                        refreshed.new_vks[i - 1][1]};
   }
+}
+
+// ---------------------------------------------------------------------------
+// Cached verification
+
+RoVerifier::RoVerifier(const RoScheme& scheme, const PublicKey& pk)
+    : scheme_(scheme),
+      prep_{G2Prepared(scheme.params().g_z), G2Prepared(scheme.params().g_r),
+            G2Prepared(pk.g[0]), G2Prepared(pk.g[1])} {}
+
+bool RoVerifier::verify(std::span<const uint8_t> msg,
+                        const Signature& sig) const {
+  auto h = scheme_.hash_message(msg);
+  std::array<PreparedTerm, 4> terms = {
+      PreparedTerm{sig.z, &prep_[0]},
+      PreparedTerm{sig.r, &prep_[1]},
+      PreparedTerm{h[0], &prep_[2]},
+      PreparedTerm{h[1], &prep_[3]},
+  };
+  return pairing_product_is_one(terms);
+}
+
+bool RoVerifier::batch_verify(std::span<const Bytes> msgs,
+                              std::span<const Signature> sigs,
+                              Rng& rng) const {
+  if (msgs.size() != sigs.size())
+    throw std::invalid_argument("batch_verify: size mismatch");
+  if (msgs.empty()) return true;
+  const size_t n = msgs.size();
+
+  std::vector<Fr> coeff(n);
+  coeff[0] = Fr::one();  // the first coefficient may be fixed
+  for (size_t j = 1; j < n; ++j) coeff[j] = random_rlc_coefficient(rng);
+
+  std::vector<G1> zs, rs, h1s, h2s;
+  zs.reserve(n);
+  rs.reserve(n);
+  h1s.reserve(n);
+  h2s.reserve(n);
+  for (size_t j = 0; j < n; ++j) {
+    auto h = scheme_.hash_message(msgs[j]);
+    zs.push_back(G1::from_affine(sigs[j].z));
+    rs.push_back(G1::from_affine(sigs[j].r));
+    h1s.push_back(G1::from_affine(h[0]));
+    h2s.push_back(G1::from_affine(h[1]));
+  }
+  std::array<PreparedTerm, 4> terms = {
+      PreparedTerm{msm<G1>(zs, coeff).to_affine(), &prep_[0]},
+      PreparedTerm{msm<G1>(rs, coeff).to_affine(), &prep_[1]},
+      PreparedTerm{msm<G1>(h1s, coeff).to_affine(), &prep_[2]},
+      PreparedTerm{msm<G1>(h2s, coeff).to_affine(), &prep_[3]},
+  };
+  return pairing_product_is_one(terms);
 }
 
 KeyShare RoScheme::recover(const KeyMaterial& km, Rng& rng, uint32_t lost,

@@ -14,6 +14,7 @@
 
 #include "dkg/pedersen_dkg.hpp"
 #include "dkg/proactive.hpp"
+#include "pairing/pairing.hpp"
 #include "threshold/params.hpp"
 
 namespace bnr::threshold {
@@ -92,6 +93,11 @@ class RoScheme {
                               std::span<const uint8_t> msg) const;
   bool share_verify(const VerificationKey& vk, std::span<const uint8_t> msg,
                     const PartialSignature& sig) const;
+  /// Hash-hoisted variant: callers checking many partial signatures of the
+  /// same message (Combine) hash once and reuse `h`.
+  bool share_verify(const VerificationKey& vk,
+                    const std::array<G1Affine, 2>& h,
+                    const PartialSignature& sig) const;
 
   /// Combines t+1 valid partial signatures. Invalid shares are detected via
   /// Share-Verify and skipped (robustness); throws std::runtime_error if
@@ -121,6 +127,31 @@ class RoScheme {
 
  private:
   SystemParams params_;
+};
+
+/// Cached verifier for one public key: holds the prepared Miller-loop line
+/// coefficients of the four fixed G2 inputs (g^_z, g^_r, g^_1, g^_2), so each
+/// Verify pays only line evaluations plus the shared final exponentiation.
+/// This is the hot-path object a serving deployment keeps per tenant key.
+class RoVerifier {
+ public:
+  RoVerifier(const RoScheme& scheme, const PublicKey& pk);
+
+  bool verify(std::span<const uint8_t> msg, const Signature& sig) const;
+
+  /// Folds many (message, signature) pairs into ONE product of four pairings
+  /// via a random linear combination with 128-bit coefficients: for random
+  /// nonzero e_j, checks
+  ///   e(sum e_j z_j, g^_z) e(sum e_j r_j, g^_r)
+  ///     e(sum e_j H1_j, g^_1) e(sum e_j H2_j, g^_2) == 1.
+  /// A batch containing any invalid signature passes with probability at
+  /// most ~N/2^128. The four sums are Pippenger MSMs with short scalars.
+  bool batch_verify(std::span<const Bytes> msgs,
+                    std::span<const Signature> sigs, Rng& rng) const;
+
+ private:
+  RoScheme scheme_;
+  std::array<G2Prepared, 4> prep_;  // g^_z, g^_r, g^_1, g^_2
 };
 
 }  // namespace bnr::threshold
