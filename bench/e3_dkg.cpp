@@ -9,7 +9,7 @@ using namespace bnr::bench;
 namespace {
 
 void run_case(const threshold::RoScheme& scheme, size_t n, size_t t,
-              bool faulty, Rng& rng) {
+              bool faulty, Rng& rng, JsonWriter& out) {
   std::map<uint32_t, dkg::Behavior> behaviors;
   if (faulty) {
     behaviors[2].send_bad_share_to = {3};           // complaint + response
@@ -24,11 +24,15 @@ void run_case(const threshold::RoScheme& scheme, size_t n, size_t t,
          faulty ? "faulty" : "honest", km.transcript.rounds,
          s.broadcast_messages, s.direct_messages, s.broadcast_bytes,
          s.direct_bytes, ms, ms / n);
+  out.record("dkg/" + std::string(faulty ? "faulty" : "honest") + "/n" +
+                 std::to_string(n),
+             ms * 1e6);
 }
 
 }  // namespace
 
 int main() {
+  JsonWriter out("BENCH_e3.json");
   threshold::SystemParams sp = threshold::SystemParams::derive("e3");
   threshold::RoScheme scheme(sp);
   Rng rng("e3-dkg");
@@ -39,14 +43,15 @@ int main() {
          "ms/player");
   for (size_t n : {4, 8, 16, 24, 32}) {
     size_t t = (n - 1) / 2;
-    run_case(scheme, n, t, /*faulty=*/false, rng);
+    run_case(scheme, n, t, /*faulty=*/false, rng, out);
   }
   for (size_t n : {4, 8, 16}) {
     size_t t = (n - 1) / 2;
-    run_case(scheme, n, t, /*faulty=*/true, rng);
+    run_case(scheme, n, t, /*faulty=*/true, rng, out);
   }
   printf("\nShape check vs paper: honest runs carry traffic in exactly ONE "
          "round;\nfaults add the complaint + response rounds (3 total); "
          "bytes grow as n*t (broadcast commitments) + n^2 (shares).\n");
+  out.flush();
   return 0;
 }

@@ -7,6 +7,7 @@ using namespace bnr;
 using namespace bnr::bench;
 
 int main() {
+  JsonWriter out("BENCH_e7.json");
   threshold::SystemParams sp = threshold::SystemParams::derive("e7");
   threshold::RoScheme scheme(sp);
   Rng rng("e7-proactive");
@@ -30,9 +31,12 @@ int main() {
     }
     printf("%4zu %4zu | %11.1f %11zu %12zu | %12.1f\n", n, t, refresh_ms,
            net.stats().total_bytes(), net.stats().rounds, recover_ms);
+    out.record("refresh/n" + std::to_string(n), refresh_ms * 1e6);
+    out.record("recover/n" + std::to_string(n), recover_ms * 1e6);
   }
   printf("\nShape check vs paper: a refresh epoch costs one zero-sharing "
          "DKG (same scaling as E3) and leaves PK untouched; recovery needs "
          "t+1 helpers and no dealer.\n");
+  out.flush();
   return 0;
 }

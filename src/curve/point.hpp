@@ -304,6 +304,36 @@ inline size_t msm_window_bits(size_t n) {
   return 11;
 }
 
+/// Bucket accumulation of ONE c-bit Pippenger window (no doublings): drops
+/// each point into the bucket of its digit at bit position w*c, then folds
+/// the buckets with the running-sum trick. Windows touch disjoint state, so
+/// the serving layer fans them out across a thread pool and only the final
+/// doubling combine stays sequential. `buckets` is caller-provided scratch
+/// (resized/reset here) so a serial multi-window loop pays one allocation.
+template <class Point>
+Point msm_window_sum(std::span<const Point> points, std::span<const U256> ks,
+                     size_t w, size_t c, std::vector<Point>& buckets) {
+  buckets.assign((size_t(1) << c) - 1, Point::identity());
+  for (size_t i = 0; i < points.size(); ++i) {
+    uint64_t d = msm_digit(ks[i], w * c, c);
+    if (d != 0) buckets[d - 1] = buckets[d - 1] + points[i];
+  }
+  // sum_d d * bucket[d] via the running-sum trick.
+  Point running, sum;
+  for (size_t b = buckets.size(); b-- > 0;) {
+    running = running + buckets[b];
+    sum = sum + running;
+  }
+  return sum;
+}
+
+template <class Point>
+Point msm_window_sum(std::span<const Point> points, std::span<const U256> ks,
+                     size_t w, size_t c) {
+  std::vector<Point> buckets;
+  return msm_window_sum(points, ks, w, c, buckets);
+}
+
 }  // namespace detail
 
 /// Multi-scalar multiplication sum_i points[i] * scalars[i] via Pippenger
@@ -329,22 +359,12 @@ Point msm(std::span<const Point> points, std::span<const Fr> scalars) {
 
   const size_t c = detail::msm_window_bits(n);
   const size_t windows = (max_bits + c - 1) / c;
-  std::vector<Point> buckets((size_t(1) << c) - 1);
+  std::vector<Point> buckets;  // scratch shared across windows
   Point result;
   for (size_t w = windows; w-- > 0;) {
     for (size_t s = 0; s < c; ++s) result = result.dbl();
-    for (auto& b : buckets) b = Point::identity();
-    for (size_t i = 0; i < n; ++i) {
-      uint64_t d = detail::msm_digit(ks[i], w * c, c);
-      if (d != 0) buckets[d - 1] = buckets[d - 1] + points[i];
-    }
-    // sum_d d * bucket[d] via the running-sum trick.
-    Point running, sum;
-    for (size_t b = buckets.size(); b-- > 0;) {
-      running = running + buckets[b];
-      sum = sum + running;
-    }
-    result = result + sum;
+    result = result + detail::msm_window_sum(points, std::span<const U256>(ks),
+                                             w, c, buckets);
   }
   return result;
 }

@@ -1,0 +1,31 @@
+#include "service/parallel.hpp"
+
+#include <algorithm>
+
+namespace bnr::service {
+
+GT multi_pairing_parallel(ThreadPool& pool,
+                          std::span<const PreparedTerm> terms) {
+  // Below ~8 terms (or with no parallelism available) the extra squaring
+  // chains cost more than the fan-out saves.
+  const size_t chunks =
+      std::min(pool.size() + 1, std::max<size_t>(1, terms.size() / 4));
+  if (terms.size() < 8 || chunks < 2) return multi_pairing(terms);
+
+  const size_t per = (terms.size() + chunks - 1) / chunks;
+  std::vector<Fp12> partial(chunks, Fp12::one());
+  pool.parallel_for(chunks, [&](size_t k) {
+    size_t lo = k * per, hi = std::min(terms.size(), lo + per);
+    if (lo < hi) partial[k] = miller_loop(terms.subspan(lo, hi - lo));
+  });
+  Fp12 f = Fp12::one();
+  for (const auto& p : partial) f = f * p;
+  return {final_exponentiation(f)};
+}
+
+bool pairing_product_is_one_parallel(ThreadPool& pool,
+                                     std::span<const PreparedTerm> terms) {
+  return multi_pairing_parallel(pool, terms).is_identity();
+}
+
+}  // namespace bnr::service

@@ -1,0 +1,157 @@
+#include "service/thread_pool.hpp"
+
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+
+namespace bnr::service {
+
+namespace {
+
+// Which worker (of which pool) the current thread is; -1 outside any pool.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local size_t tls_worker = 0;
+
+size_t default_threads() {
+  if (const char* env = std::getenv("BNR_THREADS")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) threads = default_threads();
+  queues_.resize(threads);
+  workers_.reserve(threads);
+  for (size_t id = 0; id < threads; ++id)
+    workers_.emplace_back([this, id] { worker_loop(id); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> l(m_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> l(m_);
+    if (tls_pool == this) {
+      queues_[tls_worker].push_front(std::move(task));  // stays local, LIFO
+    } else {
+      size_t target = rr_.fetch_add(1, std::memory_order_relaxed) %
+                      queues_.size();
+      queues_[target].push_back(std::move(task));
+    }
+    ++queued_;
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(size_t id, std::function<void()>& task) {
+  // Caller holds m_. Own queue first (front = newest), then steal the oldest
+  // task from the nearest victim.
+  if (!queues_[id].empty()) {
+    task = std::move(queues_[id].front());
+    queues_[id].pop_front();
+    --queued_;
+    return true;
+  }
+  for (size_t k = 1; k < queues_.size(); ++k) {
+    size_t victim = (id + k) % queues_.size();
+    if (queues_[victim].empty()) continue;
+    task = std::move(queues_[victim].back());
+    queues_[victim].pop_back();
+    --queued_;
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(size_t id) {
+  tls_pool = this;
+  tls_worker = id;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> l(m_);
+      cv_.wait(l, [&] { return stop_ || queued_ > 0; });
+      if (!try_pop(id, task)) {
+        if (stop_) return;  // stopping and every queue is drained
+        continue;
+      }
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(size_t n,
+                              const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1) {
+    body(0);
+    return;
+  }
+
+  struct ForState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> finished{0};
+    std::atomic<bool> aborted{false};
+    size_t n = 0;
+    std::mutex m;
+    std::condition_variable cv;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+
+  // Each participant claims iterations through the shared cursor. Every claim
+  // below n is counted in `finished` exactly once, even after an abort (the
+  // remaining claims drain without running the body), so `finished == n` is
+  // the unique completion condition.
+  const std::function<void(size_t)>* body_ptr = &body;
+  auto participate = [state, body_ptr] {
+    for (;;) {
+      size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= state->n) return;
+      if (!state->aborted.load(std::memory_order_relaxed)) {
+        try {
+          (*body_ptr)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> l(state->m);
+          if (!state->error) state->error = std::current_exception();
+          state->aborted.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (state->finished.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          state->n) {
+        std::lock_guard<std::mutex> l(state->m);
+        state->cv.notify_all();
+      }
+    }
+  };
+
+  size_t helpers = std::min(size(), n - 1);
+  for (size_t h = 0; h < helpers; ++h) submit(participate);
+  participate();  // help-first: the caller claims iterations too
+
+  std::unique_lock<std::mutex> l(state->m);
+  state->cv.wait(l, [&] {
+    return state->finished.load(std::memory_order_acquire) == state->n;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_threads());
+  return pool;
+}
+
+}  // namespace bnr::service

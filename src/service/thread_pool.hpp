@@ -1,0 +1,64 @@
+// Work-stealing thread pool: the execution substrate of the serving layer.
+//
+// Each worker owns a deque. A task submitted from inside a pool task lands on
+// the submitting worker's own deque (front) and is popped LIFO, keeping hot
+// data local; outside submissions are distributed round-robin (back). An idle
+// worker steals from the BACK of a victim's deque — the oldest task, which is
+// the least likely to share cache lines with what the victim is working on.
+//
+// `parallel_for` is help-first: the calling thread claims iterations alongside
+// the workers through a shared atomic cursor, so it makes progress even when
+// every worker is busy — it is therefore safe to call from inside a pool task
+// (no thread is ever blocked waiting for a queue slot).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bnr::service {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means one per hardware thread.
+  explicit ThreadPool(size_t threads = 0);
+
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. Never blocks; the task runs eventually even during
+  /// shutdown (the destructor drains the queues).
+  void submit(std::function<void()> task);
+
+  /// Runs body(0..n-1), blocking until all iterations finished. The first
+  /// exception thrown by any iteration is rethrown here (remaining
+  /// iterations are skipped). Callable from within a pool task.
+  void parallel_for(size_t n, const std::function<void(size_t)>& body);
+
+  /// Process-wide pool: BNR_THREADS workers if the env var is set, else one
+  /// per hardware thread.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop(size_t id);
+  bool try_pop(size_t id, std::function<void()>& task);
+
+  std::vector<std::deque<std::function<void()>>> queues_;
+  std::vector<std::thread> workers_;
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  size_t queued_ = 0;  // total tasks across queues_ (guarded by m_)
+  bool stop_ = false;
+  std::atomic<size_t> rr_{0};  // round-robin cursor for outside submissions
+};
+
+}  // namespace bnr::service

@@ -1,0 +1,61 @@
+#include "service/verification_service.hpp"
+
+#include "service/parallel.hpp"
+
+namespace bnr::service {
+
+CombineService::CombineService(const threshold::RoScheme& scheme,
+                               const threshold::KeyMaterial& km,
+                               ThreadPool& pool, std::string_view rng_label)
+    : combiner_(scheme, km), pool_(pool), rng_(Rng(rng_label)) {}
+
+CombineService::~CombineService() {
+  std::unique_lock<std::mutex> l(m_);
+  drained_.wait(l, [&] { return in_flight_ == 0; });
+}
+
+std::future<threshold::Signature> CombineService::submit(
+    Bytes msg, std::vector<threshold::PartialSignature> parts) {
+  Rng task_rng = [&] {
+    std::lock_guard<std::mutex> l(m_);
+    ++in_flight_;
+    return rng_.fork("combine");
+  }();
+  auto state = std::make_shared<std::pair<Bytes, Rng>>(std::move(msg),
+                                                       std::move(task_rng));
+  auto parts_shared =
+      std::make_shared<std::vector<threshold::PartialSignature>>(
+          std::move(parts));
+  auto promise = std::make_shared<std::promise<threshold::Signature>>();
+  auto fut = promise->get_future();
+  pool_.submit([this, state, parts_shared, promise] {
+    try {
+      promise->set_value(combine_parallel(combiner_, pool_, state->first,
+                                          *parts_shared, state->second));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+    std::lock_guard<std::mutex> l(m_);
+    if (--in_flight_ == 0) drained_.notify_all();
+  });
+  return fut;
+}
+
+threshold::Signature combine_parallel(
+    const threshold::RoCombiner& combiner, ThreadPool& pool,
+    std::span<const uint8_t> msg,
+    std::span<const threshold::PartialSignature> parts, Rng& rng,
+    std::vector<uint32_t>* cheaters) {
+  return combiner.combine_with(
+      msg, parts, rng,
+      [&pool](const threshold::RoCombiner::Fold& fold) {
+        std::vector<PreparedTerm> terms;
+        terms.reserve(fold.points.size());
+        for (size_t j = 0; j < fold.points.size(); ++j)
+          terms.push_back({fold.points[j], fold.preps[j]});
+        return pairing_product_is_one_parallel(pool, terms);
+      },
+      cheaters);
+}
+
+}  // namespace bnr::service

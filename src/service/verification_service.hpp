@@ -1,0 +1,259 @@
+// The request-driven serving front end (Thetacrypt-style): callers submit
+// (message, signature) pairs and get a future; the service accumulates
+// requests into an RLC batch and flushes it to the thread pool when the
+// batch reaches `max_batch` OR the oldest request has waited `max_delay`.
+// A flushed batch costs ONE pairing product (RoVerifier::batch_verify's
+// random-linear-combination fold); only when that fold fails does the
+// service re-verify the batch members individually to attribute the failure
+// — so invalid submissions cost extra work but can never poison the answer
+// for honest ones.
+//
+// Soundness under concurrency: each batch draws its RLC coefficients from a
+// private Rng forked per flush AFTER the batch contents are frozen (the
+// pending vector is moved out under the lock before coefficients exist), so
+// no submitter can adapt its signature to the coefficients that will fold it.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "service/thread_pool.hpp"
+#include "threshold/aggregate_scheme.hpp"
+#include "threshold/dlin_scheme.hpp"
+#include "threshold/ro_scheme.hpp"
+
+namespace bnr::service {
+
+struct BatchPolicy {
+  size_t max_batch = 64;                      // flush when this many pending
+  std::chrono::milliseconds max_delay{5};     // ... or the oldest is this old
+};
+
+struct ServiceStats {
+  uint64_t submitted = 0;
+  uint64_t batches = 0;          // batch_verify folds executed
+  uint64_t size_flushes = 0;     // flushes triggered by max_batch
+  uint64_t deadline_flushes = 0; // flushes triggered by max_delay
+  uint64_t fallbacks = 0;        // folds that failed -> individual re-verify
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+};
+
+/// Verifier must provide
+///   bool verify(std::span<const uint8_t>, const Sig&) const
+///   bool batch_verify(std::span<const Bytes>, std::span<const Sig>, Rng&) const
+/// — the shape of RoVerifier / DlinVerifier / AggVerifier.
+template <class Verifier, class Sig>
+class BatchVerificationService {
+ public:
+  BatchVerificationService(Verifier verifier, BatchPolicy policy,
+                           ThreadPool& pool,
+                           std::string_view rng_label = "verification-service")
+      : verifier_(std::move(verifier)),
+        policy_(policy),
+        pool_(pool),
+        rng_(Rng(rng_label)) {
+    flusher_ = std::thread([this] { flusher_loop(); });
+  }
+
+  /// Flushes whatever is pending, waits for in-flight batches, stops.
+  ~BatchVerificationService() {
+    {
+      std::unique_lock<std::mutex> l(m_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    flusher_.join();
+    std::unique_lock<std::mutex> l(m_);
+    if (!pending_.empty()) dispatch_locked(l, /*deadline=*/false);
+    drained_.wait(l, [&] { return in_flight_ == 0; });
+  }
+
+  BatchVerificationService(const BatchVerificationService&) = delete;
+  BatchVerificationService& operator=(const BatchVerificationService&) = delete;
+
+  std::future<bool> submit(Bytes msg, Sig sig) {
+    std::future<bool> fut;
+    bool flush_now = false;
+    {
+      std::unique_lock<std::mutex> l(m_);
+      if (pending_.empty())
+        oldest_ = std::chrono::steady_clock::now();
+      pending_.push_back({std::move(msg), std::move(sig), {}});
+      fut = pending_.back().promise.get_future();
+      ++stats_.submitted;
+      flush_now = pending_.size() >= policy_.max_batch;
+      if (flush_now) {
+        ++stats_.size_flushes;
+        dispatch_locked(l, /*deadline=*/false);
+      }
+    }
+    cv_.notify_one();  // wake the flusher to re-arm its deadline
+    return fut;
+  }
+
+  /// Forces whatever is pending out as one batch.
+  void flush() {
+    std::unique_lock<std::mutex> l(m_);
+    if (!pending_.empty()) dispatch_locked(l, /*deadline=*/false);
+  }
+
+  /// Blocks until no batch is pending or in flight.
+  void drain() {
+    std::unique_lock<std::mutex> l(m_);
+    if (!pending_.empty()) dispatch_locked(l, /*deadline=*/false);
+    drained_.wait(l, [&] { return in_flight_ == 0; });
+  }
+
+  ServiceStats stats() const {
+    std::lock_guard<std::mutex> l(m_);
+    return stats_;
+  }
+
+ private:
+  struct Pending {
+    Bytes msg;
+    Sig sig;
+    std::promise<bool> promise;
+  };
+
+  // Moves the pending batch out and hands it to the pool. Caller holds m_.
+  void dispatch_locked(std::unique_lock<std::mutex>&, bool deadline) {
+    std::vector<Pending> batch;
+    batch.swap(pending_);
+    if (batch.empty()) return;
+    ++stats_.batches;
+    if (deadline) ++stats_.deadline_flushes;
+    // The batch is frozen; only NOW are this fold's coefficients drawable.
+    Rng batch_rng = rng_.fork("batch");
+    ++in_flight_;
+    auto shared = std::make_shared<std::vector<Pending>>(std::move(batch));
+    auto rng_shared = std::make_shared<Rng>(std::move(batch_rng));
+    pool_.submit([this, shared, rng_shared] {
+      run_batch(*shared, *rng_shared);
+      std::lock_guard<std::mutex> l(m_);
+      if (--in_flight_ == 0) drained_.notify_all();
+    });
+  }
+
+  void run_batch(std::vector<Pending>& batch, Rng& rng) {
+    std::vector<Bytes> msgs;
+    std::vector<Sig> sigs;
+    msgs.reserve(batch.size());
+    sigs.reserve(batch.size());
+    for (auto& p : batch) {
+      msgs.push_back(p.msg);
+      sigs.push_back(p.sig);
+    }
+    bool all_ok = verifier_.batch_verify(msgs, sigs, rng);
+    std::vector<bool> results(batch.size(), true);
+    uint64_t accepted = batch.size(), rejected = 0;
+    if (!all_ok) {
+      // Attribute the failure: one cached verify per member.
+      accepted = 0;
+      for (size_t j = 0; j < batch.size(); ++j) {
+        results[j] = verifier_.verify(batch[j].msg, batch[j].sig);
+        (results[j] ? accepted : rejected)++;
+      }
+    }
+    {
+      // Stats are committed BEFORE the promises resolve, so a caller that
+      // observes a ready future also observes its batch in stats().
+      std::lock_guard<std::mutex> l(m_);
+      if (!all_ok) ++stats_.fallbacks;
+      stats_.accepted += accepted;
+      stats_.rejected += rejected;
+    }
+    for (size_t j = 0; j < batch.size(); ++j)
+      batch[j].promise.set_value(results[j]);
+  }
+
+  void flusher_loop() {
+    std::unique_lock<std::mutex> l(m_);
+    for (;;) {
+      if (stop_) return;
+      if (pending_.empty()) {
+        cv_.wait(l, [&] { return stop_ || !pending_.empty(); });
+        continue;
+      }
+      auto deadline = oldest_ + policy_.max_delay;
+      if (cv_.wait_until(l, deadline,
+                         [&] { return stop_ || pending_.empty(); }))
+        continue;  // state changed under us; re-evaluate
+      if (std::chrono::steady_clock::now() < oldest_ + policy_.max_delay)
+        continue;  // the armed deadline belonged to an already-flushed batch
+      dispatch_locked(l, /*deadline=*/true);
+    }
+  }
+
+  Verifier verifier_;
+  BatchPolicy policy_;
+  ThreadPool& pool_;
+  Rng rng_;  // master; forked per batch (guarded by m_)
+
+  mutable std::mutex m_;
+  std::condition_variable cv_;        // flusher wake-ups
+  std::condition_variable drained_;   // in_flight_ == 0
+  std::vector<Pending> pending_;
+  std::chrono::steady_clock::time_point oldest_{};
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+  ServiceStats stats_;
+  std::thread flusher_;  // last member: started after everything else exists
+};
+
+using RoVerificationService =
+    BatchVerificationService<threshold::RoVerifier, threshold::Signature>;
+using DlinVerificationService =
+    BatchVerificationService<threshold::DlinVerifier,
+                             threshold::DlinSignature>;
+using AggVerificationService =
+    BatchVerificationService<threshold::AggVerifier, threshold::Signature>;
+
+/// Combine requests interpolate DIFFERENT messages, so they do not fold into
+/// one RLC batch the way verify requests do; instead each runs as its own
+/// pool task over the shared per-committee RoCombiner (whose internal share
+/// verification is itself one RLC fold). The future resolves to the combined
+/// signature or carries the std::runtime_error from Combine.
+class CombineService {
+ public:
+  CombineService(const threshold::RoScheme& scheme,
+                 const threshold::KeyMaterial& km, ThreadPool& pool,
+                 std::string_view rng_label = "combine-service");
+
+  /// Waits for every submitted request to finish: pool tasks hold a raw
+  /// reference to this service, so they must all drain before the cached
+  /// combiner is torn down.
+  ~CombineService();
+
+  std::future<threshold::Signature> submit(
+      Bytes msg, std::vector<threshold::PartialSignature> parts);
+
+  const threshold::RoCombiner& combiner() const { return combiner_; }
+
+ private:
+  threshold::RoCombiner combiner_;
+  ThreadPool& pool_;
+  std::mutex m_;  // guards rng_ and in_flight_
+  std::condition_variable drained_;
+  size_t in_flight_ = 0;
+  Rng rng_;
+};
+
+/// Batched Combine with the fold's pairing product and MSMs evaluated across
+/// the pool (parallel Miller-loop chunks; per-partial fallback on failure
+/// delegates to the combiner's serial path).
+threshold::Signature combine_parallel(
+    const threshold::RoCombiner& combiner, ThreadPool& pool,
+    std::span<const uint8_t> msg,
+    std::span<const threshold::PartialSignature> parts, Rng& rng,
+    std::vector<uint32_t>* cheaters = nullptr);
+
+}  // namespace bnr::service

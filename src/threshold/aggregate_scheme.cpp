@@ -169,15 +169,12 @@ bool AggregateScheme::share_verify(const VerificationKey& vk,
 Signature AggregateScheme::combine(
     const AggKeyMaterial& km, std::span<const uint8_t> msg,
     std::span<const PartialSignature> parts) const {
+  // Same Share-Verify equation as the main scheme (only the hash binds the
+  // key), so the batched RLC selection is shared with RoScheme::combine.
   auto h = hash_message(km.pk, msg);  // hashed ONCE, not per partial
-  std::vector<PartialSignature> valid;
-  for (const auto& p : parts) {
-    if (p.index < 1 || p.index > km.n) continue;
-    if (share_verify(km.vks[p.index - 1], h, p)) valid.push_back(p);
-    if (valid.size() == km.t + 1) break;
-  }
-  if (valid.size() < km.t + 1)
-    throw std::runtime_error("agg combine: fewer than t+1 valid shares");
+  Rng rng = transcript_rng(params_.hash_dst("agg-combine-rlc"), msg, parts);
+  auto valid =
+      select_valid_partials(params_, km.vks, km.n, km.t, h, parts, rng);
   RoScheme base(params_);
   return base.combine_unchecked(km.t, valid);
 }

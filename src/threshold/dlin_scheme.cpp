@@ -4,6 +4,7 @@
 
 #include "common/rng.hpp"
 #include "common/serde.hpp"
+#include "common/sha256.hpp"
 #include "pairing/pairing.hpp"
 
 namespace bnr::threshold {
@@ -13,6 +14,15 @@ namespace {
 constexpr size_t idx_a(size_t k) { return 3 * k; }
 constexpr size_t idx_b(size_t k) { return 3 * k + 1; }
 constexpr size_t idx_c(size_t k) { return 3 * k + 2; }
+
+Rng dlin_transcript_rng(std::string_view domain, std::span<const uint8_t> msg,
+                        std::span<const DlinPartialSignature> parts) {
+  Sha256 hs;
+  hs.update(domain);
+  hs.update(msg);
+  for (const auto& p : parts) hs.update(p.serialize());
+  return Rng(hs.finalize());
+}
 }  // namespace
 
 Bytes DlinPublicKey::serialize() const {
@@ -139,18 +149,83 @@ bool DlinScheme::share_verify(const DlinVerificationKey& vk,
   return pairing_product_is_one(eq1) && pairing_product_is_one(eq2);
 }
 
-DlinSignature DlinScheme::combine(
-    const DlinKeyMaterial& km, std::span<const uint8_t> msg,
-    std::span<const DlinPartialSignature> parts) const {
-  auto h = hash_message(msg);  // hashed ONCE, not per partial signature
-  std::vector<DlinPartialSignature> valid;
-  for (const auto& p : parts) {
-    if (p.index < 1 || p.index > km.n) continue;
-    if (share_verify(km.vks[p.index - 1], h, p)) valid.push_back(p);
-    if (valid.size() == km.t + 1) break;
+namespace {
+
+/// Independent RLC coefficient sets for the two Share-Verify equations
+/// (alpha for eq1, beta for eq2); only alpha_0 may be pinned to 1.
+void dlin_rlc_coefficients(size_t m, Rng& rng, std::vector<Fr>& alpha,
+                           std::vector<Fr>& beta) {
+  alpha.resize(m);
+  beta.resize(m);
+  for (size_t j = 0; j < m; ++j) {
+    alpha[j] = j == 0 ? Fr::one() : random_rlc_coefficient(rng);
+    beta[j] = random_rlc_coefficient(rng);
   }
-  if (valid.size() < km.t + 1)
-    throw std::runtime_error("dlin combine: fewer than t+1 valid shares");
+}
+
+/// G1 side of the two-equation fold, shared by the stateless and cached
+/// paths: [sum a_j z_j, sum a_j r_j, sum b_j z_j, sum b_j u_j, then per
+/// partial j and k: a_j H_k, b_j H_k], batch-normalized to affine.
+std::vector<G1Affine> dlin_fold_points(
+    const std::array<G1Affine, 3>& h,
+    std::span<const DlinPartialSignature> parts, std::span<const Fr> alpha,
+    std::span<const Fr> beta) {
+  const size_t m = parts.size();
+  std::vector<G1> zs, rs, us;
+  zs.reserve(m);
+  rs.reserve(m);
+  us.reserve(m);
+  for (const auto& p : parts) {
+    zs.push_back(G1::from_affine(p.z));
+    rs.push_back(G1::from_affine(p.r));
+    us.push_back(G1::from_affine(p.u));
+  }
+  std::array<G1, 3> hj;
+  for (size_t k = 0; k < 3; ++k) hj[k] = G1::from_affine(h[k]);
+  std::vector<G1> scaled;
+  scaled.reserve(4 + 6 * m);
+  scaled.push_back(msm<G1>(zs, alpha));
+  scaled.push_back(msm<G1>(rs, alpha));
+  scaled.push_back(msm<G1>(zs, beta));
+  scaled.push_back(msm<G1>(us, beta));
+  for (size_t j = 0; j < m; ++j)
+    for (size_t k = 0; k < 3; ++k) {
+      scaled.push_back(hj[k].mul(alpha[j]));
+      scaled.push_back(hj[k].mul(beta[j]));
+    }
+  return batch_to_affine<G1Curve>(scaled);
+}
+
+/// Both Share-Verify equations of every partial folded into one pairing
+/// product with independent RLC coefficient sets (alpha for eq1, beta for
+/// eq2): 4 + 6m terms, one squaring chain, one final exponentiation.
+bool dlin_batch_share_fold(const SystemParams& params,
+                           std::span<const DlinVerificationKey> vks,
+                           const std::array<G1Affine, 3>& h,
+                           std::span<const DlinPartialSignature> parts,
+                           Rng& rng) {
+  const size_t m = parts.size();
+  if (m == 0) return true;
+  std::vector<Fr> alpha, beta;
+  dlin_rlc_coefficients(m, rng, alpha, beta);
+  auto affine = dlin_fold_points(h, parts, alpha, beta);
+  std::vector<PairingTerm> terms;
+  terms.reserve(4 + 6 * m);
+  terms.push_back({affine[0], params.g_z});
+  terms.push_back({affine[1], params.g_r});
+  terms.push_back({affine[2], params.h_z});
+  terms.push_back({affine[3], params.h_u});
+  for (size_t j = 0; j < m; ++j) {
+    const auto& vk = vks[parts[j].index - 1];
+    for (size_t k = 0; k < 3; ++k) {
+      terms.push_back({affine[4 + 6 * j + 2 * k], vk.u[k]});
+      terms.push_back({affine[4 + 6 * j + 2 * k + 1], vk.z[k]});
+    }
+  }
+  return pairing_product_is_one(terms);
+}
+
+DlinSignature dlin_interpolate(std::span<const DlinPartialSignature> valid) {
   std::vector<uint32_t> indices;
   for (const auto& p : valid) indices.push_back(p.index);
   auto lagrange = lagrange_at_zero(indices);
@@ -162,6 +237,34 @@ DlinSignature DlinScheme::combine(
   }
   return {msm<G1>(zs, lagrange).to_affine(), msm<G1>(rs, lagrange).to_affine(),
           msm<G1>(us, lagrange).to_affine()};
+}
+
+}  // namespace
+
+DlinSignature DlinScheme::combine(
+    const DlinKeyMaterial& km, std::span<const uint8_t> msg,
+    std::span<const DlinPartialSignature> parts) const {
+  auto h = hash_message(msg);  // hashed ONCE, not per partial signature
+  std::vector<DlinPartialSignature> candidates;
+  candidates.reserve(parts.size());
+  for (const auto& p : parts)
+    if (p.index >= 1 && p.index <= km.n) candidates.push_back(p);
+  if (candidates.size() >= km.t + 1) {
+    Rng rng =
+        dlin_transcript_rng(params_.hash_dst("dlin-combine-rlc"), msg, parts);
+    std::span<const DlinPartialSignature> head(candidates.data(), km.t + 1);
+    if (dlin_batch_share_fold(params_, km.vks, h, head, rng))
+      return dlin_interpolate(head);
+  }
+  // Fold failed: sequential scan, identical to the pre-batching path.
+  std::vector<DlinPartialSignature> valid;
+  for (const auto& p : candidates) {
+    if (share_verify(km.vks[p.index - 1], h, p)) valid.push_back(p);
+    if (valid.size() == km.t + 1) break;
+  }
+  if (valid.size() < km.t + 1)
+    throw std::runtime_error("dlin combine: fewer than t+1 valid shares");
+  return dlin_interpolate(valid);
 }
 
 bool DlinScheme::verify(const DlinPublicKey& pk, std::span<const uint8_t> msg,
@@ -238,6 +341,114 @@ bool DlinVerifier::batch_verify(std::span<const Bytes> msgs,
     terms.push_back({msm<G1>(hs[k], e2).to_affine(), &h_[k]});
   }
   return pairing_product_is_one(terms);
+}
+
+// ---------------------------------------------------------------------------
+// Cached share verification / batched Combine
+
+DlinShareVerifier::DlinShareVerifier(const G2Prepared* g_z,
+                                     const G2Prepared* g_r,
+                                     const G2Prepared* h_z,
+                                     const G2Prepared* h_u,
+                                     const DlinVerificationKey& vk)
+    : g_z_(g_z),
+      g_r_(g_r),
+      h_z_(h_z),
+      h_u_(h_u),
+      u_{G2Prepared(vk.u[0]), G2Prepared(vk.u[1]), G2Prepared(vk.u[2])},
+      z_{G2Prepared(vk.z[0]), G2Prepared(vk.z[1]), G2Prepared(vk.z[2])} {}
+
+bool DlinShareVerifier::verify(const std::array<G1Affine, 3>& h,
+                               const DlinPartialSignature& sig) const {
+  std::vector<PreparedTerm> eq1 = {{sig.z, g_z_}, {sig.r, g_r_}};
+  std::vector<PreparedTerm> eq2 = {{sig.z, h_z_}, {sig.u, h_u_}};
+  for (size_t k = 0; k < 3; ++k) {
+    eq1.push_back({h[k], &u_[k]});
+    eq2.push_back({h[k], &z_[k]});
+  }
+  return pairing_product_is_one(eq1) && pairing_product_is_one(eq2);
+}
+
+DlinCombiner::DlinCombiner(const DlinScheme& scheme,
+                           const DlinKeyMaterial& km)
+    : scheme_(scheme),
+      n_(km.n),
+      t_(km.t),
+      gz_(scheme.params().g_z),
+      gr_(scheme.params().g_r),
+      hz_(scheme.params().h_z),
+      hu_(scheme.params().h_u) {
+  players_.reserve(km.n);
+  for (size_t i = 0; i < km.n; ++i)
+    players_.emplace_back(&gz_, &gr_, &hz_, &hu_, km.vks[i]);
+}
+
+bool DlinCombiner::share_verify(const std::array<G1Affine, 3>& h,
+                                const DlinPartialSignature& sig) const {
+  if (sig.index < 1 || sig.index > n_)
+    throw std::invalid_argument("DlinCombiner: partial index out of range");
+  return players_[sig.index - 1].verify(h, sig);
+}
+
+bool DlinCombiner::batch_share_verify(
+    const std::array<G1Affine, 3>& h,
+    std::span<const DlinPartialSignature> parts, Rng& rng) const {
+  const size_t m = parts.size();
+  if (m == 0) return true;
+  for (const auto& p : parts)
+    if (p.index < 1 || p.index > n_)
+      throw std::invalid_argument("DlinCombiner: partial index out of range");
+  std::vector<Fr> alpha, beta;
+  dlin_rlc_coefficients(m, rng, alpha, beta);
+  auto affine = dlin_fold_points(h, parts, alpha, beta);
+  std::vector<PreparedTerm> terms;
+  terms.reserve(4 + 6 * m);
+  terms.push_back({affine[0], &gz_});
+  terms.push_back({affine[1], &gr_});
+  terms.push_back({affine[2], &hz_});
+  terms.push_back({affine[3], &hu_});
+  for (size_t j = 0; j < m; ++j) {
+    const auto& sv = players_[parts[j].index - 1];
+    for (size_t k = 0; k < 3; ++k) {
+      terms.push_back({affine[4 + 6 * j + 2 * k], &sv.u_prep(k)});
+      terms.push_back({affine[4 + 6 * j + 2 * k + 1], &sv.z_prep(k)});
+    }
+  }
+  return pairing_product_is_one(terms);
+}
+
+DlinSignature DlinCombiner::combine(std::span<const uint8_t> msg,
+                                    std::span<const DlinPartialSignature> parts,
+                                    Rng& rng,
+                                    std::vector<uint32_t>* cheaters) const {
+  auto h = scheme_.hash_message(msg);
+  std::vector<DlinPartialSignature> candidates;
+  candidates.reserve(parts.size());
+  for (const auto& p : parts)
+    if (p.index >= 1 && p.index <= n_) candidates.push_back(p);
+  if (candidates.size() >= t_ + 1) {
+    std::span<const DlinPartialSignature> head(candidates.data(), t_ + 1);
+    if (batch_share_verify(h, head, rng)) return dlin_interpolate(head);
+  }
+  std::vector<DlinPartialSignature> valid;
+  for (const auto& p : candidates) {
+    if (players_[p.index - 1].verify(h, p))
+      valid.push_back(p);
+    else if (cheaters)
+      cheaters->push_back(p.index);
+    if (valid.size() == t_ + 1) break;
+  }
+  if (valid.size() < t_ + 1)
+    throw std::runtime_error("dlin combine: fewer than t+1 valid shares");
+  return dlin_interpolate(valid);
+}
+
+DlinSignature DlinCombiner::combine(std::span<const uint8_t> msg,
+                                    std::span<const DlinPartialSignature> parts,
+                                    std::vector<uint32_t>* cheaters) const {
+  Rng rng = dlin_transcript_rng(scheme_.params().hash_dst("dlin-combine-rlc"),
+                                msg, parts);
+  return combine(msg, parts, rng, cheaters);
 }
 
 }  // namespace bnr::threshold

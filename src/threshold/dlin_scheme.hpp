@@ -84,6 +84,11 @@ class DlinScheme {
                     const std::array<G1Affine, 3>& h,
                     const DlinPartialSignature& sig) const;
 
+  /// Combines t+1 valid partial signatures. Both Share-Verify equations of
+  /// all t+1 candidates are batch-checked with ONE RLC pairing-product fold
+  /// (Fiat-Shamir coefficients); per-partial verification runs only when the
+  /// fold fails, to identify cheaters. Sequential-path semantics: the first
+  /// t+1 valid partials in input order are combined.
   DlinSignature combine(const DlinKeyMaterial& km,
                         std::span<const uint8_t> msg,
                         std::span<const DlinPartialSignature> parts) const;
@@ -112,6 +117,66 @@ class DlinVerifier {
   DlinScheme scheme_;
   G2Prepared gz_, gr_, hz_, hu_;
   std::array<G2Prepared, 3> g_, h_;
+};
+
+/// Per-player cached share verifier for the DLIN variant: prepared lines of
+/// the six per-player key elements (U^_{k,i}, Z^_{k,i}); the four shared
+/// generators are non-owning pointers kept alive by the DlinCombiner.
+class DlinShareVerifier {
+ public:
+  DlinShareVerifier(const G2Prepared* g_z, const G2Prepared* g_r,
+                    const G2Prepared* h_z, const G2Prepared* h_u,
+                    const DlinVerificationKey& vk);
+
+  bool verify(const std::array<G1Affine, 3>& h,
+              const DlinPartialSignature& sig) const;
+
+  const G2Prepared& u_prep(size_t k) const { return u_[k]; }
+  const G2Prepared& z_prep(size_t k) const { return z_[k]; }
+
+ private:
+  const G2Prepared* g_z_;
+  const G2Prepared* g_r_;
+  const G2Prepared* h_z_;
+  const G2Prepared* h_u_;
+  std::array<G2Prepared, 3> u_, z_;
+};
+
+/// Serving-side Combine engine for a DLIN committee. Folds BOTH Share-Verify
+/// equations of all t+1 candidates into one product of 4 + 6(t+1) pairings
+/// (independent RLC coefficient sets per equation), instead of t+1 pairs of
+/// 8-pairing products. Falls back to cached per-partial verification to
+/// identify cheaters only when the fold fails. Not movable (per-player
+/// verifiers point at the shared generator preparations).
+class DlinCombiner {
+ public:
+  DlinCombiner(const DlinScheme& scheme, const DlinKeyMaterial& km);
+
+  DlinCombiner(const DlinCombiner&) = delete;
+  DlinCombiner& operator=(const DlinCombiner&) = delete;
+
+  size_t n() const { return n_; }
+  size_t t() const { return t_; }
+
+  bool share_verify(const std::array<G1Affine, 3>& h,
+                    const DlinPartialSignature& sig) const;
+  bool batch_share_verify(const std::array<G1Affine, 3>& h,
+                          std::span<const DlinPartialSignature> parts,
+                          Rng& rng) const;
+
+  DlinSignature combine(std::span<const uint8_t> msg,
+                        std::span<const DlinPartialSignature> parts, Rng& rng,
+                        std::vector<uint32_t>* cheaters = nullptr) const;
+  /// Fiat-Shamir variant (deterministic; matches DlinScheme::combine).
+  DlinSignature combine(std::span<const uint8_t> msg,
+                        std::span<const DlinPartialSignature> parts,
+                        std::vector<uint32_t>* cheaters = nullptr) const;
+
+ private:
+  DlinScheme scheme_;
+  size_t n_ = 0, t_ = 0;
+  G2Prepared gz_, gr_, hz_, hu_;
+  std::vector<DlinShareVerifier> players_;
 };
 
 }  // namespace bnr::threshold

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <map>
 
 #include "dkg/pedersen_dkg.hpp"
@@ -99,9 +100,13 @@ class RoScheme {
                     const std::array<G1Affine, 2>& h,
                     const PartialSignature& sig) const;
 
-  /// Combines t+1 valid partial signatures. Invalid shares are detected via
-  /// Share-Verify and skipped (robustness); throws std::runtime_error if
-  /// fewer than t+1 valid shares remain.
+  /// Combines t+1 valid partial signatures. All candidate partials are
+  /// batch-verified with ONE RLC pairing-product fold (coefficients derived
+  /// Fiat-Shamir style from the transcript); only when the fold fails does it
+  /// fall back to per-partial Share-Verify to identify cheaters and skip them
+  /// (robustness). Throws std::runtime_error if fewer than t+1 valid shares
+  /// remain. Semantically identical to the sequential path: the first t+1
+  /// valid partials in input order are combined.
   Signature combine(const KeyMaterial& km, std::span<const uint8_t> msg,
                     std::span<const PartialSignature> parts) const;
 
@@ -153,5 +158,122 @@ class RoVerifier {
   RoScheme scheme_;
   std::array<G2Prepared, 4> prep_;  // g^_z, g^_r, g^_1, g^_2
 };
+
+/// Per-player cached share verifier: the prepared Miller-loop lines of one
+/// player's verification key (V^_{1,i}, V^_{2,i}). The g^_z/g^_r lines are
+/// identical for every player, so they are shared (non-owning pointers; the
+/// enclosing RoCombiner keeps them alive).
+class RoShareVerifier {
+ public:
+  RoShareVerifier(const G2Prepared* g_z, const G2Prepared* g_r,
+                  const VerificationKey& vk);
+
+  /// Share-Verify with every G2 input prepared: only line evaluations plus
+  /// the final exponentiation remain.
+  bool verify(const std::array<G1Affine, 2>& h,
+              const PartialSignature& sig) const;
+
+  const G2Prepared& vk_prep(size_t k) const { return vk_[k]; }
+
+ private:
+  const G2Prepared* g_z_;
+  const G2Prepared* g_r_;
+  std::array<G2Prepared, 2> vk_;
+};
+
+/// Serving-side Combine engine for one committee: caches the prepared lines
+/// of g^_z, g^_r and of EVERY player's verification key, and checks all t+1
+/// candidate partials with ONE RLC pairing-product fold
+///   e(sum e_i z_i, g^_z) e(sum e_i r_i, g^_r)
+///     prod_i [ e(e_i H_1, V^_{1,i}) e(e_i H_2, V^_{2,i}) ] == 1
+/// — 2 + 2(t+1) pairings sharing one squaring chain and one final
+/// exponentiation, instead of t+1 independent 4-pairing products. Falls back
+/// to cached per-partial verification only when the fold fails, to identify
+/// cheaters. Not movable: the per-player verifiers point at the shared
+/// g^_z/g^_r preparations.
+class RoCombiner {
+ public:
+  RoCombiner(const RoScheme& scheme, const KeyMaterial& km);
+
+  RoCombiner(const RoCombiner&) = delete;
+  RoCombiner& operator=(const RoCombiner&) = delete;
+
+  size_t n() const { return n_; }
+  size_t t() const { return t_; }
+  const RoScheme& scheme() const { return scheme_; }
+
+  /// Cached per-partial Share-Verify (the fallback / cheater-identification
+  /// path). `sig.index` must be in [1, n].
+  bool share_verify(const std::array<G1Affine, 2>& h,
+                    const PartialSignature& sig) const;
+
+  /// One RLC fold over `parts` (all indices must be in [1, n]). A batch
+  /// containing an invalid partial passes with probability <= ~N/2^128.
+  bool batch_share_verify(const std::array<G1Affine, 2>& h,
+                          std::span<const PartialSignature> parts,
+                          Rng& rng) const;
+
+  /// The folded pairing product, exposed so the service layer can evaluate
+  /// it across a thread pool: valid (up to RLC soundness) iff
+  /// prod_j e(points[j], *preps[j]) == 1.
+  struct Fold {
+    std::vector<G1Affine> points;
+    std::vector<const G2Prepared*> preps;
+  };
+  Fold build_fold(const std::array<G1Affine, 2>& h,
+                  std::span<const PartialSignature> parts, Rng& rng) const;
+
+  /// Batched Combine: verifies the first t+1 candidates with one fold; on
+  /// failure re-checks partials individually (exactly the sequential
+  /// semantics), appending the indices of bad partials inspected along the
+  /// way to `cheaters` when given. Throws if fewer than t+1 valid.
+  Signature combine(std::span<const uint8_t> msg,
+                    std::span<const PartialSignature> parts, Rng& rng,
+                    std::vector<uint32_t>* cheaters = nullptr) const;
+
+  /// Core of combine() with the fold check pluggable: `evaluate(fold)`
+  /// decides the batched product, letting the service layer substitute
+  /// pool-parallel evaluation without duplicating the selection/fallback
+  /// flow.
+  Signature combine_with(std::span<const uint8_t> msg,
+                         std::span<const PartialSignature> parts, Rng& rng,
+                         const std::function<bool(const Fold&)>& evaluate,
+                         std::vector<uint32_t>* cheaters = nullptr) const;
+
+  /// Same, with Fiat-Shamir RLC coefficients derived from the transcript
+  /// (deterministic; matches RoScheme::combine).
+  Signature combine(std::span<const uint8_t> msg,
+                    std::span<const PartialSignature> parts,
+                    std::vector<uint32_t>* cheaters = nullptr) const;
+
+ private:
+  RoScheme scheme_;
+  size_t n_ = 0, t_ = 0;
+  G2Prepared gz_, gr_;
+  std::vector<RoShareVerifier> players_;  // index i-1 -> player i
+};
+
+/// Stateless batched partial-signature selection, shared by
+/// RoScheme::combine and AggregateScheme::combine (their Share-Verify
+/// equations are identical in shape; only the message hash differs).
+/// Candidates with out-of-range indices are dropped; the first t+1 candidates
+/// are checked with one RLC fold (coefficients from `rng`), and only on fold
+/// failure does it fall back to the sequential per-partial scan over ALL
+/// candidates, appending the indices of bad partials inspected before the
+/// threshold was reached to `cheaters`. Returns the first t+1 valid partials
+/// in input order; throws std::runtime_error if fewer remain.
+std::vector<PartialSignature> select_valid_partials(
+    const SystemParams& params, std::span<const VerificationKey> vks, size_t n,
+    size_t t, const std::array<G1Affine, 2>& h,
+    std::span<const PartialSignature> parts, Rng& rng,
+    std::vector<uint32_t>* cheaters = nullptr);
+
+/// Deterministic RLC coin derivation for combine paths without a caller
+/// RNG: seed = SHA-256(domain || msg || serialized partials). Sound in the
+/// ROM — the coefficients depend on every bit of the batch being checked,
+/// so a cheater cannot craft partials whose fold cancels without predicting
+/// the oracle (standard Fiat-Shamir argument).
+Rng transcript_rng(std::string_view domain, std::span<const uint8_t> msg,
+                   std::span<const PartialSignature> parts);
 
 }  // namespace bnr::threshold

@@ -104,6 +104,21 @@ TEST_F(RoFixture, CombineFailsIfTooManyInvalid) {
   EXPECT_THROW(scheme.combine(km, m, parts), std::runtime_error);
 }
 
+TEST_F(RoFixture, BatchedCombineIsDeterministicAndMatchesCombiner) {
+  // Combine's RLC fold draws Fiat-Shamir coefficients from the transcript,
+  // so the whole operation stays deterministic — and the cached RoCombiner
+  // must agree with the stateless path bit for bit.
+  auto km = keygen();
+  Bytes m = msg_bytes("batched combine");
+  auto parts = partials(km, m, std::vector<uint32_t>{1, 2, 4, 5});
+  Signature a = scheme.combine(km, m, parts);
+  Signature b = scheme.combine(km, m, parts);
+  EXPECT_EQ(a, b);
+  RoCombiner combiner(scheme, km);
+  EXPECT_EQ(a, combiner.combine(m, parts));
+  EXPECT_TRUE(scheme.verify(km.pk, m, a));
+}
+
 TEST_F(RoFixture, WorksAfterByzantineKeygen) {
   std::map<uint32_t, dkg::Behavior> behaviors;
   behaviors[2].bad_commitments = true;
@@ -252,6 +267,22 @@ TEST_F(DlinFixture, SignatureIsThreeGroupElements) {
       scheme.share_sign(km.shares[0], m), scheme.share_sign(km.shares[1], m)};
   auto sig = scheme.combine(km, m, parts);
   EXPECT_EQ(sig.serialize().size(), 3 * kG1CompressedSize);
+}
+
+TEST_F(DlinFixture, CombineIsRobustToTamperedPartial) {
+  // The batched fold must reject a poisoned batch and fall back to the
+  // per-partial scan, skipping exactly the tampered share.
+  auto km = scheme.dist_keygen(5, 2, rng);
+  Bytes m = msg_bytes("dlin robust");
+  std::vector<DlinPartialSignature> parts;
+  for (uint32_t i : {1u, 2u, 3u, 4u})
+    parts.push_back(scheme.share_sign(km.shares[i - 1], m));
+  parts[0].r = (G1::from_affine(parts[0].r) + G1::generator()).to_affine();
+  auto sig = scheme.combine(km, m, parts);
+  EXPECT_TRUE(scheme.verify(km.pk, m, sig));
+  // Too many tampered -> throws.
+  parts[1].z = (G1::from_affine(parts[1].z) + G1::generator()).to_affine();
+  EXPECT_THROW(scheme.combine(km, m, parts), std::runtime_error);
 }
 
 TEST_F(DlinFixture, RobustAgainstByzantineDkg) {

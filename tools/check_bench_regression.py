@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""CI bench-regression guard over the BENCH_*.json schema.
+
+Two guard kinds:
+
+  --ratio SLOW:FAST   The speedup current[SLOW]/current[FAST] must not fall
+                      more than --tolerance below baseline[SLOW]/baseline[FAST].
+                      Ratios divide out the absolute speed of the runner, so
+                      they are stable across CI hardware generations; this is
+                      the primary guard for the cached-verify and batching
+                      speedups.
+  --metric NAME       current[NAME] must not exceed baseline[NAME] by more
+                      than --tolerance (absolute ns/op; only meaningful when
+                      baseline and current ran on comparable hardware).
+  --min-ratio SLOW:FAST=X
+                      Hard floor: current[SLOW]/current[FAST] must be >= X
+                      regardless of the baseline (e.g. "batched Combine must
+                      stay >= 3x the per-partial path").
+
+Exit status 1 on any violation; missing records are violations too (a rename
+must update the guard, not silently drop it).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return {r["name"]: float(r["ns_per_op"]) for r in json.load(f)}
+
+
+def get(table, name, path):
+    if name not in table:
+        print(f"FAIL: record '{name}' missing from {path}")
+        return None
+    return table[name]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional regression (default 0.25)")
+    ap.add_argument("--ratio", action="append", default=[],
+                    metavar="SLOW:FAST")
+    ap.add_argument("--metric", action="append", default=[], metavar="NAME")
+    ap.add_argument("--min-ratio", action="append", default=[],
+                    metavar="SLOW:FAST=X")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    ok = True
+
+    for spec in args.ratio:
+        slow, fast = spec.split(":")
+        vals = [get(cur, slow, args.current), get(cur, fast, args.current),
+                get(base, slow, args.baseline), get(base, fast, args.baseline)]
+        if None in vals:
+            ok = False
+            continue
+        cur_speedup = vals[0] / vals[1]
+        base_speedup = vals[2] / vals[3]
+        floor = base_speedup * (1.0 - args.tolerance)
+        status = "ok" if cur_speedup >= floor else "FAIL"
+        print(f"{status}: speedup {slow} / {fast}: current {cur_speedup:.2f}x"
+              f" vs baseline {base_speedup:.2f}x (floor {floor:.2f}x)")
+        ok = ok and cur_speedup >= floor
+
+    for name in args.metric:
+        c, b = get(cur, name, args.current), get(base, name, args.baseline)
+        if c is None or b is None:
+            ok = False
+            continue
+        ceil = b * (1.0 + args.tolerance)
+        status = "ok" if c <= ceil else "FAIL"
+        print(f"{status}: {name}: current {c:.0f} ns vs baseline {b:.0f} ns"
+              f" (ceiling {ceil:.0f} ns)")
+        ok = ok and c <= ceil
+
+    for spec in args.min_ratio:
+        pair, floor_s = spec.split("=")
+        slow, fast = pair.split(":")
+        floor = float(floor_s)
+        c_slow, c_fast = get(cur, slow, args.current), get(cur, fast,
+                                                          args.current)
+        if c_slow is None or c_fast is None:
+            ok = False
+            continue
+        cur_speedup = c_slow / c_fast
+        status = "ok" if cur_speedup >= floor else "FAIL"
+        print(f"{status}: speedup {slow} / {fast}: current {cur_speedup:.2f}x"
+              f" (hard floor {floor:.2f}x)")
+        ok = ok and cur_speedup >= floor
+
+    if not ok:
+        print("bench regression check FAILED")
+        return 1
+    print("bench regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
