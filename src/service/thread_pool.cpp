@@ -149,9 +149,4 @@ void ThreadPool::parallel_for(size_t n,
   if (state->error) std::rethrow_exception(state->error);
 }
 
-ThreadPool& ThreadPool::global() {
-  static ThreadPool pool(default_threads());
-  return pool;
-}
-
 }  // namespace bnr::service

@@ -44,10 +44,6 @@ class ThreadPool {
   /// iterations are skipped). Callable from within a pool task.
   void parallel_for(size_t n, const std::function<void(size_t)>& body);
 
-  /// Process-wide pool: BNR_THREADS workers if the env var is set, else one
-  /// per hardware thread.
-  static ThreadPool& global();
-
  private:
   void worker_loop(size_t id);
   bool try_pop(size_t id, std::function<void()>& task);

@@ -7,7 +7,13 @@ namespace bnr::service {
 CombineService::CombineService(const threshold::RoScheme& scheme,
                                const threshold::KeyMaterial& km,
                                ThreadPool& pool, std::string_view rng_label)
-    : combiner_(scheme, km), pool_(pool), rng_(Rng(rng_label)) {}
+    // Entropy-seeded master (label mixed in via fork): per-task RLC
+    // coefficients must be unpredictable, or colluding signers could craft
+    // invalid partials whose fold error terms cancel and slip past
+    // batch_share_verify's cheater identification.
+    : combiner_(scheme, km),
+      pool_(pool),
+      rng_(Rng::from_entropy().fork(rng_label)) {}
 
 CombineService::~CombineService() {
   std::unique_lock<std::mutex> l(m_);

@@ -12,6 +12,10 @@
 // private Rng forked per flush AFTER the batch contents are frozen (the
 // pending vector is moved out under the lock before coefficients exist), so
 // no submitter can adapt its signature to the coefficients that will fold it.
+// The master Rng is seeded from OS entropy (the label is only mixed in as a
+// fork domain) — a deterministic, label-only seed would let an adversary
+// precompute every batch's coefficients and submit invalid signatures whose
+// RLC error terms cancel, defeating the fold.
 #pragma once
 
 #include <chrono>
@@ -59,7 +63,7 @@ class BatchVerificationService {
       : verifier_(std::move(verifier)),
         policy_(policy),
         pool_(pool),
-        rng_(Rng(rng_label)) {
+        rng_(Rng::from_entropy().fork(rng_label)) {
     flusher_ = std::thread([this] { flusher_loop(); });
   }
 
@@ -137,7 +141,19 @@ class BatchVerificationService {
     auto shared = std::make_shared<std::vector<Pending>>(std::move(batch));
     auto rng_shared = std::make_shared<Rng>(std::move(batch_rng));
     pool_.submit([this, shared, rng_shared] {
-      run_batch(*shared, *rng_shared);
+      try {
+        run_batch(*shared, *rng_shared);
+      } catch (...) {
+        // A throwing verifier (or bad_alloc) must not escape the worker
+        // (std::terminate) or strand the submitters: every promise still
+        // unresolved carries the exception instead.
+        for (auto& p : *shared) {
+          try {
+            p.promise.set_exception(std::current_exception());
+          } catch (const std::future_error&) {
+          }  // already satisfied
+        }
+      }
       std::lock_guard<std::mutex> l(m_);
       if (--in_flight_ == 0) drained_.notify_all();
     });

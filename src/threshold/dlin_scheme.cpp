@@ -6,6 +6,7 @@
 #include "common/serde.hpp"
 #include "common/sha256.hpp"
 #include "pairing/pairing.hpp"
+#include "threshold/ro_scheme.hpp"
 
 namespace bnr::threshold {
 
@@ -15,14 +16,6 @@ constexpr size_t idx_a(size_t k) { return 3 * k; }
 constexpr size_t idx_b(size_t k) { return 3 * k + 1; }
 constexpr size_t idx_c(size_t k) { return 3 * k + 2; }
 
-Rng dlin_transcript_rng(std::string_view domain, std::span<const uint8_t> msg,
-                        std::span<const DlinPartialSignature> parts) {
-  Sha256 hs;
-  hs.update(domain);
-  hs.update(msg);
-  for (const auto& p : parts) hs.update(p.serialize());
-  return Rng(hs.finalize());
-}
 }  // namespace
 
 Bytes DlinPublicKey::serialize() const {
@@ -251,7 +244,7 @@ DlinSignature DlinScheme::combine(
     if (p.index >= 1 && p.index <= km.n) candidates.push_back(p);
   if (candidates.size() >= km.t + 1) {
     Rng rng =
-        dlin_transcript_rng(params_.hash_dst("dlin-combine-rlc"), msg, parts);
+        transcript_rng(params_.hash_dst("dlin-combine-rlc"), msg, parts);
     std::span<const DlinPartialSignature> head(candidates.data(), km.t + 1);
     if (dlin_batch_share_fold(params_, km.vks, h, head, rng))
       return dlin_interpolate(head);
@@ -446,7 +439,7 @@ DlinSignature DlinCombiner::combine(std::span<const uint8_t> msg,
 DlinSignature DlinCombiner::combine(std::span<const uint8_t> msg,
                                     std::span<const DlinPartialSignature> parts,
                                     std::vector<uint32_t>* cheaters) const {
-  Rng rng = dlin_transcript_rng(scheme_.params().hash_dst("dlin-combine-rlc"),
+  Rng rng = transcript_rng(scheme_.params().hash_dst("dlin-combine-rlc"),
                                 msg, parts);
   return combine(msg, parts, rng, cheaters);
 }

@@ -225,15 +225,6 @@ Signature RoScheme::combine(const KeyMaterial& km,
 // ---------------------------------------------------------------------------
 // Batched share verification (the Combine hot path)
 
-Rng transcript_rng(std::string_view domain, std::span<const uint8_t> msg,
-                   std::span<const PartialSignature> parts) {
-  Sha256 hs;
-  hs.update(domain);
-  hs.update(msg);
-  for (const auto& p : parts) hs.update(p.serialize());
-  return Rng(hs.finalize());
-}
-
 namespace {
 
 /// RLC coefficients for a fold of `n` terms: the first pinned to 1, the rest

@@ -13,6 +13,8 @@
 #include <functional>
 #include <map>
 
+#include "common/rng.hpp"
+#include "common/sha256.hpp"
 #include "dkg/pedersen_dkg.hpp"
 #include "dkg/proactive.hpp"
 #include "pairing/pairing.hpp"
@@ -272,8 +274,16 @@ std::vector<PartialSignature> select_valid_partials(
 /// RNG: seed = SHA-256(domain || msg || serialized partials). Sound in the
 /// ROM — the coefficients depend on every bit of the batch being checked,
 /// so a cheater cannot craft partials whose fold cancels without predicting
-/// the oracle (standard Fiat-Shamir argument).
+/// the oracle (standard Fiat-Shamir argument). Shared by the Ro, Aggregate,
+/// and DLIN combine paths; `Part` only needs serialize().
+template <class Part>
 Rng transcript_rng(std::string_view domain, std::span<const uint8_t> msg,
-                   std::span<const PartialSignature> parts);
+                   std::span<const Part> parts) {
+  Sha256 hs;
+  hs.update(domain);
+  hs.update(msg);
+  for (const auto& p : parts) hs.update(p.serialize());
+  return Rng(hs.finalize());
+}
 
 }  // namespace bnr::threshold
