@@ -81,6 +81,11 @@ class BlsVerifier {
   bool batch_verify(std::span<const Bytes> msgs,
                     std::span<const G1Affine> sigs, Rng& rng) const;
 
+  /// Resident footprint for the KeyCacheManager byte budget.
+  size_t cache_bytes() const {
+    return sizeof(*this) + gen_.line_bytes() + pk_.line_bytes();
+  }
+
  private:
   BoldyrevaBls scheme_;
   G2Prepared gen_, pk_;

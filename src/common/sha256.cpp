@@ -67,6 +67,7 @@ void Sha256::compress(const uint8_t block[64]) {
 }
 
 Sha256& Sha256::update(std::span<const uint8_t> data) {
+  if (data.empty()) return *this;  // memcpy from a null span is UB
   bit_len_ += uint64_t(data.size()) * 8;
   size_t off = 0;
   if (buffer_len_ > 0) {

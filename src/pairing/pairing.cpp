@@ -204,6 +204,10 @@ G2Prepared::G2Prepared(const G2Affine& q) {
   Fp2 q2y = q.y.mul_fp(fc.twist2_y);
   coeffs_.push_back(step_add(t, q1x, q1y));
   coeffs_.push_back(step_add(t, q2x, -q2y));
+  // Prepared points are long-lived cached key material budgeted by
+  // line_bytes(); the worst-case reserve above would otherwise strand ~30%
+  // of every key-cache byte budget as vector slack.
+  coeffs_.shrink_to_fit();
 }
 
 Fp12 miller_loop(std::span<const PreparedTerm> terms) {

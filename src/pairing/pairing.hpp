@@ -76,6 +76,12 @@ class G2Prepared {
   bool infinity() const { return infinity_; }
   const std::vector<EllCoeffs>& coeffs() const { return coeffs_; }
 
+  /// Heap bytes held by the line table (the dominant cost of caching a
+  /// prepared point; the key-cache manager budgets on this).
+  size_t line_bytes() const { return coeffs_.capacity() * sizeof(EllCoeffs); }
+  /// Total resident footprint of a standalone prepared point.
+  size_t footprint_bytes() const { return sizeof(*this) + line_bytes(); }
+
  private:
   std::vector<EllCoeffs> coeffs_;
   bool infinity_ = true;

@@ -1,0 +1,28 @@
+#include "service/key_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bnr::service {
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: empty population");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(double(k + 1), s);
+    cdf_[k] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against rounding leaving the last bin short
+}
+
+size_t ZipfSampler::sample(Rng& rng) const {
+  // 53 uniform bits -> u in [0, 1); the CDF bins partition [0, 1].
+  double u = double(rng.next_u64() >> 11) * 0x1.0p-53;
+  auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return size_t(it - cdf_.begin());
+}
+
+}  // namespace bnr::service

@@ -1,0 +1,281 @@
+// Multi-tenant key-cache manager: a sharded, thread-safe LRU of prepared
+// verifier state (RoVerifier / DlinVerifier / BlsVerifier / RoCombiner-style
+// objects holding G2Prepared Miller-loop lines). Millions of tenant keys do
+// not fit the ~70KB-per-prepared-verifier budget, so the serving layer keeps
+// a bounded working set and re-prepares on miss:
+//
+//  * Eviction is by BYTE budget, not entry count — prepared footprints vary
+//    by scheme (a BLS verifier is two prepared points, a DLIN verifier ten),
+//    and the operator provisions RAM, not entries. Each shard owns
+//    byte_budget / shards and evicts from its own LRU tail.
+//  * `get_or_prepare` returns a Pin: a refcount held on the entry for as
+//    long as the caller uses it. Eviction skips pinned entries, so a
+//    verifier can never be torn down mid-batch; a shard may therefore
+//    transiently exceed its budget when everything resident is pinned
+//    (recorded in `pinned_skips`).
+//  * The prepare callback runs OUTSIDE the shard lock — preparing four
+//    Miller-loop line tables takes ~0.5ms, and holding the shard lock for
+//    that long would serialize every other tenant hashing to the shard. Two
+//    threads may therefore race to prepare the same key; the loser's work is
+//    dropped (counted in `redundant_prepares`), which wastes one prepare but
+//    never blocks a hit.
+//
+// The cached type V must expose `size_t cache_bytes() const` (its resident
+// footprint including heap-allocated line tables).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace bnr::service {
+
+struct KeyCachePolicy {
+  size_t byte_budget = size_t(256) << 20;  // total across shards
+  size_t shards = 16;
+};
+
+struct KeyCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+  uint64_t redundant_prepares = 0;  // lost a concurrent prepare race
+  uint64_t pinned_skips = 0;        // eviction scan passed over a pinned entry
+  uint64_t bytes_inserted = 0;
+  uint64_t bytes_evicted = 0;
+  uint64_t resident_bytes = 0;
+  uint64_t resident_entries = 0;
+
+  double hit_rate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : double(hits) / double(total);
+  }
+};
+
+template <class V>
+class KeyCacheManager {
+ public:
+  using KeyId = std::string;
+  using Factory = std::function<std::shared_ptr<const V>()>;
+
+ private:
+  struct Entry {
+    KeyId key;
+    std::shared_ptr<const V> value;
+    size_t bytes = 0;
+    size_t pins = 0;  // guarded by the owning shard's mutex
+  };
+
+  struct Shard {
+    mutable std::mutex m;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<KeyId, typename std::list<Entry>::iterator> index;
+    size_t bytes = 0;
+    KeyCacheStats stats;  // resident_* filled on aggregation
+  };
+
+ public:
+  /// RAII use-handle: holds the entry's pin (blocks eviction) and a
+  /// shared_ptr to the value (belt-and-suspenders: even a bug that evicted a
+  /// pinned entry could not free memory in use). Must not outlive the
+  /// manager.
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(Pin&& o) noexcept
+        : shard_(o.shard_), entry_(o.entry_), value_(std::move(o.value_)) {
+      o.shard_ = nullptr;
+      o.entry_ = nullptr;
+    }
+    Pin& operator=(Pin&& o) noexcept {
+      if (this != &o) {
+        release();
+        shard_ = o.shard_;
+        entry_ = o.entry_;
+        value_ = std::move(o.value_);
+        o.shard_ = nullptr;
+        o.entry_ = nullptr;
+      }
+      return *this;
+    }
+    ~Pin() { release(); }
+
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+
+    explicit operator bool() const { return value_ != nullptr; }
+    const V& operator*() const { return *value_; }
+    const V* operator->() const { return value_.get(); }
+    const std::shared_ptr<const V>& value() const { return value_; }
+
+   private:
+    friend class KeyCacheManager;
+    Pin(Shard* shard, Entry* entry, std::shared_ptr<const V> value)
+        : shard_(shard), entry_(entry), value_(std::move(value)) {}
+
+    void release() {
+      if (shard_ && entry_) {
+        std::lock_guard<std::mutex> l(shard_->m);
+        --entry_->pins;
+      }
+      shard_ = nullptr;
+      entry_ = nullptr;
+      value_.reset();
+    }
+
+    Shard* shard_ = nullptr;
+    Entry* entry_ = nullptr;
+    std::shared_ptr<const V> value_;
+  };
+
+  explicit KeyCacheManager(KeyCachePolicy policy = {})
+      : policy_(policy), shards_(std::max<size_t>(1, policy.shards)) {
+    shard_budget_ = std::max<size_t>(1, policy_.byte_budget / shards_.size());
+  }
+
+  KeyCacheManager(const KeyCacheManager&) = delete;
+  KeyCacheManager& operator=(const KeyCacheManager&) = delete;
+
+  /// Returns a pinned handle on the cached verifier for `key`, invoking
+  /// `prepare` (outside the shard lock) on a miss. Throws whatever `prepare`
+  /// throws; throws std::runtime_error if it returns null.
+  Pin get_or_prepare(const KeyId& key, const Factory& prepare) {
+    Shard& sh = shard_for(key);
+    {
+      std::lock_guard<std::mutex> l(sh.m);
+      auto it = sh.index.find(key);
+      if (it != sh.index.end()) {
+        sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+        ++sh.stats.hits;
+        return pin_locked(sh, *it->second);
+      }
+      ++sh.stats.misses;
+    }
+
+    std::shared_ptr<const V> made = prepare();  // expensive; no lock held
+    if (!made)
+      throw std::runtime_error("KeyCacheManager: prepare returned null");
+    const size_t bytes = made->cache_bytes();
+
+    std::lock_guard<std::mutex> l(sh.m);
+    auto it = sh.index.find(key);
+    if (it != sh.index.end()) {
+      // A concurrent caller prepared the same key first; serve its entry and
+      // drop ours.
+      sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+      ++sh.stats.redundant_prepares;
+      return pin_locked(sh, *it->second);
+    }
+    sh.lru.push_front(Entry{key, std::move(made), bytes, 0});
+    sh.index.emplace(key, sh.lru.begin());
+    ++sh.stats.inserts;
+    sh.stats.bytes_inserted += bytes;
+    sh.bytes += bytes;
+    Pin pin = pin_locked(sh, sh.lru.front());
+    evict_locked(sh);  // the new entry is pinned, so it survives
+    return pin;
+  }
+
+  /// True iff `key` is resident. Does not touch LRU order or stats.
+  bool contains(const KeyId& key) const {
+    const Shard& sh = shard_for(key);
+    std::lock_guard<std::mutex> l(sh.m);
+    return sh.index.count(key) != 0;
+  }
+
+  /// Re-runs eviction on every shard: entries that escaped eviction only
+  /// because they were pinned at insert time are reclaimed once unpinned.
+  void trim() {
+    for (auto& sh : shards_) {
+      std::lock_guard<std::mutex> l(sh.m);
+      evict_locked(sh);
+    }
+  }
+
+  KeyCacheStats stats() const {
+    KeyCacheStats total;
+    for (const auto& sh : shards_) {
+      std::lock_guard<std::mutex> l(sh.m);
+      total.hits += sh.stats.hits;
+      total.misses += sh.stats.misses;
+      total.inserts += sh.stats.inserts;
+      total.evictions += sh.stats.evictions;
+      total.redundant_prepares += sh.stats.redundant_prepares;
+      total.pinned_skips += sh.stats.pinned_skips;
+      total.bytes_inserted += sh.stats.bytes_inserted;
+      total.bytes_evicted += sh.stats.bytes_evicted;
+      total.resident_bytes += sh.bytes;
+      total.resident_entries += sh.lru.size();
+    }
+    return total;
+  }
+
+  size_t byte_budget() const { return policy_.byte_budget; }
+  size_t shard_count() const { return shards_.size(); }
+
+ private:
+  Shard& shard_for(const KeyId& key) {
+    return shards_[std::hash<KeyId>{}(key) % shards_.size()];
+  }
+  const Shard& shard_for(const KeyId& key) const {
+    return shards_[std::hash<KeyId>{}(key) % shards_.size()];
+  }
+
+  // Caller holds sh.m.
+  Pin pin_locked(Shard& sh, Entry& e) {
+    ++e.pins;
+    return Pin(&sh, &e, e.value);
+  }
+
+  // Evicts from the LRU tail until the shard is within budget, skipping
+  // pinned entries. Caller holds sh.m.
+  void evict_locked(Shard& sh) {
+    auto it = sh.lru.end();
+    while (sh.bytes > shard_budget_ && it != sh.lru.begin()) {
+      --it;
+      if (it->pins > 0) {
+        ++sh.stats.pinned_skips;
+        continue;
+      }
+      sh.bytes -= it->bytes;
+      sh.stats.bytes_evicted += it->bytes;
+      ++sh.stats.evictions;
+      sh.index.erase(it->key);
+      it = sh.lru.erase(it);  // returns the already-visited successor
+    }
+  }
+
+  KeyCachePolicy policy_;
+  size_t shard_budget_ = 0;
+  std::vector<Shard> shards_;
+};
+
+/// Zipf(s) sampler over ranks [0, n): P(rank k) proportional to 1/(k+1)^s.
+/// The canonical skewed-tenant access model for cache benchmarks (E12, the
+/// CLI serve demo): under s = 1.0 the hot head of the key population carries
+/// most of the traffic, which is exactly the regime where an LRU of prepared
+/// verifiers pays off.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  /// Draws a rank in [0, n).
+  size_t sample(Rng& rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative, normalized to cdf_.back() == 1
+};
+
+}  // namespace bnr::service

@@ -4,31 +4,32 @@
 
 namespace bnr::service {
 
-CombineService::CombineService(const threshold::RoScheme& scheme,
-                               const threshold::KeyMaterial& km,
-                               ThreadPool& pool, std::string_view rng_label)
+MultiTenantCombineService::MultiTenantCombineService(
+    KeyCacheManager<threshold::RoCombiner>& cache, CombinerProvider prepare,
+    ThreadPool& pool, std::string_view rng_label)
     // Entropy-seeded master (label mixed in via fork): per-task RLC
     // coefficients must be unpredictable, or colluding signers could craft
     // invalid partials whose fold error terms cancel and slip past
     // batch_share_verify's cheater identification.
-    : combiner_(scheme, km),
+    : cache_(cache),
+      prepare_(std::move(prepare)),
       pool_(pool),
       rng_(Rng::from_entropy().fork(rng_label)) {}
 
-CombineService::~CombineService() {
+MultiTenantCombineService::~MultiTenantCombineService() {
   std::unique_lock<std::mutex> l(m_);
   drained_.wait(l, [&] { return in_flight_ == 0; });
 }
 
-std::future<threshold::Signature> CombineService::submit(
-    Bytes msg, std::vector<threshold::PartialSignature> parts) {
+std::future<threshold::Signature> MultiTenantCombineService::submit(
+    KeyId key, Bytes msg, std::vector<threshold::PartialSignature> parts) {
   Rng task_rng = [&] {
     std::lock_guard<std::mutex> l(m_);
     ++in_flight_;
     return rng_.fork("combine");
   }();
-  auto state = std::make_shared<std::pair<Bytes, Rng>>(std::move(msg),
-                                                       std::move(task_rng));
+  auto state = std::make_shared<std::tuple<KeyId, Bytes, Rng>>(
+      std::move(key), std::move(msg), std::move(task_rng));
   auto parts_shared =
       std::make_shared<std::vector<threshold::PartialSignature>>(
           std::move(parts));
@@ -36,8 +37,12 @@ std::future<threshold::Signature> CombineService::submit(
   auto fut = promise->get_future();
   pool_.submit([this, state, parts_shared, promise] {
     try {
-      promise->set_value(combine_parallel(combiner_, pool_, state->first,
-                                          *parts_shared, state->second));
+      // Pinned across the whole combine: the committee's per-player
+      // prepared-VK cache cannot be evicted mid-fold.
+      auto pin = cache_.get_or_prepare(
+          std::get<0>(*state), [&] { return prepare_(std::get<0>(*state)); });
+      promise->set_value(combine_parallel(*pin, pool_, std::get<1>(*state),
+                                          *parts_shared, std::get<2>(*state)));
     } catch (...) {
       promise->set_exception(std::current_exception());
     }
@@ -45,6 +50,21 @@ std::future<threshold::Signature> CombineService::submit(
     if (--in_flight_ == 0) drained_.notify_all();
   });
   return fut;
+}
+
+CombineService::CombineService(const threshold::RoScheme& scheme,
+                               const threshold::KeyMaterial& km,
+                               ThreadPool& pool, std::string_view rng_label)
+    : cache_(KeyCachePolicy{
+          .byte_budget = std::numeric_limits<size_t>::max(), .shards = 1}),
+      combiner_(std::make_shared<const threshold::RoCombiner>(scheme, km)),
+      core_(
+          cache_, [c = combiner_](const std::string&) { return c; }, pool,
+          rng_label) {}
+
+std::future<threshold::Signature> CombineService::submit(
+    Bytes msg, std::vector<threshold::PartialSignature> parts) {
+  return core_.submit(kKey, std::move(msg), std::move(parts));
 }
 
 threshold::Signature combine_parallel(

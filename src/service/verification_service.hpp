@@ -1,14 +1,22 @@
-// The request-driven serving front end (Thetacrypt-style): callers submit
-// (message, signature) pairs and get a future; the service accumulates
-// requests into an RLC batch and flushes it to the thread pool when the
-// batch reaches `max_batch` OR the oldest request has waited `max_delay`.
-// A flushed batch costs ONE pairing product (RoVerifier::batch_verify's
-// random-linear-combination fold); only when that fold fails does the
-// service re-verify the batch members individually to attribute the failure
-// — so invalid submissions cost extra work but can never poison the answer
-// for honest ones.
+// The request-driven serving front end (Thetacrypt-style), multi-tenant:
+// callers submit (key-id, message, signature) and get a future; the service
+// accumulates requests and flushes when the batch reaches `max_batch` OR the
+// oldest request has waited `max_delay`. A flush groups the pending requests
+// PER KEY-ID and folds each group with ONE RLC pairing product — distinct
+// keys can NEVER share a fold: each tenant's verification equation uses its
+// own prepared G2 inputs, and mixing tenants in one fold would let a forgery
+// under key B invalidate (or, with adversarial coefficients, be masked
+// inside) key A's batch. Only when a group's fold fails does the service
+// re-verify that group's members individually to attribute the failure — so
+// invalid submissions cost extra work but can never poison the answer for
+// honest ones, and never for other tenants.
 //
-// Soundness under concurrency: each batch draws its RLC coefficients from a
+// Verifiers are not owned by the service: they are pinned out of a shared
+// `KeyCacheManager` for the duration of each group's fold (prepared state
+// for millions of tenant keys does not fit in RAM; see key_cache.hpp), and
+// prepared on miss via a caller-supplied provider.
+//
+// Soundness under concurrency: each group draws its RLC coefficients from a
 // private Rng forked per flush AFTER the batch contents are frozen (the
 // pending vector is moved out under the lock before coefficients exist), so
 // no submitter can adapt its signature to the coefficients that will fold it.
@@ -22,12 +30,14 @@
 #include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "service/key_cache.hpp"
 #include "service/thread_pool.hpp"
 #include "threshold/aggregate_scheme.hpp"
 #include "threshold/dlin_scheme.hpp"
@@ -42,7 +52,8 @@ struct BatchPolicy {
 
 struct ServiceStats {
   uint64_t submitted = 0;
-  uint64_t batches = 0;          // batch_verify folds executed
+  uint64_t batches = 0;          // batch_verify folds executed (one per key
+                                 // group per flush — never across keys)
   uint64_t size_flushes = 0;     // flushes triggered by max_batch
   uint64_t deadline_flushes = 0; // flushes triggered by max_delay
   uint64_t fallbacks = 0;        // folds that failed -> individual re-verify
@@ -53,22 +64,32 @@ struct ServiceStats {
 /// Verifier must provide
 ///   bool verify(std::span<const uint8_t>, const Sig&) const
 ///   bool batch_verify(std::span<const Bytes>, std::span<const Sig>, Rng&) const
-/// — the shape of RoVerifier / DlinVerifier / AggVerifier.
+///   size_t cache_bytes() const
+/// — the shape of RoVerifier / DlinVerifier / AggVerifier / BlsVerifier.
 template <class Verifier, class Sig>
-class BatchVerificationService {
+class MultiTenantVerificationService {
  public:
-  BatchVerificationService(Verifier verifier, BatchPolicy policy,
-                           ThreadPool& pool,
-                           std::string_view rng_label = "verification-service")
-      : verifier_(std::move(verifier)),
+  using KeyId = std::string;
+  /// Prepares the verifier for a key on cache miss (runs on a pool worker,
+  /// outside any shard lock). Throwing rejects every request of that key's
+  /// group via their futures.
+  using VerifierProvider =
+      std::function<std::shared_ptr<const Verifier>(const KeyId&)>;
+
+  MultiTenantVerificationService(
+      KeyCacheManager<Verifier>& cache, VerifierProvider prepare,
+      BatchPolicy policy, ThreadPool& pool,
+      std::string_view rng_label = "multi-tenant-verification")
+      : cache_(cache),
+        prepare_(std::move(prepare)),
         policy_(policy),
         pool_(pool),
         rng_(Rng::from_entropy().fork(rng_label)) {
     flusher_ = std::thread([this] { flusher_loop(); });
   }
 
-  /// Flushes whatever is pending, waits for in-flight batches, stops.
-  ~BatchVerificationService() {
+  /// Flushes whatever is pending, waits for in-flight groups, stops.
+  ~MultiTenantVerificationService() {
     {
       std::unique_lock<std::mutex> l(m_);
       stop_ = true;
@@ -80,17 +101,19 @@ class BatchVerificationService {
     drained_.wait(l, [&] { return in_flight_ == 0; });
   }
 
-  BatchVerificationService(const BatchVerificationService&) = delete;
-  BatchVerificationService& operator=(const BatchVerificationService&) = delete;
+  MultiTenantVerificationService(const MultiTenantVerificationService&) =
+      delete;
+  MultiTenantVerificationService& operator=(
+      const MultiTenantVerificationService&) = delete;
 
-  std::future<bool> submit(Bytes msg, Sig sig) {
+  std::future<bool> submit(KeyId key, Bytes msg, Sig sig) {
     std::future<bool> fut;
     bool flush_now = false;
     {
       std::unique_lock<std::mutex> l(m_);
       if (pending_.empty())
         oldest_ = std::chrono::steady_clock::now();
-      pending_.push_back({std::move(msg), std::move(sig), {}});
+      pending_.push_back({std::move(key), std::move(msg), std::move(sig), {}});
       fut = pending_.back().promise.get_future();
       ++stats_.submitted;
       flush_now = pending_.size() >= policy_.max_batch;
@@ -103,13 +126,13 @@ class BatchVerificationService {
     return fut;
   }
 
-  /// Forces whatever is pending out as one batch.
+  /// Forces whatever is pending out as one flush (one fold per key).
   void flush() {
     std::unique_lock<std::mutex> l(m_);
     if (!pending_.empty()) dispatch_locked(l, /*deadline=*/false);
   }
 
-  /// Blocks until no batch is pending or in flight.
+  /// Blocks until no request is pending or in flight.
   void drain() {
     std::unique_lock<std::mutex> l(m_);
     if (!pending_.empty()) dispatch_locked(l, /*deadline=*/false);
@@ -123,43 +146,71 @@ class BatchVerificationService {
 
  private:
   struct Pending {
+    KeyId key;
     Bytes msg;
     Sig sig;
     std::promise<bool> promise;
   };
 
-  // Moves the pending batch out and hands it to the pool. Caller holds m_.
+  /// One per-tenant fold unit: requests sharing a key-id, plus the private
+  /// RNG its RLC coefficients are drawn from.
+  struct Group {
+    KeyId key;
+    std::vector<Pending> members;
+  };
+
+  // Moves the pending batch out, splits it into per-key groups (arrival
+  // order preserved within each group), and hands each group to the pool as
+  // its own fold task. Caller holds m_.
   void dispatch_locked(std::unique_lock<std::mutex>&, bool deadline) {
     std::vector<Pending> batch;
     batch.swap(pending_);
     if (batch.empty()) return;
-    ++stats_.batches;
     if (deadline) ++stats_.deadline_flushes;
-    // The batch is frozen; only NOW are this fold's coefficients drawable.
-    Rng batch_rng = rng_.fork("batch");
-    ++in_flight_;
-    auto shared = std::make_shared<std::vector<Pending>>(std::move(batch));
-    auto rng_shared = std::make_shared<Rng>(std::move(batch_rng));
-    pool_.submit([this, shared, rng_shared] {
-      try {
-        run_batch(*shared, *rng_shared);
-      } catch (...) {
-        // A throwing verifier (or bad_alloc) must not escape the worker
-        // (std::terminate) or strand the submitters: every promise still
-        // unresolved carries the exception instead.
-        for (auto& p : *shared) {
-          try {
-            p.promise.set_exception(std::current_exception());
-          } catch (const std::future_error&) {
-          }  // already satisfied
-        }
+
+    std::vector<Group> groups;
+    {
+      std::unordered_map<KeyId, size_t> pos;
+      for (auto& p : batch) {
+        auto [it, fresh] = pos.try_emplace(p.key, groups.size());
+        if (fresh) groups.push_back(Group{p.key, {}});
+        groups[it->second].members.push_back(std::move(p));
       }
-      std::lock_guard<std::mutex> l(m_);
-      if (--in_flight_ == 0) drained_.notify_all();
-    });
+    }
+
+    for (auto& g : groups) {
+      ++stats_.batches;
+      // The group is frozen; only NOW are its fold coefficients drawable.
+      Rng group_rng = rng_.fork("batch");
+      ++in_flight_;
+      auto shared = std::make_shared<Group>(std::move(g));
+      auto rng_shared = std::make_shared<Rng>(std::move(group_rng));
+      pool_.submit([this, shared, rng_shared] {
+        try {
+          run_group(*shared, *rng_shared);
+        } catch (...) {
+          // A throwing verifier/provider (or bad_alloc) must not escape the
+          // worker (std::terminate) or strand the submitters: every promise
+          // still unresolved carries the exception instead.
+          for (auto& p : shared->members) {
+            try {
+              p.promise.set_exception(std::current_exception());
+            } catch (const std::future_error&) {
+            }  // already satisfied
+          }
+        }
+        std::lock_guard<std::mutex> l(m_);
+        if (--in_flight_ == 0) drained_.notify_all();
+      });
+    }
   }
 
-  void run_batch(std::vector<Pending>& batch, Rng& rng) {
+  void run_group(Group& group, Rng& rng) {
+    // Pinned for the whole fold + fallback: the cache may not evict this
+    // tenant's prepared state mid-batch, however hot the other shard traffic.
+    auto pin =
+        cache_.get_or_prepare(group.key, [&] { return prepare_(group.key); });
+    auto& batch = group.members;
     std::vector<Bytes> msgs;
     std::vector<Sig> sigs;
     msgs.reserve(batch.size());
@@ -168,14 +219,15 @@ class BatchVerificationService {
       msgs.push_back(p.msg);
       sigs.push_back(p.sig);
     }
-    bool all_ok = verifier_.batch_verify(msgs, sigs, rng);
+    bool all_ok = pin->batch_verify(msgs, sigs, rng);
     std::vector<bool> results(batch.size(), true);
     uint64_t accepted = batch.size(), rejected = 0;
     if (!all_ok) {
-      // Attribute the failure: one cached verify per member.
+      // Attribute the failure: one cached verify per member. Only THIS key's
+      // group pays — other tenants' folds are untouched.
       accepted = 0;
       for (size_t j = 0; j < batch.size(); ++j) {
-        results[j] = verifier_.verify(batch[j].msg, batch[j].sig);
+        results[j] = pin->verify(batch[j].msg, batch[j].sig);
         (results[j] ? accepted : rejected)++;
       }
     }
@@ -209,10 +261,11 @@ class BatchVerificationService {
     }
   }
 
-  Verifier verifier_;
+  KeyCacheManager<Verifier>& cache_;
+  VerifierProvider prepare_;
   BatchPolicy policy_;
   ThreadPool& pool_;
-  Rng rng_;  // master; forked per batch (guarded by m_)
+  Rng rng_;  // master; forked per group (guarded by m_)
 
   mutable std::mutex m_;
   std::condition_variable cv_;        // flusher wake-ups
@@ -225,6 +278,43 @@ class BatchVerificationService {
   std::thread flusher_;  // last member: started after everything else exists
 };
 
+/// Single-tenant front end, kept as the simple API for one fixed verifier:
+/// a thin adapter over the multi-tenant core with one key-id and an
+/// unbounded private cache (the verifier is owned for the service's
+/// lifetime, so nothing ever misses or evicts). All the flush/fold/fallback
+/// semantics live in MultiTenantVerificationService — there is exactly one
+/// grouping/fold implementation to audit.
+template <class Verifier, class Sig>
+class BatchVerificationService {
+ public:
+  BatchVerificationService(Verifier verifier, BatchPolicy policy,
+                           ThreadPool& pool,
+                           std::string_view rng_label = "verification-service")
+      : cache_(KeyCachePolicy{
+            .byte_budget = std::numeric_limits<size_t>::max(), .shards = 1}),
+        verifier_(std::make_shared<const Verifier>(std::move(verifier))),
+        core_(
+            cache_, [v = verifier_](const std::string&) { return v; }, policy,
+            pool, rng_label) {}
+
+  BatchVerificationService(const BatchVerificationService&) = delete;
+  BatchVerificationService& operator=(const BatchVerificationService&) = delete;
+
+  std::future<bool> submit(Bytes msg, Sig sig) {
+    return core_.submit(kKey, std::move(msg), std::move(sig));
+  }
+  void flush() { core_.flush(); }
+  void drain() { core_.drain(); }
+  ServiceStats stats() const { return core_.stats(); }
+
+ private:
+  static constexpr const char* kKey = "single-tenant";
+  KeyCacheManager<Verifier> cache_;
+  std::shared_ptr<const Verifier> verifier_;
+  // Last member: drains (and releases its pins) before the cache dies.
+  MultiTenantVerificationService<Verifier, Sig> core_;
+};
+
 using RoVerificationService =
     BatchVerificationService<threshold::RoVerifier, threshold::Signature>;
 using DlinVerificationService =
@@ -233,34 +323,71 @@ using DlinVerificationService =
 using AggVerificationService =
     BatchVerificationService<threshold::AggVerifier, threshold::Signature>;
 
+using RoMultiTenantVerificationService =
+    MultiTenantVerificationService<threshold::RoVerifier,
+                                   threshold::Signature>;
+using DlinMultiTenantVerificationService =
+    MultiTenantVerificationService<threshold::DlinVerifier,
+                                   threshold::DlinSignature>;
+
 /// Combine requests interpolate DIFFERENT messages, so they do not fold into
 /// one RLC batch the way verify requests do; instead each runs as its own
-/// pool task over the shared per-committee RoCombiner (whose internal share
-/// verification is itself one RLC fold). The future resolves to the combined
-/// signature or carries the std::runtime_error from Combine.
+/// pool task over the per-committee RoCombiner (whose internal share
+/// verification is itself one RLC fold), pinned out of a KeyCacheManager per
+/// request — the per-player prepared-VK caches get the same byte-budget /
+/// pin-on-use treatment as the tenant verifiers. The future resolves to the
+/// combined signature or carries the std::runtime_error from Combine.
+class MultiTenantCombineService {
+ public:
+  using KeyId = std::string;
+  using CombinerProvider =
+      std::function<std::shared_ptr<const threshold::RoCombiner>(const KeyId&)>;
+
+  MultiTenantCombineService(KeyCacheManager<threshold::RoCombiner>& cache,
+                            CombinerProvider prepare, ThreadPool& pool,
+                            std::string_view rng_label = "combine-service");
+
+  /// Waits for every submitted request to finish: pool tasks hold pins into
+  /// the cache and a raw reference to this service, so they must all drain
+  /// before either is torn down.
+  ~MultiTenantCombineService();
+
+  MultiTenantCombineService(const MultiTenantCombineService&) = delete;
+  MultiTenantCombineService& operator=(const MultiTenantCombineService&) =
+      delete;
+
+  std::future<threshold::Signature> submit(
+      KeyId key, Bytes msg, std::vector<threshold::PartialSignature> parts);
+
+ private:
+  KeyCacheManager<threshold::RoCombiner>& cache_;
+  CombinerProvider prepare_;
+  ThreadPool& pool_;
+  std::mutex m_;  // guards rng_ and in_flight_
+  std::condition_variable drained_;
+  size_t in_flight_ = 0;
+  Rng rng_;
+};
+
+/// Single-committee Combine front end: adapter over the multi-tenant core
+/// with one key-id and an unbounded private cache, mirroring
+/// BatchVerificationService.
 class CombineService {
  public:
   CombineService(const threshold::RoScheme& scheme,
                  const threshold::KeyMaterial& km, ThreadPool& pool,
                  std::string_view rng_label = "combine-service");
 
-  /// Waits for every submitted request to finish: pool tasks hold a raw
-  /// reference to this service, so they must all drain before the cached
-  /// combiner is torn down.
-  ~CombineService();
-
   std::future<threshold::Signature> submit(
       Bytes msg, std::vector<threshold::PartialSignature> parts);
 
-  const threshold::RoCombiner& combiner() const { return combiner_; }
+  const threshold::RoCombiner& combiner() const { return *combiner_; }
 
  private:
-  threshold::RoCombiner combiner_;
-  ThreadPool& pool_;
-  std::mutex m_;  // guards rng_ and in_flight_
-  std::condition_variable drained_;
-  size_t in_flight_ = 0;
-  Rng rng_;
+  static constexpr const char* kKey = "single-committee";
+  KeyCacheManager<threshold::RoCombiner> cache_;
+  std::shared_ptr<const threshold::RoCombiner> combiner_;
+  MultiTenantCombineService core_;  // last member: drains before cache_ dies
 };
 
 /// Batched Combine with the fold's pairing product and MSMs evaluated across

@@ -110,6 +110,13 @@ class AggVerifier {
   bool batch_verify(std::span<const Bytes> msgs,
                     std::span<const Signature> sigs, Rng& rng) const;
 
+  /// Resident footprint for the KeyCacheManager byte budget.
+  size_t cache_bytes() const {
+    size_t b = sizeof(*this);
+    for (const auto& p : prep_) b += p.line_bytes();
+    return b;
+  }
+
  private:
   AggregateScheme scheme_;
   AggPublicKey pk_;

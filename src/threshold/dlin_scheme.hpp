@@ -113,6 +113,15 @@ class DlinVerifier {
   bool batch_verify(std::span<const Bytes> msgs,
                     std::span<const DlinSignature> sigs, Rng& rng) const;
 
+  /// Resident footprint (object + the ten cached line tables) for the
+  /// KeyCacheManager byte budget.
+  size_t cache_bytes() const {
+    size_t b = sizeof(*this) + gz_.line_bytes() + gr_.line_bytes() +
+               hz_.line_bytes() + hu_.line_bytes();
+    for (size_t k = 0; k < 3; ++k) b += g_[k].line_bytes() + h_[k].line_bytes();
+    return b;
+  }
+
  private:
   DlinScheme scheme_;
   G2Prepared gz_, gr_, hz_, hu_;

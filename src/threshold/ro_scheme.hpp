@@ -156,6 +156,14 @@ class RoVerifier {
   bool batch_verify(std::span<const Bytes> msgs,
                     std::span<const Signature> sigs, Rng& rng) const;
 
+  /// Resident footprint (object + the four cached line tables): what one
+  /// tenant key costs inside a KeyCacheManager byte budget.
+  size_t cache_bytes() const {
+    size_t b = sizeof(*this);
+    for (const auto& p : prep_) b += p.line_bytes();
+    return b;
+  }
+
  private:
   RoScheme scheme_;
   std::array<G2Prepared, 4> prep_;  // g^_z, g^_r, g^_1, g^_2
@@ -247,6 +255,16 @@ class RoCombiner {
   Signature combine(std::span<const uint8_t> msg,
                     std::span<const PartialSignature> parts,
                     std::vector<uint32_t>* cheaters = nullptr) const;
+
+  /// Resident footprint (object + shared generator lines + every player's
+  /// cached VK lines): what one committee costs in a KeyCacheManager budget.
+  size_t cache_bytes() const {
+    size_t b = sizeof(*this) + gz_.line_bytes() + gr_.line_bytes() +
+               players_.capacity() * sizeof(RoShareVerifier);
+    for (const auto& p : players_)
+      b += p.vk_prep(0).line_bytes() + p.vk_prep(1).line_bytes();
+    return b;
+  }
 
  private:
   RoScheme scheme_;

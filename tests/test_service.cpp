@@ -10,6 +10,8 @@
 #include <thread>
 
 #include "common/rng.hpp"
+#include "fixtures.hpp"
+#include "service/key_cache.hpp"
 #include "service/parallel.hpp"
 #include "service/thread_pool.hpp"
 #include "service/verification_service.hpp"
@@ -156,23 +158,13 @@ TEST(Parallel, PairingProductCancellationDetected) {
 // ---------------------------------------------------------------------------
 // Batched Combine engines
 
-struct CombinerFixture : ::testing::Test {
-  SystemParams sp = SystemParams::derive("service-test");
-  RoScheme scheme{sp};
-  Rng rng{"service-test-rng"};
-  KeyMaterial km = scheme.dist_keygen(5, 2, rng);
+struct CombinerFixture : testfx::RoSchemeFixture {
+  CombinerFixture() : RoSchemeFixture("service-test") {}
+  KeyMaterial km = keygen(5, 2);
 
   std::vector<PartialSignature> partials(std::span<const uint8_t> msg,
                                          std::initializer_list<uint32_t> ids) {
-    std::vector<PartialSignature> out;
-    for (uint32_t i : ids)
-      out.push_back(scheme.share_sign(km.shares[i - 1], msg));
-    return out;
-  }
-
-  static PartialSignature tamper(PartialSignature p) {
-    p.z = (G1::from_affine(p.z) + G1::generator()).to_affine();
-    return p;
+    return RoSchemeFixture::partials(km, msg, ids);
   }
 };
 
@@ -273,22 +265,14 @@ TEST(DlinCombiner, BatchedCombineMatchesSequentialAndPinpointsCheater) {
 // ---------------------------------------------------------------------------
 // Verification service
 
-struct ServiceFixture : ::testing::Test {
-  SystemParams sp = SystemParams::derive("service-queue");
-  RoScheme scheme{sp};
-  Rng rng{"service-queue-rng"};
-  KeyMaterial km = scheme.dist_keygen(3, 1, rng);
+struct ServiceFixture : testfx::RoSchemeFixture {
+  ServiceFixture() : RoSchemeFixture("service-queue") {}
+  KeyMaterial km = keygen(3, 1);
   RoVerifier verifier{scheme, km.pk};
 
   std::pair<Bytes, Signature> make_signed(const std::string& label,
                                           bool valid = true) {
-    Bytes m = to_bytes(label);
-    std::vector<PartialSignature> parts;
-    for (uint32_t i = 1; i <= km.t + 1; ++i)
-      parts.push_back(scheme.share_sign(km.shares[i - 1], m));
-    Signature sig = scheme.combine_unchecked(km.t, parts);
-    if (!valid) sig.z = (G1::from_affine(sig.z) + G1::generator()).to_affine();
-    return {m, sig};
+    return RoSchemeFixture::make_signed(km, label, valid);
   }
 };
 
@@ -447,6 +431,140 @@ TEST_F(ServiceFixture, CombineServiceProducesValidSignatures) {
   bad.resize(1);
   auto f3 = svc.submit(m1, bad);
   EXPECT_THROW(f3.get(), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant routing: the per-key fold-grouping regression guard. Two
+// committees under the SAME system parameters, so the only separation
+// between tenants is the key material itself — the strongest setting for a
+// cross-contamination test.
+
+struct MultiTenantFixture : testfx::RoSchemeFixture {
+  MultiTenantFixture() : RoSchemeFixture("multi-tenant") {}
+  KeyMaterial kmA = keygen(3, 1);
+  KeyMaterial kmB = keygen(3, 1);
+
+  service::RoMultiTenantVerificationService::VerifierProvider provider() {
+    return [this](const std::string& key) {
+      const KeyMaterial& km = key == "A" ? kmA : kmB;
+      return std::make_shared<const RoVerifier>(scheme, km.pk);
+    };
+  }
+};
+
+TEST_F(MultiTenantFixture, DistinctKeysNeverShareAFold) {
+  // 8 valid requests for A and 8 for B interleaved into ONE size flush: the
+  // flush must split into (at least) one fold per key — folding across keys
+  // with either tenant's verifier would reject the other tenant's half.
+  ThreadPool pool(4);
+  service::KeyCacheManager<RoVerifier> cache({.byte_budget = 16u << 20,
+                                              .shards = 4});
+  BatchPolicy policy{.max_batch = 16,
+                     .max_delay = std::chrono::milliseconds(60000)};
+  service::RoMultiTenantVerificationService svc(cache, provider(), policy,
+                                                pool);
+  std::vector<std::future<bool>> futs;
+  for (int j = 0; j < 16; ++j) {
+    bool tenant_a = j % 2 == 0;
+    auto [m, s] = make_signed(tenant_a ? kmA : kmB,
+                              "fold split " + std::to_string(j));
+    futs.push_back(svc.submit(tenant_a ? "A" : "B", m, s));
+  }
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(120)),
+              std::future_status::ready);
+    EXPECT_TRUE(f.get());
+  }
+  auto st = svc.stats();
+  EXPECT_EQ(st.submitted, 16u);
+  EXPECT_EQ(st.accepted, 16u);
+  EXPECT_EQ(st.rejected, 0u);
+  EXPECT_EQ(st.fallbacks, 0u);  // all-valid per-key folds pass outright
+  EXPECT_GE(st.batches, 2u);    // >= one fold per key
+  EXPECT_GE(cache.stats().resident_entries, 2u);
+}
+
+TEST_F(MultiTenantFixture, ForgeriesUnderOneTenantNeverContaminateAnother) {
+  // Valid signatures for key A interleaved with forgeries for key B in one
+  // service queue: every A future must resolve true, every B future false —
+  // a forgery under B must neither invalidate nor be masked by A's batch.
+  // Then roles swap within the same service instance.
+  ThreadPool pool(4);
+  service::KeyCacheManager<RoVerifier> cache({.byte_budget = 16u << 20,
+                                              .shards = 4});
+  BatchPolicy policy{.max_batch = 12,
+                     .max_delay = std::chrono::milliseconds(60000)};
+  service::RoMultiTenantVerificationService svc(cache, provider(), policy,
+                                                pool);
+  for (int round = 0; round < 2; ++round) {
+    bool a_honest = round == 0;
+    std::vector<std::pair<std::future<bool>, bool>> futs;  // future, expected
+    for (int j = 0; j < 12; ++j) {
+      bool tenant_a = j % 2 == 0;
+      bool valid = tenant_a == a_honest;
+      auto [m, s] =
+          make_signed(tenant_a ? kmA : kmB,
+                      "adv " + std::to_string(round) + "/" + std::to_string(j),
+                      valid);
+      futs.emplace_back(svc.submit(tenant_a ? "A" : "B", m, s), valid);
+    }
+    for (auto& [f, expected] : futs) {
+      ASSERT_EQ(f.wait_for(std::chrono::seconds(120)),
+                std::future_status::ready);
+      EXPECT_EQ(f.get(), expected);
+    }
+  }
+  auto st = svc.stats();
+  EXPECT_EQ(st.submitted, 24u);
+  EXPECT_EQ(st.accepted, 12u);   // exactly the honest tenant's requests
+  EXPECT_EQ(st.rejected, 12u);   // exactly the forged ones
+  EXPECT_GE(st.fallbacks, 2u);   // each forged-key fold fell back
+  EXPECT_GE(st.batches, 4u);     // 2 rounds x >= 2 per-key folds
+}
+
+TEST_F(MultiTenantFixture, CrossTenantSignatureIsRejected) {
+  // A perfectly valid signature for committee A, submitted under tenant B's
+  // key-id, must be rejected: attribution is per key-id, not per signature.
+  ThreadPool pool(2);
+  service::KeyCacheManager<RoVerifier> cache({.byte_budget = 16u << 20,
+                                              .shards = 1});
+  BatchPolicy policy{.max_batch = 4,
+                     .max_delay = std::chrono::milliseconds(60000)};
+  service::RoMultiTenantVerificationService svc(cache, provider(), policy,
+                                                pool);
+  auto [m, s] = make_signed(kmA, "cross-tenant");
+  auto [mb, sb] = make_signed(kmB, "cross-tenant b");
+  auto fa = svc.submit("A", m, s);    // right key: accept
+  auto fb = svc.submit("B", m, s);    // A's signature under B: reject
+  auto fb2 = svc.submit("B", mb, sb); // B's own signature: accept
+  svc.drain();
+  EXPECT_TRUE(fa.get());
+  EXPECT_FALSE(fb.get());
+  EXPECT_TRUE(fb2.get());
+}
+
+TEST_F(MultiTenantFixture, MultiTenantCombineServiceRoutesPerCommittee) {
+  ThreadPool pool(2);
+  service::KeyCacheManager<RoCombiner> cache({.byte_budget = 16u << 20,
+                                              .shards = 2});
+  service::MultiTenantCombineService svc(
+      cache,
+      [this](const std::string& key) {
+        const KeyMaterial& km = key == "A" ? kmA : kmB;
+        return std::make_shared<const RoCombiner>(scheme, km);
+      },
+      pool);
+  Bytes m = to_bytes("combine per committee");
+  auto fa = svc.submit("A", m, first_partials(kmA, m));
+  auto fb = svc.submit("B", m, first_partials(kmB, m));
+  Signature sa = fa.get(), sb = fb.get();
+  EXPECT_TRUE(scheme.verify(kmA.pk, m, sa));
+  EXPECT_TRUE(scheme.verify(kmB.pk, m, sb));
+  // Distinct committees produce distinct signatures on the same message —
+  // and each fails under the other's key.
+  EXPECT_FALSE(sa == sb);
+  EXPECT_FALSE(scheme.verify(kmB.pk, m, sa));
+  EXPECT_EQ(cache.stats().resident_entries, 2u);
 }
 
 }  // namespace

@@ -1,9 +1,17 @@
 // Parameterized cross-scheme sweeps: every scheme variant is exercised over
 // a grid of (t, n) configurations, subset choices, and message shapes —
-// property-style coverage that single-configuration tests miss.
+// property-style coverage that single-configuration tests miss. The second
+// half is a randomized differential sweep (~200 seeded trials) cross-checking
+// every cached/parallel fast path against its uncached/serial oracle.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <random>
+
 #include "common/rng.hpp"
+#include "fixtures.hpp"
+#include "service/parallel.hpp"
+#include "service/thread_pool.hpp"
 #include "stdmodel/std_scheme.hpp"
 #include "threshold/aggregate_scheme.hpp"
 #include "threshold/dlin_scheme.hpp"
@@ -142,6 +150,232 @@ TEST_P(StdSweep, EndToEnd) {
 INSTANTIATE_TEST_SUITE_P(Grid, StdSweep,
                          ::testing::Values(Tn{1, 3}, Tn{2, 5}, Tn{3, 7}),
                          tn_name);
+
+// ---------------------------------------------------------------------------
+// Randomized differential sweep: ~200 seeded trials cross-checking the
+// cached/batched/parallel serving paths against the uncached scheme paths
+// and the slow oracles (msm_naive, the affine-line reference Miller loop).
+// The trial RNG is seeded fresh per run so the sweep explores new inputs on
+// every CI execution; a failure logs the seed, and re-running with
+// BNR_SWEEP_SEED=<seed> reproduces the exact trial sequence.
+
+uint64_t sweep_seed() {
+  static const uint64_t seed = [] {
+    if (const char* env = std::getenv("BNR_SWEEP_SEED"))
+      return uint64_t(std::strtoull(env, nullptr, 0));
+    std::random_device rd;
+    return uint64_t(rd()) << 32 ^ uint64_t(rd());
+  }();
+  return seed;
+}
+
+/// Per-suite trial RNG: derived from the run seed plus a domain so suites
+/// stay independent; SCOPED_TRACE at each use site logs the reproduction
+/// recipe on failure.
+Rng trial_rng(std::string_view domain) {
+  return Rng("diff-sweep/" + std::to_string(sweep_seed()))
+      .fork(domain);
+}
+
+#define BNR_LOG_SEED() \
+  SCOPED_TRACE("reproduce with BNR_SWEEP_SEED=" + std::to_string(sweep_seed()))
+
+TEST(DifferentialSweepSeed, IsLoggedForReproduction) {
+  printf("[ sweeps ] BNR_SWEEP_SEED=%llu\n",
+         (unsigned long long)sweep_seed());
+  ::testing::Test::RecordProperty("BNR_SWEEP_SEED",
+                                  std::to_string(sweep_seed()));
+}
+
+struct RoDifferentialSweep : testfx::RoSchemeFixture {
+  RoDifferentialSweep() : RoSchemeFixture("diff-sweep-ro") {}
+  KeyMaterial km = keygen(3, 1);
+};
+
+TEST_F(RoDifferentialSweep, CachedVerifyAgreesWithSchemeVerify) {
+  // 60 trials: random message shapes, random tamper modes. The cached
+  // RoVerifier (prepared lines, the key-cache payload) must agree with the
+  // uncached RoScheme::verify bit for bit on accept AND reject.
+  BNR_LOG_SEED();
+  Rng r = trial_rng("cached-verify");
+  RoVerifier cached(scheme, km.pk);
+  for (int trial = 0; trial < 60; ++trial) {
+    SCOPED_TRACE(trial);
+    Bytes m = r.bytes(r.uniform(200));
+    Signature s = sign(km, m);
+    uint64_t mode = r.uniform(4);
+    Bytes m2 = m;
+    if (mode == 1) s.z = (G1::from_affine(s.z) + G1::generator()).to_affine();
+    if (mode == 2) s.r = (G1::from_affine(s.r) + G1::generator()).to_affine();
+    if (mode == 3) m2.push_back(0x5a);  // verify a different message
+    bool uncached = scheme.verify(km.pk, m2, s);
+    bool fast = cached.verify(m2, s);
+    EXPECT_EQ(uncached, fast) << "mode " << mode;
+    EXPECT_EQ(uncached, mode == 0);
+  }
+}
+
+TEST_F(RoDifferentialSweep, BatchVerifyAgreesWithIndividualVerifies) {
+  // 30 trials: random batch sizes and invalid subsets. The RLC fold must
+  // accept exactly when every member verifies individually (false accepts
+  // happen with probability ~N/2^128 — never in practice).
+  BNR_LOG_SEED();
+  Rng r = trial_rng("batch-verify");
+  RoVerifier cached(scheme, km.pk);
+  for (int trial = 0; trial < 30; ++trial) {
+    SCOPED_TRACE(trial);
+    size_t n = 1 + r.uniform(8);
+    std::vector<Bytes> msgs;
+    std::vector<Signature> sigs;
+    bool all_valid = true;
+    for (size_t j = 0; j < n; ++j) {
+      auto [m, s] = make_signed(
+          km, "bv " + std::to_string(trial) + "/" + std::to_string(j));
+      if (r.uniform(4) == 0) {
+        s = forge(s);
+        all_valid = false;
+      }
+      msgs.push_back(std::move(m));
+      sigs.push_back(s);
+    }
+    EXPECT_EQ(cached.batch_verify(msgs, sigs, r), all_valid);
+    bool individually = true;
+    for (size_t j = 0; j < n; ++j)
+      individually = individually && cached.verify(msgs[j], sigs[j]);
+    EXPECT_EQ(individually, all_valid);
+  }
+}
+
+TEST_F(RoDifferentialSweep, CachedCombineAgreesWithStatelessCombine) {
+  // 30 trials over a 5-player committee: random signer subsets, 0-2 random
+  // tampered partials. The cached RoCombiner's Fiat-Shamir fold must select
+  // the same subset and produce the same signature as the stateless
+  // RoScheme::combine — or both must throw.
+  BNR_LOG_SEED();
+  Rng r = trial_rng("cached-combine");
+  auto km5 = keygen(5, 2);
+  RoCombiner combiner(scheme, km5);
+  for (int trial = 0; trial < 30; ++trial) {
+    SCOPED_TRACE(trial);
+    Bytes m = r.bytes(1 + r.uniform(64));
+    // Random distinct signer subset of size 4 or 5.
+    std::vector<uint32_t> signers = {1, 2, 3, 4, 5};
+    for (size_t i = signers.size(); i > 1; --i)
+      std::swap(signers[i - 1], signers[r.uniform(i)]);
+    signers.resize(4 + r.uniform(2));
+    auto parts = partials(km5, m, signers);
+    size_t bad = r.uniform(3);
+    for (size_t k = 0; k < bad && k < parts.size(); ++k) {
+      size_t idx = r.uniform(parts.size());
+      parts[idx] = tamper(parts[idx]);
+    }
+    size_t valid = 0;
+    auto h = scheme.hash_message(m);
+    for (const auto& p : parts)
+      if (scheme.share_verify(km5.vks[p.index - 1], h, p)) ++valid;
+    if (valid >= km5.t + 1) {
+      Signature a = scheme.combine(km5, m, parts);
+      Signature b = combiner.combine(m, parts);
+      EXPECT_EQ(a, b);
+      EXPECT_TRUE(scheme.verify(km5.pk, m, a));
+    } else {
+      EXPECT_THROW(scheme.combine(km5, m, parts), std::runtime_error);
+      EXPECT_THROW(combiner.combine(m, parts), std::runtime_error);
+    }
+  }
+}
+
+struct DlinDifferentialSweep : testfx::DlinSchemeFixture {
+  DlinDifferentialSweep() : DlinSchemeFixture("diff-sweep-dlin") {}
+};
+
+TEST_F(DlinDifferentialSweep, CachedVerifyAgreesWithSchemeVerify) {
+  // 20 trials for the DLIN variant's cached verifier.
+  BNR_LOG_SEED();
+  Rng r = trial_rng("dlin-cached-verify");
+  auto km = keygen(3, 1);
+  DlinVerifier cached(scheme, km.pk);
+  for (int trial = 0; trial < 20; ++trial) {
+    SCOPED_TRACE(trial);
+    Bytes m = r.bytes(r.uniform(128));
+    auto parts = partials(km, m, {1, 2});
+    DlinSignature s = scheme.combine(km, m, parts);
+    uint64_t mode = r.uniform(3);
+    Bytes m2 = m;
+    if (mode == 1) s.z = (G1::from_affine(s.z) + G1::generator()).to_affine();
+    if (mode == 2) m2.push_back(0xa5);
+    bool uncached = scheme.verify(km.pk, m2, s);
+    EXPECT_EQ(uncached, cached.verify(m2, s)) << "mode " << mode;
+    EXPECT_EQ(uncached, mode == 0);
+  }
+}
+
+TEST(ParallelDifferentialSweep, MsmAgreesWithNaiveOracle) {
+  // 40 trials: random sizes straddling the Pippenger and parallel-fallback
+  // thresholds, scalar mixes with zeros and small values. msm, msm_parallel,
+  // and the msm_naive oracle must agree exactly.
+  BNR_LOG_SEED();
+  Rng r = trial_rng("msm");
+  service::ThreadPool pool(4);
+  for (int trial = 0; trial < 40; ++trial) {
+    SCOPED_TRACE(trial);
+    size_t n = 1 + r.uniform(160);
+    std::vector<G1> points;
+    std::vector<Fr> scalars;
+    for (size_t i = 0; i < n; ++i) {
+      points.push_back(G1::generator().mul(Fr::random(r)));
+      uint64_t kind = r.uniform(8);
+      if (kind == 0)
+        scalars.push_back(Fr::zero());
+      else if (kind == 1)
+        scalars.push_back(Fr::from_u64(r.uniform(1000)));
+      else
+        scalars.push_back(Fr::random(r));
+    }
+    G1 oracle = msm_naive<G1>(points, scalars);
+    EXPECT_EQ(msm<G1>(points, scalars), oracle);
+    EXPECT_EQ(service::msm_parallel<G1>(pool, points, scalars), oracle);
+  }
+}
+
+TEST(ParallelDifferentialSweep, MultiPairingAgreesWithAffineOracle) {
+  // 20 trials: random term counts; the prepared shared-squaring loop and the
+  // pool-parallel chunked loop must match the affine-line reference Miller
+  // loop (multi_pairing_reference), including cancelling products.
+  BNR_LOG_SEED();
+  Rng r = trial_rng("multi-pairing");
+  service::ThreadPool pool(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    SCOPED_TRACE(trial);
+    size_t n = 1 + r.uniform(6);
+    bool cancelling = r.uniform(2) == 0;
+    std::vector<PairingTerm> plain;
+    if (cancelling) {
+      // Pairs e(aP, Q) e(-aP, Q): the product is exactly 1.
+      for (size_t i = 0; i < n; ++i) {
+        Fr a = Fr::random(r);
+        G2Affine q = G2::generator().mul(Fr::random(r)).to_affine();
+        plain.push_back({G1::generator().mul(a).to_affine(), q});
+        plain.push_back({(-G1::generator().mul(a)).to_affine(), q});
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i)
+        plain.push_back({G1::generator().mul(Fr::random(r)).to_affine(),
+                         G2::generator().mul(Fr::random(r)).to_affine()});
+    }
+    std::vector<G2Prepared> prepared;
+    prepared.reserve(plain.size());
+    std::vector<PreparedTerm> terms;
+    for (const auto& t : plain) {
+      prepared.emplace_back(t.q);
+      terms.push_back({t.p, &prepared.back()});
+    }
+    GT oracle = multi_pairing_reference(plain);
+    EXPECT_EQ(multi_pairing(terms), oracle);
+    EXPECT_EQ(service::multi_pairing_parallel(pool, terms), oracle);
+    EXPECT_EQ(oracle.is_identity(), cancelling);
+  }
+}
 
 }  // namespace
 }  // namespace bnr

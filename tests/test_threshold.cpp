@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "fixtures.hpp"
 #include "threshold/aggregate_scheme.hpp"
 #include "threshold/dlin_scheme.hpp"
 #include "threshold/ro_scheme.hpp"
@@ -14,23 +15,10 @@ using namespace bnr::threshold;
 
 Bytes msg_bytes(std::string_view s) { return to_bytes(s); }
 
-struct RoFixture : ::testing::Test {
-  SystemParams sp = SystemParams::derive("ro-test");
-  RoScheme scheme{sp};
-  Rng rng{"ro-test-rng"};
-
-  KeyMaterial keygen(size_t n = 5, size_t t = 2) {
-    return scheme.dist_keygen(n, t, rng);
-  }
-
-  std::vector<PartialSignature> partials(const KeyMaterial& km,
-                                         std::span<const uint8_t> msg,
-                                         std::span<const uint32_t> signers) {
-    std::vector<PartialSignature> out;
-    for (uint32_t i : signers)
-      out.push_back(scheme.share_sign(km.shares[i - 1], msg));
-    return out;
-  }
+// The keygen/partials/tamper boilerplate lives in tests/fixtures.hpp; this
+// suite only fixes its domain label.
+struct RoFixture : testfx::RoSchemeFixture {
+  RoFixture() : RoSchemeFixture("ro-test") {}
 };
 
 TEST_F(RoFixture, EndToEnd) {
@@ -232,10 +220,8 @@ INSTANTIATE_TEST_SUITE_P(
 // ---------------------------------------------------------------------------
 // DLIN variant (App. F)
 
-struct DlinFixture : ::testing::Test {
-  SystemParams sp = SystemParams::derive("dlin-test");
-  DlinScheme scheme{sp};
-  Rng rng{"dlin-test-rng"};
+struct DlinFixture : testfx::DlinSchemeFixture {
+  DlinFixture() : DlinSchemeFixture("dlin-test") {}
 };
 
 TEST_F(DlinFixture, EndToEnd) {

@@ -16,6 +16,15 @@ Two guard kinds:
                       Hard floor: current[SLOW]/current[FAST] must be >= X
                       regardless of the baseline (e.g. "batched Combine must
                       stay >= 3x the per-partial path").
+  --max-ratio A:B=X   Hard ceiling: current[A]/current[B] must be <= X (e.g.
+                      "the multi-tenant request path must stay within 1.5x of
+                      the single-tenant cached path").
+  --min-metric NAME=X Hard floor on a recorded value: current[NAME] >= X
+                      (e.g. "warm-cache hit rate >= 90"; the JSON schema
+                      stores any scalar under ns_per_op).
+
+--baseline is only required for the baseline-relative guards (--ratio,
+--metric); the hard floors/ceilings run against --current alone.
 
 Exit status 1 on any violation; missing records are violations too (a rename
 must update the guard, not silently drop it).
@@ -40,7 +49,7 @@ def get(table, name, path):
 
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--baseline")
     ap.add_argument("--current", required=True)
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed fractional regression (default 0.25)")
@@ -49,9 +58,15 @@ def main():
     ap.add_argument("--metric", action="append", default=[], metavar="NAME")
     ap.add_argument("--min-ratio", action="append", default=[],
                     metavar="SLOW:FAST=X")
+    ap.add_argument("--max-ratio", action="append", default=[],
+                    metavar="A:B=X")
+    ap.add_argument("--min-metric", action="append", default=[],
+                    metavar="NAME=X")
     args = ap.parse_args()
 
-    base = load(args.baseline)
+    if (args.ratio or args.metric) and not args.baseline:
+        ap.error("--ratio/--metric require --baseline")
+    base = load(args.baseline) if args.baseline else {}
     cur = load(args.current)
     ok = True
 
@@ -95,6 +110,31 @@ def main():
         print(f"{status}: speedup {slow} / {fast}: current {cur_speedup:.2f}x"
               f" (hard floor {floor:.2f}x)")
         ok = ok and cur_speedup >= floor
+
+    for spec in args.max_ratio:
+        pair, ceil_s = spec.split("=")
+        a, b = pair.split(":")
+        ceil = float(ceil_s)
+        c_a, c_b = get(cur, a, args.current), get(cur, b, args.current)
+        if c_a is None or c_b is None:
+            ok = False
+            continue
+        ratio = c_a / c_b
+        status = "ok" if ratio <= ceil else "FAIL"
+        print(f"{status}: ratio {a} / {b}: current {ratio:.2f}x"
+              f" (hard ceiling {ceil:.2f}x)")
+        ok = ok and ratio <= ceil
+
+    for spec in args.min_metric:
+        name, floor_s = spec.split("=")
+        floor = float(floor_s)
+        c = get(cur, name, args.current)
+        if c is None:
+            ok = False
+            continue
+        status = "ok" if c >= floor else "FAIL"
+        print(f"{status}: {name}: current {c:.1f} (hard floor {floor:.1f})")
+        ok = ok and c >= floor
 
     if not ok:
         print("bench regression check FAILED")
