@@ -62,7 +62,7 @@ int main() {
     sigs.push_back(scheme.combine_unchecked(km.t, parts));
   }
 
-  auto prepare = [&] {
+  auto prepare = [&](const std::string&) {
     return std::make_shared<const threshold::RoVerifier>(scheme, km.pk);
   };
   threshold::RoVerifier probe(scheme, km.pk);
@@ -143,7 +143,7 @@ int main() {
     KeyCacheManager<threshold::RoVerifier> cache(
         {.byte_budget = budget, .shards = 16});
     service::RoMultiTenantVerificationService svc(
-        cache, [&](const std::string&) { return prepare(); },
+        cache, prepare,
         service::BatchPolicy{.max_batch = 32,
                              .max_delay = std::chrono::milliseconds(2)},
         pool);

@@ -7,23 +7,35 @@
 //   ./threshold_cli sign    <dir> <server-index> <message>
 //   ./threshold_cli combine <dir> <message> <partial-hex>...
 //   ./threshold_cli verify  <dir> <message> <signature-hex>
-//   ./threshold_cli serve   [tenants] [requests] [cache-entries]
+//   ./threshold_cli daemon  [port] [cache-mb] [label]
+//   ./threshold_cli client  <host> <port> [tenants] [requests] [label]
+//   ./threshold_cli rpc-smoke
 //
-// `serve` is the multi-tenant serving loop: Zipf-distributed requests over
-// many tenant key-ids are routed through the sharded key cache and the
-// per-tenant batching verification service — the shape of a production
-// gateway in front of many committees.
+// `daemon` is the serving entry point: a long-running RPC daemon speaking
+// the length-prefixed binary wire protocol (src/rpc/wire.hpp) in front of
+// the multi-tenant verification/combine services and the sharded key cache.
+// `client` drives Zipf-distributed multi-tenant traffic (with a sprinkling
+// of forgeries) against a running daemon over TCP — the shape of a
+// production gateway's traffic, now crossing a real socket. `rpc-smoke` is
+// the CI entry: it starts a daemon on an ephemeral loopback port, runs one
+// client round trip per scheme (RO verify + batch + combine with cheater
+// attribution, DLIN verify), and asserts a clean drain-down.
 //
 // Run without arguments for a self-contained demo in a temp directory.
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 
+#include "rpc/rpc_client.hpp"
+#include "rpc/rpc_server.hpp"
 #include "service/key_cache.hpp"
 #include "service/thread_pool.hpp"
 #include "service/verification_service.hpp"
+#include "threshold/dlin_scheme.hpp"
 #include "threshold/ro_scheme.hpp"
 
 using namespace bnr;
@@ -113,19 +125,55 @@ int cmd_verify(const fs::path& dir, const std::string& msg,
   return ok ? 0 : 1;
 }
 
-// Multi-tenant serving loop: `tenants` key-ids mapped onto a few real
-// committees (a real deployment has one committee per tenant; reusing key
-// material keeps the demo's DKG cost bounded without changing the cache or
-// routing behavior), a byte-budgeted verifier cache far smaller than the
-// tenant population, and Zipf(1.0) request traffic with a sprinkling of
-// forgeries to show per-tenant attribution.
-int cmd_serve(size_t tenants, size_t requests, size_t cache_entries) {
+// ---------------------------------------------------------------------------
+// RPC daemon / client / smoke
+
+rpc::RpcServer* g_daemon = nullptr;
+
+extern "C" void daemon_signal(int) {
+  if (g_daemon) g_daemon->stop();  // atomic store + pipe write: signal-safe
+}
+
+int cmd_daemon(uint16_t port, size_t cache_mb, const std::string& label) {
   using namespace bnr::service;
-  if (tenants == 0 || requests == 0 || cache_entries == 0) {
-    fprintf(stderr, "serve: tenants, requests, and cache-entries must be > 0\n");
+  ThreadPool workers;
+  rpc::ServerConfig cfg;
+  cfg.port = port;
+  cfg.params_label = label;
+  cfg.cache_bytes = cache_mb << 20;
+  rpc::RpcServer server(cfg, workers);
+  g_daemon = &server;
+  std::signal(SIGINT, daemon_signal);
+  std::signal(SIGTERM, daemon_signal);
+  printf("daemon listening on %s:%u (params label \"%s\", cache %zu MB)\n",
+         cfg.bind_addr.c_str(), server.port(), label.c_str(), cache_mb);
+  fflush(stdout);  // scripts read the bound port from this line
+  server.run();
+  auto st = server.snapshot_stats();
+  printf("daemon drained: %llu frames over %llu connections, %llu verifies "
+         "(%llu folds), %llu combines, %llu protocol errors\n",
+         (unsigned long long)st.frames_in, (unsigned long long)st.connections,
+         (unsigned long long)st.verify_submitted,
+         (unsigned long long)st.verify_batches,
+         (unsigned long long)st.combines,
+         (unsigned long long)st.protocol_errors);
+  g_daemon = nullptr;
+  return 0;
+}
+
+// Multi-tenant Zipf traffic against a running daemon: `tenants` key-ids
+// mapped onto a few real committees (a real deployment has one committee
+// per tenant; reusing key material keeps the demo's DKG cost bounded — and
+// showcases the daemon's pk-digest dedup: N tenants, 4 prepared entries),
+// verify requests with a sprinkling of forgeries, and a few combines.
+int cmd_client(const std::string& host, uint16_t port, size_t tenants,
+               size_t requests, const std::string& label) {
+  using namespace bnr::service;
+  if (tenants == 0 || requests == 0) {
+    fprintf(stderr, "client: tenants and requests must be > 0\n");
     return 2;
   }
-  RoScheme scheme(SystemParams::derive("cli-serve/v1"));
+  RoScheme scheme(SystemParams::derive(label));
   Rng rng = Rng::from_entropy();
 
   const size_t committees = std::min<size_t>(tenants, 4);
@@ -134,8 +182,6 @@ int cmd_serve(size_t tenants, size_t requests, size_t cache_entries) {
   for (size_t c = 0; c < committees; ++c)
     kms.push_back(scheme.dist_keygen(3, 1, rng));
 
-  // Pre-sign a message pool per committee so the request loop measures
-  // serving, not signing.
   constexpr size_t kMsgsPerCommittee = 16;
   std::vector<std::vector<std::pair<Bytes, Signature>>> pool_msgs(committees);
   for (size_t c = 0; c < committees; ++c)
@@ -147,27 +193,20 @@ int cmd_serve(size_t tenants, size_t requests, size_t cache_entries) {
       pool_msgs[c].push_back({m, scheme.combine_unchecked(1, parts)});
     }
 
-  RoVerifier probe(scheme, kms[0].pk);
-  const size_t unit = probe.cache_bytes();
-  KeyCacheManager<RoVerifier> cache(
-      {.byte_budget = cache_entries * unit, .shards = 16});
-  printf("cache: %zu-entry budget (%.1f MB at %zu KB/prepared verifier), "
-         "16 shards, %zu tenants\n",
-         cache_entries, double(cache_entries * unit) / (1 << 20), unit >> 10,
-         tenants);
-
-  ThreadPool workers;
-  auto committee_of = [&](const std::string& key) {
-    return std::stoul(key.substr(key.find('-') + 1)) % committees;
-  };
-  RoMultiTenantVerificationService svc(
-      cache,
-      [&](const std::string& key) {
-        return std::make_shared<const RoVerifier>(
-            scheme, kms[committee_of(key)].pk);
-      },
-      BatchPolicy{.max_batch = 32, .max_delay = std::chrono::milliseconds(2)},
-      workers);
+  rpc::RpcClient client(host, port);
+  printf("registering %zu tenants over %zu committees...\n", tenants,
+         committees);
+  size_t deduped = 0;
+  {
+    std::vector<std::future<bool>> regs;
+    regs.reserve(tenants);
+    for (size_t tnt = 0; tnt < tenants; ++tnt)
+      regs.push_back(client.register_ro_committee(
+          "tenant-" + std::to_string(tnt), kms[tnt % committees]));
+    for (auto& f : regs) deduped += f.get() ? 1 : 0;
+  }
+  printf("  %zu registrations deduplicated onto already-prepared keys\n",
+         deduped);
 
   ZipfSampler zipf(tenants, 1.0);
   Rng traffic = rng.fork("traffic");
@@ -183,7 +222,7 @@ int cmd_serve(size_t tenants, size_t requests, size_t cache_entries) {
     Signature sig = s;
     if (forge)
       sig.z = (G1::from_affine(sig.z) + G1::generator()).to_affine();
-    futs.emplace_back(svc.submit(key, m, sig), !forge);
+    futs.emplace_back(client.verify(key, m, sig), !forge);
   }
   size_t correct = 0;
   for (auto& [f, expected] : futs) correct += f.get() == expected;
@@ -191,26 +230,129 @@ int cmd_serve(size_t tenants, size_t requests, size_t cache_entries) {
                   std::chrono::steady_clock::now() - start)
                   .count();
 
-  auto vs = svc.stats();
-  auto cs = cache.stats();
-  printf("\n%zu requests in %.0f ms (%.0f req/s): %llu accepted, %llu "
-         "rejected, %zu/%zu attributed correctly\n",
+  // A handful of combines ride along on the same connection.
+  size_t combines_ok = 0;
+  for (size_t c = 0; c < committees; ++c) {
+    Bytes m = to_bytes("client combine " + std::to_string(c));
+    std::vector<PartialSignature> parts;
+    for (uint32_t i = 1; i <= 2; ++i)
+      parts.push_back(scheme.share_sign(kms[c].shares[i - 1], m));
+    Signature sig =
+        client.combine_sync("tenant-" + std::to_string(c), m, parts);
+    combines_ok += scheme.verify(kms[c].pk, m, sig) ? 1 : 0;
+  }
+
+  auto st = client.stats_sync();
+  printf("\n%zu requests in %.0f ms (%.0f req/s over the socket): %llu "
+         "accepted, %llu rejected, %zu/%zu attributed correctly; %zu/%zu "
+         "combines ok\n",
          requests, ms, requests / ms * 1000.0,
-         (unsigned long long)vs.accepted, (unsigned long long)vs.rejected,
-         correct, requests);
-  printf("folds: %llu per-key batches over %llu size + %llu deadline "
-         "flushes, %llu fallbacks\n",
-         (unsigned long long)vs.batches, (unsigned long long)vs.size_flushes,
-         (unsigned long long)vs.deadline_flushes,
-         (unsigned long long)vs.fallbacks);
-  printf("cache: %.1f%% hit rate (%llu hits / %llu misses), %llu resident "
-         "keys / %.1f MB, %llu evictions, %llu redundant prepares\n",
-         100.0 * cs.hit_rate(), (unsigned long long)cs.hits,
-         (unsigned long long)cs.misses, (unsigned long long)cs.resident_entries,
-         double(cs.resident_bytes) / (1 << 20),
-         (unsigned long long)cs.evictions,
-         (unsigned long long)cs.redundant_prepares);
-  return correct == requests ? 0 : 1;
+         (unsigned long long)st.verify_accepted,
+         (unsigned long long)st.verify_rejected, correct, requests,
+         combines_ok, committees);
+  printf("daemon: %llu tenants (%llu deduped onto shared pks), %llu per-key "
+         "folds, cache %llu hits / %llu misses, %llu resident entries "
+         "(%.1f MB)\n",
+         (unsigned long long)st.tenants, (unsigned long long)st.deduped_keys,
+         (unsigned long long)st.verify_batches,
+         (unsigned long long)st.cache_hits,
+         (unsigned long long)st.cache_misses,
+         (unsigned long long)st.cache_resident_entries,
+         double(st.cache_resident_bytes) / (1 << 20));
+  return (correct == requests && combines_ok == committees) ? 0 : 1;
+}
+
+// CI smoke: ephemeral daemon, one client round trip per scheme, clean
+// drain. Asserts by exit code so the workflow step is a one-liner.
+int cmd_rpc_smoke() {
+  using namespace bnr::service;
+  const std::string label = "rpc-smoke/v1";
+  ThreadPool workers;
+  rpc::ServerConfig cfg;
+  cfg.port = 0;
+  cfg.params_label = label;
+  cfg.cache_bytes = size_t(64) << 20;
+  rpc::RpcServer server(cfg, workers);
+  std::thread serving([&] { server.run(); });
+  printf("smoke daemon on port %u\n", server.port());
+
+  bool ok = true;
+  auto check = [&](bool cond, const char* what) {
+    ok = ok && cond;
+    printf("  %-42s %s\n", what, cond ? "ok" : "FAIL");
+  };
+  try {
+    Rng rng("rpc-smoke");
+    rpc::RpcClient client("127.0.0.1", server.port());
+    client.ping().get();
+    check(true, "ping");
+
+    // RO scheme: register committee, verify, batch-verify, combine (with a
+    // cheater to attribute).
+    RoScheme ro(SystemParams::derive(label));
+    auto km = ro.dist_keygen(4, 1, rng);
+    check(!client.register_ro_committee("ro-tenant", km).get(),
+          "register RO committee (fresh)");
+    check(client.register_ro_key("ro-alias", km.pk).get(),
+          "register same pk again -> deduped");
+    Bytes msg = to_bytes("smoke message");
+    std::vector<PartialSignature> parts;
+    for (uint32_t i = 1; i <= 2; ++i)
+      parts.push_back(ro.share_sign(km.shares[i - 1], msg));
+    Signature sig = ro.combine_unchecked(1, parts);
+    check(client.verify_sync("ro-tenant", msg, sig), "RO verify accept");
+    Signature forged = sig;
+    forged.z = (G1::from_affine(forged.z) + G1::generator()).to_affine();
+    check(!client.verify_sync("ro-tenant", msg, forged), "RO verify reject");
+    std::vector<std::pair<Bytes, Signature>> items = {{msg, sig},
+                                                      {msg, forged}};
+    auto batch = client.batch_verify("ro-tenant", items).get();
+    check(batch.size() == 2 && batch[0] && !batch[1], "RO batch-verify");
+    // Combine over the wire, with one tampered partial attributed.
+    std::vector<PartialSignature> with_cheat = parts;
+    with_cheat.push_back(ro.share_sign(km.shares[2], msg));
+    with_cheat[0].z =
+        (G1::from_affine(with_cheat[0].z) + G1::generator()).to_affine();
+    std::vector<uint32_t> cheaters;
+    Signature combined =
+        client.combine_sync("ro-tenant", msg, with_cheat, &cheaters);
+    check(ro.verify(km.pk, msg, combined) && cheaters.size() == 1 &&
+              cheaters[0] == with_cheat[0].index,
+          "RO combine + cheater attribution");
+
+    // DLIN scheme round trip.
+    DlinScheme dlin(SystemParams::derive(label));
+    auto dkm = dlin.dist_keygen(4, 1, rng);
+    check(!client.register_dlin_key("dlin-tenant", dkm.pk).get(),
+          "register DLIN key");
+    std::vector<DlinPartialSignature> dparts;
+    for (uint32_t i = 1; i <= 2; ++i)
+      dparts.push_back(dlin.share_sign(dkm.shares[i - 1], msg));
+    DlinSignature dsig = dlin.combine(dkm, msg, dparts);
+    check(client.verify_dlin("dlin-tenant", msg, dsig).get(),
+          "DLIN verify accept");
+    DlinSignature dforged = dsig;
+    dforged.z = (G1::from_affine(dforged.z) + G1::generator()).to_affine();
+    check(!client.verify_dlin("dlin-tenant", msg, dforged).get(),
+          "DLIN verify reject");
+
+    auto st = client.stats_sync();
+    check(st.tenants == 3 && st.deduped_keys == 1 && st.protocol_errors == 0,
+          "stats: 3 tenants, 1 deduped, no errors");
+  } catch (const std::exception& e) {
+    fprintf(stderr, "smoke exception: %s\n", e.what());
+    ok = false;
+  }
+
+  server.stop();
+  serving.join();
+  auto vs = server.verify_stats();
+  bool drained = vs.submitted == vs.accepted + vs.rejected;
+  printf("  %-42s %s\n", "graceful shutdown drained all batches",
+         drained ? "ok" : "FAIL");
+  ok = ok && drained;
+  printf("rpc-smoke: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
 }
 
 int demo() {
@@ -269,17 +411,26 @@ int main(int argc, char** argv) {
       return cmd_combine(argv[2], argv[3],
                          std::span<char*>(argv + 4, argc - 4));
     if (cmd == "verify" && argc == 5) return cmd_verify(argv[2], argv[3], argv[4]);
-    if (cmd == "serve" && argc <= 5)
-      return cmd_serve(argc > 2 ? std::stoul(argv[2]) : 2000,
-                       argc > 3 ? std::stoul(argv[3]) : 4000,
-                       argc > 4 ? std::stoul(argv[4]) : 512);
+    if (cmd == "daemon" && argc <= 5)
+      return cmd_daemon(
+          argc > 2 ? static_cast<uint16_t>(std::stoul(argv[2])) : 9137,
+          argc > 3 ? std::stoul(argv[3]) : 256,
+          argc > 4 ? argv[4] : "bnr-rpc/v1");
+    if (cmd == "client" && argc >= 4 && argc <= 7)
+      return cmd_client(argv[2], static_cast<uint16_t>(std::stoul(argv[3])),
+                        argc > 4 ? std::stoul(argv[4]) : 2000,
+                        argc > 5 ? std::stoul(argv[5]) : 4000,
+                        argc > 6 ? argv[6] : "bnr-rpc/v1");
+    if (cmd == "rpc-smoke" && argc == 2) return cmd_rpc_smoke();
     fprintf(stderr,
             "usage: %s keygen <dir> <label> <n> <t>\n"
             "       %s sign <dir> <server-index> <message>\n"
             "       %s combine <dir> <message> <partial-hex>...\n"
             "       %s verify <dir> <message> <signature-hex>\n"
-            "       %s serve [tenants] [requests] [cache-entries]\n",
-            argv[0], argv[0], argv[0], argv[0], argv[0]);
+            "       %s daemon [port] [cache-mb] [label]\n"
+            "       %s client <host> <port> [tenants] [requests] [label]\n"
+            "       %s rpc-smoke\n",
+            argv[0], argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
     return 2;
   } catch (const std::exception& e) {
     fprintf(stderr, "error: %s\n", e.what());

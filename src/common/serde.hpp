@@ -87,4 +87,11 @@ class ByteReader {
   size_t pos_ = 0;
 };
 
+/// Rejects trailing bytes after a deserializer consumed its structure — a
+/// canonical-encoding requirement every wire deserializer shares.
+inline void expect_done(const ByteReader& rd, const char* what) {
+  if (!rd.empty())
+    throw std::invalid_argument(std::string(what) + ": trailing data");
+}
+
 }  // namespace bnr

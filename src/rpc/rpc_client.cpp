@@ -1,0 +1,324 @@
+#include "rpc/rpc_client.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+namespace bnr::rpc {
+
+namespace {
+
+int connect_tcp(const std::string& host, uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  std::string port_s = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), port_s.c_str(), &hints, &res);
+  if (rc != 0)
+    throw std::system_error(std::make_error_code(std::errc::host_unreachable),
+                            std::string("getaddrinfo: ") + gai_strerror(rc));
+  int fd = -1;
+  for (addrinfo* ai = res; ai; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0)
+    throw std::system_error(errno, std::generic_category(), "connect");
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+RpcClient::RpcClient(const std::string& host, uint16_t port,
+                     uint32_t max_frame)
+    : fd_(connect_tcp(host, port)), max_frame_(max_frame) {
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+RpcClient::~RpcClient() {
+  {
+    std::lock_guard<std::mutex> l(p_m_);
+    closed_ = true;
+  }
+  // Shutdown wakes the reader out of recv(); it fails the outstanding
+  // futures and exits, then the fd can close.
+  ::shutdown(fd_, SHUT_RDWR);
+  reader_.join();
+  ::close(fd_);
+}
+
+bool RpcClient::closed() const {
+  std::lock_guard<std::mutex> l(p_m_);
+  return closed_;
+}
+
+void RpcClient::send_bytes(const Bytes& framed) {
+  std::lock_guard<std::mutex> l(w_m_);
+  size_t off = 0;
+  while (off < framed.size()) {
+    ssize_t n =
+        ::send(fd_, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::system_error(errno, std::generic_category(), "send");
+    }
+    off += size_t(n);
+  }
+}
+
+void RpcClient::enqueue(std::function<Bytes(uint64_t)> encode,
+                        PendingHandler handler) {
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> l(p_m_);
+    if (closed_) throw ProtocolError("rpc session is closed");
+    id = next_id_++;
+    pending_.emplace(id, std::move(handler));
+  }
+  Bytes framed;
+  try {
+    Bytes payload = encode(id);
+    framed.reserve(4 + payload.size());
+    append_frame(framed, payload, max_frame_);
+    send_bytes(framed);
+  } catch (...) {
+    // The request never hit the wire; withdraw it so the map cannot leak.
+    std::lock_guard<std::mutex> l(p_m_);
+    pending_.erase(id);
+    throw;
+  }
+}
+
+void RpcClient::fail_all(std::exception_ptr err) {
+  std::unordered_map<uint64_t, PendingHandler> orphans;
+  {
+    std::lock_guard<std::mutex> l(p_m_);
+    closed_ = true;
+    orphans.swap(pending_);
+  }
+  for (auto& [id, h] : orphans) h.fail(err);
+}
+
+void RpcClient::reader_loop() {
+  FrameBuffer frames(max_frame_);
+  uint8_t buf[65536];
+  Bytes frame;
+  for (;;) {
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      fail_all(std::make_exception_ptr(
+          ProtocolError("connection closed by server")));
+      return;
+    }
+    frames.feed({buf, size_t(n)});
+    for (;;) {
+      auto r = frames.next(frame);
+      if (r == FrameBuffer::Result::kNeedMore) break;
+      if (r == FrameBuffer::Result::kTooBig) {
+        fail_all(std::make_exception_ptr(
+            ProtocolError("oversized frame from server")));
+        return;
+      }
+      PendingHandler handler;
+      try {
+        ByteReader rd(frame);
+        ResponseHeader h = decode_response_header(rd);
+        {
+          std::lock_guard<std::mutex> l(p_m_);
+          auto it = pending_.find(h.request_id);
+          if (it == pending_.end())
+            throw ProtocolError("response for unknown request id");
+          handler = std::move(it->second);
+          pending_.erase(it);
+        }
+        if (h.status == Status::kError) {
+          std::string msg = decode_str(rd);
+          handler.fail(std::make_exception_ptr(RpcError(msg)));
+        } else {
+          handler.ok(rd);
+        }
+      } catch (const std::exception&) {
+        // A response we cannot parse (or cannot attribute) means the stream
+        // itself can no longer be trusted: tear the session down.
+        if (handler.fail)
+          handler.fail(std::make_exception_ptr(
+              ProtocolError("malformed response from server")));
+        fail_all(std::make_exception_ptr(
+            ProtocolError("malformed response from server")));
+        return;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Request fronts. Each builds (promise, handler) and enqueues; handler.ok
+// must consume the body EXACTLY (trailing bytes are a protocol violation
+// surfaced by the throw in reader_loop).
+
+std::future<void> RpcClient::ping() {
+  auto prom = std::make_shared<std::promise<void>>();
+  auto fut = prom->get_future();
+  enqueue([](uint64_t id) { return encode_empty_request(Method::kPing, id); },
+          {[prom](ByteReader& rd) {
+             expect_frame_done(rd, "PING response");
+             prom->set_value();
+           },
+           [prom](std::exception_ptr e) { prom->set_exception(e); }});
+  return fut;
+}
+
+std::future<bool> RpcClient::register_tenant(RegisterTenantRequest req) {
+  auto prom = std::make_shared<std::promise<bool>>();
+  auto fut = prom->get_future();
+  auto shared = std::make_shared<RegisterTenantRequest>(std::move(req));
+  enqueue([shared](uint64_t id) { return encode_register(id, *shared); },
+          {[prom](ByteReader& rd) {
+             bool deduped = rd.u8() != 0;
+             expect_frame_done(rd, "REGISTER response");
+             prom->set_value(deduped);
+           },
+           [prom](std::exception_ptr e) { prom->set_exception(e); }});
+  return fut;
+}
+
+std::future<bool> RpcClient::register_ro_key(const std::string& key,
+                                             const threshold::PublicKey& pk) {
+  RegisterTenantRequest req;
+  req.key = key;
+  req.kind = TenantKind::kRoKey;
+  req.pk = pk.serialize();
+  return register_tenant(std::move(req));
+}
+
+std::future<bool> RpcClient::register_ro_committee(
+    const std::string& key, const threshold::KeyMaterial& km) {
+  RegisterTenantRequest req;
+  req.key = key;
+  req.kind = TenantKind::kRoCommittee;
+  req.pk = km.pk.serialize();
+  req.n = static_cast<uint32_t>(km.n);
+  req.t = static_cast<uint32_t>(km.t);
+  req.vks.reserve(km.vks.size());
+  for (const auto& vk : km.vks) req.vks.push_back(vk.serialize());
+  return register_tenant(std::move(req));
+}
+
+std::future<bool> RpcClient::register_dlin_key(
+    const std::string& key, const threshold::DlinPublicKey& pk) {
+  RegisterTenantRequest req;
+  req.key = key;
+  req.kind = TenantKind::kDlinKey;
+  req.pk = pk.serialize();
+  return register_tenant(std::move(req));
+}
+
+namespace {
+RpcClient::PendingHandler accepted_handler(
+    const std::shared_ptr<std::promise<bool>>& prom) {
+  return {[prom](ByteReader& rd) {
+            bool ok = rd.u8() != 0;
+            expect_frame_done(rd, "VERIFY response");
+            prom->set_value(ok);
+          },
+          [prom](std::exception_ptr e) { prom->set_exception(e); }};
+}
+}  // namespace
+
+std::future<bool> RpcClient::verify(const std::string& key, Bytes msg,
+                                    const threshold::Signature& sig) {
+  auto prom = std::make_shared<std::promise<bool>>();
+  auto fut = prom->get_future();
+  auto req = std::make_shared<VerifyRequest>(
+      VerifyRequest{key, std::move(msg), sig.serialize()});
+  enqueue([req](uint64_t id) { return encode_verify(id, *req); },
+          accepted_handler(prom));
+  return fut;
+}
+
+std::future<bool> RpcClient::verify_dlin(const std::string& key, Bytes msg,
+                                         const threshold::DlinSignature& sig) {
+  auto prom = std::make_shared<std::promise<bool>>();
+  auto fut = prom->get_future();
+  auto req = std::make_shared<VerifyRequest>(
+      VerifyRequest{key, std::move(msg), sig.serialize()});
+  enqueue([req](uint64_t id) { return encode_verify(id, *req); },
+          accepted_handler(prom));
+  return fut;
+}
+
+std::future<std::vector<bool>> RpcClient::batch_verify(
+    const std::string& key,
+    std::span<const std::pair<Bytes, threshold::Signature>> items) {
+  auto prom = std::make_shared<std::promise<std::vector<bool>>>();
+  auto fut = prom->get_future();
+  auto req = std::make_shared<BatchVerifyRequest>();
+  req->key = key;
+  req->items.reserve(items.size());
+  for (const auto& [msg, sig] : items)
+    req->items.emplace_back(msg, sig.serialize());
+  const size_t expect = items.size();
+  enqueue([req](uint64_t id) { return encode_batch_verify(id, *req); },
+          {[prom, expect](ByteReader& rd) {
+             uint32_t n = rd.count(1);
+             if (n != expect)
+               throw ProtocolError("BATCH_VERIFY result count mismatch");
+             std::vector<bool> out(n);
+             for (uint32_t j = 0; j < n; ++j) out[j] = rd.u8() != 0;
+             expect_frame_done(rd, "BATCH_VERIFY response");
+             prom->set_value(std::move(out));
+           },
+           [prom](std::exception_ptr e) { prom->set_exception(e); }});
+  return fut;
+}
+
+std::future<CombineResult> RpcClient::combine_raw(
+    const std::string& key, Bytes msg,
+    std::span<const threshold::PartialSignature> parts) {
+  auto prom = std::make_shared<std::promise<CombineResult>>();
+  auto fut = prom->get_future();
+  auto req = std::make_shared<CombineRequest>();
+  req->key = key;
+  req->msg = std::move(msg);
+  req->partials.reserve(parts.size());
+  for (const auto& p : parts) req->partials.push_back(p.serialize());
+  enqueue([req](uint64_t id) { return encode_combine(id, *req); },
+          {[prom](ByteReader& rd) {
+             CombineResult r = decode_combine_result(rd);
+             expect_frame_done(rd, "COMBINE response");
+             prom->set_value(std::move(r));
+           },
+           [prom](std::exception_ptr e) { prom->set_exception(e); }});
+  return fut;
+}
+
+std::future<DaemonStats> RpcClient::stats() {
+  auto prom = std::make_shared<std::promise<DaemonStats>>();
+  auto fut = prom->get_future();
+  enqueue(
+      [](uint64_t id) { return encode_empty_request(Method::kStats, id); },
+      {[prom](ByteReader& rd) {
+         DaemonStats s = decode_stats(rd);
+         expect_frame_done(rd, "STATS response");
+         prom->set_value(s);
+       },
+       [prom](std::exception_ptr e) { prom->set_exception(e); }});
+  return fut;
+}
+
+}  // namespace bnr::rpc

@@ -1,0 +1,135 @@
+// Client library for the serving daemon's wire protocol.
+//
+// One RpcClient is one TCP connection with full PIPELINING: every request
+// carries a fresh u64 id, a background reader thread matches response frames
+// back to their promises, and any number of requests may be outstanding at
+// once — the daemon completes them out of order (batched folds resolve
+// whole per-tenant groups together). The futures returned here are exactly
+// the in-process service futures with a socket in the middle.
+//
+// Error surfaces:
+//   * An ERROR response resolves that request's future with RpcError
+//     (attributable server-side failure: unknown tenant, combine with too
+//     few valid shares, ...). The connection stays usable.
+//   * A malformed or oversized frame FROM the server, or EOF / a socket
+//     error, tears the session down: every outstanding and subsequent
+//     future fails with ProtocolError and closed() turns true.
+//
+// The synchronous *_sync conveniences just .get() the future — one round
+// trip per call, the natural shape for scripting against the daemon.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "rpc/wire.hpp"
+#include "threshold/dlin_scheme.hpp"
+#include "threshold/ro_scheme.hpp"
+
+namespace bnr::rpc {
+
+class RpcClient {
+ public:
+  /// Connects (blocking) to `host:port`; throws std::system_error on
+  /// failure. `host` is a dotted quad or "localhost".
+  RpcClient(const std::string& host, uint16_t port,
+            uint32_t max_frame = kMaxFrameBytes);
+
+  /// Closes the socket and fails any still-outstanding futures.
+  ~RpcClient();
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  // -- Asynchronous (pipelined) API -----------------------------------------
+
+  std::future<void> ping();
+
+  /// Registers an RO-model tenant key (VERIFY only). The future resolves to
+  /// true when the daemon already held prepared state for this public key
+  /// under another tenant (the registration was deduplicated).
+  std::future<bool> register_ro_key(const std::string& key,
+                                    const threshold::PublicKey& pk);
+  /// Registers an RO committee (public material only): VERIFY and COMBINE.
+  std::future<bool> register_ro_committee(const std::string& key,
+                                          const threshold::KeyMaterial& km);
+  /// Registers a DLIN-variant tenant key (VERIFY only).
+  std::future<bool> register_dlin_key(const std::string& key,
+                                      const threshold::DlinPublicKey& pk);
+
+  std::future<bool> verify(const std::string& key, Bytes msg,
+                           const threshold::Signature& sig);
+  std::future<bool> verify_dlin(const std::string& key, Bytes msg,
+                                const threshold::DlinSignature& sig);
+  std::future<std::vector<bool>> batch_verify(
+      const std::string& key,
+      std::span<const std::pair<Bytes, threshold::Signature>> items);
+
+  /// Combine: the future resolves to the combined signature (cheater indices
+  /// via the outparam overload below); RpcError when the committee cannot
+  /// reach t+1 valid shares.
+  std::future<CombineResult> combine_raw(
+      const std::string& key, Bytes msg,
+      std::span<const threshold::PartialSignature> parts);
+
+  std::future<DaemonStats> stats();
+
+  // -- Synchronous conveniences ---------------------------------------------
+
+  bool verify_sync(const std::string& key, Bytes msg,
+                   const threshold::Signature& sig) {
+    return verify(key, std::move(msg), sig).get();
+  }
+  threshold::Signature combine_sync(
+      const std::string& key, Bytes msg,
+      std::span<const threshold::PartialSignature> parts,
+      std::vector<uint32_t>* cheaters = nullptr) {
+    CombineResult r = combine_raw(key, std::move(msg), parts).get();
+    if (cheaters) *cheaters = r.cheaters;
+    return threshold::Signature::deserialize(r.sig);
+  }
+  DaemonStats stats_sync() { return stats().get(); }
+
+  /// True once the session is torn down (server closed, protocol violation,
+  /// or destructor); all requests fail fast afterwards.
+  bool closed() const;
+
+  // Response handler for one outstanding request: exactly one of the two
+  // callbacks runs, on the reader thread. Public only for the .cpp's
+  // internal helpers; not part of the caller-facing API.
+  struct PendingHandler {
+    std::function<void(ByteReader&)> ok;        // body reader -> resolve
+    std::function<void(std::exception_ptr)> fail;
+  };
+
+ private:
+
+  /// Registers the handler under a fresh id, frames and writes `payload`
+  /// (patching the id into the encoded header), and returns the id.
+  void enqueue(std::function<Bytes(uint64_t)> encode, PendingHandler handler);
+  /// Registration helper shared by the three register_* fronts.
+  std::future<bool> register_tenant(RegisterTenantRequest req);
+  void reader_loop();
+  void fail_all(std::exception_ptr err);
+  void send_bytes(const Bytes& framed);
+
+  int fd_ = -1;
+  uint32_t max_frame_;
+
+  std::mutex w_m_;          // serializes writers interleaving frames
+  mutable std::mutex p_m_;  // guards pending_ / next_id_ / closed_
+  std::unordered_map<uint64_t, PendingHandler> pending_;
+  uint64_t next_id_ = 1;
+  bool closed_ = false;
+
+  std::thread reader_;  // last member: joined before the rest dies
+};
+
+}  // namespace bnr::rpc

@@ -1,0 +1,743 @@
+#include "rpc/rpc_server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <system_error>
+
+#include "common/sha256.hpp"
+
+namespace bnr::rpc {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void set_nonblock(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    throw_errno("fcntl(O_NONBLOCK)");
+}
+
+std::string hex_digest(std::initializer_list<std::span<const uint8_t>> parts) {
+  Sha256 hs;
+  for (auto p : parts) hs.update(p);
+  auto d = hs.finalize();
+  return to_hex(d);
+}
+
+}  // namespace
+
+/// Per-connection state. Owned by the event loop through `conns_`;
+/// completion-queue entries hold weak_ptrs only, so a disconnect drops its
+/// pending responses without any cross-thread coordination.
+struct RpcServer::Conn {
+  Conn(int fd_, uint32_t max_frame) : fd(fd_), frames(max_frame) {}
+  ~Conn() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  int fd;
+  FrameBuffer frames;
+  std::deque<Bytes> wq;  // encoded frames awaiting write
+  size_t wq_bytes = 0;
+  size_t woff = 0;        // progress into wq.front()
+  bool read_shut = false; // shutdown drain: no further reads
+  bool paused = false;    // backpressured: wq over high-water mark
+};
+
+struct RpcServer::Tenant {
+  TenantKind kind{};
+  std::string digest;  // canonical cache key of the prepared state
+  threshold::PublicKey ro_pk;
+  threshold::DlinPublicKey dlin_pk;
+  std::shared_ptr<const threshold::KeyMaterial> committee;  // public parts
+};
+
+RpcServer::RpcServer(ServerConfig cfg, service::ThreadPool& pool)
+    : cfg_(std::move(cfg)),
+      pool_(pool),
+      ro_scheme_(threshold::SystemParams::derive(cfg_.params_label)),
+      dlin_scheme_(threshold::SystemParams::derive(cfg_.params_label)),
+      ro_cache_(service::KeyCachePolicy{.byte_budget = cfg_.cache_bytes,
+                                        .shards = cfg_.cache_shards}),
+      dlin_cache_(service::KeyCachePolicy{.byte_budget = cfg_.cache_bytes,
+                                          .shards = cfg_.cache_shards}),
+      combiner_cache_(service::KeyCachePolicy{.byte_budget = cfg_.cache_bytes,
+                                              .shards = cfg_.cache_shards}) {
+  // Providers run on pool workers (outside any shard lock). They receive
+  // the CANONICAL cache key — the pk digest the tenant was aliased onto —
+  // and read the digest-keyed registry maps, which are immutable per digest.
+  // Keying the prepare by the digest (not the mutable tenant record) is
+  // what makes a re-registration racing an in-flight batch harmless: the
+  // worst case is preparing a verifier nobody looks up again, never caching
+  // one under a digest it does not match. An unregistered tenant's key
+  // resolves to itself, misses these maps, and rejects the group.
+  ro_verify_ = std::make_unique<service::RoMultiTenantVerificationService>(
+      ro_cache_,
+      [this](const std::string& canonical) {
+        threshold::PublicKey pk;
+        {
+          std::lock_guard<std::mutex> l(reg_m_);
+          auto it = ro_pk_by_digest_.find(canonical);
+          if (it == ro_pk_by_digest_.end())
+            throw RpcError("unknown RO tenant key: " + canonical);
+          pk = it->second;
+        }
+        return std::make_shared<const threshold::RoVerifier>(ro_scheme_, pk);
+      },
+      cfg_.batch, pool_, "rpc-ro-verify");
+  dlin_verify_ =
+      std::make_unique<service::DlinMultiTenantVerificationService>(
+          dlin_cache_,
+          [this](const std::string& canonical) {
+            threshold::DlinPublicKey pk;
+            {
+              std::lock_guard<std::mutex> l(reg_m_);
+              auto it = dlin_pk_by_digest_.find(canonical);
+              if (it == dlin_pk_by_digest_.end())
+                throw RpcError("unknown DLIN tenant key: " + canonical);
+              pk = it->second;
+            }
+            return std::make_shared<const threshold::DlinVerifier>(
+                dlin_scheme_, pk);
+          },
+          cfg_.batch, pool_, "rpc-dlin-verify");
+  combine_ = std::make_unique<service::MultiTenantCombineService>(
+      combiner_cache_,
+      [this](const std::string& canonical) {
+        std::shared_ptr<const threshold::KeyMaterial> km;
+        {
+          std::lock_guard<std::mutex> l(reg_m_);
+          auto it = committee_by_digest_.find(canonical);
+          if (it == committee_by_digest_.end())
+            throw RpcError("not a combine-capable committee: " + canonical);
+          km = it->second;
+        }
+        return std::make_shared<const threshold::RoCombiner>(ro_scheme_, *km);
+      },
+      pool_, "rpc-combine");
+
+  // Listener + self-pipe.
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.port);
+  if (::inet_pton(AF_INET, cfg_.bind_addr.c_str(), &addr.sin_addr) != 1)
+    throw std::invalid_argument("RpcServer: bad bind address " +
+                                cfg_.bind_addr);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
+    throw_errno("bind");
+  if (::listen(listen_fd_, 128) < 0) throw_errno("listen");
+  socklen_t alen = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen) < 0)
+    throw_errno("getsockname");
+  port_ = ntohs(addr.sin_port);
+  set_nonblock(listen_fd_);
+  if (::pipe(wake_fd_) < 0) throw_errno("pipe");
+  set_nonblock(wake_fd_[0]);
+  set_nonblock(wake_fd_[1]);
+  reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+}
+
+RpcServer::~RpcServer() {
+  stop_.store(true, std::memory_order_release);
+  // Services are destroyed first (member order): they drain every pool task,
+  // whose completions land harmlessly in completions_ against dead weak
+  // pointers. Then the sockets close.
+  ro_verify_.reset();
+  dlin_verify_.reset();
+  combine_.reset();
+  conns_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (int fd : wake_fd_)
+    if (fd >= 0) ::close(fd);
+  if (reserve_fd_ >= 0) ::close(reserve_fd_);
+}
+
+void RpcServer::stop() {
+  stop_.store(true, std::memory_order_release);
+  wake();  // a single nonblocking write: async-signal-safe
+}
+
+void RpcServer::wake() {
+  uint8_t b = 1;
+  // A full pipe already guarantees a pending wake-up; EAGAIN is success.
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_[1], &b, 1);
+}
+
+void RpcServer::run() { event_loop(); }
+
+void RpcServer::event_loop() {
+  using clock = std::chrono::steady_clock;
+  bool draining = false;
+  clock::time_point drain_deadline{};
+
+  std::vector<pollfd> pfds;
+  std::vector<std::shared_ptr<Conn>> pconns;  // parallel to pfds tail
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire) && !draining) {
+      draining = true;
+      drain_deadline = clock::now() + cfg_.drain_timeout;
+      if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      // Push pending service batches out now instead of waiting for their
+      // deadline flush, and stop reading: frames already buffered were
+      // parsed as they arrived, so every accepted request is in flight.
+      ro_verify_->flush();
+      dlin_verify_->flush();
+      for (auto& [fd, c] : conns_) c->read_shut = true;
+    }
+    if (draining) {
+      bool wq_empty = true;
+      for (auto& [fd, c] : conns_) wq_empty = wq_empty && c->wq.empty();
+      bool idle = in_flight_.load(std::memory_order_acquire) == 0;
+      if (idle) {
+        std::lock_guard<std::mutex> l(comp_m_);
+        idle = completions_.empty();
+      }
+      if ((idle && wq_empty) || clock::now() > drain_deadline) break;
+    }
+
+    pfds.clear();
+    pconns.clear();
+    pfds.push_back({wake_fd_[0], POLLIN, 0});
+    if (listen_fd_ >= 0) pfds.push_back({listen_fd_, POLLIN, 0});
+    for (auto& [fd, c] : conns_) {
+      short ev = 0;
+      // Backpressure with hysteresis: a connection that is not draining its
+      // responses loses its read interest at the high-water mark and only
+      // regains it below half, so a queue hovering at the threshold cannot
+      // flap read interest every iteration.
+      if (c->paused && c->wq_bytes < cfg_.write_backpressure / 2)
+        c->paused = false;
+      else if (!c->paused && c->wq_bytes >= cfg_.write_backpressure)
+        c->paused = true;
+      if (!c->read_shut && !c->paused) ev |= POLLIN;
+      if (!c->wq.empty()) ev |= POLLOUT;
+      if (ev == 0) continue;
+      pfds.push_back({fd, ev, 0});
+      pconns.push_back(c);
+    }
+
+    int timeout_ms = draining ? 50 : -1;
+    int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+
+    size_t idx = 0;
+    if (pfds[idx].revents & POLLIN) {
+      uint8_t buf[256];
+      while (::read(wake_fd_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    ++idx;
+    drain_completions();
+    if (listen_fd_ >= 0) {
+      if (pfds[idx].revents & POLLIN) accept_ready();
+      ++idx;
+    }
+    for (size_t k = 0; idx < pfds.size(); ++idx, ++k) {
+      auto& c = pconns[k];
+      if (c->fd < 0) continue;  // closed earlier this iteration
+      if (pfds[idx].revents & (POLLOUT)) write_ready(c);
+      if (c->fd >= 0 && (pfds[idx].revents & (POLLIN | POLLHUP | POLLERR)))
+        read_ready(c);
+    }
+  }
+
+  conns_.clear();
+}
+
+void RpcServer::accept_ready() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EMFILE || errno == ENFILE) {
+        // Out of fds with a connection still queued: under level-triggered
+        // poll the listener would signal POLLIN forever and busy-spin the
+        // loop. Burn the reserve fd to accept-and-close the connection
+        // (the peer sees a clean refusal), then re-arm the reserve.
+        if (reserve_fd_ >= 0) {
+          ::close(reserve_fd_);
+          reserve_fd_ = -1;
+          int victim = ::accept(listen_fd_, nullptr, nullptr);
+          if (victim >= 0) ::close(victim);
+          reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+          continue;
+        }
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // other transient accept failures (ECONNABORTED) are skipped
+    }
+    set_nonblock(fd);
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    conns_.emplace(fd, std::make_shared<Conn>(fd, cfg_.max_frame));
+    conns_accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void RpcServer::close_conn(const std::shared_ptr<Conn>& c) {
+  if (c->fd < 0) return;
+  int fd = c->fd;
+  ::close(fd);
+  c->fd = -1;
+  conns_.erase(fd);
+}
+
+void RpcServer::read_ready(const std::shared_ptr<Conn>& c) {
+  uint8_t buf[65536];
+  for (;;) {
+    ssize_t n = ::recv(c->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      c->frames.feed({buf, size_t(n)});
+      // A peer streaming faster than we parse must not stage unbounded
+      // memory: cap the unparsed buffer at one max frame plus one read and
+      // go parse; poll() is level-triggered, the rest re-signals.
+      if (c->frames.buffered() > size_t(cfg_.max_frame) + sizeof(buf)) break;
+      if (size_t(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // EOF or hard error: a mid-request disconnect. In-flight completions
+    // hold weak_ptrs and get dropped; the batches they folded into are
+    // unaffected.
+    close_conn(c);
+    return;
+  }
+
+  Bytes frame;
+  for (;;) {
+    auto r = c->frames.next(frame);
+    if (r == FrameBuffer::Result::kNeedMore) return;
+    if (r == FrameBuffer::Result::kTooBig || !handle_frame(c, frame)) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      close_conn(c);
+      return;
+    }
+  }
+}
+
+void RpcServer::write_ready(const std::shared_ptr<Conn>& c) {
+  while (!c->wq.empty()) {
+    const Bytes& front = c->wq.front();
+    ssize_t n =
+        ::send(c->fd, front.data() + c->woff, front.size() - c->woff,
+               MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      close_conn(c);
+      return;
+    }
+    c->woff += size_t(n);
+    if (c->woff < front.size()) return;
+    c->wq_bytes -= front.size();
+    c->wq.pop_front();
+    c->woff = 0;
+  }
+}
+
+void RpcServer::send_now(const std::shared_ptr<Conn>& c, Bytes payload) {
+  if (c->fd < 0) return;
+  Bytes framed;
+  framed.reserve(4 + payload.size());
+  append_frame(framed, payload, cfg_.max_frame);
+  c->wq_bytes += framed.size();
+  c->wq.push_back(std::move(framed));
+  write_ready(c);  // opportunistic flush; the rest goes out via POLLOUT
+}
+
+void RpcServer::complete(const std::weak_ptr<Conn>& c, Bytes payload) {
+  {
+    std::lock_guard<std::mutex> l(comp_m_);
+    completions_.emplace_back(c, std::move(payload));
+  }
+  in_flight_.fetch_sub(1, std::memory_order_release);
+  wake();
+}
+
+void RpcServer::drain_completions() {
+  std::vector<std::pair<std::weak_ptr<Conn>, Bytes>> batch;
+  {
+    std::lock_guard<std::mutex> l(comp_m_);
+    batch.swap(completions_);
+  }
+  for (auto& [wc, payload] : batch)
+    if (auto c = wc.lock()) send_now(c, std::move(payload));
+}
+
+bool RpcServer::handle_frame(const std::shared_ptr<Conn>& c,
+                             std::span<const uint8_t> payload) {
+  try {
+    ByteReader rd(payload);
+    RequestHeader h = decode_request_header(rd);
+    switch (h.method) {
+      case Method::kPing:
+        expect_frame_done(rd, "PING");
+        send_now(c, encode_ok(h.request_id));
+        break;
+      case Method::kStats: {
+        expect_frame_done(rd, "STATS");
+        send_now(c, encode_ok(h.request_id, encode_stats(snapshot_stats())));
+        break;
+      }
+      case Method::kRegisterTenant:
+        handle_register(c, h.request_id, rd);
+        break;
+      case Method::kVerify:
+        dispatch_verify(c, h.request_id, decode_verify(rd));
+        break;
+      case Method::kBatchVerify:
+        dispatch_batch_verify(c, h.request_id, decode_batch_verify(rd));
+        break;
+      case Method::kCombine:
+        dispatch_combine(c, h.request_id, decode_combine(rd));
+        break;
+    }
+    frames_in_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  } catch (const std::exception&) {
+    // Structural violation (truncated body, bad counts, unknown ids,
+    // trailing bytes): the frame itself is malformed -> close, no response.
+    return false;
+  }
+}
+
+void RpcServer::handle_register(const std::shared_ptr<Conn>& c, uint64_t id,
+                                ByteReader& rd) {
+  RegisterTenantRequest req = decode_register(rd);  // throws -> close
+  // From here on the frame is well-formed; key-material problems are the
+  // REQUEST's fault and get an attributable ERROR response instead.
+  try {
+    Tenant t;
+    t.kind = req.kind;
+    bool deduped = false;
+    // Ordering matters: the digest-keyed material is published under reg_m_
+    // BEFORE the cache alias becomes visible, so a pool worker that
+    // resolves the new alias always finds the digest's (immutable) material.
+    switch (req.kind) {
+      case TenantKind::kRoKey: {
+        t.ro_pk = threshold::PublicKey::deserialize(req.pk);
+        t.digest = "ro:" + hex_digest({req.pk});
+        {
+          std::lock_guard<std::mutex> l(reg_m_);
+          ro_pk_by_digest_.emplace(t.digest, t.ro_pk);
+        }
+        deduped = ro_cache_.add_alias(req.key, t.digest);
+        break;
+      }
+      case TenantKind::kRoCommittee: {
+        auto km = std::make_shared<threshold::KeyMaterial>();
+        km->n = req.n;
+        km->t = req.t;
+        km->pk = threshold::PublicKey::deserialize(req.pk);
+        for (const auto& vk : req.vks)
+          km->vks.push_back(threshold::VerificationKey::deserialize(vk));
+        t.ro_pk = km->pk;
+        t.committee = km;
+        // Verify-side dedup is by pk alone (same equation); the combiner is
+        // deduped only across committees with identical full key material.
+        std::string pk_digest = "ro:" + hex_digest({req.pk});
+        Sha256 hs;
+        hs.update(req.pk);
+        ByteWriter nt;
+        nt.u32(req.n);
+        nt.u32(req.t);
+        hs.update(nt.bytes());
+        for (const auto& vk : req.vks) hs.update(vk);
+        t.digest = "committee:" + to_hex(hs.finalize());
+        {
+          std::lock_guard<std::mutex> l(reg_m_);
+          ro_pk_by_digest_.emplace(pk_digest, t.ro_pk);
+          committee_by_digest_.emplace(t.digest, km);
+        }
+        deduped = ro_cache_.add_alias(req.key, pk_digest);
+        combiner_cache_.add_alias(req.key, t.digest);
+        break;
+      }
+      case TenantKind::kDlinKey: {
+        t.dlin_pk = threshold::DlinPublicKey::deserialize(req.pk);
+        t.digest = "dlin:" + hex_digest({req.pk});
+        {
+          std::lock_guard<std::mutex> l(reg_m_);
+          dlin_pk_by_digest_.emplace(t.digest, t.dlin_pk);
+        }
+        deduped = dlin_cache_.add_alias(req.key, t.digest);
+        break;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> l(reg_m_);
+      tenants_[req.key] = std::move(t);
+    }
+    ByteWriter w;
+    encode_response_header(w, Status::kOk, id);
+    w.u8(deduped ? 1 : 0);
+    send_now(c, w.take());
+  } catch (const std::exception& e) {
+    send_now(c, encode_error(id, e.what()));
+  }
+}
+
+void RpcServer::dispatch_verify(const std::shared_ptr<Conn>& c, uint64_t id,
+                                VerifyRequest req) {
+  TenantKind kind;
+  {
+    std::lock_guard<std::mutex> l(reg_m_);
+    auto it = tenants_.find(req.key);
+    if (it == tenants_.end()) {
+      send_now(c, encode_error(id, "unknown tenant: " + req.key));
+      return;
+    }
+    kind = it->second.kind;
+  }
+  std::weak_ptr<Conn> wc = c;
+  auto done = [this, wc, id](bool ok, std::exception_ptr err) {
+    Bytes resp;
+    if (err) {
+      try {
+        std::rethrow_exception(err);
+      } catch (const std::exception& e) {
+        resp = encode_error(id, e.what());
+      } catch (...) {
+        resp = encode_error(id, "verify failed");
+      }
+    } else {
+      ByteWriter w;
+      encode_response_header(w, Status::kOk, id);
+      w.u8(ok ? 1 : 0);
+      resp = w.take();
+    }
+    complete(wc, std::move(resp));
+  };
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  try {
+    if (kind == TenantKind::kDlinKey) {
+      auto sig = threshold::DlinSignature::deserialize(req.sig);
+      dlin_verify_->submit(req.key, std::move(req.msg), std::move(sig),
+                           std::move(done));
+    } else {
+      auto sig = threshold::Signature::deserialize(req.sig);
+      ro_verify_->submit(req.key, std::move(req.msg), std::move(sig),
+                         std::move(done));
+    }
+  } catch (const std::exception& e) {
+    // Bad signature encoding inside a well-formed frame: attributable.
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    send_now(c, encode_error(id, e.what()));
+  }
+}
+
+void RpcServer::dispatch_batch_verify(const std::shared_ptr<Conn>& c,
+                                      uint64_t id, BatchVerifyRequest req) {
+  TenantKind kind;
+  {
+    std::lock_guard<std::mutex> l(reg_m_);
+    auto it = tenants_.find(req.key);
+    if (it == tenants_.end()) {
+      send_now(c, encode_error(id, "unknown tenant: " + req.key));
+      return;
+    }
+    kind = it->second.kind;
+  }
+
+  if (req.items.empty()) {
+    ByteWriter w;
+    encode_response_header(w, Status::kOk, id);
+    w.u32(0);
+    send_now(c, w.take());
+    return;
+  }
+
+  // Shared aggregation state: each item completes independently (they fold
+  // into the tenant's per-flush batches like any other submissions); the
+  // LAST accounted item encodes and queues the response. `outstanding`
+  // starts at the FULL item count so no early completion can observe zero
+  // while later items are still being staged; a malformed signature blob is
+  // simply not a valid signature -> rejected without a service round trip,
+  // accounted on the staging thread.
+  struct BatchState {
+    std::mutex m;
+    std::vector<uint8_t> results;
+    size_t outstanding = 0;
+    std::string error;  // first exceptional failure, if any
+  };
+  auto st = std::make_shared<BatchState>();
+  st->results.assign(req.items.size(), 0);
+  st->outstanding = req.items.size();
+  std::weak_ptr<Conn> wc = c;
+
+  auto finish = [this, st, wc, id] {
+    Bytes resp;
+    if (!st->error.empty()) {
+      resp = encode_error(id, st->error);
+    } else {
+      ByteWriter w;
+      encode_response_header(w, Status::kOk, id);
+      w.u32(static_cast<uint32_t>(st->results.size()));
+      for (uint8_t r : st->results) w.u8(r);
+      resp = w.take();
+    }
+    complete(wc, std::move(resp));
+  };
+
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  for (size_t j = 0; j < req.items.size(); ++j) {
+    auto item_done = [st, j, finish](bool ok, std::exception_ptr err) {
+      bool last;
+      {
+        std::lock_guard<std::mutex> l(st->m);
+        if (err && st->error.empty()) {
+          try {
+            std::rethrow_exception(err);
+          } catch (const std::exception& e) {
+            st->error = e.what();
+          } catch (...) {
+            st->error = "batch item failed";
+          }
+        }
+        st->results[j] = (!err && ok) ? 1 : 0;
+        last = --st->outstanding == 0;
+      }
+      if (last) finish();
+    };
+    try {
+      if (kind == TenantKind::kDlinKey) {
+        auto sig = threshold::DlinSignature::deserialize(req.items[j].second);
+        dlin_verify_->submit(req.key, std::move(req.items[j].first),
+                             std::move(sig), item_done);
+      } else {
+        auto sig = threshold::Signature::deserialize(req.items[j].second);
+        ro_verify_->submit(req.key, std::move(req.items[j].first),
+                           std::move(sig), item_done);
+      }
+    } catch (const std::exception&) {
+      bool last;
+      {
+        std::lock_guard<std::mutex> l(st->m);
+        st->results[j] = 0;  // malformed encoding: rejected, never submitted
+        last = --st->outstanding == 0;
+      }
+      if (last) finish();  // complete() handles the event-loop-thread case
+    }
+  }
+}
+
+void RpcServer::dispatch_combine(const std::shared_ptr<Conn>& c, uint64_t id,
+                                 CombineRequest req) {
+  {
+    std::lock_guard<std::mutex> l(reg_m_);
+    auto it = tenants_.find(req.key);
+    if (it == tenants_.end() || !it->second.committee) {
+      send_now(c,
+               encode_error(id, "not a combine-capable tenant: " + req.key));
+      return;
+    }
+  }
+  std::vector<threshold::PartialSignature> parts;
+  try {
+    parts.reserve(req.partials.size());
+    for (const auto& p : req.partials)
+      parts.push_back(threshold::PartialSignature::deserialize(p));
+  } catch (const std::exception& e) {
+    send_now(c, encode_error(id, e.what()));
+    return;
+  }
+
+  std::weak_ptr<Conn> wc = c;
+  combines_.fetch_add(1, std::memory_order_relaxed);
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  combine_->submit(
+      req.key, std::move(req.msg), std::move(parts),
+      [this, wc, id](service::CombineOutcome* out, std::exception_ptr err) {
+        Bytes resp;
+        if (err) {
+          try {
+            std::rethrow_exception(err);
+          } catch (const std::exception& e) {
+            resp = encode_error(id, e.what());
+          } catch (...) {
+            resp = encode_error(id, "combine failed");
+          }
+        } else {
+          resp = encode_ok(
+              id, encode_combine_result(
+                      {out->sig.serialize(), out->cheaters}));
+        }
+        complete(wc, std::move(resp));
+      });
+}
+
+service::ServiceStats RpcServer::verify_stats() const {
+  service::ServiceStats total = ro_verify_->stats();
+  service::ServiceStats d = dlin_verify_->stats();
+  total.submitted += d.submitted;
+  total.batches += d.batches;
+  total.size_flushes += d.size_flushes;
+  total.deadline_flushes += d.deadline_flushes;
+  total.fallbacks += d.fallbacks;
+  total.accepted += d.accepted;
+  total.rejected += d.rejected;
+  return total;
+}
+
+DaemonStats RpcServer::snapshot_stats() const {
+  DaemonStats s;
+  {
+    std::lock_guard<std::mutex> l(reg_m_);
+    s.tenants = tenants_.size();
+  }
+  s.connections = conns_accepted_.load(std::memory_order_relaxed);
+  s.frames_in = frames_in_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.combines = combines_.load(std::memory_order_relaxed);
+
+  auto add_cache = [&s](const service::KeyCacheStats& cs) {
+    s.cache_hits += cs.hits;
+    s.cache_misses += cs.misses;
+    s.cache_evictions += cs.evictions;
+    s.cache_resident_entries += cs.resident_entries;
+    s.cache_resident_bytes += cs.resident_bytes;
+  };
+  auto ro = ro_cache_.stats();
+  auto dlin = dlin_cache_.stats();
+  add_cache(ro);
+  add_cache(dlin);
+  add_cache(combiner_cache_.stats());
+  // pk-level dedup: tenants that mapped onto an already-registered digest in
+  // either verifier cache (the combiner's committee-level aliases would
+  // double-count the same tenants).
+  s.deduped_keys = ro.deduped + dlin.deduped;
+
+  service::ServiceStats vs = verify_stats();
+  s.verify_submitted = vs.submitted;
+  s.verify_batches = vs.batches;
+  s.verify_fallbacks = vs.fallbacks;
+  s.verify_accepted = vs.accepted;
+  s.verify_rejected = vs.rejected;
+  return s;
+}
+
+}  // namespace bnr::rpc

@@ -1,0 +1,177 @@
+// The long-running TCP serving daemon: a poll()-driven event loop over
+// non-blocking sockets in front of the multi-tenant in-process stack
+// (KeyCacheManager + MultiTenantVerificationService + MultiTenantCombineService).
+//
+// Threading model — one I/O thread, N crypto workers:
+//
+//   * The event-loop thread (the caller of run()) owns every socket: it
+//     accepts, reads, deframes, decodes, and writes. It never computes a
+//     pairing.
+//   * Decoded VERIFY/BATCH_VERIFY/COMBINE requests are submitted to the
+//     services with a COMPLETION CALLBACK; the services batch them into
+//     per-tenant RLC folds on the thread pool exactly as in-process callers
+//     get. When a callback fires (on a pool worker), the encoded response is
+//     pushed onto a completion queue and the event loop is woken through a
+//     self-pipe — the only cross-thread handoff in the subsystem.
+//   * Responses therefore complete OUT OF ORDER; the request id written by
+//     the client is echoed back so a pipelined connection can match them.
+//
+// Robustness properties the tests pin down:
+//
+//   * A malformed, truncated, or oversized frame closes the connection
+//     immediately (no response); the daemon keeps serving everyone else.
+//     FrameBuffer rejects a hostile length prefix before buffering a byte of
+//     the oversized body, and every decoder bounds element counts by the
+//     bytes actually present.
+//   * A connection that stops draining its responses is backpressured: once
+//     its write queue exceeds `write_backpressure` bytes the loop stops
+//     reading from it (no POLLIN) until the queue drains below half.
+//   * A mid-request disconnect drops the pending completions on the floor
+//     (they hold weak_ptrs to the connection) without disturbing the batch
+//     they were folded into.
+//   * stop() is async-signal-safe (atomic store + pipe write). Shutdown
+//     drains: buffered complete frames are still dispatched, in-flight
+//     batches finish, responses flush, then sockets close — bounded by
+//     `drain_timeout`.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rpc/wire.hpp"
+#include "service/key_cache.hpp"
+#include "service/thread_pool.hpp"
+#include "service/verification_service.hpp"
+#include "threshold/dlin_scheme.hpp"
+#include "threshold/ro_scheme.hpp"
+
+namespace bnr::rpc {
+
+struct ServerConfig {
+  uint16_t port = 0;  // 0 = ephemeral; port() reports the bound port
+  std::string bind_addr = "127.0.0.1";  // dotted-quad listen address
+  /// Both peers derive SystemParams from this label; group elements on the
+  /// wire are only meaningful against the same parameters.
+  std::string params_label = "bnr-rpc/v1";
+  size_t cache_bytes = size_t(256) << 20;  // per verifier cache
+  size_t cache_shards = 16;
+  service::BatchPolicy batch{};
+  uint32_t max_frame = kMaxFrameBytes;
+  size_t write_backpressure = size_t(4) << 20;
+  std::chrono::milliseconds drain_timeout{5000};
+};
+
+class RpcServer {
+ public:
+  /// Binds and listens (throws std::system_error on failure) but does not
+  /// serve until run(). `pool` must outlive the server.
+  RpcServer(ServerConfig cfg, service::ThreadPool& pool);
+
+  /// The caller must stop() and join whichever thread is inside run()
+  /// before destruction; the destructor then drains the services.
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  uint16_t port() const { return port_; }
+
+  /// Serves until stop(). Call from exactly one thread.
+  void run();
+
+  /// Requests shutdown; safe from any thread and from a signal handler.
+  void stop();
+
+  DaemonStats snapshot_stats() const;
+  const service::KeyCacheManager<threshold::RoVerifier>& ro_cache() const {
+    return ro_cache_;
+  }
+  service::ServiceStats verify_stats() const;
+
+ private:
+  struct Conn;
+  struct Tenant;
+
+  void event_loop();
+  void accept_ready();
+  void read_ready(const std::shared_ptr<Conn>& c);
+  void write_ready(const std::shared_ptr<Conn>& c);
+  /// Decodes and dispatches one request frame. Returns false on a protocol
+  /// violation (caller closes the connection).
+  bool handle_frame(const std::shared_ptr<Conn>& c,
+                    std::span<const uint8_t> payload);
+  void handle_register(const std::shared_ptr<Conn>& c, uint64_t id,
+                       ByteReader& rd);
+  void dispatch_verify(const std::shared_ptr<Conn>& c, uint64_t id,
+                       VerifyRequest req);
+  void dispatch_batch_verify(const std::shared_ptr<Conn>& c, uint64_t id,
+                             BatchVerifyRequest req);
+  void dispatch_combine(const std::shared_ptr<Conn>& c, uint64_t id,
+                        CombineRequest req);
+
+  /// Queues an already-encoded response payload from any thread and wakes
+  /// the event loop. Counterpart of a dispatch_* in_flight_ increment.
+  void complete(const std::weak_ptr<Conn>& c, Bytes payload);
+  /// Same, from the event-loop thread itself (no queue round-trip).
+  void send_now(const std::shared_ptr<Conn>& c, Bytes payload);
+  void drain_completions();
+  void close_conn(const std::shared_ptr<Conn>& c);
+  void wake();
+
+  ServerConfig cfg_;
+  service::ThreadPool& pool_;
+  threshold::RoScheme ro_scheme_;
+  threshold::DlinScheme dlin_scheme_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  int wake_fd_[2] = {-1, -1};  // self-pipe: [0] polled, [1] written
+  int reserve_fd_ = -1;  // burned to accept-and-close when out of fds
+
+  std::atomic<bool> stop_{false};
+
+  // Completion plumbing. Declared BEFORE the services so pool callbacks
+  // firing during service teardown still find it alive.
+  mutable std::mutex comp_m_;
+  std::vector<std::pair<std::weak_ptr<Conn>, Bytes>> completions_;
+  std::atomic<uint64_t> in_flight_{0};
+
+  // Tenant registry: event loop writes on REGISTER, pool workers read from
+  // the verifier providers. The providers read the DIGEST-keyed maps: a
+  // digest names immutable key material (same digest -> same pk, always),
+  // so a re-registration racing an in-flight prepare can never cache a
+  // verifier under a digest it does not match. `tenants_` (mutable: a
+  // tenant may rotate keys) is only read on the event loop for routing.
+  mutable std::mutex reg_m_;
+  std::unordered_map<std::string, Tenant> tenants_;
+  std::unordered_map<std::string, threshold::PublicKey> ro_pk_by_digest_;
+  std::unordered_map<std::string, threshold::DlinPublicKey> dlin_pk_by_digest_;
+  std::unordered_map<std::string, std::shared_ptr<const threshold::KeyMaterial>>
+      committee_by_digest_;
+
+  // Lifetime counters (event loop writes, stats reads).
+  std::atomic<uint64_t> conns_accepted_{0};
+  std::atomic<uint64_t> frames_in_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> combines_{0};
+
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;  // event loop only
+
+  // Caches + services last: their destructors drain every outstanding pool
+  // task while the members above are still alive.
+  service::KeyCacheManager<threshold::RoVerifier> ro_cache_;
+  service::KeyCacheManager<threshold::DlinVerifier> dlin_cache_;
+  service::KeyCacheManager<threshold::RoCombiner> combiner_cache_;
+  std::unique_ptr<service::RoMultiTenantVerificationService> ro_verify_;
+  std::unique_ptr<service::DlinMultiTenantVerificationService> dlin_verify_;
+  std::unique_ptr<service::MultiTenantCombineService> combine_;
+};
+
+}  // namespace bnr::rpc

@@ -1,0 +1,426 @@
+// The binary RPC wire protocol of the serving daemon. Design goals, in
+// order: (1) a hostile peer must never be able to crash the daemon or drive
+// an unbounded allocation — every length field is checked against the bytes
+// actually present before anything is allocated, and any structural
+// violation is a protocol error that closes the connection; (2) stateless
+// request/response — the paper's signing is non-interactive, so one frame in
+// and one frame out is a complete exchange, and a u64 request id lets
+// responses complete OUT OF ORDER over a pipelined connection; (3) the
+// encoding reuses the library's canonical ByteWriter/ByteReader primitives
+// (big-endian, u32 length prefixes) so scheme objects cross the wire in
+// exactly the bytes their serialize() methods already emit.
+//
+// Frame layout (both directions):
+//
+//   +----------------+---------------------------------------------+
+//   | u32 length     |  payload (length bytes, <= max_frame)       |
+//   +----------------+---------------------------------------------+
+//
+//   request payload:   u8 method | u64 request_id | method body
+//   response payload:  u8 status | u64 request_id | status body
+//
+// Method bodies (str = u32 len + bytes, blob = u32 len + bytes):
+//
+//   PING             --                          -> --
+//   VERIFY           str key, blob msg, blob sig -> u8 accepted
+//   BATCH_VERIFY     str key, u32 n, n x (blob msg, blob sig)
+//                                                -> u32 n, n x u8 accepted
+//   COMBINE          str key, blob msg, u32 n, n x blob partial
+//                                                -> blob sig, u32 c, c x u32
+//                                                   cheater indices
+//   REGISTER_TENANT  str key, u8 kind, blob pk
+//                    [kind=RO_COMMITTEE: u32 n, u32 t, n x blob vk]
+//                                                -> u8 deduped
+//   STATS            --                          -> DaemonStats (u64 fields)
+//
+// An ERROR response carries `str message` as its body regardless of method.
+// A frame that is oversized, truncated, carries an unknown method id, or
+// whose body does not parse exactly (trailing bytes included) is a protocol
+// violation: the peer is not confused, it is malformed or malicious, and the
+// connection is closed without a response.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/serde.hpp"
+
+namespace bnr::rpc {
+
+/// Hard cap on one frame's payload. A BATCH_VERIFY of 4096 compressed
+/// signatures is ~300KB; 1MiB leaves headroom without letting one connection
+/// stage unbounded memory.
+constexpr uint32_t kMaxFrameBytes = 1u << 20;
+
+enum class Method : uint8_t {
+  kPing = 1,
+  kVerify = 2,
+  kBatchVerify = 3,
+  kCombine = 4,
+  kRegisterTenant = 5,
+  kStats = 6,
+};
+
+enum class Status : uint8_t {
+  kOk = 0,
+  kError = 1,  // body: str message (unknown tenant, combine failure, ...)
+};
+
+enum class TenantKind : uint8_t {
+  kRoKey = 0,        // RO-model public key: VERIFY/BATCH_VERIFY only
+  kRoCommittee = 1,  // pk + per-player VKs: VERIFY and COMBINE
+  kDlinKey = 2,      // DLIN-variant public key: VERIFY/BATCH_VERIFY only
+};
+
+/// Thrown by decoders on structural violations; the server closes the
+/// connection, the client tears the session down.
+struct ProtocolError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Server-reported request failure (an ERROR response), surfaced through the
+/// client library's futures.
+struct RpcError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct RequestHeader {
+  Method method{};
+  uint64_t request_id = 0;
+};
+
+struct ResponseHeader {
+  Status status{};
+  uint64_t request_id = 0;
+};
+
+struct VerifyRequest {
+  std::string key;
+  Bytes msg;
+  Bytes sig;  // scheme-serialized Signature / DlinSignature
+};
+
+struct BatchVerifyRequest {
+  std::string key;
+  std::vector<std::pair<Bytes, Bytes>> items;  // (msg, sig)
+};
+
+struct CombineRequest {
+  std::string key;
+  Bytes msg;
+  std::vector<Bytes> partials;  // serialized PartialSignature, >= t+1
+};
+
+struct RegisterTenantRequest {
+  std::string key;
+  TenantKind kind{};
+  Bytes pk;  // serialized PublicKey / DlinPublicKey
+  // kRoCommittee only:
+  uint32_t n = 0, t = 0;
+  std::vector<Bytes> vks;
+};
+
+struct CombineResult {
+  Bytes sig;  // serialized Signature
+  std::vector<uint32_t> cheaters;
+};
+
+/// One aggregate stats snapshot over the whole daemon. Fixed u64 fields in
+/// declaration order on the wire — add new fields at the END.
+struct DaemonStats {
+  uint64_t tenants = 0;        // registered tenant key-ids
+  uint64_t deduped_keys = 0;   // tenants sharing an already-known pk digest
+  uint64_t connections = 0;    // accepted over the daemon's lifetime
+  uint64_t frames_in = 0;      // well-formed request frames handled
+  uint64_t protocol_errors = 0;  // connections closed on malformed input
+  // verify path (both schemes summed)
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_resident_entries = 0;
+  uint64_t cache_resident_bytes = 0;
+  uint64_t verify_submitted = 0;
+  uint64_t verify_batches = 0;  // per-tenant RLC folds executed
+  uint64_t verify_fallbacks = 0;
+  uint64_t verify_accepted = 0;
+  uint64_t verify_rejected = 0;
+  uint64_t combines = 0;  // combine requests dispatched
+};
+
+// ---------------------------------------------------------------------------
+// Framing
+
+/// Appends `u32 len | payload` to `out`. Payloads above `max_frame` are a
+/// caller bug (the encoders below cannot produce one from bounded inputs
+/// without the caller passing oversized blobs), reported as ProtocolError.
+inline void append_frame(Bytes& out, std::span<const uint8_t> payload,
+                         uint32_t max_frame = kMaxFrameBytes) {
+  if (payload.size() > max_frame)
+    throw ProtocolError("frame payload exceeds max_frame");
+  append_u32_be(out, static_cast<uint32_t>(payload.size()));
+  append(out, payload);
+}
+
+/// Incremental deframer: feed() raw socket bytes, next() extracts complete
+/// frames. A declared length above max_frame is reported immediately as
+/// kTooBig — BEFORE any buffering of the oversized body — so a hostile
+/// length prefix cannot stage memory.
+class FrameBuffer {
+ public:
+  explicit FrameBuffer(uint32_t max_frame = kMaxFrameBytes)
+      : max_frame_(max_frame) {}
+
+  void feed(std::span<const uint8_t> data) { append(buf_, data); }
+
+  enum class Result { kFrame, kNeedMore, kTooBig };
+
+  /// Extracts the next complete frame payload into `out`.
+  Result next(Bytes& out) {
+    if (buf_.size() - pos_ < 4) return compact(Result::kNeedMore);
+    uint32_t len = (uint32_t(buf_[pos_]) << 24) |
+                   (uint32_t(buf_[pos_ + 1]) << 16) |
+                   (uint32_t(buf_[pos_ + 2]) << 8) | uint32_t(buf_[pos_ + 3]);
+    if (len > max_frame_) return Result::kTooBig;
+    if (buf_.size() - pos_ - 4 < len) return compact(Result::kNeedMore);
+    out.assign(buf_.begin() + pos_ + 4, buf_.begin() + pos_ + 4 + len);
+    pos_ += 4 + size_t(len);
+    return Result::kFrame;
+  }
+
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  Result compact(Result r) {
+    // Reclaim consumed prefix once it dominates the buffer, so a long-lived
+    // connection's read buffer stays proportional to its unparsed bytes.
+    if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+      buf_.erase(buf_.begin(), buf_.begin() + pos_);
+      pos_ = 0;
+    }
+    return r;
+  }
+
+  uint32_t max_frame_;
+  Bytes buf_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Encoding (writers never fail; size discipline is the caller's via
+// append_frame)
+
+inline void encode_request_header(ByteWriter& w, Method m, uint64_t id) {
+  w.u8(static_cast<uint8_t>(m));
+  w.u64(id);
+}
+
+inline void encode_response_header(ByteWriter& w, Status s, uint64_t id) {
+  w.u8(static_cast<uint8_t>(s));
+  w.u64(id);
+}
+
+inline Bytes encode_verify(uint64_t id, const VerifyRequest& r) {
+  ByteWriter w;
+  encode_request_header(w, Method::kVerify, id);
+  w.str(r.key);
+  w.blob(r.msg);
+  w.blob(r.sig);
+  return w.take();
+}
+
+inline Bytes encode_batch_verify(uint64_t id, const BatchVerifyRequest& r) {
+  ByteWriter w;
+  encode_request_header(w, Method::kBatchVerify, id);
+  w.str(r.key);
+  w.u32(static_cast<uint32_t>(r.items.size()));
+  for (const auto& [msg, sig] : r.items) {
+    w.blob(msg);
+    w.blob(sig);
+  }
+  return w.take();
+}
+
+inline Bytes encode_combine(uint64_t id, const CombineRequest& r) {
+  ByteWriter w;
+  encode_request_header(w, Method::kCombine, id);
+  w.str(r.key);
+  w.blob(r.msg);
+  w.u32(static_cast<uint32_t>(r.partials.size()));
+  for (const auto& p : r.partials) w.blob(p);
+  return w.take();
+}
+
+inline Bytes encode_register(uint64_t id, const RegisterTenantRequest& r) {
+  ByteWriter w;
+  encode_request_header(w, Method::kRegisterTenant, id);
+  w.str(r.key);
+  w.u8(static_cast<uint8_t>(r.kind));
+  w.blob(r.pk);
+  if (r.kind == TenantKind::kRoCommittee) {
+    w.u32(r.n);
+    w.u32(r.t);
+    w.u32(static_cast<uint32_t>(r.vks.size()));
+    for (const auto& vk : r.vks) w.blob(vk);
+  }
+  return w.take();
+}
+
+inline Bytes encode_empty_request(Method m, uint64_t id) {
+  ByteWriter w;
+  encode_request_header(w, m, id);
+  return w.take();
+}
+
+inline Bytes encode_ok(uint64_t id, std::span<const uint8_t> body = {}) {
+  ByteWriter w;
+  encode_response_header(w, Status::kOk, id);
+  w.raw(body);
+  return w.take();
+}
+
+inline Bytes encode_error(uint64_t id, std::string_view message) {
+  ByteWriter w;
+  encode_response_header(w, Status::kError, id);
+  w.str(message);
+  return w.take();
+}
+
+inline Bytes encode_combine_result(const CombineResult& r) {
+  ByteWriter w;
+  w.blob(r.sig);
+  w.u32(static_cast<uint32_t>(r.cheaters.size()));
+  for (uint32_t c : r.cheaters) w.u32(c);
+  return w.take();
+}
+
+inline Bytes encode_stats(const DaemonStats& s) {
+  ByteWriter w;
+  for (uint64_t v :
+       {s.tenants, s.deduped_keys, s.connections, s.frames_in,
+        s.protocol_errors, s.cache_hits, s.cache_misses, s.cache_evictions,
+        s.cache_resident_entries, s.cache_resident_bytes, s.verify_submitted,
+        s.verify_batches, s.verify_fallbacks, s.verify_accepted,
+        s.verify_rejected, s.combines})
+    w.u64(v);
+  return w.take();
+}
+
+// ---------------------------------------------------------------------------
+// Decoding. Every decoder consumes from a ByteReader positioned after the
+// header and throws (out_of_range from the reader, ProtocolError for
+// semantic violations) on malformed input; the caller treats any throw as a
+// protocol violation. Element counts are bounded by the bytes actually
+// remaining (ByteReader::count) before anything is reserved.
+
+inline RequestHeader decode_request_header(ByteReader& rd) {
+  RequestHeader h;
+  uint8_t m = rd.u8();
+  if (m < uint8_t(Method::kPing) || m > uint8_t(Method::kStats))
+    throw ProtocolError("unknown method id " + std::to_string(m));
+  h.method = static_cast<Method>(m);
+  h.request_id = rd.u64();
+  return h;
+}
+
+inline ResponseHeader decode_response_header(ByteReader& rd) {
+  ResponseHeader h;
+  uint8_t s = rd.u8();
+  if (s > uint8_t(Status::kError))
+    throw ProtocolError("unknown status " + std::to_string(s));
+  h.status = static_cast<Status>(s);
+  h.request_id = rd.u64();
+  return h;
+}
+
+inline void expect_frame_done(const ByteReader& rd, const char* what) {
+  if (!rd.empty())
+    throw ProtocolError(std::string(what) + ": trailing bytes in frame");
+}
+
+inline std::string decode_str(ByteReader& rd) {
+  Bytes b = rd.blob();
+  return std::string(b.begin(), b.end());
+}
+
+inline VerifyRequest decode_verify(ByteReader& rd) {
+  VerifyRequest r;
+  r.key = decode_str(rd);
+  r.msg = rd.blob();
+  r.sig = rd.blob();
+  expect_frame_done(rd, "VERIFY");
+  return r;
+}
+
+inline BatchVerifyRequest decode_batch_verify(ByteReader& rd) {
+  BatchVerifyRequest r;
+  r.key = decode_str(rd);
+  uint32_t n = rd.count(8);  // each item >= two u32 length prefixes
+  r.items.reserve(n);
+  for (uint32_t j = 0; j < n; ++j) {
+    Bytes msg = rd.blob();
+    Bytes sig = rd.blob();
+    r.items.emplace_back(std::move(msg), std::move(sig));
+  }
+  expect_frame_done(rd, "BATCH_VERIFY");
+  return r;
+}
+
+inline CombineRequest decode_combine(ByteReader& rd) {
+  CombineRequest r;
+  r.key = decode_str(rd);
+  r.msg = rd.blob();
+  uint32_t n = rd.count(4);
+  r.partials.reserve(n);
+  for (uint32_t j = 0; j < n; ++j) r.partials.push_back(rd.blob());
+  expect_frame_done(rd, "COMBINE");
+  return r;
+}
+
+inline RegisterTenantRequest decode_register(ByteReader& rd) {
+  RegisterTenantRequest r;
+  r.key = decode_str(rd);
+  uint8_t kind = rd.u8();
+  if (kind > uint8_t(TenantKind::kDlinKey))
+    throw ProtocolError("unknown tenant kind " + std::to_string(kind));
+  r.kind = static_cast<TenantKind>(kind);
+  r.pk = rd.blob();
+  if (r.kind == TenantKind::kRoCommittee) {
+    r.n = rd.u32();
+    r.t = rd.u32();
+    uint32_t vks = rd.count(4);
+    if (vks != r.n) throw ProtocolError("REGISTER: vk count != n");
+    // t >= n (not t+1 > n): t = UINT32_MAX must not wrap past the check.
+    if (r.t >= r.n) throw ProtocolError("REGISTER: threshold t must be < n");
+    r.vks.reserve(vks);
+    for (uint32_t j = 0; j < vks; ++j) r.vks.push_back(rd.blob());
+  }
+  expect_frame_done(rd, "REGISTER_TENANT");
+  return r;
+}
+
+inline CombineResult decode_combine_result(ByteReader& rd) {
+  CombineResult r;
+  r.sig = rd.blob();
+  uint32_t n = rd.count(4);
+  r.cheaters.reserve(n);
+  for (uint32_t j = 0; j < n; ++j) r.cheaters.push_back(rd.u32());
+  return r;
+}
+
+inline DaemonStats decode_stats(ByteReader& rd) {
+  DaemonStats s;
+  for (uint64_t* f :
+       {&s.tenants, &s.deduped_keys, &s.connections, &s.frames_in,
+        &s.protocol_errors, &s.cache_hits, &s.cache_misses,
+        &s.cache_evictions, &s.cache_resident_entries, &s.cache_resident_bytes,
+        &s.verify_submitted, &s.verify_batches, &s.verify_fallbacks,
+        &s.verify_accepted, &s.verify_rejected, &s.combines})
+    *f = rd.u64();
+  return s;
+}
+
+}  // namespace bnr::rpc

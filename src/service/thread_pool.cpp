@@ -14,11 +14,22 @@ thread_local size_t tls_worker = 0;
 
 size_t default_threads() {
   if (const char* env = std::getenv("BNR_THREADS")) {
-    long v = std::strtol(env, nullptr, 10);
-    if (v > 0) return static_cast<size_t>(v);
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    // A present-but-unusable override is an operator mistake: running the
+    // serving stack on a silently different worker count is worse than
+    // failing loudly at startup.
+    if (end == env || *end != '\0' || v <= 0)
+      throw std::invalid_argument(
+          std::string("BNR_THREADS must be a positive integer, got \"") +
+          env + "\"");
+    return static_cast<size_t>(v);
   }
+  // hardware_concurrency() may return 0 when the platform cannot tell; a
+  // serving stack degenerating to one worker is a silent 10x regression, so
+  // fall back to a small multi-core guess instead.
   size_t hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  return hw == 0 ? 4 : hw;
 }
 
 }  // namespace

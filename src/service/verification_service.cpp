@@ -21,8 +21,9 @@ MultiTenantCombineService::~MultiTenantCombineService() {
   drained_.wait(l, [&] { return in_flight_ == 0; });
 }
 
-std::future<threshold::Signature> MultiTenantCombineService::submit(
-    KeyId key, Bytes msg, std::vector<threshold::PartialSignature> parts) {
+void MultiTenantCombineService::submit(
+    KeyId key, Bytes msg, std::vector<threshold::PartialSignature> parts,
+    Callback done) {
   Rng task_rng = [&] {
     std::lock_guard<std::mutex> l(m_);
     ++in_flight_;
@@ -33,22 +34,39 @@ std::future<threshold::Signature> MultiTenantCombineService::submit(
   auto parts_shared =
       std::make_shared<std::vector<threshold::PartialSignature>>(
           std::move(parts));
-  auto promise = std::make_shared<std::promise<threshold::Signature>>();
-  auto fut = promise->get_future();
-  pool_.submit([this, state, parts_shared, promise] {
+  auto done_shared = std::make_shared<Callback>(std::move(done));
+  pool_.submit([this, state, parts_shared, done_shared] {
     try {
       // Pinned across the whole combine: the committee's per-player
-      // prepared-VK cache cannot be evicted mid-fold.
+      // prepared-VK cache cannot be evicted mid-fold. Prepared from the
+      // alias-resolved canonical key (see VerifierProvider).
       auto pin = cache_.get_or_prepare(
-          std::get<0>(*state), [&] { return prepare_(std::get<0>(*state)); });
-      promise->set_value(combine_parallel(*pin, pool_, std::get<1>(*state),
-                                          *parts_shared, std::get<2>(*state)));
+          std::get<0>(*state),
+          [&](const std::string& canonical) { return prepare_(canonical); });
+      CombineOutcome out;
+      out.sig =
+          combine_parallel(*pin, pool_, std::get<1>(*state), *parts_shared,
+                           std::get<2>(*state), &out.cheaters);
+      (*done_shared)(&out, nullptr);
     } catch (...) {
-      promise->set_exception(std::current_exception());
+      (*done_shared)(nullptr, std::current_exception());
     }
     std::lock_guard<std::mutex> l(m_);
     if (--in_flight_ == 0) drained_.notify_all();
   });
+}
+
+std::future<threshold::Signature> MultiTenantCombineService::submit(
+    KeyId key, Bytes msg, std::vector<threshold::PartialSignature> parts) {
+  auto promise = std::make_shared<std::promise<threshold::Signature>>();
+  auto fut = promise->get_future();
+  submit(std::move(key), std::move(msg), std::move(parts),
+         [promise](CombineOutcome* out, std::exception_ptr err) {
+           if (err)
+             promise->set_exception(err);
+           else
+             promise->set_value(std::move(out->sig));
+         });
   return fut;
 }
 

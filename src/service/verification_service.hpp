@@ -70,11 +70,14 @@ template <class Verifier, class Sig>
 class MultiTenantVerificationService {
  public:
   using KeyId = std::string;
-  /// Prepares the verifier for a key on cache miss (runs on a pool worker,
-  /// outside any shard lock). Throwing rejects every request of that key's
-  /// group via their futures.
+  /// Prepares the verifier on cache miss (runs on a pool worker, outside
+  /// any shard lock). Receives the CANONICAL cache key — the alias-resolved
+  /// key, e.g. a pk digest when the registrar aliased tenants by public key
+  /// — so what it derives the verifier from is keyed by what the cache
+  /// stores it under, and a concurrent re-registration cannot poison the
+  /// entry. Throwing rejects every request of that key's group.
   using VerifierProvider =
-      std::function<std::shared_ptr<const Verifier>(const KeyId&)>;
+      std::function<std::shared_ptr<const Verifier>(const KeyId& canonical)>;
 
   MultiTenantVerificationService(
       KeyCacheManager<Verifier>& cache, VerifierProvider prepare,
@@ -106,15 +109,22 @@ class MultiTenantVerificationService {
   MultiTenantVerificationService& operator=(
       const MultiTenantVerificationService&) = delete;
 
-  std::future<bool> submit(KeyId key, Bytes msg, Sig sig) {
-    std::future<bool> fut;
+  /// Completion callback: runs exactly once, on a pool worker, and must not
+  /// throw. `error` is null for a normal verdict; non-null when the request
+  /// failed exceptionally (provider threw, verifier threw), in which case
+  /// `ok` is meaningless. This is the primitive the RPC daemon builds on — a
+  /// response frame is encoded and queued straight from the callback, so
+  /// the socket event loop never blocks on a future.
+  using Callback = std::function<void(bool ok, std::exception_ptr error)>;
+
+  void submit(KeyId key, Bytes msg, Sig sig, Callback done) {
     bool flush_now = false;
     {
       std::unique_lock<std::mutex> l(m_);
       if (pending_.empty())
         oldest_ = std::chrono::steady_clock::now();
-      pending_.push_back({std::move(key), std::move(msg), std::move(sig), {}});
-      fut = pending_.back().promise.get_future();
+      pending_.push_back(
+          {std::move(key), std::move(msg), std::move(sig), std::move(done)});
       ++stats_.submitted;
       flush_now = pending_.size() >= policy_.max_batch;
       if (flush_now) {
@@ -123,6 +133,19 @@ class MultiTenantVerificationService {
       }
     }
     cv_.notify_one();  // wake the flusher to re-arm its deadline
+  }
+
+  /// Future-based front over the callback core.
+  std::future<bool> submit(KeyId key, Bytes msg, Sig sig) {
+    auto prom = std::make_shared<std::promise<bool>>();
+    std::future<bool> fut = prom->get_future();
+    submit(std::move(key), std::move(msg), std::move(sig),
+           [prom](bool ok, std::exception_ptr err) {
+             if (err)
+               prom->set_exception(err);
+             else
+               prom->set_value(ok);
+           });
     return fut;
   }
 
@@ -149,7 +172,7 @@ class MultiTenantVerificationService {
     KeyId key;
     Bytes msg;
     Sig sig;
-    std::promise<bool> promise;
+    Callback done;  // nulled out after its one invocation
   };
 
   /// One per-tenant fold unit: requests sharing a key-id, plus the private
@@ -190,13 +213,12 @@ class MultiTenantVerificationService {
           run_group(*shared, *rng_shared);
         } catch (...) {
           // A throwing verifier/provider (or bad_alloc) must not escape the
-          // worker (std::terminate) or strand the submitters: every promise
-          // still unresolved carries the exception instead.
+          // worker (std::terminate) or strand the submitters: every callback
+          // not yet invoked carries the exception instead.
           for (auto& p : shared->members) {
-            try {
-              p.promise.set_exception(std::current_exception());
-            } catch (const std::future_error&) {
-            }  // already satisfied
+            if (!p.done) continue;  // already answered before the throw
+            p.done(false, std::current_exception());
+            p.done = nullptr;
           }
         }
         std::lock_guard<std::mutex> l(m_);
@@ -208,8 +230,8 @@ class MultiTenantVerificationService {
   void run_group(Group& group, Rng& rng) {
     // Pinned for the whole fold + fallback: the cache may not evict this
     // tenant's prepared state mid-batch, however hot the other shard traffic.
-    auto pin =
-        cache_.get_or_prepare(group.key, [&] { return prepare_(group.key); });
+    auto pin = cache_.get_or_prepare(
+        group.key, [&](const KeyId& canonical) { return prepare_(canonical); });
     auto& batch = group.members;
     std::vector<Bytes> msgs;
     std::vector<Sig> sigs;
@@ -239,8 +261,10 @@ class MultiTenantVerificationService {
       stats_.accepted += accepted;
       stats_.rejected += rejected;
     }
-    for (size_t j = 0; j < batch.size(); ++j)
-      batch[j].promise.set_value(results[j]);
+    for (size_t j = 0; j < batch.size(); ++j) {
+      batch[j].done(results[j], nullptr);
+      batch[j].done = nullptr;
+    }
   }
 
   void flusher_loop() {
@@ -337,11 +361,25 @@ using DlinMultiTenantVerificationService =
 /// request — the per-player prepared-VK caches get the same byte-budget /
 /// pin-on-use treatment as the tenant verifiers. The future resolves to the
 /// combined signature or carries the std::runtime_error from Combine.
+/// What a combine request resolves to on success: the combined signature
+/// plus the indices of bad partials identified along the way (non-empty only
+/// when the fold failed and the fallback scan attributed cheaters but still
+/// found t+1 valid shares — robustness with attribution).
+struct CombineOutcome {
+  threshold::Signature sig;
+  std::vector<uint32_t> cheaters;
+};
+
 class MultiTenantCombineService {
  public:
   using KeyId = std::string;
   using CombinerProvider =
       std::function<std::shared_ptr<const threshold::RoCombiner>(const KeyId&)>;
+  /// Runs exactly once on a pool worker and must not throw. `outcome` is
+  /// null iff `error` is set (Combine threw: unknown committee, fewer than
+  /// t+1 valid shares).
+  using Callback =
+      std::function<void(CombineOutcome* outcome, std::exception_ptr error)>;
 
   MultiTenantCombineService(KeyCacheManager<threshold::RoCombiner>& cache,
                             CombinerProvider prepare, ThreadPool& pool,
@@ -356,6 +394,12 @@ class MultiTenantCombineService {
   MultiTenantCombineService& operator=(const MultiTenantCombineService&) =
       delete;
 
+  /// Callback core (what the RPC daemon drives).
+  void submit(KeyId key, Bytes msg,
+              std::vector<threshold::PartialSignature> parts, Callback done);
+
+  /// Future-based front over the callback core (cheater attribution
+  /// dropped; use the callback form to observe it).
   std::future<threshold::Signature> submit(
       KeyId key, Bytes msg, std::vector<threshold::PartialSignature> parts);
 

@@ -25,6 +25,15 @@ Bytes DlinPublicKey::serialize() const {
   return w.take();
 }
 
+DlinPublicKey DlinPublicKey::deserialize(std::span<const uint8_t> data) {
+  ByteReader rd(data);
+  DlinPublicKey pk;
+  for (auto& p : pk.g) p = g2_deserialize(rd);
+  for (auto& p : pk.h) p = g2_deserialize(rd);
+  expect_done(rd, "DlinPublicKey");
+  return pk;
+}
+
 Bytes DlinKeyShare::serialize() const {
   ByteWriter w;
   w.u32(index);
@@ -51,6 +60,16 @@ Bytes DlinSignature::serialize() const {
   g1_serialize(r, w);
   g1_serialize(u, w);
   return w.take();
+}
+
+DlinSignature DlinSignature::deserialize(std::span<const uint8_t> data) {
+  ByteReader rd(data);
+  DlinSignature s;
+  s.z = g1_deserialize(rd);
+  s.r = g1_deserialize(rd);
+  s.u = g1_deserialize(rd);
+  expect_done(rd, "DlinSignature");
+  return s;
 }
 
 dkg::Config DlinScheme::dkg_config(size_t n, size_t t) const {

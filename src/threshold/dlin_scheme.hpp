@@ -19,6 +19,7 @@ struct DlinPublicKey {
   std::array<G2Affine, 3> h;  // h^_k = h^_z^{a_k} h^_u^{c_k}
 
   Bytes serialize() const;
+  static DlinPublicKey deserialize(std::span<const uint8_t> data);
 };
 
 struct DlinKeyShare {
@@ -44,6 +45,7 @@ struct DlinSignature {
   G1Affine z, r, u;
 
   Bytes serialize() const;
+  static DlinSignature deserialize(std::span<const uint8_t> data);
   bool operator==(const DlinSignature& o) const {
     return z == o.z && r == o.r && u == o.u;
   }

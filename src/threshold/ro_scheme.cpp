@@ -12,12 +12,6 @@ namespace bnr::threshold {
 // ---------------------------------------------------------------------------
 // Serialization
 
-namespace {
-void expect_done(const ByteReader& rd, const char* what) {
-  if (!rd.empty())
-    throw std::invalid_argument(std::string(what) + ": trailing data");
-}
-}  // namespace
 
 Bytes PublicKey::serialize() const {
   ByteWriter w;

@@ -46,7 +46,9 @@ using Cache = KeyCacheManager<Payload>;
 
 Cache::Factory make(const std::string& key, size_t bytes,
                     std::atomic<uint64_t>* destroyed = nullptr) {
-  return [=] { return std::make_shared<const Payload>(key, bytes, destroyed); };
+  return [=](const Cache::KeyId&) {
+    return std::make_shared<const Payload>(key, bytes, destroyed);
+  };
 }
 
 // ---------------------------------------------------------------------------
@@ -179,9 +181,12 @@ TEST(KeyCache, ShardedStatsAggregateAcrossShards) {
 
 TEST(KeyCache, NullPrepareThrowsAndChargesNothing) {
   Cache cache({.byte_budget = 100, .shards = 1});
-  EXPECT_THROW(
-      cache.get_or_prepare("x", [] { return std::shared_ptr<const Payload>(); }),
-      std::runtime_error);
+  EXPECT_THROW(cache.get_or_prepare(
+                   "x",
+                   [](const Cache::KeyId&) {
+                     return std::shared_ptr<const Payload>();
+                   }),
+               std::runtime_error);
   auto st = cache.stats();
   EXPECT_EQ(st.misses, 1u);
   EXPECT_EQ(st.inserts, 0u);
@@ -203,9 +208,10 @@ TEST(KeyCache, RealVerifierFootprintDrivesResidency) {
 
   KeyCacheManager<RoVerifier> cache({.byte_budget = 3 * unit, .shards = 1});
   for (int i = 0; i < 5; ++i) {
-    auto pin = cache.get_or_prepare("tenant-" + std::to_string(i), [&] {
-      return std::make_shared<const RoVerifier>(scheme, km.pk);
-    });
+    auto pin = cache.get_or_prepare(
+        "tenant-" + std::to_string(i), [&](const std::string&) {
+          return std::make_shared<const RoVerifier>(scheme, km.pk);
+        });
     Bytes m = to_bytes("footprint " + std::to_string(i));
     std::vector<PartialSignature> parts;
     for (uint32_t p = 1; p <= km.t + 1; ++p)
@@ -219,7 +225,123 @@ TEST(KeyCache, RealVerifierFootprintDrivesResidency) {
 }
 
 // ---------------------------------------------------------------------------
-// Zipf sampler (the access model of the E12 bench and the CLI serve demo)
+// Segmented-LRU admission (probation/protected)
+
+TEST(KeyCacheSlru, OneHitWondersCannotEvictProvenKeys) {
+  // hot has proven reuse (promoted to protected); a parade of one-hit
+  // fillers churns probation without ever displacing it — the Zipf-tail
+  // regime the segmentation exists for.
+  Cache cache({.byte_budget = 100, .shards = 1, .protected_fraction = 0.8});
+  cache.get_or_prepare("hot", make("hot", 40));
+  cache.get_or_prepare("hot", make("hot", 40));  // second access -> protected
+  EXPECT_EQ(cache.stats().promotions, 1u);
+
+  for (int i = 0; i < 32; ++i) {
+    std::string k = "filler-" + std::to_string(i);
+    cache.get_or_prepare(k, make(k, 30));
+  }
+  // Under plain LRU "hot" would have been evicted 30 fillers ago.
+  EXPECT_TRUE(cache.contains("hot"));
+  auto st = cache.stats();
+  EXPECT_GE(st.evictions, 30u);
+  EXPECT_EQ(st.demotions, 0u);
+  EXPECT_LE(st.resident_bytes, 100u);
+}
+
+TEST(KeyCacheSlru, ProtectedOverflowDemotesTailNotHead) {
+  // protected budget = 80 of 100: promoting a third 30-byte key overflows
+  // protected and demotes the protected TAIL back to probation, where it is
+  // evictable again; the freshly promoted head stays.
+  Cache cache({.byte_budget = 100, .shards = 1, .protected_fraction = 0.8});
+  for (const char* k : {"a", "b", "c"}) cache.get_or_prepare(k, make(k, 30));
+  for (const char* k : {"a", "b", "c"}) cache.get_or_prepare(k, make(k, 30));
+  auto st = cache.stats();
+  EXPECT_EQ(st.promotions, 3u);
+  EXPECT_EQ(st.demotions, 1u);  // "a" (the protected tail) made room for "c"
+  EXPECT_EQ(st.resident_entries, 3u);
+
+  // Probation now holds only "a": the next insert under pressure evicts it
+  // even though "b"/"c" were touched less recently than "a"'s demotion.
+  cache.get_or_prepare("d", make("d", 30));
+  EXPECT_FALSE(cache.contains("a"));
+  EXPECT_TRUE(cache.contains("b"));
+  EXPECT_TRUE(cache.contains("c"));
+  EXPECT_TRUE(cache.contains("d"));
+}
+
+TEST(KeyCacheSlru, EvictionFallsThroughToProtectedWhenProbationEmpty) {
+  Cache cache({.byte_budget = 100, .shards = 1, .protected_fraction = 0.8});
+  cache.get_or_prepare("x", make("x", 60));
+  cache.get_or_prepare("x", make("x", 60));  // promoted; probation empty
+  cache.get_or_prepare("y", make("y", 60));  // over budget, y pinned on insert
+  // Probation has only the pinned newcomer; the protected tail (x) goes.
+  EXPECT_FALSE(cache.contains("x"));
+  EXPECT_TRUE(cache.contains("y"));
+  EXPECT_LE(cache.stats().resident_bytes, 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Alias map: tenants sharing a pk share one prepared entry
+
+TEST(KeyCacheAlias, TenantsSharingDigestShareOneEntry) {
+  Cache cache({.byte_budget = 1000, .shards = 4});
+  std::atomic<uint64_t> destroyed{0};
+
+  EXPECT_FALSE(cache.add_alias("tenant-a", "pk:1234"));
+  EXPECT_TRUE(cache.add_alias("tenant-b", "pk:1234"));  // dedup
+  EXPECT_TRUE(cache.add_alias("tenant-c", "pk:1234"));  // dedup
+  EXPECT_FALSE(cache.add_alias("tenant-d", "pk:9999"));
+
+  size_t prepares = 0;
+  // The factory receives the canonical key and derives the payload from it
+  // — the contract that makes alias races unable to poison an entry.
+  auto counted = [&](const std::string& expect_canon) {
+    return [&, expect_canon](const Cache::KeyId& canon) {
+      EXPECT_EQ(canon, expect_canon);
+      ++prepares;
+      return std::make_shared<const Payload>(canon, 100, &destroyed);
+    };
+  };
+  {
+    auto p = cache.get_or_prepare("tenant-a", counted("pk:1234"));
+    EXPECT_EQ(p->key, "pk:1234");
+  }
+  // b and c hit a's prepared entry; no second prepare happens.
+  {
+    auto p = cache.get_or_prepare("tenant-b", counted("pk:1234"));
+    EXPECT_EQ(p->key, "pk:1234");
+  }
+  cache.get_or_prepare("tenant-c", counted("pk:1234"));
+  cache.get_or_prepare("tenant-d", counted("pk:9999"));
+  EXPECT_EQ(prepares, 2u);  // one per distinct pk, not per tenant
+
+  auto st = cache.stats();
+  EXPECT_EQ(st.inserts, 2u);
+  EXPECT_EQ(st.hits, 2u);
+  EXPECT_EQ(st.misses, 2u);
+  EXPECT_EQ(st.aliases, 4u);
+  EXPECT_EQ(st.deduped, 2u);
+  EXPECT_TRUE(cache.contains("tenant-b"));  // resolves through the alias
+  EXPECT_TRUE(cache.contains("pk:1234"));   // canonical works directly too
+}
+
+TEST(KeyCacheAlias, ReRegistrationMovesTheMapping) {
+  Cache cache({.byte_budget = 1000, .shards = 1});
+  EXPECT_FALSE(cache.add_alias("tenant", "pk:old"));
+  cache.get_or_prepare("tenant", make("pk:old", 100));
+  // Key rotation: the tenant re-registers under a new pk.
+  EXPECT_FALSE(cache.add_alias("tenant", "pk:new"));
+  auto p = cache.get_or_prepare("tenant", make("pk:new", 100));
+  EXPECT_EQ(p->key, "pk:new");
+  // A later tenant landing on the OLD pk is a fresh canonical again (the
+  // rotation released it), while the new pk dedups.
+  EXPECT_FALSE(cache.add_alias("other", "pk:old"));
+  EXPECT_TRUE(cache.add_alias("third", "pk:new"));
+  EXPECT_EQ(cache.stats().deduped, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Zipf sampler (the access model of the E12 bench and the CLI client demo)
 
 TEST(ZipfSamplerTest, HeadCarriesMostMassAtS1) {
   ZipfSampler zipf(1000, 1.0);
@@ -262,7 +384,7 @@ TEST(KeyCacheStress, NoUseAfterEvictAndExactFinalByteAccounting) {
       std::deque<Cache::Pin> parked;  // pins held across later operations
       for (int op = 0; op < kOpsPerThread; ++op) {
         std::string key = "key-" + std::to_string(r.uniform(kKeys));
-        auto pin = cache.get_or_prepare(key, [&] {
+        auto pin = cache.get_or_prepare(key, [&](const Cache::KeyId&) {
           created.fetch_add(1);
           return std::make_shared<const Payload>(key, kEntryBytes, &destroyed);
         });

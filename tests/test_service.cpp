@@ -75,6 +75,25 @@ TEST(ThreadPool, NestedParallelForInsidePoolTaskDoesNotDeadlock) {
   EXPECT_EQ(total.load(), 100);
 }
 
+TEST(ThreadPool, BnrThreadsEnvValidated) {
+  // Runs before any other thread could be mid-getenv: gtest executes tests
+  // sequentially and no pool outlives its test.
+  ASSERT_EQ(::setenv("BNR_THREADS", "0", 1), 0);
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);  // 0 workers: nonsense
+  ASSERT_EQ(::setenv("BNR_THREADS", "-3", 1), 0);
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+  ASSERT_EQ(::setenv("BNR_THREADS", "banana", 1), 0);
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+  ASSERT_EQ(::setenv("BNR_THREADS", "3", 1), 0);
+  {
+    ThreadPool pool;  // explicit override honored
+    EXPECT_EQ(pool.size(), 3u);
+  }
+  ASSERT_EQ(::unsetenv("BNR_THREADS"), 0);
+  ThreadPool pool;  // default: hardware concurrency (or the 4-worker floor)
+  EXPECT_GE(pool.size(), 1u);
+}
+
 TEST(ThreadPool, DestructorDrainsQueuedTasks) {
   std::atomic<int> done{0};
   constexpr int kTasks = 50;
