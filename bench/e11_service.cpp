@@ -6,7 +6,10 @@
 //      vs the cached RoCombiner (per-player prepared keys) vs the combiner
 //      fold evaluated across the thread pool.
 //   2. The request-driven verification service: individual cached verifies
-//      vs RLC-batched flushes through the async queue.
+//      vs RLC-batched flushes through the async queue (driven through the
+//      deprecated single-tenant shim, which is a thin adapter over the
+//      unified type-erased MultiTenantVerificationService — so this ladder
+//      measures the PR-5 serving core AND keeps the shim honest).
 //   3. The pool-parallel primitives (Pippenger windows, Miller-loop chunks)
 //      against their serial counterparts.
 //

@@ -65,21 +65,31 @@ int main() {
   double inprocess_ns;
   {
     service::ThreadPool pool;
-    service::KeyCacheManager<threshold::RoVerifier> cache(
+    service::KeyCacheManager<threshold::PreparedVerifier> cache(
         {.byte_budget = size_t(64) << 20, .shards = 16});
-    service::RoMultiTenantVerificationService svc(
+    // The unified (type-erased) service — the same implementation the
+    // daemon routes every scheme through.
+    service::MultiTenantVerificationService svc(
         cache,
         [&](const std::string&) {
-          return std::make_shared<const threshold::RoVerifier>(scheme, km.pk);
+          return threshold::erase_verifier<threshold::RoVerifier,
+                                           threshold::Signature>(
+              threshold::SchemeId::kRo,
+              threshold::RoVerifier(scheme, km.pk));
         },
         policy, pool);
+    std::vector<threshold::SigHandle> handles;
+    for (const auto& sg : sigs)
+      handles.push_back(
+          threshold::erase_signature(threshold::SchemeId::kRo, sg));
     // Warm the prepared entry, then measure the submit->get loop.
-    svc.submit("tenant", msgs[0], sigs[0]).get();
+    svc.submit("tenant", msgs[0], handles[0]).get();
     double ms = bench::time_ms([&] {
       std::vector<std::future<bool>> futs;
       futs.reserve(kReqs);
       for (size_t j = 0; j < kReqs; ++j)
-        futs.push_back(svc.submit("tenant", msgs[j % kPool], sigs[j % kPool]));
+        futs.push_back(
+            svc.submit("tenant", msgs[j % kPool], handles[j % kPool]));
       bool ok = true;
       for (auto& f : futs) ok = ok && f.get();
       sink = !ok;

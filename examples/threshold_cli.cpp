@@ -7,9 +7,16 @@
 //   ./threshold_cli sign    <dir> <server-index> <message>
 //   ./threshold_cli combine <dir> <message> <partial-hex>...
 //   ./threshold_cli verify  <dir> <message> <signature-hex>
-//   ./threshold_cli daemon  [port] [cache-mb] [label]
+//   ./threshold_cli daemon  [port] [cache-mb] [label] [--admin-token=T]
+//                           [--max-connections=N]
 //   ./threshold_cli client  <host> <port> [tenants] [requests] [label]
+//                           [--admin-token=T]
 //   ./threshold_cli rpc-smoke
+//
+// The daemon's ADMIN surface (REGISTER_TENANT) can be gated with a shared
+// secret: pass --admin-token=... (or set BNR_ADMIN_TOKEN) on both sides.
+// One daemon serves EVERY scheme in the registry (RO, DLIN, Agg, BLS)
+// through the same cache and wire path; rpc-smoke drives all of them.
 //
 // `daemon` is the serving entry point: a long-running RPC daemon speaking
 // the length-prefixed binary wire protocol (src/rpc/wire.hpp) in front of
@@ -17,14 +24,16 @@
 // `client` drives Zipf-distributed multi-tenant traffic (with a sprinkling
 // of forgeries) against a running daemon over TCP — the shape of a
 // production gateway's traffic, now crossing a real socket. `rpc-smoke` is
-// the CI entry: it starts a daemon on an ephemeral loopback port, runs one
-// client round trip per scheme (RO verify + batch + combine with cheater
-// attribution, DLIN verify), and asserts a clean drain-down.
+// the CI entry: it starts a daemon on an ephemeral loopback port, runs a
+// register/verify/combine round trip for EVERY scheme in the registry (RO,
+// DLIN, Agg, BLS) plus the RO extras (batch verify, cheater attribution,
+// pk dedup) and the admin-token gate, and asserts a clean drain-down.
 //
 // Run without arguments for a self-contained demo in a temp directory.
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -37,6 +46,7 @@
 #include "service/verification_service.hpp"
 #include "threshold/dlin_scheme.hpp"
 #include "threshold/ro_scheme.hpp"
+#include "threshold/scheme_registry.hpp"
 
 using namespace bnr;
 using namespace bnr::threshold;
@@ -134,19 +144,26 @@ extern "C" void daemon_signal(int) {
   if (g_daemon) g_daemon->stop();  // atomic store + pipe write: signal-safe
 }
 
-int cmd_daemon(uint16_t port, size_t cache_mb, const std::string& label) {
+int cmd_daemon(uint16_t port, size_t cache_mb, const std::string& label,
+               const std::string& admin_token, size_t max_connections) {
   using namespace bnr::service;
   ThreadPool workers;
   rpc::ServerConfig cfg;
   cfg.port = port;
   cfg.params_label = label;
+  cfg.admin_token = admin_token;
   cfg.cache_bytes = cache_mb << 20;
+  // SIZE_MAX = flag absent (keep the ServerConfig default); an explicit
+  // --max-connections=0 means unlimited, matching the config contract.
+  if (max_connections != SIZE_MAX) cfg.max_connections = max_connections;
   rpc::RpcServer server(cfg, workers);
   g_daemon = &server;
   std::signal(SIGINT, daemon_signal);
   std::signal(SIGTERM, daemon_signal);
-  printf("daemon listening on %s:%u (params label \"%s\", cache %zu MB)\n",
-         cfg.bind_addr.c_str(), server.port(), label.c_str(), cache_mb);
+  printf("daemon listening on %s:%u (params label \"%s\", cache %zu MB, "
+         "admin %s, conn cap %zu)\n",
+         cfg.bind_addr.c_str(), server.port(), label.c_str(), cache_mb,
+         admin_token.empty() ? "open" : "token-gated", cfg.max_connections);
   fflush(stdout);  // scripts read the bound port from this line
   server.run();
   auto st = server.snapshot_stats();
@@ -167,7 +184,8 @@ int cmd_daemon(uint16_t port, size_t cache_mb, const std::string& label) {
 // showcases the daemon's pk-digest dedup: N tenants, 4 prepared entries),
 // verify requests with a sprinkling of forgeries, and a few combines.
 int cmd_client(const std::string& host, uint16_t port, size_t tenants,
-               size_t requests, const std::string& label) {
+               size_t requests, const std::string& label,
+               const std::string& admin_token) {
   using namespace bnr::service;
   if (tenants == 0 || requests == 0) {
     fprintf(stderr, "client: tenants and requests must be > 0\n");
@@ -194,6 +212,7 @@ int cmd_client(const std::string& host, uint16_t port, size_t tenants,
     }
 
   rpc::RpcClient client(host, port);
+  client.set_admin_token(admin_token);
   printf("registering %zu tenants over %zu committees...\n", tenants,
          committees);
   size_t deduped = 0;
@@ -262,24 +281,30 @@ int cmd_client(const std::string& host, uint16_t port, size_t tenants,
   return (correct == requests && combines_ok == committees) ? 0 : 1;
 }
 
-// CI smoke: ephemeral daemon, one client round trip per scheme, clean
-// drain. Asserts by exit code so the workflow step is a one-liner.
+// CI smoke: ephemeral daemon, one client round trip per REGISTERED SCHEME
+// (register committee, verify accept/reject, combine over the wire), plus
+// the RO-specific extras (batch verify, cheater attribution, pk-digest
+// dedup) and the admin-token gate. Asserts by exit code so the workflow
+// step is a one-liner. Adding a scheme plugin extends this smoke
+// automatically.
 int cmd_rpc_smoke() {
   using namespace bnr::service;
   const std::string label = "rpc-smoke/v1";
+  const std::string token = "rpc-smoke-admin-token";
   ThreadPool workers;
   rpc::ServerConfig cfg;
   cfg.port = 0;
   cfg.params_label = label;
   cfg.cache_bytes = size_t(64) << 20;
+  cfg.admin_token = token;
   rpc::RpcServer server(cfg, workers);
   std::thread serving([&] { server.run(); });
   printf("smoke daemon on port %u\n", server.port());
 
   bool ok = true;
-  auto check = [&](bool cond, const char* what) {
+  auto check = [&](bool cond, const std::string& what) {
     ok = ok && cond;
-    printf("  %-42s %s\n", what, cond ? "ok" : "FAIL");
+    printf("  %-46s %s\n", what.c_str(), cond ? "ok" : "FAIL");
   };
   try {
     Rng rng("rpc-smoke");
@@ -287,10 +312,45 @@ int cmd_rpc_smoke() {
     client.ping().get();
     check(true, "ping");
 
-    // RO scheme: register committee, verify, batch-verify, combine (with a
-    // cheater to attribute).
+    // ADMIN gate: no token -> attributable error; with the token it works.
     RoScheme ro(SystemParams::derive(label));
     auto km = ro.dist_keygen(4, 1, rng);
+    bool denied = false;
+    try {
+      client.register_ro_committee("ro-tenant", km).get();
+    } catch (const rpc::RpcError&) {
+      denied = true;
+    }
+    check(denied, "REGISTER without admin token denied");
+    client.set_admin_token(token);
+
+    // Every scheme in the registry over the same wire path.
+    const SchemeRegistry& registry = server.registry();
+    Bytes generic_msg = to_bytes("smoke: all schemes");
+    Bytes other_msg = to_bytes("smoke: other message");
+    Rng sample_rng("rpc-smoke-samples");
+    for (const Scheme* scheme : registry.schemes()) {
+      std::string name(scheme->name());
+      SchemeSample good = scheme->make_sample(3, 1, generic_msg, sample_rng);
+      SchemeSample wrong = scheme->make_sample(3, 1, other_msg, sample_rng);
+      std::string tenant = name + "-generic";
+      client.register_committee(tenant, scheme->id(), good.committee).get();
+      bool accept = client.verify_bytes(tenant, generic_msg, good.sig).get();
+      bool reject = !client.verify_bytes(tenant, generic_msg, wrong.sig).get();
+      rpc::CombineResult r =
+          client.combine_bytes(tenant, generic_msg, good.partials).get();
+      auto verifier = scheme->make_verifier(good.committee.pk);
+      bool combined =
+          verifier->verify(generic_msg, scheme->parse_signature(r.sig));
+      check(accept && reject && combined,
+            name + ": verify accept/reject + combine over the wire");
+      auto row = client.stats_sync().scheme_row(scheme->id());
+      check(row.tenants == 1 && row.verify_submitted == 2 &&
+                row.combines == 1,
+            name + ": per-scheme stats row");
+    }
+
+    // RO-specific extras on the same daemon.
     check(!client.register_ro_committee("ro-tenant", km).get(),
           "register RO committee (fresh)");
     check(client.register_ro_key("ro-alias", km.pk).get(),
@@ -320,25 +380,13 @@ int cmd_rpc_smoke() {
               cheaters[0] == with_cheat[0].index,
           "RO combine + cheater attribution");
 
-    // DLIN scheme round trip.
-    DlinScheme dlin(SystemParams::derive(label));
-    auto dkm = dlin.dist_keygen(4, 1, rng);
-    check(!client.register_dlin_key("dlin-tenant", dkm.pk).get(),
-          "register DLIN key");
-    std::vector<DlinPartialSignature> dparts;
-    for (uint32_t i = 1; i <= 2; ++i)
-      dparts.push_back(dlin.share_sign(dkm.shares[i - 1], msg));
-    DlinSignature dsig = dlin.combine(dkm, msg, dparts);
-    check(client.verify_dlin("dlin-tenant", msg, dsig).get(),
-          "DLIN verify accept");
-    DlinSignature dforged = dsig;
-    dforged.z = (G1::from_affine(dforged.z) + G1::generator()).to_affine();
-    check(!client.verify_dlin("dlin-tenant", msg, dforged).get(),
-          "DLIN verify reject");
-
     auto st = client.stats_sync();
-    check(st.tenants == 3 && st.deduped_keys == 1 && st.protocol_errors == 0,
-          "stats: 3 tenants, 1 deduped, no errors");
+    // 4 generic scheme tenants + ro-tenant + ro-alias; ro-alias deduped
+    // onto ro-tenant's pk digest.
+    check(st.tenants == registry.schemes().size() + 2 &&
+              st.deduped_keys == 1 && st.protocol_errors == 0 &&
+              st.auth_failures == 1,
+          "stats: tenants, dedup, auth failures, no protocol errors");
   } catch (const std::exception& e) {
     fprintf(stderr, "smoke exception: %s\n", e.what());
     ok = false;
@@ -348,7 +396,7 @@ int cmd_rpc_smoke() {
   serving.join();
   auto vs = server.verify_stats();
   bool drained = vs.submitted == vs.accepted + vs.rejected;
-  printf("  %-42s %s\n", "graceful shutdown drained all batches",
+  printf("  %-46s %s\n", "graceful shutdown drained all batches",
          drained ? "ok" : "FAIL");
   ok = ok && drained;
   printf("rpc-smoke: %s\n", ok ? "PASS" : "FAIL");
@@ -399,6 +447,25 @@ int demo() {
 
 int main(int argc, char** argv) {
   try {
+    // Extract --key=value options anywhere on the command line; positional
+    // arguments keep their old meanings. BNR_ADMIN_TOKEN is the env fallback
+    // for --admin-token on both the daemon and the client.
+    std::string admin_token;
+    if (const char* env = std::getenv("BNR_ADMIN_TOKEN")) admin_token = env;
+    size_t max_connections = SIZE_MAX;  // SIZE_MAX = not specified
+    std::vector<char*> args;
+    for (int i = 0; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--admin-token=", 0) == 0)
+        admin_token = a.substr(strlen("--admin-token="));
+      else if (a.rfind("--max-connections=", 0) == 0)
+        max_connections = std::stoul(a.substr(strlen("--max-connections=")));
+      else
+        args.push_back(argv[i]);
+    }
+    argc = static_cast<int>(args.size());
+    argv = args.data();
+
     if (argc < 2) return demo();
     std::string cmd = argv[1];
     if (cmd == "keygen" && argc == 6)
@@ -415,21 +482,24 @@ int main(int argc, char** argv) {
       return cmd_daemon(
           argc > 2 ? static_cast<uint16_t>(std::stoul(argv[2])) : 9137,
           argc > 3 ? std::stoul(argv[3]) : 256,
-          argc > 4 ? argv[4] : "bnr-rpc/v1");
+          argc > 4 ? argv[4] : "bnr-rpc/v1", admin_token, max_connections);
     if (cmd == "client" && argc >= 4 && argc <= 7)
       return cmd_client(argv[2], static_cast<uint16_t>(std::stoul(argv[3])),
                         argc > 4 ? std::stoul(argv[4]) : 2000,
                         argc > 5 ? std::stoul(argv[5]) : 4000,
-                        argc > 6 ? argv[6] : "bnr-rpc/v1");
+                        argc > 6 ? argv[6] : "bnr-rpc/v1", admin_token);
     if (cmd == "rpc-smoke" && argc == 2) return cmd_rpc_smoke();
     fprintf(stderr,
             "usage: %s keygen <dir> <label> <n> <t>\n"
             "       %s sign <dir> <server-index> <message>\n"
             "       %s combine <dir> <message> <partial-hex>...\n"
             "       %s verify <dir> <message> <signature-hex>\n"
-            "       %s daemon [port] [cache-mb] [label]\n"
-            "       %s client <host> <port> [tenants] [requests] [label]\n"
-            "       %s rpc-smoke\n",
+            "       %s daemon [port] [cache-mb] [label] [--admin-token=T]"
+            " [--max-connections=N]\n"
+            "       %s client <host> <port> [tenants] [requests] [label]"
+            " [--admin-token=T]\n"
+            "       %s rpc-smoke\n"
+            "(--admin-token falls back to the BNR_ADMIN_TOKEN env var)\n",
             argv[0], argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
     return 2;
   } catch (const std::exception& e) {

@@ -82,8 +82,14 @@ G1Affine BoldyrevaBls::combine(const BlsKeyMaterial& km,
     if (share_verify(km.vks[p.index - 1], neg_h, p)) valid.push_back(p);
     if (valid.size() == km.t + 1) break;
   }
-  if (valid.size() < km.t + 1)
+  return combine_unchecked(km.t, valid);
+}
+
+G1Affine BoldyrevaBls::combine_unchecked(
+    size_t t, std::span<const BlsPartialSignature> parts) const {
+  if (parts.size() < t + 1)
     throw std::runtime_error("bls combine: fewer than t+1 valid shares");
+  std::span<const BlsPartialSignature> valid = parts.first(t + 1);
   std::vector<uint32_t> indices;
   for (const auto& p : valid) indices.push_back(p.index);
   auto lagrange = lagrange_at_zero(indices);

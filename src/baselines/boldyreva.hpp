@@ -62,6 +62,12 @@ class BoldyrevaBls {
   G1Affine combine(const BlsKeyMaterial& km, std::span<const uint8_t> msg,
                    std::span<const BlsPartialSignature> parts) const;
 
+  /// Interpolates the first t+1 partials WITHOUT share verification, for
+  /// callers that already classified them (the serving-side combiner) or
+  /// hold honest-by-construction shares. Throws if fewer than t+1 given.
+  G1Affine combine_unchecked(size_t t,
+                             std::span<const BlsPartialSignature> parts) const;
+
   bool verify(const BlsPublicKey& pk, std::span<const uint8_t> msg,
               const G1Affine& sig) const;
 

@@ -184,6 +184,7 @@ std::future<void> RpcClient::ping() {
 }
 
 std::future<bool> RpcClient::register_tenant(RegisterTenantRequest req) {
+  req.token = admin_token_;
   auto prom = std::make_shared<std::promise<bool>>();
   auto fut = prom->get_future();
   auto shared = std::make_shared<RegisterTenantRequest>(std::move(req));
@@ -197,82 +198,75 @@ std::future<bool> RpcClient::register_tenant(RegisterTenantRequest req) {
   return fut;
 }
 
-std::future<bool> RpcClient::register_ro_key(const std::string& key,
-                                             const threshold::PublicKey& pk) {
+std::future<bool> RpcClient::register_key(const std::string& key,
+                                          threshold::SchemeId scheme,
+                                          Bytes pk_bytes) {
   RegisterTenantRequest req;
   req.key = key;
-  req.kind = TenantKind::kRoKey;
-  req.pk = pk.serialize();
+  req.scheme = static_cast<uint8_t>(scheme);
+  req.pk = std::move(pk_bytes);
   return register_tenant(std::move(req));
+}
+
+std::future<bool> RpcClient::register_committee(
+    const std::string& key, threshold::SchemeId scheme,
+    const threshold::Committee& committee) {
+  RegisterTenantRequest req;
+  req.key = key;
+  req.scheme = static_cast<uint8_t>(scheme);
+  req.committee = true;
+  req.pk = committee.pk;
+  req.n = committee.n;
+  req.t = committee.t;
+  req.vks = committee.vks;
+  return register_tenant(std::move(req));
+}
+
+std::future<bool> RpcClient::register_ro_key(const std::string& key,
+                                             const threshold::PublicKey& pk) {
+  return register_key(key, threshold::SchemeId::kRo, pk.serialize());
 }
 
 std::future<bool> RpcClient::register_ro_committee(
     const std::string& key, const threshold::KeyMaterial& km) {
-  RegisterTenantRequest req;
-  req.key = key;
-  req.kind = TenantKind::kRoCommittee;
-  req.pk = km.pk.serialize();
-  req.n = static_cast<uint32_t>(km.n);
-  req.t = static_cast<uint32_t>(km.t);
-  req.vks.reserve(km.vks.size());
-  for (const auto& vk : km.vks) req.vks.push_back(vk.serialize());
-  return register_tenant(std::move(req));
+  threshold::Committee c;
+  c.pk = km.pk.serialize();
+  c.n = static_cast<uint32_t>(km.n);
+  c.t = static_cast<uint32_t>(km.t);
+  c.vks.reserve(km.vks.size());
+  for (const auto& vk : km.vks) c.vks.push_back(vk.serialize());
+  return register_committee(key, threshold::SchemeId::kRo, c);
 }
 
 std::future<bool> RpcClient::register_dlin_key(
     const std::string& key, const threshold::DlinPublicKey& pk) {
-  RegisterTenantRequest req;
-  req.key = key;
-  req.kind = TenantKind::kDlinKey;
-  req.pk = pk.serialize();
-  return register_tenant(std::move(req));
+  return register_key(key, threshold::SchemeId::kDlin, pk.serialize());
 }
 
-namespace {
-RpcClient::PendingHandler accepted_handler(
-    const std::shared_ptr<std::promise<bool>>& prom) {
-  return {[prom](ByteReader& rd) {
-            bool ok = rd.u8() != 0;
-            expect_frame_done(rd, "VERIFY response");
-            prom->set_value(ok);
-          },
-          [prom](std::exception_ptr e) { prom->set_exception(e); }};
-}
-}  // namespace
-
-std::future<bool> RpcClient::verify(const std::string& key, Bytes msg,
-                                    const threshold::Signature& sig) {
+std::future<bool> RpcClient::verify_bytes(const std::string& key, Bytes msg,
+                                          Bytes sig_bytes) {
   auto prom = std::make_shared<std::promise<bool>>();
   auto fut = prom->get_future();
   auto req = std::make_shared<VerifyRequest>(
-      VerifyRequest{key, std::move(msg), sig.serialize()});
+      VerifyRequest{key, std::move(msg), std::move(sig_bytes)});
   enqueue([req](uint64_t id) { return encode_verify(id, *req); },
-          accepted_handler(prom));
+          {[prom](ByteReader& rd) {
+             bool ok = rd.u8() != 0;
+             expect_frame_done(rd, "VERIFY response");
+             prom->set_value(ok);
+           },
+           [prom](std::exception_ptr e) { prom->set_exception(e); }});
   return fut;
 }
 
-std::future<bool> RpcClient::verify_dlin(const std::string& key, Bytes msg,
-                                         const threshold::DlinSignature& sig) {
-  auto prom = std::make_shared<std::promise<bool>>();
-  auto fut = prom->get_future();
-  auto req = std::make_shared<VerifyRequest>(
-      VerifyRequest{key, std::move(msg), sig.serialize()});
-  enqueue([req](uint64_t id) { return encode_verify(id, *req); },
-          accepted_handler(prom));
-  return fut;
-}
-
-std::future<std::vector<bool>> RpcClient::batch_verify(
-    const std::string& key,
-    std::span<const std::pair<Bytes, threshold::Signature>> items) {
+std::future<std::vector<bool>> RpcClient::batch_verify_bytes(
+    const std::string& key, std::vector<std::pair<Bytes, Bytes>> items) {
   auto prom = std::make_shared<std::promise<std::vector<bool>>>();
   auto fut = prom->get_future();
   auto req = std::make_shared<BatchVerifyRequest>();
   req->key = key;
-  req->items.reserve(items.size());
-  for (const auto& [msg, sig] : items)
-    req->items.emplace_back(msg, sig.serialize());
-  const size_t expect = items.size();
+  req->items = std::move(items);
+  const size_t expect = req->items.size();
   enqueue([req](uint64_t id) { return encode_batch_verify(id, *req); },
           {[prom, expect](ByteReader& rd) {
              uint32_t n = rd.count(1);
@@ -287,16 +281,23 @@ std::future<std::vector<bool>> RpcClient::batch_verify(
   return fut;
 }
 
-std::future<CombineResult> RpcClient::combine_raw(
-    const std::string& key, Bytes msg,
-    std::span<const threshold::PartialSignature> parts) {
+std::future<std::vector<bool>> RpcClient::batch_verify(
+    const std::string& key,
+    std::span<const std::pair<Bytes, threshold::Signature>> items) {
+  std::vector<std::pair<Bytes, Bytes>> raw;
+  raw.reserve(items.size());
+  for (const auto& [msg, sig] : items) raw.emplace_back(msg, sig.serialize());
+  return batch_verify_bytes(key, std::move(raw));
+}
+
+std::future<CombineResult> RpcClient::combine_bytes(
+    const std::string& key, Bytes msg, std::vector<Bytes> partials) {
   auto prom = std::make_shared<std::promise<CombineResult>>();
   auto fut = prom->get_future();
   auto req = std::make_shared<CombineRequest>();
   req->key = key;
   req->msg = std::move(msg);
-  req->partials.reserve(parts.size());
-  for (const auto& p : parts) req->partials.push_back(p.serialize());
+  req->partials = std::move(partials);
   enqueue([req](uint64_t id) { return encode_combine(id, *req); },
           {[prom](ByteReader& rd) {
              CombineResult r = decode_combine_result(rd);
@@ -305,6 +306,15 @@ std::future<CombineResult> RpcClient::combine_raw(
            },
            [prom](std::exception_ptr e) { prom->set_exception(e); }});
   return fut;
+}
+
+std::future<CombineResult> RpcClient::combine_raw(
+    const std::string& key, Bytes msg,
+    std::span<const threshold::PartialSignature> parts) {
+  std::vector<Bytes> partials;
+  partials.reserve(parts.size());
+  for (const auto& p : parts) partials.push_back(p.serialize());
+  return combine_bytes(key, std::move(msg), std::move(partials));
 }
 
 std::future<DaemonStats> RpcClient::stats() {

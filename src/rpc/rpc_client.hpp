@@ -7,10 +7,16 @@
 // whole per-tenant groups together). The futures returned here are exactly
 // the in-process service futures with a socket in the middle.
 //
+// The client is SCHEME-AGNOSTIC like the wire: the byte-level fronts
+// (register_key / register_committee / verify_bytes / combine_bytes) speak
+// opaque scheme-serialized blobs and work for every scheme the daemon's
+// registry serves; the typed RO/DLIN conveniences below them are kept for
+// callers holding concrete scheme objects.
+//
 // Error surfaces:
 //   * An ERROR response resolves that request's future with RpcError
-//     (attributable server-side failure: unknown tenant, combine with too
-//     few valid shares, ...). The connection stays usable.
+//     (attributable server-side failure: unknown tenant, bad admin token,
+//     combine with too few valid shares, ...). The connection stays usable.
 //   * A malformed or oversized frame FROM the server, or EOF / a socket
 //     error, tears the session down: every outstanding and subsequent
 //     future fails with ProtocolError and closed() turns true.
@@ -32,6 +38,7 @@
 #include "rpc/wire.hpp"
 #include "threshold/dlin_scheme.hpp"
 #include "threshold/ro_scheme.hpp"
+#include "threshold/scheme_api.hpp"
 
 namespace bnr::rpc {
 
@@ -48,26 +55,53 @@ class RpcClient {
   RpcClient(const RpcClient&) = delete;
   RpcClient& operator=(const RpcClient&) = delete;
 
-  // -- Asynchronous (pipelined) API -----------------------------------------
+  /// Shared secret sent with every subsequent REGISTER_TENANT (ADMIN)
+  /// frame. Set before registering against a daemon running --admin-token.
+  void set_admin_token(std::string token) { admin_token_ = std::move(token); }
+
+  // -- Scheme-agnostic (byte-level) API -------------------------------------
 
   std::future<void> ping();
 
-  /// Registers an RO-model tenant key (VERIFY only). The future resolves to
+  /// Registers a verify-only tenant under `scheme`. The future resolves to
   /// true when the daemon already held prepared state for this public key
   /// under another tenant (the registration was deduplicated).
+  std::future<bool> register_key(const std::string& key,
+                                 threshold::SchemeId scheme, Bytes pk_bytes);
+  /// Registers a committee (public material only): VERIFY and COMBINE.
+  std::future<bool> register_committee(const std::string& key,
+                                       threshold::SchemeId scheme,
+                                       const threshold::Committee& committee);
+
+  std::future<bool> verify_bytes(const std::string& key, Bytes msg,
+                                 Bytes sig_bytes);
+  std::future<std::vector<bool>> batch_verify_bytes(
+      const std::string& key, std::vector<std::pair<Bytes, Bytes>> items);
+
+  /// Combine from scheme-serialized partials; the result carries the
+  /// serialized combined signature plus attributed cheater indices.
+  std::future<CombineResult> combine_bytes(const std::string& key, Bytes msg,
+                                           std::vector<Bytes> partials);
+
+  std::future<DaemonStats> stats();
+
+  // -- Typed conveniences for the paper's schemes ---------------------------
+
   std::future<bool> register_ro_key(const std::string& key,
                                     const threshold::PublicKey& pk);
-  /// Registers an RO committee (public material only): VERIFY and COMBINE.
   std::future<bool> register_ro_committee(const std::string& key,
                                           const threshold::KeyMaterial& km);
-  /// Registers a DLIN-variant tenant key (VERIFY only).
   std::future<bool> register_dlin_key(const std::string& key,
                                       const threshold::DlinPublicKey& pk);
 
   std::future<bool> verify(const std::string& key, Bytes msg,
-                           const threshold::Signature& sig);
+                           const threshold::Signature& sig) {
+    return verify_bytes(key, std::move(msg), sig.serialize());
+  }
   std::future<bool> verify_dlin(const std::string& key, Bytes msg,
-                                const threshold::DlinSignature& sig);
+                                const threshold::DlinSignature& sig) {
+    return verify_bytes(key, std::move(msg), sig.serialize());
+  }
   std::future<std::vector<bool>> batch_verify(
       const std::string& key,
       std::span<const std::pair<Bytes, threshold::Signature>> items);
@@ -78,8 +112,6 @@ class RpcClient {
   std::future<CombineResult> combine_raw(
       const std::string& key, Bytes msg,
       std::span<const threshold::PartialSignature> parts);
-
-  std::future<DaemonStats> stats();
 
   // -- Synchronous conveniences ---------------------------------------------
 
@@ -114,7 +146,8 @@ class RpcClient {
   /// Registers the handler under a fresh id, frames and writes `payload`
   /// (patching the id into the encoded header), and returns the id.
   void enqueue(std::function<Bytes(uint64_t)> encode, PendingHandler handler);
-  /// Registration helper shared by the three register_* fronts.
+  /// Registration helper shared by the register_* fronts (stamps the admin
+  /// token into the request).
   std::future<bool> register_tenant(RegisterTenantRequest req);
   void reader_loop();
   void fail_all(std::exception_ptr err);
@@ -122,6 +155,7 @@ class RpcClient {
 
   int fd_ = -1;
   uint32_t max_frame_;
+  std::string admin_token_;  // set once, before registrations
 
   std::mutex w_m_;          // serializes writers interleaving frames
   mutable std::mutex p_m_;  // guards pending_ / next_id_ / closed_

@@ -30,11 +30,24 @@ void set_nonblock(int fd) {
     throw_errno("fcntl(O_NONBLOCK)");
 }
 
-std::string hex_digest(std::initializer_list<std::span<const uint8_t>> parts) {
+std::string hex_digest(std::span<const uint8_t> data) {
   Sha256 hs;
-  for (auto p : parts) hs.update(p);
-  auto d = hs.finalize();
-  return to_hex(d);
+  hs.update(data);
+  return to_hex(hs.finalize());
+}
+
+/// Constant-time shared-secret comparison: both sides are hashed and the
+/// digests compared without early exit, so the comparison's timing carries
+/// no information about where a guessed token first diverges.
+bool constant_time_token_equal(std::string_view a, std::string_view b) {
+  Sha256 ha, hb;
+  ha.update(a);
+  hb.update(b);
+  auto da = ha.finalize();
+  auto db = hb.finalize();
+  uint8_t diff = 0;
+  for (size_t i = 0; i < da.size(); ++i) diff |= uint8_t(da[i] ^ db[i]);
+  return diff == 0;
 }
 
 }  // namespace
@@ -57,75 +70,52 @@ struct RpcServer::Conn {
   bool paused = false;    // backpressured: wq over high-water mark
 };
 
-struct RpcServer::Tenant {
-  TenantKind kind{};
-  std::string digest;  // canonical cache key of the prepared state
-  threshold::PublicKey ro_pk;
-  threshold::DlinPublicKey dlin_pk;
-  std::shared_ptr<const threshold::KeyMaterial> committee;  // public parts
-};
-
 RpcServer::RpcServer(ServerConfig cfg, service::ThreadPool& pool)
     : cfg_(std::move(cfg)),
       pool_(pool),
-      ro_scheme_(threshold::SystemParams::derive(cfg_.params_label)),
-      dlin_scheme_(threshold::SystemParams::derive(cfg_.params_label)),
-      ro_cache_(service::KeyCachePolicy{.byte_budget = cfg_.cache_bytes,
-                                        .shards = cfg_.cache_shards}),
-      dlin_cache_(service::KeyCachePolicy{.byte_budget = cfg_.cache_bytes,
-                                          .shards = cfg_.cache_shards}),
+      params_(threshold::SystemParams::derive(cfg_.params_label)),
+      registry_(params_),
+      verifier_cache_(service::KeyCachePolicy{.byte_budget = cfg_.cache_bytes,
+                                              .shards = cfg_.cache_shards}),
       combiner_cache_(service::KeyCachePolicy{.byte_budget = cfg_.cache_bytes,
                                               .shards = cfg_.cache_shards}) {
   // Providers run on pool workers (outside any shard lock). They receive
-  // the CANONICAL cache key — the pk digest the tenant was aliased onto —
-  // and read the digest-keyed registry maps, which are immutable per digest.
-  // Keying the prepare by the digest (not the mutable tenant record) is
-  // what makes a re-registration racing an in-flight batch harmless: the
-  // worst case is preparing a verifier nobody looks up again, never caching
-  // one under a digest it does not match. An unregistered tenant's key
-  // resolves to itself, misses these maps, and rejects the group.
-  ro_verify_ = std::make_unique<service::RoMultiTenantVerificationService>(
-      ro_cache_,
+  // the CANONICAL cache key — the "<scheme>:<pk digest>" the tenant was
+  // aliased onto — and read the digest-keyed registry maps, which are
+  // immutable per digest. Keying the prepare by the digest (not the mutable
+  // tenant record) is what makes a re-registration racing an in-flight
+  // batch harmless: the worst case is preparing a verifier nobody looks up
+  // again, never caching one under a digest it does not match. An
+  // unregistered tenant's key resolves to itself, misses these maps, and
+  // rejects the group.
+  verify_ = std::make_unique<service::MultiTenantVerificationService>(
+      verifier_cache_,
       [this](const std::string& canonical) {
-        threshold::PublicKey pk;
+        PkEntry entry;
         {
           std::lock_guard<std::mutex> l(reg_m_);
-          auto it = ro_pk_by_digest_.find(canonical);
-          if (it == ro_pk_by_digest_.end())
-            throw RpcError("unknown RO tenant key: " + canonical);
-          pk = it->second;
+          auto it = pk_by_digest_.find(canonical);
+          if (it == pk_by_digest_.end())
+            throw RpcError("unknown tenant key: " + canonical);
+          entry = it->second;
         }
-        return std::make_shared<const threshold::RoVerifier>(ro_scheme_, pk);
+        return std::shared_ptr<const threshold::PreparedVerifier>(
+            registry_.at(entry.scheme).make_verifier(entry.pk));
       },
-      cfg_.batch, pool_, "rpc-ro-verify");
-  dlin_verify_ =
-      std::make_unique<service::DlinMultiTenantVerificationService>(
-          dlin_cache_,
-          [this](const std::string& canonical) {
-            threshold::DlinPublicKey pk;
-            {
-              std::lock_guard<std::mutex> l(reg_m_);
-              auto it = dlin_pk_by_digest_.find(canonical);
-              if (it == dlin_pk_by_digest_.end())
-                throw RpcError("unknown DLIN tenant key: " + canonical);
-              pk = it->second;
-            }
-            return std::make_shared<const threshold::DlinVerifier>(
-                dlin_scheme_, pk);
-          },
-          cfg_.batch, pool_, "rpc-dlin-verify");
+      cfg_.batch, pool_, "rpc-verify");
   combine_ = std::make_unique<service::MultiTenantCombineService>(
       combiner_cache_,
       [this](const std::string& canonical) {
-        std::shared_ptr<const threshold::KeyMaterial> km;
+        CommitteeEntry entry;
         {
           std::lock_guard<std::mutex> l(reg_m_);
           auto it = committee_by_digest_.find(canonical);
           if (it == committee_by_digest_.end())
             throw RpcError("not a combine-capable committee: " + canonical);
-          km = it->second;
+          entry = it->second;
         }
-        return std::make_shared<const threshold::RoCombiner>(ro_scheme_, *km);
+        return std::shared_ptr<const threshold::PreparedCombiner>(
+            registry_.at(entry.scheme).make_combiner(*entry.committee));
       },
       pool_, "rpc-combine");
 
@@ -159,8 +149,7 @@ RpcServer::~RpcServer() {
   // Services are destroyed first (member order): they drain every pool task,
   // whose completions land harmlessly in completions_ against dead weak
   // pointers. Then the sockets close.
-  ro_verify_.reset();
-  dlin_verify_.reset();
+  verify_.reset();
   combine_.reset();
   conns_.clear();
   if (listen_fd_ >= 0) ::close(listen_fd_);
@@ -200,8 +189,7 @@ void RpcServer::event_loop() {
       // Push pending service batches out now instead of waiting for their
       // deadline flush, and stop reading: frames already buffered were
       // parsed as they arrived, so every accepted request is in flight.
-      ro_verify_->flush();
-      dlin_verify_->flush();
+      verify_->flush();
       for (auto& [fd, c] : conns_) c->read_shut = true;
     }
     if (draining) {
@@ -288,6 +276,14 @@ void RpcServer::accept_ready() {
       }
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
       return;  // other transient accept failures (ECONNABORTED) are skipped
+    }
+    // Connection cap: overflow is accepted-and-closed so the pending queue
+    // cannot re-signal the level-triggered listener forever, and the peer
+    // sees a clean close instead of a SYN backlog timeout.
+    if (cfg_.max_connections > 0 && conns_.size() >= cfg_.max_connections) {
+      ::close(fd);
+      conns_rejected_.fetch_add(1, std::memory_order_relaxed);
+      continue;
     }
     set_nonblock(fd);
     int one = 1;
@@ -428,69 +424,77 @@ bool RpcServer::handle_frame(const std::shared_ptr<Conn>& c,
 void RpcServer::handle_register(const std::shared_ptr<Conn>& c, uint64_t id,
                                 ByteReader& rd) {
   RegisterTenantRequest req = decode_register(rd);  // throws -> close
-  // From here on the frame is well-formed; key-material problems are the
-  // REQUEST's fault and get an attributable ERROR response instead.
+  // From here on the frame is well-formed. ADMIN auth first: a wrong token
+  // is attributable (ERROR response, counted), never a protocol violation —
+  // closing would tell a prober nothing it cannot already see.
+  if (!cfg_.admin_token.empty() &&
+      !constant_time_token_equal(req.token, cfg_.admin_token)) {
+    auth_failures_.fetch_add(1, std::memory_order_relaxed);
+    send_now(c, encode_error(id, "unauthorized: bad admin token"));
+    return;
+  }
+  // Key-material problems are the REQUEST's fault and get an attributable
+  // ERROR response instead of a disconnect.
   try {
-    Tenant t;
-    t.kind = req.kind;
-    bool deduped = false;
+    const threshold::Scheme* scheme =
+        registry_.find(static_cast<threshold::SchemeId>(req.scheme));
+    if (!scheme)
+      throw RpcError("unknown scheme id " + std::to_string(req.scheme));
+
+    // Parse + canonicalize the public key; the digest of the CANONICAL
+    // bytes is the shared cache key, so every tenant of the same pk (and
+    // scheme) lands on one prepared entry regardless of who registered
+    // first.
+    Bytes pk = scheme->canonical_public_key(req.pk);
+    std::string digest =
+        std::string(scheme->name()) + ":" + hex_digest(pk);
+
+    TenantInfo info{scheme->id(), req.committee};
+    std::string committee_digest;
+    std::shared_ptr<const threshold::Committee> committee;
+    if (req.committee) {
+      if (!scheme->supports_combine())
+        throw RpcError(std::string(scheme->name()) +
+                       ": scheme does not support serving-side combine");
+      auto cm = std::make_shared<threshold::Committee>();
+      cm->pk = pk;
+      cm->n = req.n;
+      cm->t = req.t;
+      cm->vks = std::move(req.vks);
+      // Committee-level dedup: identical full material shares one prepared
+      // combiner. Verification keys are parsed lazily by make_combiner on
+      // the first COMBINE miss (a malformed vk then fails that request
+      // attributably, never the daemon).
+      Sha256 hs;
+      hs.update(pk);
+      ByteWriter nt;
+      nt.u32(cm->n);
+      nt.u32(cm->t);
+      hs.update(nt.bytes());
+      for (const auto& vk : cm->vks) hs.update(vk);
+      committee_digest = std::string(scheme->name()) + ":committee:" +
+                         to_hex(hs.finalize());
+      committee = std::move(cm);
+    }
+
     // Ordering matters: the digest-keyed material is published under reg_m_
     // BEFORE the cache alias becomes visible, so a pool worker that
     // resolves the new alias always finds the digest's (immutable) material.
-    switch (req.kind) {
-      case TenantKind::kRoKey: {
-        t.ro_pk = threshold::PublicKey::deserialize(req.pk);
-        t.digest = "ro:" + hex_digest({req.pk});
-        {
-          std::lock_guard<std::mutex> l(reg_m_);
-          ro_pk_by_digest_.emplace(t.digest, t.ro_pk);
-        }
-        deduped = ro_cache_.add_alias(req.key, t.digest);
-        break;
-      }
-      case TenantKind::kRoCommittee: {
-        auto km = std::make_shared<threshold::KeyMaterial>();
-        km->n = req.n;
-        km->t = req.t;
-        km->pk = threshold::PublicKey::deserialize(req.pk);
-        for (const auto& vk : req.vks)
-          km->vks.push_back(threshold::VerificationKey::deserialize(vk));
-        t.ro_pk = km->pk;
-        t.committee = km;
-        // Verify-side dedup is by pk alone (same equation); the combiner is
-        // deduped only across committees with identical full key material.
-        std::string pk_digest = "ro:" + hex_digest({req.pk});
-        Sha256 hs;
-        hs.update(req.pk);
-        ByteWriter nt;
-        nt.u32(req.n);
-        nt.u32(req.t);
-        hs.update(nt.bytes());
-        for (const auto& vk : req.vks) hs.update(vk);
-        t.digest = "committee:" + to_hex(hs.finalize());
-        {
-          std::lock_guard<std::mutex> l(reg_m_);
-          ro_pk_by_digest_.emplace(pk_digest, t.ro_pk);
-          committee_by_digest_.emplace(t.digest, km);
-        }
-        deduped = ro_cache_.add_alias(req.key, pk_digest);
-        combiner_cache_.add_alias(req.key, t.digest);
-        break;
-      }
-      case TenantKind::kDlinKey: {
-        t.dlin_pk = threshold::DlinPublicKey::deserialize(req.pk);
-        t.digest = "dlin:" + hex_digest({req.pk});
-        {
-          std::lock_guard<std::mutex> l(reg_m_);
-          dlin_pk_by_digest_.emplace(t.digest, t.dlin_pk);
-        }
-        deduped = dlin_cache_.add_alias(req.key, t.digest);
-        break;
-      }
-    }
     {
       std::lock_guard<std::mutex> l(reg_m_);
-      tenants_[req.key] = std::move(t);
+      pk_by_digest_.emplace(digest, PkEntry{scheme->id(), pk});
+      if (committee)
+        committee_by_digest_.emplace(committee_digest,
+                                     CommitteeEntry{scheme->id(), committee});
+    }
+    bool deduped = verifier_cache_.add_alias(req.key, digest);
+    if (committee) combiner_cache_.add_alias(req.key, committee_digest);
+    if (deduped)
+      deduped_by_scheme_[threshold::scheme_stats_slot(scheme->id())].fetch_add(
+          1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> l(reg_m_);
+      tenants_[req.key] = info;
     }
     ByteWriter w;
     encode_response_header(w, Status::kOk, id);
@@ -503,7 +507,7 @@ void RpcServer::handle_register(const std::shared_ptr<Conn>& c, uint64_t id,
 
 void RpcServer::dispatch_verify(const std::shared_ptr<Conn>& c, uint64_t id,
                                 VerifyRequest req) {
-  TenantKind kind;
+  threshold::SchemeId scheme_id;
   {
     std::lock_guard<std::mutex> l(reg_m_);
     auto it = tenants_.find(req.key);
@@ -511,7 +515,7 @@ void RpcServer::dispatch_verify(const std::shared_ptr<Conn>& c, uint64_t id,
       send_now(c, encode_error(id, "unknown tenant: " + req.key));
       return;
     }
-    kind = it->second.kind;
+    scheme_id = it->second.scheme;
   }
   std::weak_ptr<Conn> wc = c;
   auto done = [this, wc, id](bool ok, std::exception_ptr err) {
@@ -534,15 +538,13 @@ void RpcServer::dispatch_verify(const std::shared_ptr<Conn>& c, uint64_t id,
   };
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
   try {
-    if (kind == TenantKind::kDlinKey) {
-      auto sig = threshold::DlinSignature::deserialize(req.sig);
-      dlin_verify_->submit(req.key, std::move(req.msg), std::move(sig),
-                           std::move(done));
-    } else {
-      auto sig = threshold::Signature::deserialize(req.sig);
-      ro_verify_->submit(req.key, std::move(req.msg), std::move(sig),
-                         std::move(done));
-    }
+    // The tenant's registered scheme parses the opaque signature blob; the
+    // erased handle and its prepared verifier are therefore always the same
+    // scheme by construction.
+    threshold::SigHandle sig =
+        registry_.at(scheme_id).parse_signature(req.sig);
+    verify_->submit(req.key, std::move(req.msg), std::move(sig),
+                    std::move(done));
   } catch (const std::exception& e) {
     // Bad signature encoding inside a well-formed frame: attributable.
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
@@ -552,7 +554,7 @@ void RpcServer::dispatch_verify(const std::shared_ptr<Conn>& c, uint64_t id,
 
 void RpcServer::dispatch_batch_verify(const std::shared_ptr<Conn>& c,
                                       uint64_t id, BatchVerifyRequest req) {
-  TenantKind kind;
+  threshold::SchemeId scheme_id;
   {
     std::lock_guard<std::mutex> l(reg_m_);
     auto it = tenants_.find(req.key);
@@ -560,7 +562,7 @@ void RpcServer::dispatch_batch_verify(const std::shared_ptr<Conn>& c,
       send_now(c, encode_error(id, "unknown tenant: " + req.key));
       return;
     }
-    kind = it->second.kind;
+    scheme_id = it->second.scheme;
   }
 
   if (req.items.empty()) {
@@ -603,6 +605,7 @@ void RpcServer::dispatch_batch_verify(const std::shared_ptr<Conn>& c,
     complete(wc, std::move(resp));
   };
 
+  const threshold::Scheme& scheme = registry_.at(scheme_id);
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
   for (size_t j = 0; j < req.items.size(); ++j) {
     auto item_done = [st, j, finish](bool ok, std::exception_ptr err) {
@@ -624,15 +627,9 @@ void RpcServer::dispatch_batch_verify(const std::shared_ptr<Conn>& c,
       if (last) finish();
     };
     try {
-      if (kind == TenantKind::kDlinKey) {
-        auto sig = threshold::DlinSignature::deserialize(req.items[j].second);
-        dlin_verify_->submit(req.key, std::move(req.items[j].first),
-                             std::move(sig), item_done);
-      } else {
-        auto sig = threshold::Signature::deserialize(req.items[j].second);
-        ro_verify_->submit(req.key, std::move(req.items[j].first),
-                           std::move(sig), item_done);
-      }
+      threshold::SigHandle sig = scheme.parse_signature(req.items[j].second);
+      verify_->submit(req.key, std::move(req.items[j].first), std::move(sig),
+                      item_done);
     } catch (const std::exception&) {
       bool last;
       {
@@ -647,30 +644,32 @@ void RpcServer::dispatch_batch_verify(const std::shared_ptr<Conn>& c,
 
 void RpcServer::dispatch_combine(const std::shared_ptr<Conn>& c, uint64_t id,
                                  CombineRequest req) {
+  threshold::SchemeId scheme_id;
   {
     std::lock_guard<std::mutex> l(reg_m_);
     auto it = tenants_.find(req.key);
-    if (it == tenants_.end() || !it->second.committee) {
+    if (it == tenants_.end() || !it->second.combine_capable) {
       send_now(c,
                encode_error(id, "not a combine-capable tenant: " + req.key));
       return;
     }
+    scheme_id = it->second.scheme;
   }
-  std::vector<threshold::PartialSignature> parts;
+  std::vector<threshold::PartialHandle> parts;
   try {
+    const threshold::Scheme& scheme = registry_.at(scheme_id);
     parts.reserve(req.partials.size());
     for (const auto& p : req.partials)
-      parts.push_back(threshold::PartialSignature::deserialize(p));
+      parts.push_back(scheme.parse_partial(p));
   } catch (const std::exception& e) {
     send_now(c, encode_error(id, e.what()));
     return;
   }
 
   std::weak_ptr<Conn> wc = c;
-  combines_.fetch_add(1, std::memory_order_relaxed);
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
   combine_->submit(
-      req.key, std::move(req.msg), std::move(parts),
+      req.key, scheme_id, std::move(req.msg), std::move(parts),
       [this, wc, id](service::CombineOutcome* out, std::exception_ptr err) {
         Bytes resp;
         if (err) {
@@ -682,37 +681,32 @@ void RpcServer::dispatch_combine(const std::shared_ptr<Conn>& c, uint64_t id,
             resp = encode_error(id, "combine failed");
           }
         } else {
-          resp = encode_ok(
-              id, encode_combine_result(
-                      {out->sig.serialize(), out->cheaters}));
+          resp = encode_ok(id,
+                           encode_combine_result({out->sig, out->cheaters}));
         }
         complete(wc, std::move(resp));
       });
 }
 
 service::ServiceStats RpcServer::verify_stats() const {
-  service::ServiceStats total = ro_verify_->stats();
-  service::ServiceStats d = dlin_verify_->stats();
-  total.submitted += d.submitted;
-  total.batches += d.batches;
-  total.size_flushes += d.size_flushes;
-  total.deadline_flushes += d.deadline_flushes;
-  total.fallbacks += d.fallbacks;
-  total.accepted += d.accepted;
-  total.rejected += d.rejected;
-  return total;
+  return verify_->stats();
 }
 
 DaemonStats RpcServer::snapshot_stats() const {
   DaemonStats s;
+  // Per-tenant routing table: total + per-scheme tenant counts.
+  std::array<uint64_t, threshold::kSchemeIdCount + 1> tenants_by_scheme{};
   {
     std::lock_guard<std::mutex> l(reg_m_);
     s.tenants = tenants_.size();
+    for (const auto& [key, info] : tenants_)
+      ++tenants_by_scheme[threshold::scheme_stats_slot(info.scheme)];
   }
   s.connections = conns_accepted_.load(std::memory_order_relaxed);
+  s.conns_rejected = conns_rejected_.load(std::memory_order_relaxed);
+  s.auth_failures = auth_failures_.load(std::memory_order_relaxed);
   s.frames_in = frames_in_.load(std::memory_order_relaxed);
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
-  s.combines = combines_.load(std::memory_order_relaxed);
 
   auto add_cache = [&s](const service::KeyCacheStats& cs) {
     s.cache_hits += cs.hits;
@@ -721,22 +715,42 @@ DaemonStats RpcServer::snapshot_stats() const {
     s.cache_resident_entries += cs.resident_entries;
     s.cache_resident_bytes += cs.resident_bytes;
   };
-  auto ro = ro_cache_.stats();
-  auto dlin = dlin_cache_.stats();
-  add_cache(ro);
-  add_cache(dlin);
+  auto vc = verifier_cache_.stats();
+  add_cache(vc);
   add_cache(combiner_cache_.stats());
-  // pk-level dedup: tenants that mapped onto an already-registered digest in
-  // either verifier cache (the combiner's committee-level aliases would
-  // double-count the same tenants).
-  s.deduped_keys = ro.deduped + dlin.deduped;
+  // pk-level dedup: tenants that mapped onto an already-registered pk
+  // digest in the verifier cache (the combiner's committee-level aliases
+  // would double-count the same tenants).
+  s.deduped_keys = vc.deduped;
 
-  service::ServiceStats vs = verify_stats();
+  service::ServiceStats vs = verify_->stats();
   s.verify_submitted = vs.submitted;
   s.verify_batches = vs.batches;
   s.verify_fallbacks = vs.fallbacks;
   s.verify_accepted = vs.accepted;
   s.verify_rejected = vs.rejected;
+  s.combines = combine_->stats().submitted;
+
+  // One row per scheme the registry serves — the registry knows every
+  // scheme uniformly, so nothing here is per-family code.
+  for (const threshold::Scheme* scheme : registry_.schemes()) {
+    SchemeStatsRow row;
+    row.scheme = static_cast<uint8_t>(scheme->id());
+    row.tenants = tenants_by_scheme[threshold::scheme_stats_slot(scheme->id())];
+    row.deduped = deduped_by_scheme_[threshold::scheme_stats_slot(scheme->id())].load(
+        std::memory_order_relaxed);
+    service::ServiceStats sv = verify_->stats(scheme->id());
+    row.verify_submitted = sv.submitted;
+    row.verify_batches = sv.batches;
+    row.verify_fallbacks = sv.fallbacks;
+    row.verify_accepted = sv.accepted;
+    row.verify_rejected = sv.rejected;
+    auto cs = combine_->stats(scheme->id());
+    row.cache_lookups = sv.cache_lookups + cs.cache_lookups;
+    row.cache_misses = sv.cache_misses + cs.cache_misses;
+    row.combines = cs.submitted;
+    s.schemes.push_back(row);
+  }
   return s;
 }
 

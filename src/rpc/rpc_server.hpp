@@ -1,6 +1,11 @@
 // The long-running TCP serving daemon: a poll()-driven event loop over
-// non-blocking sockets in front of the multi-tenant in-process stack
-// (KeyCacheManager + MultiTenantVerificationService + MultiTenantCombineService).
+// non-blocking sockets in front of the multi-tenant in-process stack — ONE
+// scheme-agnostic path since PR 5: a SchemeRegistry resolves every tenant's
+// SchemeId to its plugin, ONE KeyCacheManager<PreparedVerifier> holds the
+// prepared state of every scheme's tenants (keys namespaced by scheme name
+// + pk digest), and ONE MultiTenantVerificationService / ONE
+// MultiTenantCombineService serve RO, DLIN, Agg, and BLS tenants through
+// the same queue and per-key folds.
 //
 // Threading model — one I/O thread, N crypto workers:
 //
@@ -20,9 +25,11 @@
 //
 //   * A malformed, truncated, or oversized frame closes the connection
 //     immediately (no response); the daemon keeps serving everyone else.
-//     FrameBuffer rejects a hostile length prefix before buffering a byte of
-//     the oversized body, and every decoder bounds element counts by the
-//     bytes actually present.
+//   * REGISTER_TENANT is an ADMIN frame: with `admin_token` configured, a
+//     request whose token fails the constant-time comparison gets an
+//     attributable ERROR (counted in auth_failures) and registers nothing.
+//   * Connections over `max_connections` are accepted and immediately
+//     closed (the peer sees a clean refusal, the daemon stays level).
 //   * A connection that stops draining its responses is backpressured: once
 //     its write queue exceeds `write_backpressure` bytes the loop stops
 //     reading from it (no POLLIN) until the queue drains below half.
@@ -35,6 +42,7 @@
 //     `drain_timeout`.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -42,15 +50,13 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "rpc/wire.hpp"
 #include "service/key_cache.hpp"
 #include "service/thread_pool.hpp"
 #include "service/verification_service.hpp"
-#include "threshold/dlin_scheme.hpp"
-#include "threshold/ro_scheme.hpp"
+#include "threshold/scheme_registry.hpp"
 
 namespace bnr::rpc {
 
@@ -60,7 +66,14 @@ struct ServerConfig {
   /// Both peers derive SystemParams from this label; group elements on the
   /// wire are only meaningful against the same parameters.
   std::string params_label = "bnr-rpc/v1";
-  size_t cache_bytes = size_t(256) << 20;  // per verifier cache
+  /// Shared secret gating REGISTER_TENANT (and future ADMIN frames).
+  /// Empty = open daemon (loopback demos, tests); non-empty = required,
+  /// compared in constant time.
+  std::string admin_token;
+  /// Simultaneous-connection cap; further connections are accepted and
+  /// immediately closed. 0 = unlimited.
+  size_t max_connections = 1024;
+  size_t cache_bytes = size_t(256) << 20;  // verifier cache byte budget
   size_t cache_shards = 16;
   service::BatchPolicy batch{};
   uint32_t max_frame = kMaxFrameBytes;
@@ -90,14 +103,35 @@ class RpcServer {
   void stop();
 
   DaemonStats snapshot_stats() const;
-  const service::KeyCacheManager<threshold::RoVerifier>& ro_cache() const {
-    return ro_cache_;
+  /// The ONE cache behind every scheme's prepared verifiers.
+  const service::KeyCacheManager<threshold::PreparedVerifier>&
+  verifier_cache() const {
+    return verifier_cache_;
   }
+  const threshold::SchemeRegistry& registry() const { return registry_; }
+  /// Aggregate verify-path stats across every scheme.
   service::ServiceStats verify_stats() const;
 
  private:
   struct Conn;
-  struct Tenant;
+
+  /// What the event loop needs to route a tenant's requests: which plugin
+  /// parses its blobs, and whether COMBINE is provisioned.
+  struct TenantInfo {
+    threshold::SchemeId scheme{};
+    bool combine_capable = false;
+  };
+  /// Immutable key material published under its digest: same digest -> same
+  /// bytes, always, so a re-registration racing an in-flight prepare can
+  /// never cache a verifier under a digest it does not match.
+  struct PkEntry {
+    threshold::SchemeId scheme{};
+    Bytes pk;  // canonical serialized public key
+  };
+  struct CommitteeEntry {
+    threshold::SchemeId scheme{};
+    std::shared_ptr<const threshold::Committee> committee;
+  };
 
   void event_loop();
   void accept_ready();
@@ -127,8 +161,8 @@ class RpcServer {
 
   ServerConfig cfg_;
   service::ThreadPool& pool_;
-  threshold::RoScheme ro_scheme_;
-  threshold::DlinScheme dlin_scheme_;
+  threshold::SystemParams params_;
+  threshold::SchemeRegistry registry_;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;
@@ -144,33 +178,31 @@ class RpcServer {
   std::atomic<uint64_t> in_flight_{0};
 
   // Tenant registry: event loop writes on REGISTER, pool workers read from
-  // the verifier providers. The providers read the DIGEST-keyed maps: a
-  // digest names immutable key material (same digest -> same pk, always),
-  // so a re-registration racing an in-flight prepare can never cache a
-  // verifier under a digest it does not match. `tenants_` (mutable: a
-  // tenant may rotate keys) is only read on the event loop for routing.
+  // the providers. The providers read the DIGEST-keyed maps (immutable per
+  // digest); `tenants_` (mutable: a tenant may rotate keys or schemes) is
+  // only read on the event loop for routing.
   mutable std::mutex reg_m_;
-  std::unordered_map<std::string, Tenant> tenants_;
-  std::unordered_map<std::string, threshold::PublicKey> ro_pk_by_digest_;
-  std::unordered_map<std::string, threshold::DlinPublicKey> dlin_pk_by_digest_;
-  std::unordered_map<std::string, std::shared_ptr<const threshold::KeyMaterial>>
-      committee_by_digest_;
+  std::unordered_map<std::string, TenantInfo> tenants_;
+  std::unordered_map<std::string, PkEntry> pk_by_digest_;
+  std::unordered_map<std::string, CommitteeEntry> committee_by_digest_;
 
-  // Lifetime counters (event loop writes, stats reads).
+  // Lifetime counters (event loop writes, stats reads). Per-scheme slices
+  // are dense by SchemeId with an overflow slot for out-of-tree ids.
   std::atomic<uint64_t> conns_accepted_{0};
+  std::atomic<uint64_t> conns_rejected_{0};
+  std::atomic<uint64_t> auth_failures_{0};
   std::atomic<uint64_t> frames_in_{0};
   std::atomic<uint64_t> protocol_errors_{0};
-  std::atomic<uint64_t> combines_{0};
+  std::array<std::atomic<uint64_t>, threshold::kSchemeIdCount + 1>
+      deduped_by_scheme_{};
 
   std::unordered_map<int, std::shared_ptr<Conn>> conns_;  // event loop only
 
   // Caches + services last: their destructors drain every outstanding pool
   // task while the members above are still alive.
-  service::KeyCacheManager<threshold::RoVerifier> ro_cache_;
-  service::KeyCacheManager<threshold::DlinVerifier> dlin_cache_;
-  service::KeyCacheManager<threshold::RoCombiner> combiner_cache_;
-  std::unique_ptr<service::RoMultiTenantVerificationService> ro_verify_;
-  std::unique_ptr<service::DlinMultiTenantVerificationService> dlin_verify_;
+  service::KeyCacheManager<threshold::PreparedVerifier> verifier_cache_;
+  service::KeyCacheManager<threshold::PreparedCombiner> combiner_cache_;
+  std::unique_ptr<service::MultiTenantVerificationService> verify_;
   std::unique_ptr<service::MultiTenantCombineService> combine_;
 };
 

@@ -8,7 +8,11 @@
 // responses complete OUT OF ORDER over a pipelined connection; (3) the
 // encoding reuses the library's canonical ByteWriter/ByteReader primitives
 // (big-endian, u32 length prefixes) so scheme objects cross the wire in
-// exactly the bytes their serialize() methods already emit.
+// exactly the bytes their serialize() methods already emit; (4) the
+// protocol is SCHEME-AGNOSTIC: tenants register with a `SchemeId` and every
+// signature / partial / public key is an opaque blob the daemon hands to
+// that scheme's plugin — RO, DLIN, Agg, and BLS all ride the same five
+// methods, and a new scheme needs no new wire code.
 //
 // Frame layout (both directions):
 //
@@ -28,16 +32,24 @@
 //   COMBINE          str key, blob msg, u32 n, n x blob partial
 //                                                -> blob sig, u32 c, c x u32
 //                                                   cheater indices
-//   REGISTER_TENANT  str key, u8 kind, blob pk
-//                    [kind=RO_COMMITTEE: u32 n, u32 t, n x blob vk]
+//   REGISTER_TENANT  str token, str key, u8 scheme_id, u8 flags, blob pk
+//                    [flags bit0 (committee): u32 n, u32 t, n x blob vk]
 //                                                -> u8 deduped
-//   STATS            --                          -> DaemonStats (u64 fields)
+//   STATS            --                          -> DaemonStats (global u64
+//                                                   fields + per-scheme rows)
+//
+// REGISTER_TENANT is an ADMIN frame: when the daemon runs with an admin
+// token, `token` must match (constant-time comparison server-side) or the
+// request gets an attributable ERROR and counts as an auth failure.
 //
 // An ERROR response carries `str message` as its body regardless of method.
 // A frame that is oversized, truncated, carries an unknown method id, or
 // whose body does not parse exactly (trailing bytes included) is a protocol
 // violation: the peer is not confused, it is malformed or malicious, and the
-// connection is closed without a response.
+// connection is closed without a response. An unknown SCHEME id, by
+// contrast, is an attributable ERROR — the registry is extensible, and a
+// client asking for a scheme this daemon does not serve is wrong, not
+// malformed.
 #pragma once
 
 #include <cstdint>
@@ -48,6 +60,7 @@
 
 #include "common/bytes.hpp"
 #include "common/serde.hpp"
+#include "threshold/scheme_api.hpp"
 
 namespace bnr::rpc {
 
@@ -70,11 +83,8 @@ enum class Status : uint8_t {
   kError = 1,  // body: str message (unknown tenant, combine failure, ...)
 };
 
-enum class TenantKind : uint8_t {
-  kRoKey = 0,        // RO-model public key: VERIFY/BATCH_VERIFY only
-  kRoCommittee = 1,  // pk + per-player VKs: VERIFY and COMBINE
-  kDlinKey = 2,      // DLIN-variant public key: VERIFY/BATCH_VERIFY only
-};
+/// REGISTER_TENANT flags byte. Undefined bits are a protocol violation.
+constexpr uint8_t kRegisterCommittee = 0x01;  // body carries n/t/vks; COMBINE
 
 /// Thrown by decoders on structural violations; the server closes the
 /// connection, the client tears the session down.
@@ -101,7 +111,7 @@ struct ResponseHeader {
 struct VerifyRequest {
   std::string key;
   Bytes msg;
-  Bytes sig;  // scheme-serialized Signature / DlinSignature
+  Bytes sig;  // scheme-serialized signature (opaque to the wire layer)
 };
 
 struct BatchVerifyRequest {
@@ -112,43 +122,73 @@ struct BatchVerifyRequest {
 struct CombineRequest {
   std::string key;
   Bytes msg;
-  std::vector<Bytes> partials;  // serialized PartialSignature, >= t+1
+  std::vector<Bytes> partials;  // scheme-serialized partials, >= t+1
 };
 
 struct RegisterTenantRequest {
+  std::string token;  // admin shared secret (empty when the daemon is open)
   std::string key;
-  TenantKind kind{};
-  Bytes pk;  // serialized PublicKey / DlinPublicKey
-  // kRoCommittee only:
+  uint8_t scheme = 0;      // threshold::SchemeId on the wire
+  bool committee = false;  // carries n/t/vks below; enables COMBINE
+  Bytes pk;                // scheme-serialized public key
   uint32_t n = 0, t = 0;
-  std::vector<Bytes> vks;
+  std::vector<Bytes> vks;  // scheme-serialized per-player verification keys
 };
 
 struct CombineResult {
-  Bytes sig;  // serialized Signature
+  Bytes sig;  // scheme-serialized combined signature
   std::vector<uint32_t> cheaters;
 };
 
-/// One aggregate stats snapshot over the whole daemon. Fixed u64 fields in
-/// declaration order on the wire — add new fields at the END.
+/// One scheme's slice of the daemon's counters. Fixed u64 fields in
+/// declaration order on the wire after the u8 scheme id — add new fields at
+/// the END of the row.
+struct SchemeStatsRow {
+  uint8_t scheme = 0;  // threshold::SchemeId
+  uint64_t tenants = 0;
+  uint64_t deduped = 0;          // registrations aliased onto a known pk
+  uint64_t verify_submitted = 0;
+  uint64_t verify_batches = 0;   // per-tenant RLC folds executed
+  uint64_t verify_fallbacks = 0;
+  uint64_t verify_accepted = 0;
+  uint64_t verify_rejected = 0;
+  uint64_t cache_lookups = 0;    // verify+combine groups routed via the cache
+  uint64_t cache_misses = 0;     // ... that had to prepare
+  uint64_t combines = 0;
+};
+
+/// One aggregate stats snapshot over the whole daemon: global fixed u64
+/// fields in declaration order (add at the END), then a row per scheme the
+/// registry serves. The global verify/combine/dedup fields are the sums of
+/// the rows; cache_* report the shared caches, which the rows break down by
+/// scheme via service-observed lookups/misses.
 struct DaemonStats {
-  uint64_t tenants = 0;        // registered tenant key-ids
-  uint64_t deduped_keys = 0;   // tenants sharing an already-known pk digest
-  uint64_t connections = 0;    // accepted over the daemon's lifetime
-  uint64_t frames_in = 0;      // well-formed request frames handled
+  uint64_t tenants = 0;          // registered tenant key-ids
+  uint64_t deduped_keys = 0;     // tenants sharing an already-known pk digest
+  uint64_t connections = 0;      // accepted over the daemon's lifetime
+  uint64_t conns_rejected = 0;   // over the connection cap: accept-and-close
+  uint64_t auth_failures = 0;    // ADMIN frames with a bad token
+  uint64_t frames_in = 0;        // well-formed request frames handled
   uint64_t protocol_errors = 0;  // connections closed on malformed input
-  // verify path (both schemes summed)
-  uint64_t cache_hits = 0;
+  uint64_t cache_hits = 0;       // shared verifier+combiner caches
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
   uint64_t cache_resident_entries = 0;
   uint64_t cache_resident_bytes = 0;
   uint64_t verify_submitted = 0;
-  uint64_t verify_batches = 0;  // per-tenant RLC folds executed
+  uint64_t verify_batches = 0;
   uint64_t verify_fallbacks = 0;
   uint64_t verify_accepted = 0;
   uint64_t verify_rejected = 0;
-  uint64_t combines = 0;  // combine requests dispatched
+  uint64_t combines = 0;
+  std::vector<SchemeStatsRow> schemes;
+
+  /// The row for one scheme id (zeros when the daemon has no such scheme).
+  SchemeStatsRow scheme_row(threshold::SchemeId id) const {
+    for (const auto& r : schemes)
+      if (r.scheme == static_cast<uint8_t>(id)) return r;
+    return {};
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -257,10 +297,12 @@ inline Bytes encode_combine(uint64_t id, const CombineRequest& r) {
 inline Bytes encode_register(uint64_t id, const RegisterTenantRequest& r) {
   ByteWriter w;
   encode_request_header(w, Method::kRegisterTenant, id);
+  w.str(r.token);
   w.str(r.key);
-  w.u8(static_cast<uint8_t>(r.kind));
+  w.u8(r.scheme);
+  w.u8(r.committee ? kRegisterCommittee : 0);
   w.blob(r.pk);
-  if (r.kind == TenantKind::kRoCommittee) {
+  if (r.committee) {
     w.u32(r.n);
     w.u32(r.t);
     w.u32(static_cast<uint32_t>(r.vks.size()));
@@ -300,12 +342,21 @@ inline Bytes encode_combine_result(const CombineResult& r) {
 inline Bytes encode_stats(const DaemonStats& s) {
   ByteWriter w;
   for (uint64_t v :
-       {s.tenants, s.deduped_keys, s.connections, s.frames_in,
-        s.protocol_errors, s.cache_hits, s.cache_misses, s.cache_evictions,
-        s.cache_resident_entries, s.cache_resident_bytes, s.verify_submitted,
-        s.verify_batches, s.verify_fallbacks, s.verify_accepted,
-        s.verify_rejected, s.combines})
+       {s.tenants, s.deduped_keys, s.connections, s.conns_rejected,
+        s.auth_failures, s.frames_in, s.protocol_errors, s.cache_hits,
+        s.cache_misses, s.cache_evictions, s.cache_resident_entries,
+        s.cache_resident_bytes, s.verify_submitted, s.verify_batches,
+        s.verify_fallbacks, s.verify_accepted, s.verify_rejected, s.combines})
     w.u64(v);
+  w.u32(static_cast<uint32_t>(s.schemes.size()));
+  for (const auto& r : s.schemes) {
+    w.u8(r.scheme);
+    for (uint64_t v :
+         {r.tenants, r.deduped, r.verify_submitted, r.verify_batches,
+          r.verify_fallbacks, r.verify_accepted, r.verify_rejected,
+          r.cache_lookups, r.cache_misses, r.combines})
+      w.u64(v);
+  }
   return w.take();
 }
 
@@ -382,13 +433,16 @@ inline CombineRequest decode_combine(ByteReader& rd) {
 
 inline RegisterTenantRequest decode_register(ByteReader& rd) {
   RegisterTenantRequest r;
+  r.token = decode_str(rd);
   r.key = decode_str(rd);
-  uint8_t kind = rd.u8();
-  if (kind > uint8_t(TenantKind::kDlinKey))
-    throw ProtocolError("unknown tenant kind " + std::to_string(kind));
-  r.kind = static_cast<TenantKind>(kind);
+  r.scheme = rd.u8();  // validated against the REGISTRY, not the wire layer
+  uint8_t flags = rd.u8();
+  if (flags & ~kRegisterCommittee)
+    throw ProtocolError("REGISTER: undefined flag bits " +
+                        std::to_string(flags));
+  r.committee = (flags & kRegisterCommittee) != 0;
   r.pk = rd.blob();
-  if (r.kind == TenantKind::kRoCommittee) {
+  if (r.committee) {
     r.n = rd.u32();
     r.t = rd.u32();
     uint32_t vks = rd.count(4);
@@ -414,12 +468,25 @@ inline CombineResult decode_combine_result(ByteReader& rd) {
 inline DaemonStats decode_stats(ByteReader& rd) {
   DaemonStats s;
   for (uint64_t* f :
-       {&s.tenants, &s.deduped_keys, &s.connections, &s.frames_in,
-        &s.protocol_errors, &s.cache_hits, &s.cache_misses,
-        &s.cache_evictions, &s.cache_resident_entries, &s.cache_resident_bytes,
-        &s.verify_submitted, &s.verify_batches, &s.verify_fallbacks,
-        &s.verify_accepted, &s.verify_rejected, &s.combines})
+       {&s.tenants, &s.deduped_keys, &s.connections, &s.conns_rejected,
+        &s.auth_failures, &s.frames_in, &s.protocol_errors, &s.cache_hits,
+        &s.cache_misses, &s.cache_evictions, &s.cache_resident_entries,
+        &s.cache_resident_bytes, &s.verify_submitted, &s.verify_batches,
+        &s.verify_fallbacks, &s.verify_accepted, &s.verify_rejected,
+        &s.combines})
     *f = rd.u64();
+  uint32_t rows = rd.count(81);  // u8 id + 10 u64 fields per row
+  s.schemes.reserve(rows);
+  for (uint32_t j = 0; j < rows; ++j) {
+    SchemeStatsRow r;
+    r.scheme = rd.u8();
+    for (uint64_t* f :
+         {&r.tenants, &r.deduped, &r.verify_submitted, &r.verify_batches,
+          &r.verify_fallbacks, &r.verify_accepted, &r.verify_rejected,
+          &r.cache_lookups, &r.cache_misses, &r.combines})
+      *f = rd.u64();
+    s.schemes.push_back(r);
+  }
   return s;
 }
 

@@ -1,19 +1,253 @@
 #include "service/verification_service.hpp"
 
+#include <unordered_map>
+
 #include "service/parallel.hpp"
 
 namespace bnr::service {
 
+namespace {
+
+using threshold::scheme_stats_slot;
+
+void accumulate(ServiceStats& into, const ServiceStats& s) {
+  into.submitted += s.submitted;
+  into.batches += s.batches;
+  into.size_flushes += s.size_flushes;
+  into.deadline_flushes += s.deadline_flushes;
+  into.fallbacks += s.fallbacks;
+  into.accepted += s.accepted;
+  into.rejected += s.rejected;
+  into.cache_lookups += s.cache_lookups;
+  into.cache_misses += s.cache_misses;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MultiTenantVerificationService
+
+MultiTenantVerificationService::MultiTenantVerificationService(
+    KeyCacheManager<threshold::PreparedVerifier>& cache,
+    VerifierProvider prepare, BatchPolicy policy, ThreadPool& pool,
+    std::string_view rng_label)
+    : cache_(cache),
+      prepare_(std::move(prepare)),
+      policy_(policy),
+      pool_(pool),
+      rng_(Rng::from_entropy().fork(rng_label)) {
+  flusher_ = std::thread([this] { flusher_loop(); });
+}
+
+MultiTenantVerificationService::~MultiTenantVerificationService() {
+  {
+    std::unique_lock<std::mutex> l(m_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  flusher_.join();
+  std::unique_lock<std::mutex> l(m_);
+  if (!pending_.empty()) dispatch_locked(l, /*deadline=*/false);
+  drained_.wait(l, [&] { return in_flight_ == 0; });
+}
+
+ServiceStats& MultiTenantVerificationService::slice_locked(
+    threshold::SchemeId id) {
+  return by_scheme_[scheme_stats_slot(id)];
+}
+
+void MultiTenantVerificationService::submit(KeyId key, Bytes msg,
+                                            threshold::SigHandle sig,
+                                            Callback done) {
+  bool flush_now = false;
+  {
+    std::unique_lock<std::mutex> l(m_);
+    if (pending_.empty()) oldest_ = std::chrono::steady_clock::now();
+    ++total_.submitted;
+    ++slice_locked(sig.scheme).submitted;
+    pending_.push_back(
+        {std::move(key), std::move(msg), std::move(sig), std::move(done)});
+    flush_now = pending_.size() >= policy_.max_batch;
+    if (flush_now) {
+      ++total_.size_flushes;
+      dispatch_locked(l, /*deadline=*/false);
+    }
+  }
+  cv_.notify_one();  // wake the flusher to re-arm its deadline
+}
+
+std::future<bool> MultiTenantVerificationService::submit(
+    KeyId key, Bytes msg, threshold::SigHandle sig) {
+  auto prom = std::make_shared<std::promise<bool>>();
+  std::future<bool> fut = prom->get_future();
+  submit(std::move(key), std::move(msg), std::move(sig),
+         [prom](bool ok, std::exception_ptr err) {
+           if (err)
+             prom->set_exception(err);
+           else
+             prom->set_value(ok);
+         });
+  return fut;
+}
+
+void MultiTenantVerificationService::flush() {
+  std::unique_lock<std::mutex> l(m_);
+  if (!pending_.empty()) dispatch_locked(l, /*deadline=*/false);
+}
+
+void MultiTenantVerificationService::drain() {
+  std::unique_lock<std::mutex> l(m_);
+  if (!pending_.empty()) dispatch_locked(l, /*deadline=*/false);
+  drained_.wait(l, [&] { return in_flight_ == 0; });
+}
+
+ServiceStats MultiTenantVerificationService::stats() const {
+  std::lock_guard<std::mutex> l(m_);
+  return total_;
+}
+
+ServiceStats MultiTenantVerificationService::stats(
+    threshold::SchemeId id) const {
+  std::lock_guard<std::mutex> l(m_);
+  return by_scheme_[scheme_stats_slot(id)];
+}
+
+// Moves the pending batch out, splits it into per-key groups (arrival
+// order preserved within each group), and hands each group to the pool as
+// its own fold task. Caller holds m_.
+void MultiTenantVerificationService::dispatch_locked(
+    std::unique_lock<std::mutex>&, bool deadline) {
+  std::vector<Pending> batch;
+  batch.swap(pending_);
+  if (batch.empty()) return;
+  if (deadline) ++total_.deadline_flushes;
+
+  std::vector<Group> groups;
+  {
+    std::unordered_map<KeyId, size_t> pos;
+    for (auto& p : batch) {
+      auto [it, fresh] = pos.try_emplace(p.key, groups.size());
+      if (fresh) groups.push_back(Group{p.key, {}});
+      groups[it->second].members.push_back(std::move(p));
+    }
+  }
+
+  for (auto& g : groups) {
+    ++total_.batches;
+    ++slice_locked(g.members.front().sig.scheme).batches;
+    // The group is frozen; only NOW are its fold coefficients drawable.
+    Rng group_rng = rng_.fork("batch");
+    ++in_flight_;
+    auto shared = std::make_shared<Group>(std::move(g));
+    auto rng_shared = std::make_shared<Rng>(std::move(group_rng));
+    pool_.submit([this, shared, rng_shared] {
+      try {
+        run_group(*shared, *rng_shared);
+      } catch (...) {
+        // A throwing verifier/provider (or bad_alloc) must not escape the
+        // worker (std::terminate) or strand the submitters: every callback
+        // not yet invoked carries the exception instead.
+        for (auto& p : shared->members) {
+          if (!p.done) continue;  // already answered before the throw
+          p.done(false, std::current_exception());
+          p.done = nullptr;
+        }
+      }
+      std::lock_guard<std::mutex> l(m_);
+      if (--in_flight_ == 0) drained_.notify_all();
+    });
+  }
+}
+
+void MultiTenantVerificationService::run_group(Group& group, Rng& rng) {
+  const threshold::SchemeId scheme = group.members.front().sig.scheme;
+  // Pinned for the whole fold + fallback: the cache may not evict this
+  // tenant's prepared state mid-batch, however hot the other shard traffic.
+  // The provider only runs on a miss, which is how the per-scheme cache
+  // hit/miss split is observed without the cache knowing about schemes.
+  bool missed = false;
+  auto pin = cache_.get_or_prepare(group.key, [&](const KeyId& canonical) {
+    missed = true;
+    return prepare_(canonical);
+  });
+  auto& batch = group.members;
+  std::vector<Bytes> msgs;
+  std::vector<threshold::SigHandle> sigs;
+  msgs.reserve(batch.size());
+  sigs.reserve(batch.size());
+  for (auto& p : batch) {
+    msgs.push_back(p.msg);
+    sigs.push_back(p.sig);
+  }
+  bool all_ok = pin->batch_verify(msgs, sigs, rng);
+  std::vector<bool> results(batch.size(), true);
+  uint64_t accepted = batch.size(), rejected = 0;
+  if (!all_ok) {
+    // Attribute the failure: one cached verify per member. Only THIS key's
+    // group pays — other tenants' folds are untouched.
+    accepted = 0;
+    for (size_t j = 0; j < batch.size(); ++j) {
+      results[j] = pin->verify(batch[j].msg, batch[j].sig);
+      (results[j] ? accepted : rejected)++;
+    }
+  }
+  {
+    // Stats are committed BEFORE the promises resolve, so a caller that
+    // observes a ready future also observes its batch in stats().
+    std::lock_guard<std::mutex> l(m_);
+    ServiceStats& slice = slice_locked(scheme);
+    ++total_.cache_lookups;
+    ++slice.cache_lookups;
+    if (missed) {
+      ++total_.cache_misses;
+      ++slice.cache_misses;
+    }
+    if (!all_ok) {
+      ++total_.fallbacks;
+      ++slice.fallbacks;
+    }
+    total_.accepted += accepted;
+    total_.rejected += rejected;
+    slice.accepted += accepted;
+    slice.rejected += rejected;
+  }
+  for (size_t j = 0; j < batch.size(); ++j) {
+    batch[j].done(results[j], nullptr);
+    batch[j].done = nullptr;
+  }
+}
+
+void MultiTenantVerificationService::flusher_loop() {
+  std::unique_lock<std::mutex> l(m_);
+  for (;;) {
+    if (stop_) return;
+    if (pending_.empty()) {
+      cv_.wait(l, [&] { return stop_ || !pending_.empty(); });
+      continue;
+    }
+    auto deadline = oldest_ + policy_.max_delay;
+    if (cv_.wait_until(l, deadline, [&] { return stop_ || pending_.empty(); }))
+      continue;  // state changed under us; re-evaluate
+    if (std::chrono::steady_clock::now() < oldest_ + policy_.max_delay)
+      continue;  // the armed deadline belonged to an already-flushed batch
+    dispatch_locked(l, /*deadline=*/true);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MultiTenantCombineService
+
 MultiTenantCombineService::MultiTenantCombineService(
-    KeyCacheManager<threshold::RoCombiner>& cache, CombinerProvider prepare,
-    ThreadPool& pool, std::string_view rng_label)
+    KeyCacheManager<threshold::PreparedCombiner>& cache,
+    CombinerProvider prepare, ThreadPool& pool, std::string_view rng_label)
     // Entropy-seeded master (label mixed in via fork): per-task RLC
     // coefficients must be unpredictable, or colluding signers could craft
     // invalid partials whose fold error terms cancel and slip past
-    // batch_share_verify's cheater identification.
+    // batch share verification's cheater identification.
     : cache_(cache),
       prepare_(std::move(prepare)),
       pool_(pool),
+      evaluator_(make_fold_evaluator(pool)),
       rng_(Rng::from_entropy().fork(rng_label)) {}
 
 MultiTenantCombineService::~MultiTenantCombineService() {
@@ -21,46 +255,76 @@ MultiTenantCombineService::~MultiTenantCombineService() {
   drained_.wait(l, [&] { return in_flight_ == 0; });
 }
 
+MultiTenantCombineService::Stats& MultiTenantCombineService::slice_locked(
+    threshold::SchemeId id) {
+  return by_scheme_[scheme_stats_slot(id)];
+}
+
 void MultiTenantCombineService::submit(
-    KeyId key, Bytes msg, std::vector<threshold::PartialSignature> parts,
-    Callback done) {
+    KeyId key, threshold::SchemeId scheme, Bytes msg,
+    std::vector<threshold::PartialHandle> parts, Callback done) {
   Rng task_rng = [&] {
     std::lock_guard<std::mutex> l(m_);
     ++in_flight_;
+    ++total_.submitted;
+    ++slice_locked(scheme).submitted;
     return rng_.fork("combine");
   }();
   auto state = std::make_shared<std::tuple<KeyId, Bytes, Rng>>(
       std::move(key), std::move(msg), std::move(task_rng));
   auto parts_shared =
-      std::make_shared<std::vector<threshold::PartialSignature>>(
+      std::make_shared<std::vector<threshold::PartialHandle>>(
           std::move(parts));
   auto done_shared = std::make_shared<Callback>(std::move(done));
-  pool_.submit([this, state, parts_shared, done_shared] {
+  pool_.submit([this, scheme, state, parts_shared, done_shared] {
+    bool missed = false;
+    CombineOutcome out;
+    std::exception_ptr error;
     try {
-      // Pinned across the whole combine: the committee's per-player
-      // prepared-VK cache cannot be evicted mid-fold. Prepared from the
-      // alias-resolved canonical key (see VerifierProvider).
-      auto pin = cache_.get_or_prepare(
-          std::get<0>(*state),
-          [&](const std::string& canonical) { return prepare_(canonical); });
-      CombineOutcome out;
-      out.sig =
-          combine_parallel(*pin, pool_, std::get<1>(*state), *parts_shared,
-                           std::get<2>(*state), &out.cheaters);
-      (*done_shared)(&out, nullptr);
+      // Pinned across the whole combine: the committee's prepared state
+      // cannot be evicted mid-fold. Prepared from the alias-resolved
+      // canonical key (see VerifierProvider).
+      auto pin =
+          cache_.get_or_prepare(std::get<0>(*state), [&](const KeyId& k) {
+            missed = true;
+            return prepare_(k);
+          });
+      out.sig = pin->combine(std::get<1>(*state), *parts_shared,
+                             std::get<2>(*state), evaluator_, &out.cheaters);
     } catch (...) {
-      (*done_shared)(nullptr, std::current_exception());
+      error = std::current_exception();
     }
+    {
+      // Stats commit BEFORE the callback resolves (matching run_group): a
+      // caller that observes a resolved combine also observes it in stats().
+      std::lock_guard<std::mutex> l(m_);
+      Stats& slice = slice_locked(scheme);
+      ++total_.cache_lookups;
+      ++slice.cache_lookups;
+      if (missed) {
+        ++total_.cache_misses;
+        ++slice.cache_misses;
+      }
+      if (error) {
+        ++total_.failed;
+        ++slice.failed;
+      }
+    }
+    if (error)
+      (*done_shared)(nullptr, error);
+    else
+      (*done_shared)(&out, nullptr);
     std::lock_guard<std::mutex> l(m_);
     if (--in_flight_ == 0) drained_.notify_all();
   });
 }
 
-std::future<threshold::Signature> MultiTenantCombineService::submit(
-    KeyId key, Bytes msg, std::vector<threshold::PartialSignature> parts) {
-  auto promise = std::make_shared<std::promise<threshold::Signature>>();
+std::future<Bytes> MultiTenantCombineService::submit(
+    KeyId key, threshold::SchemeId scheme, Bytes msg,
+    std::vector<threshold::PartialHandle> parts) {
+  auto promise = std::make_shared<std::promise<Bytes>>();
   auto fut = promise->get_future();
-  submit(std::move(key), std::move(msg), std::move(parts),
+  submit(std::move(key), scheme, std::move(msg), std::move(parts),
          [promise](CombineOutcome* out, std::exception_ptr err) {
            if (err)
              promise->set_exception(err);
@@ -70,19 +334,66 @@ std::future<threshold::Signature> MultiTenantCombineService::submit(
   return fut;
 }
 
+MultiTenantCombineService::Stats MultiTenantCombineService::stats() const {
+  std::lock_guard<std::mutex> l(m_);
+  return total_;
+}
+
+MultiTenantCombineService::Stats MultiTenantCombineService::stats(
+    threshold::SchemeId id) const {
+  std::lock_guard<std::mutex> l(m_);
+  return by_scheme_[scheme_stats_slot(id)];
+}
+
+// ---------------------------------------------------------------------------
+// Shims + evaluators
+
 CombineService::CombineService(const threshold::RoScheme& scheme,
                                const threshold::KeyMaterial& km,
                                ThreadPool& pool, std::string_view rng_label)
     : cache_(KeyCachePolicy{
           .byte_budget = std::numeric_limits<size_t>::max(), .shards = 1}),
-      combiner_(std::make_shared<const threshold::RoCombiner>(scheme, km)),
+      combiner_(threshold::erase_combiner(
+          std::make_shared<const threshold::RoCombiner>(scheme, km))),
       core_(
           cache_, [c = combiner_](const std::string&) { return c; }, pool,
           rng_label) {}
 
 std::future<threshold::Signature> CombineService::submit(
     Bytes msg, std::vector<threshold::PartialSignature> parts) {
-  return core_.submit(kKey, std::move(msg), std::move(parts));
+  std::vector<threshold::PartialHandle> erased;
+  erased.reserve(parts.size());
+  for (auto& p : parts)
+    erased.push_back(
+        threshold::erase_partial(threshold::SchemeId::kRo, std::move(p)));
+  auto promise = std::make_shared<std::promise<threshold::Signature>>();
+  auto fut = promise->get_future();
+  core_.submit(kKey, threshold::SchemeId::kRo, std::move(msg),
+               std::move(erased),
+               [promise](CombineOutcome* out, std::exception_ptr err) {
+                 if (err) {
+                   promise->set_exception(err);
+                   return;
+                 }
+                 try {
+                   promise->set_value(
+                       threshold::Signature::deserialize(out->sig));
+                 } catch (...) {
+                   promise->set_exception(std::current_exception());
+                 }
+               });
+  return fut;
+}
+
+threshold::FoldEvaluator make_fold_evaluator(ThreadPool& pool) {
+  return [&pool](std::span<const G1Affine> points,
+                 std::span<const G2Prepared* const> preps) {
+    std::vector<PreparedTerm> terms;
+    terms.reserve(points.size());
+    for (size_t j = 0; j < points.size(); ++j)
+      terms.push_back({points[j], preps[j]});
+    return pairing_product_is_one_parallel(pool, terms);
+  };
 }
 
 threshold::Signature combine_parallel(

@@ -1,17 +1,27 @@
-// The request-driven serving front end (Thetacrypt-style), multi-tenant:
-// callers submit (key-id, message, signature) and get a future; the service
-// accumulates requests and flushes when the batch reaches `max_batch` OR the
-// oldest request has waited `max_delay`. A flush groups the pending requests
-// PER KEY-ID and folds each group with ONE RLC pairing product — distinct
-// keys can NEVER share a fold: each tenant's verification equation uses its
-// own prepared G2 inputs, and mixing tenants in one fold would let a forgery
-// under key B invalidate (or, with adversarial coefficients, be masked
-// inside) key A's batch. Only when a group's fold fails does the service
-// re-verify that group's members individually to attribute the failure — so
-// invalid submissions cost extra work but can never poison the answer for
-// honest ones, and never for other tenants.
+// The request-driven serving front end (Thetacrypt-style), multi-tenant and
+// SCHEME-AGNOSTIC: callers submit (key-id, message, erased signature
+// handle) and get a future; the service accumulates requests and flushes
+// when the batch reaches `max_batch` OR the oldest request has waited
+// `max_delay`. A flush groups the pending requests PER KEY-ID and folds
+// each group with ONE RLC pairing product — distinct keys can NEVER share a
+// fold: each tenant's verification equation uses its own prepared G2
+// inputs, and mixing tenants in one fold would let a forgery under key B
+// invalidate (or, with adversarial coefficients, be masked inside) key A's
+// batch. Only when a group's fold fails does the service re-verify that
+// group's members individually to attribute the failure — so invalid
+// submissions cost extra work but can never poison the answer for honest
+// ones, and never for other tenants.
 //
-// Verifiers are not owned by the service: they are pinned out of a shared
+// Since PR 5 there is exactly ONE service implementation for every
+// signature family: requests carry `threshold::SigHandle` (the signature
+// parsed once at the boundary) and verifiers are the type-erased
+// `threshold::PreparedVerifier` out of a single shared KeyCacheManager —
+// RO, DLIN, Agg, and BLS tenants all flow through the same queue, the same
+// per-key fold grouping, and the same cache, with per-SchemeId stats split
+// out for observability. The old per-scheme templated services survive only
+// as the thin deprecated single-tenant shims at the bottom of this header.
+//
+// Verifiers are not owned by the service: they are pinned out of the shared
 // `KeyCacheManager` for the duration of each group's fold (prepared state
 // for millions of tenant keys does not fit in RAM; see key_cache.hpp), and
 // prepared on miss via a caller-supplied provider.
@@ -19,11 +29,11 @@
 // Soundness under concurrency: each group draws its RLC coefficients from a
 // private Rng forked per flush AFTER the batch contents are frozen (the
 // pending vector is moved out under the lock before coefficients exist), so
-// no submitter can adapt its signature to the coefficients that will fold it.
-// The master Rng is seeded from OS entropy (the label is only mixed in as a
-// fork domain) — a deterministic, label-only seed would let an adversary
-// precompute every batch's coefficients and submit invalid signatures whose
-// RLC error terms cancel, defeating the fold.
+// no submitter can adapt its signature to the coefficients that will fold
+// it. The master Rng is seeded from OS entropy (the label is only mixed in
+// as a fork domain) — a deterministic, label-only seed would let an
+// adversary precompute every batch's coefficients and submit invalid
+// signatures whose RLC error terms cancel, defeating the fold.
 #pragma once
 
 #include <chrono>
@@ -36,12 +46,14 @@
 #include <utility>
 #include <vector>
 
+#include "baselines/boldyreva.hpp"
 #include "common/rng.hpp"
 #include "service/key_cache.hpp"
 #include "service/thread_pool.hpp"
 #include "threshold/aggregate_scheme.hpp"
 #include "threshold/dlin_scheme.hpp"
 #include "threshold/ro_scheme.hpp"
+#include "threshold/scheme_api.hpp"
 
 namespace bnr::service {
 
@@ -59,55 +71,28 @@ struct ServiceStats {
   uint64_t fallbacks = 0;        // folds that failed -> individual re-verify
   uint64_t accepted = 0;
   uint64_t rejected = 0;
+  // Service-observed traffic into the shared key cache (one lookup per key
+  // group; a miss ran the provider). Split per SchemeId by stats(SchemeId) —
+  // the cache's own stats cannot attribute by scheme.
+  uint64_t cache_lookups = 0;
+  uint64_t cache_misses = 0;
 };
 
-/// Verifier must provide
-///   bool verify(std::span<const uint8_t>, const Sig&) const
-///   bool batch_verify(std::span<const Bytes>, std::span<const Sig>, Rng&) const
-///   size_t cache_bytes() const
-/// — the shape of RoVerifier / DlinVerifier / AggVerifier / BlsVerifier.
-template <class Verifier, class Sig>
+/// ONE non-templated verification service for every signature family: the
+/// erased `PreparedVerifier` carries the scheme-specific fold, the SigHandle
+/// carries the parsed signature, and the cache key (namespaced by scheme
+/// name + pk digest) keeps tenants of different schemes apart.
 class MultiTenantVerificationService {
  public:
   using KeyId = std::string;
   /// Prepares the verifier on cache miss (runs on a pool worker, outside
   /// any shard lock). Receives the CANONICAL cache key — the alias-resolved
-  /// key, e.g. a pk digest when the registrar aliased tenants by public key
-  /// — so what it derives the verifier from is keyed by what the cache
-  /// stores it under, and a concurrent re-registration cannot poison the
-  /// entry. Throwing rejects every request of that key's group.
-  using VerifierProvider =
-      std::function<std::shared_ptr<const Verifier>(const KeyId& canonical)>;
-
-  MultiTenantVerificationService(
-      KeyCacheManager<Verifier>& cache, VerifierProvider prepare,
-      BatchPolicy policy, ThreadPool& pool,
-      std::string_view rng_label = "multi-tenant-verification")
-      : cache_(cache),
-        prepare_(std::move(prepare)),
-        policy_(policy),
-        pool_(pool),
-        rng_(Rng::from_entropy().fork(rng_label)) {
-    flusher_ = std::thread([this] { flusher_loop(); });
-  }
-
-  /// Flushes whatever is pending, waits for in-flight groups, stops.
-  ~MultiTenantVerificationService() {
-    {
-      std::unique_lock<std::mutex> l(m_);
-      stop_ = true;
-    }
-    cv_.notify_all();
-    flusher_.join();
-    std::unique_lock<std::mutex> l(m_);
-    if (!pending_.empty()) dispatch_locked(l, /*deadline=*/false);
-    drained_.wait(l, [&] { return in_flight_ == 0; });
-  }
-
-  MultiTenantVerificationService(const MultiTenantVerificationService&) =
-      delete;
-  MultiTenantVerificationService& operator=(
-      const MultiTenantVerificationService&) = delete;
+  /// key, e.g. "<scheme>:<pk digest>" when the registrar aliased tenants by
+  /// public key — so what it derives the verifier from is keyed by what the
+  /// cache stores it under, and a concurrent re-registration cannot poison
+  /// the entry. Throwing rejects every request of that key's group.
+  using VerifierProvider = std::function<
+      std::shared_ptr<const threshold::PreparedVerifier>(const KeyId&)>;
 
   /// Completion callback: runs exactly once, on a pool worker, and must not
   /// throw. `error` is null for a normal verdict; non-null when the request
@@ -117,61 +102,41 @@ class MultiTenantVerificationService {
   /// the socket event loop never blocks on a future.
   using Callback = std::function<void(bool ok, std::exception_ptr error)>;
 
-  void submit(KeyId key, Bytes msg, Sig sig, Callback done) {
-    bool flush_now = false;
-    {
-      std::unique_lock<std::mutex> l(m_);
-      if (pending_.empty())
-        oldest_ = std::chrono::steady_clock::now();
-      pending_.push_back(
-          {std::move(key), std::move(msg), std::move(sig), std::move(done)});
-      ++stats_.submitted;
-      flush_now = pending_.size() >= policy_.max_batch;
-      if (flush_now) {
-        ++stats_.size_flushes;
-        dispatch_locked(l, /*deadline=*/false);
-      }
-    }
-    cv_.notify_one();  // wake the flusher to re-arm its deadline
-  }
+  MultiTenantVerificationService(
+      KeyCacheManager<threshold::PreparedVerifier>& cache,
+      VerifierProvider prepare, BatchPolicy policy, ThreadPool& pool,
+      std::string_view rng_label = "multi-tenant-verification");
+
+  /// Flushes whatever is pending, waits for in-flight groups, stops.
+  ~MultiTenantVerificationService();
+
+  MultiTenantVerificationService(const MultiTenantVerificationService&) =
+      delete;
+  MultiTenantVerificationService& operator=(
+      const MultiTenantVerificationService&) = delete;
+
+  void submit(KeyId key, Bytes msg, threshold::SigHandle sig, Callback done);
 
   /// Future-based front over the callback core.
-  std::future<bool> submit(KeyId key, Bytes msg, Sig sig) {
-    auto prom = std::make_shared<std::promise<bool>>();
-    std::future<bool> fut = prom->get_future();
-    submit(std::move(key), std::move(msg), std::move(sig),
-           [prom](bool ok, std::exception_ptr err) {
-             if (err)
-               prom->set_exception(err);
-             else
-               prom->set_value(ok);
-           });
-    return fut;
-  }
+  std::future<bool> submit(KeyId key, Bytes msg, threshold::SigHandle sig);
 
   /// Forces whatever is pending out as one flush (one fold per key).
-  void flush() {
-    std::unique_lock<std::mutex> l(m_);
-    if (!pending_.empty()) dispatch_locked(l, /*deadline=*/false);
-  }
+  void flush();
 
   /// Blocks until no request is pending or in flight.
-  void drain() {
-    std::unique_lock<std::mutex> l(m_);
-    if (!pending_.empty()) dispatch_locked(l, /*deadline=*/false);
-    drained_.wait(l, [&] { return in_flight_ == 0; });
-  }
+  void drain();
 
-  ServiceStats stats() const {
-    std::lock_guard<std::mutex> l(m_);
-    return stats_;
-  }
+  /// Aggregate across every scheme.
+  ServiceStats stats() const;
+  /// The per-scheme slice (requests, folds, fallbacks, verdicts, cache
+  /// lookups/misses attributed to that scheme's groups).
+  ServiceStats stats(threshold::SchemeId id) const;
 
  private:
   struct Pending {
     KeyId key;
     Bytes msg;
-    Sig sig;
+    threshold::SigHandle sig;
     Callback done;  // nulled out after its one invocation
   };
 
@@ -182,110 +147,12 @@ class MultiTenantVerificationService {
     std::vector<Pending> members;
   };
 
-  // Moves the pending batch out, splits it into per-key groups (arrival
-  // order preserved within each group), and hands each group to the pool as
-  // its own fold task. Caller holds m_.
-  void dispatch_locked(std::unique_lock<std::mutex>&, bool deadline) {
-    std::vector<Pending> batch;
-    batch.swap(pending_);
-    if (batch.empty()) return;
-    if (deadline) ++stats_.deadline_flushes;
+  void dispatch_locked(std::unique_lock<std::mutex>&, bool deadline);
+  void run_group(Group& group, Rng& rng);
+  void flusher_loop();
+  ServiceStats& slice_locked(threshold::SchemeId id);
 
-    std::vector<Group> groups;
-    {
-      std::unordered_map<KeyId, size_t> pos;
-      for (auto& p : batch) {
-        auto [it, fresh] = pos.try_emplace(p.key, groups.size());
-        if (fresh) groups.push_back(Group{p.key, {}});
-        groups[it->second].members.push_back(std::move(p));
-      }
-    }
-
-    for (auto& g : groups) {
-      ++stats_.batches;
-      // The group is frozen; only NOW are its fold coefficients drawable.
-      Rng group_rng = rng_.fork("batch");
-      ++in_flight_;
-      auto shared = std::make_shared<Group>(std::move(g));
-      auto rng_shared = std::make_shared<Rng>(std::move(group_rng));
-      pool_.submit([this, shared, rng_shared] {
-        try {
-          run_group(*shared, *rng_shared);
-        } catch (...) {
-          // A throwing verifier/provider (or bad_alloc) must not escape the
-          // worker (std::terminate) or strand the submitters: every callback
-          // not yet invoked carries the exception instead.
-          for (auto& p : shared->members) {
-            if (!p.done) continue;  // already answered before the throw
-            p.done(false, std::current_exception());
-            p.done = nullptr;
-          }
-        }
-        std::lock_guard<std::mutex> l(m_);
-        if (--in_flight_ == 0) drained_.notify_all();
-      });
-    }
-  }
-
-  void run_group(Group& group, Rng& rng) {
-    // Pinned for the whole fold + fallback: the cache may not evict this
-    // tenant's prepared state mid-batch, however hot the other shard traffic.
-    auto pin = cache_.get_or_prepare(
-        group.key, [&](const KeyId& canonical) { return prepare_(canonical); });
-    auto& batch = group.members;
-    std::vector<Bytes> msgs;
-    std::vector<Sig> sigs;
-    msgs.reserve(batch.size());
-    sigs.reserve(batch.size());
-    for (auto& p : batch) {
-      msgs.push_back(p.msg);
-      sigs.push_back(p.sig);
-    }
-    bool all_ok = pin->batch_verify(msgs, sigs, rng);
-    std::vector<bool> results(batch.size(), true);
-    uint64_t accepted = batch.size(), rejected = 0;
-    if (!all_ok) {
-      // Attribute the failure: one cached verify per member. Only THIS key's
-      // group pays — other tenants' folds are untouched.
-      accepted = 0;
-      for (size_t j = 0; j < batch.size(); ++j) {
-        results[j] = pin->verify(batch[j].msg, batch[j].sig);
-        (results[j] ? accepted : rejected)++;
-      }
-    }
-    {
-      // Stats are committed BEFORE the promises resolve, so a caller that
-      // observes a ready future also observes its batch in stats().
-      std::lock_guard<std::mutex> l(m_);
-      if (!all_ok) ++stats_.fallbacks;
-      stats_.accepted += accepted;
-      stats_.rejected += rejected;
-    }
-    for (size_t j = 0; j < batch.size(); ++j) {
-      batch[j].done(results[j], nullptr);
-      batch[j].done = nullptr;
-    }
-  }
-
-  void flusher_loop() {
-    std::unique_lock<std::mutex> l(m_);
-    for (;;) {
-      if (stop_) return;
-      if (pending_.empty()) {
-        cv_.wait(l, [&] { return stop_ || !pending_.empty(); });
-        continue;
-      }
-      auto deadline = oldest_ + policy_.max_delay;
-      if (cv_.wait_until(l, deadline,
-                         [&] { return stop_ || pending_.empty(); }))
-        continue;  // state changed under us; re-evaluate
-      if (std::chrono::steady_clock::now() < oldest_ + policy_.max_delay)
-        continue;  // the armed deadline belonged to an already-flushed batch
-      dispatch_locked(l, /*deadline=*/true);
-    }
-  }
-
-  KeyCacheManager<Verifier>& cache_;
+  KeyCacheManager<threshold::PreparedVerifier>& cache_;
   VerifierProvider prepare_;
   BatchPolicy policy_;
   ThreadPool& pool_;
@@ -298,92 +165,47 @@ class MultiTenantVerificationService {
   std::chrono::steady_clock::time_point oldest_{};
   size_t in_flight_ = 0;
   bool stop_ = false;
-  ServiceStats stats_;
+  ServiceStats total_;
+  // Dense per-scheme slices (id - 1); ids outside the built-in range fold
+  // into the overflow slot so an out-of-tree plugin never indexes OOB.
+  std::array<ServiceStats, threshold::kSchemeIdCount + 1> by_scheme_{};
   std::thread flusher_;  // last member: started after everything else exists
 };
 
-/// Single-tenant front end, kept as the simple API for one fixed verifier:
-/// a thin adapter over the multi-tenant core with one key-id and an
-/// unbounded private cache (the verifier is owned for the service's
-/// lifetime, so nothing ever misses or evicts). All the flush/fold/fallback
-/// semantics live in MultiTenantVerificationService — there is exactly one
-/// grouping/fold implementation to audit.
-template <class Verifier, class Sig>
-class BatchVerificationService {
- public:
-  BatchVerificationService(Verifier verifier, BatchPolicy policy,
-                           ThreadPool& pool,
-                           std::string_view rng_label = "verification-service")
-      : cache_(KeyCachePolicy{
-            .byte_budget = std::numeric_limits<size_t>::max(), .shards = 1}),
-        verifier_(std::make_shared<const Verifier>(std::move(verifier))),
-        core_(
-            cache_, [v = verifier_](const std::string&) { return v; }, policy,
-            pool, rng_label) {}
-
-  BatchVerificationService(const BatchVerificationService&) = delete;
-  BatchVerificationService& operator=(const BatchVerificationService&) = delete;
-
-  std::future<bool> submit(Bytes msg, Sig sig) {
-    return core_.submit(kKey, std::move(msg), std::move(sig));
-  }
-  void flush() { core_.flush(); }
-  void drain() { core_.drain(); }
-  ServiceStats stats() const { return core_.stats(); }
-
- private:
-  static constexpr const char* kKey = "single-tenant";
-  KeyCacheManager<Verifier> cache_;
-  std::shared_ptr<const Verifier> verifier_;
-  // Last member: drains (and releases its pins) before the cache dies.
-  MultiTenantVerificationService<Verifier, Sig> core_;
-};
-
-using RoVerificationService =
-    BatchVerificationService<threshold::RoVerifier, threshold::Signature>;
-using DlinVerificationService =
-    BatchVerificationService<threshold::DlinVerifier,
-                             threshold::DlinSignature>;
-using AggVerificationService =
-    BatchVerificationService<threshold::AggVerifier, threshold::Signature>;
-
-using RoMultiTenantVerificationService =
-    MultiTenantVerificationService<threshold::RoVerifier,
-                                   threshold::Signature>;
-using DlinMultiTenantVerificationService =
-    MultiTenantVerificationService<threshold::DlinVerifier,
-                                   threshold::DlinSignature>;
-
-/// Combine requests interpolate DIFFERENT messages, so they do not fold into
-/// one RLC batch the way verify requests do; instead each runs as its own
-/// pool task over the per-committee RoCombiner (whose internal share
-/// verification is itself one RLC fold), pinned out of a KeyCacheManager per
-/// request — the per-player prepared-VK caches get the same byte-budget /
-/// pin-on-use treatment as the tenant verifiers. The future resolves to the
-/// combined signature or carries the std::runtime_error from Combine.
-/// What a combine request resolves to on success: the combined signature
-/// plus the indices of bad partials identified along the way (non-empty only
-/// when the fold failed and the fallback scan attributed cheaters but still
-/// found t+1 valid shares — robustness with attribution).
+/// What a combine request resolves to on success: the SERIALIZED combined
+/// signature (scheme-native encoding — the daemon puts it on the wire, the
+/// typed shim deserializes) plus the indices of bad partials identified
+/// along the way (non-empty only when the fold failed and the fallback scan
+/// attributed cheaters but still found t+1 valid shares — robustness with
+/// attribution).
 struct CombineOutcome {
-  threshold::Signature sig;
+  Bytes sig;
   std::vector<uint32_t> cheaters;
 };
 
+/// Combine requests interpolate DIFFERENT messages, so they do not fold into
+/// one RLC batch the way verify requests do; instead each runs as its own
+/// pool task over the per-committee PreparedCombiner (whose internal share
+/// verification is itself one RLC fold where the scheme supports it), pinned
+/// out of a KeyCacheManager per request — per-committee prepared-VK caches
+/// get the same byte-budget / pin-on-use treatment as the tenant verifiers.
+/// The folded pairing product is evaluated across the thread pool through
+/// the combiner's FoldEvaluator hook (schemes without the hook run serial).
 class MultiTenantCombineService {
  public:
   using KeyId = std::string;
-  using CombinerProvider =
-      std::function<std::shared_ptr<const threshold::RoCombiner>(const KeyId&)>;
+  using CombinerProvider = std::function<
+      std::shared_ptr<const threshold::PreparedCombiner>(const KeyId&)>;
   /// Runs exactly once on a pool worker and must not throw. `outcome` is
   /// null iff `error` is set (Combine threw: unknown committee, fewer than
   /// t+1 valid shares).
   using Callback =
       std::function<void(CombineOutcome* outcome, std::exception_ptr error)>;
 
-  MultiTenantCombineService(KeyCacheManager<threshold::RoCombiner>& cache,
-                            CombinerProvider prepare, ThreadPool& pool,
-                            std::string_view rng_label = "combine-service");
+  MultiTenantCombineService(
+      KeyCacheManager<threshold::PreparedCombiner>& cache,
+      CombinerProvider prepare, ThreadPool& pool,
+      std::string_view rng_label = "combine-service");
 
   /// Waits for every submitted request to finish: pool tasks hold pins into
   /// the cache and a raw reference to this service, so they must all drain
@@ -394,28 +216,125 @@ class MultiTenantCombineService {
   MultiTenantCombineService& operator=(const MultiTenantCombineService&) =
       delete;
 
-  /// Callback core (what the RPC daemon drives).
-  void submit(KeyId key, Bytes msg,
-              std::vector<threshold::PartialSignature> parts, Callback done);
+  /// Callback core (what the RPC daemon drives). `scheme` attributes the
+  /// request in the per-scheme stats slices — passed explicitly (the
+  /// caller resolved the tenant's scheme already) so even a degenerate
+  /// empty-partials request lands in the right row.
+  void submit(KeyId key, threshold::SchemeId scheme, Bytes msg,
+              std::vector<threshold::PartialHandle> parts, Callback done);
 
   /// Future-based front over the callback core (cheater attribution
-  /// dropped; use the callback form to observe it).
-  std::future<threshold::Signature> submit(
-      KeyId key, Bytes msg, std::vector<threshold::PartialSignature> parts);
+  /// dropped; use the callback form to observe it). Resolves to the
+  /// serialized combined signature.
+  std::future<Bytes> submit(KeyId key, threshold::SchemeId scheme, Bytes msg,
+                            std::vector<threshold::PartialHandle> parts);
+
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t failed = 0;  // combine threw (unknown committee, < t+1 valid)
+    uint64_t cache_lookups = 0;
+    uint64_t cache_misses = 0;
+  };
+  Stats stats() const;
+  Stats stats(threshold::SchemeId id) const;
 
  private:
-  KeyCacheManager<threshold::RoCombiner>& cache_;
+  Stats& slice_locked(threshold::SchemeId id);
+
+  KeyCacheManager<threshold::PreparedCombiner>& cache_;
   CombinerProvider prepare_;
   ThreadPool& pool_;
-  std::mutex m_;  // guards rng_ and in_flight_
+  threshold::FoldEvaluator evaluator_;  // pool-parallel pairing product
+  mutable std::mutex m_;  // guards rng_, in_flight_, stats
   std::condition_variable drained_;
   size_t in_flight_ = 0;
   Rng rng_;
+  Stats total_;
+  std::array<Stats, threshold::kSchemeIdCount + 1> by_scheme_{};
 };
+
+// ---------------------------------------------------------------------------
+// DEPRECATED single-tenant shims. These keep the pre-PR-5 typed fronts
+// compiling for one release: each wraps its typed verifier in the erased
+// interface and adapts submissions into SigHandles, so all the
+// flush/fold/fallback semantics still live in the ONE unified core above.
+// New code should use MultiTenantVerificationService with the scheme
+// registry (`Scheme::make_verifier`) directly.
+
+namespace shim_detail {
+template <class Verifier>
+struct SchemeTagOf;
+template <>
+struct SchemeTagOf<threshold::RoVerifier> {
+  static constexpr threshold::SchemeId value = threshold::SchemeId::kRo;
+};
+template <>
+struct SchemeTagOf<threshold::DlinVerifier> {
+  static constexpr threshold::SchemeId value = threshold::SchemeId::kDlin;
+};
+template <>
+struct SchemeTagOf<threshold::AggVerifier> {
+  static constexpr threshold::SchemeId value = threshold::SchemeId::kAgg;
+};
+template <>
+struct SchemeTagOf<baselines::BlsVerifier> {
+  static constexpr threshold::SchemeId value = threshold::SchemeId::kBls;
+};
+}  // namespace shim_detail
+
+/// Single-tenant front end over one fixed typed verifier: a thin adapter
+/// over the unified core with one key-id and an unbounded private cache
+/// (the verifier is owned for the service's lifetime, so nothing ever
+/// misses or evicts).
+template <class Verifier, class Sig>
+class BatchVerificationService {
+ public:
+  static constexpr threshold::SchemeId kTag =
+      shim_detail::SchemeTagOf<Verifier>::value;
+
+  BatchVerificationService(Verifier verifier, BatchPolicy policy,
+                           ThreadPool& pool,
+                           std::string_view rng_label = "verification-service")
+      : cache_(KeyCachePolicy{
+            .byte_budget = std::numeric_limits<size_t>::max(), .shards = 1}),
+        verifier_(threshold::erase_verifier<Verifier, Sig>(
+            kTag, std::move(verifier))),
+        core_(
+            cache_, [v = verifier_](const std::string&) { return v; }, policy,
+            pool, rng_label) {}
+
+  BatchVerificationService(const BatchVerificationService&) = delete;
+  BatchVerificationService& operator=(const BatchVerificationService&) = delete;
+
+  std::future<bool> submit(Bytes msg, Sig sig) {
+    return core_.submit(kKey, std::move(msg),
+                        threshold::erase_signature(kTag, std::move(sig)));
+  }
+  void flush() { core_.flush(); }
+  void drain() { core_.drain(); }
+  ServiceStats stats() const { return core_.stats(); }
+
+ private:
+  static constexpr const char* kKey = "single-tenant";
+  KeyCacheManager<threshold::PreparedVerifier> cache_;
+  std::shared_ptr<const threshold::PreparedVerifier> verifier_;
+  // Last member: drains (and releases its pins) before the cache dies.
+  MultiTenantVerificationService core_;
+};
+
+using RoVerificationService =
+    BatchVerificationService<threshold::RoVerifier, threshold::Signature>;
+using DlinVerificationService =
+    BatchVerificationService<threshold::DlinVerifier,
+                             threshold::DlinSignature>;
+using AggVerificationService =
+    BatchVerificationService<threshold::AggVerifier, threshold::Signature>;
+using BlsVerificationService =
+    BatchVerificationService<baselines::BlsVerifier, G1Affine>;
 
 /// Single-committee Combine front end: adapter over the multi-tenant core
 /// with one key-id and an unbounded private cache, mirroring
-/// BatchVerificationService.
+/// BatchVerificationService. DEPRECATED alongside it.
 class CombineService {
  public:
   CombineService(const threshold::RoScheme& scheme,
@@ -425,12 +344,10 @@ class CombineService {
   std::future<threshold::Signature> submit(
       Bytes msg, std::vector<threshold::PartialSignature> parts);
 
-  const threshold::RoCombiner& combiner() const { return *combiner_; }
-
  private:
   static constexpr const char* kKey = "single-committee";
-  KeyCacheManager<threshold::RoCombiner> cache_;
-  std::shared_ptr<const threshold::RoCombiner> combiner_;
+  KeyCacheManager<threshold::PreparedCombiner> cache_;
+  std::shared_ptr<const threshold::PreparedCombiner> combiner_;
   MultiTenantCombineService core_;  // last member: drains before cache_ dies
 };
 
@@ -442,5 +359,10 @@ threshold::Signature combine_parallel(
     std::span<const uint8_t> msg,
     std::span<const threshold::PartialSignature> parts, Rng& rng,
     std::vector<uint32_t>* cheaters = nullptr);
+
+/// The pool-parallel pairing-product evaluator the unified combine service
+/// injects into PreparedCombiner::combine (exposed for tests/benches that
+/// drive erased combiners directly).
+threshold::FoldEvaluator make_fold_evaluator(ThreadPool& pool);
 
 }  // namespace bnr::service

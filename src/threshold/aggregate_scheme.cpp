@@ -16,6 +16,16 @@ Bytes AggPublicKey::serialize() const {
   return w.take();
 }
 
+AggPublicKey AggPublicKey::deserialize(std::span<const uint8_t> data) {
+  ByteReader rd(data);
+  AggPublicKey pk;
+  for (auto& gk : pk.g) gk = g2_deserialize(rd);
+  pk.big_z = g1_deserialize(rd);
+  pk.big_r = g1_deserialize(rd);
+  expect_done(rd, "AggPublicKey");
+  return pk;
+}
+
 Bytes AggregateSignature::serialize() const {
   ByteWriter w;
   g1_serialize(z, w);

@@ -21,6 +21,7 @@ struct AggPublicKey {
   G1Affine big_z, big_r;      // LHSPS on (g, h): the key-validity proof
 
   Bytes serialize() const;
+  static AggPublicKey deserialize(std::span<const uint8_t> data);
   bool operator==(const AggPublicKey& o) const {
     return g == o.g && big_z == o.big_z && big_r == o.big_r;
   }

@@ -45,6 +45,23 @@ Bytes DlinKeyShare::serialize() const {
   return w.take();
 }
 
+Bytes DlinVerificationKey::serialize() const {
+  ByteWriter w;
+  for (const auto& p : u) g2_serialize(p, w);
+  for (const auto& p : z) g2_serialize(p, w);
+  return w.take();
+}
+
+DlinVerificationKey DlinVerificationKey::deserialize(
+    std::span<const uint8_t> data) {
+  ByteReader rd(data);
+  DlinVerificationKey vk;
+  for (auto& p : vk.u) p = g2_deserialize(rd);
+  for (auto& p : vk.z) p = g2_deserialize(rd);
+  expect_done(rd, "DlinVerificationKey");
+  return vk;
+}
+
 Bytes DlinPartialSignature::serialize() const {
   ByteWriter w;
   w.u32(index);
@@ -52,6 +69,18 @@ Bytes DlinPartialSignature::serialize() const {
   g1_serialize(r, w);
   g1_serialize(u, w);
   return w.take();
+}
+
+DlinPartialSignature DlinPartialSignature::deserialize(
+    std::span<const uint8_t> data) {
+  ByteReader rd(data);
+  DlinPartialSignature p;
+  p.index = rd.u32();
+  p.z = g1_deserialize(rd);
+  p.r = g1_deserialize(rd);
+  p.u = g1_deserialize(rd);
+  expect_done(rd, "DlinPartialSignature");
+  return p;
 }
 
 Bytes DlinSignature::serialize() const {

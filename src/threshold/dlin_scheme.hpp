@@ -32,6 +32,9 @@ struct DlinKeyShare {
 struct DlinVerificationKey {
   std::array<G2Affine, 3> u;  // U^_{k,i} = g^_z^{A_k(i)} g^_r^{B_k(i)}
   std::array<G2Affine, 3> z;  // Z^_{k,i} = h^_z^{A_k(i)} h^_u^{C_k(i)}
+
+  Bytes serialize() const;
+  static DlinVerificationKey deserialize(std::span<const uint8_t> data);
 };
 
 struct DlinPartialSignature {
@@ -39,6 +42,7 @@ struct DlinPartialSignature {
   G1Affine z, r, u;
 
   Bytes serialize() const;
+  static DlinPartialSignature deserialize(std::span<const uint8_t> data);
 };
 
 struct DlinSignature {
@@ -182,6 +186,18 @@ class DlinCombiner {
   DlinSignature combine(std::span<const uint8_t> msg,
                         std::span<const DlinPartialSignature> parts,
                         std::vector<uint32_t>* cheaters = nullptr) const;
+
+  /// Resident footprint (shared generator lines + every player's six cached
+  /// key-element lines) for the KeyCacheManager byte budget.
+  size_t cache_bytes() const {
+    size_t b = sizeof(*this) + gz_.line_bytes() + gr_.line_bytes() +
+               hz_.line_bytes() + hu_.line_bytes() +
+               players_.capacity() * sizeof(DlinShareVerifier);
+    for (const auto& p : players_)
+      for (size_t k = 0; k < 3; ++k)
+        b += p.u_prep(k).line_bytes() + p.z_prep(k).line_bytes();
+    return b;
+  }
 
  private:
   DlinScheme scheme_;

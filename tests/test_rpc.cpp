@@ -93,8 +93,10 @@ TEST(Wire, RequestEncodersRoundTrip) {
   EXPECT_EQ(db.items[1].first, to_bytes("m2"));
 
   RegisterTenantRequest r;
+  r.token = "sekrit";
   r.key = "t";
-  r.kind = TenantKind::kRoCommittee;
+  r.scheme = static_cast<uint8_t>(SchemeId::kRo);
+  r.committee = true;
   r.pk = to_bytes("pkpkpkpk");
   r.n = 2;
   r.t = 1;
@@ -103,25 +105,57 @@ TEST(Wire, RequestEncodersRoundTrip) {
   ByteReader rd4(enc4);
   EXPECT_EQ(decode_request_header(rd4).method, Method::kRegisterTenant);
   RegisterTenantRequest dr = decode_register(rd4);
-  EXPECT_EQ(dr.kind, TenantKind::kRoCommittee);
+  EXPECT_EQ(dr.token, "sekrit");
+  EXPECT_EQ(dr.scheme, static_cast<uint8_t>(SchemeId::kRo));
+  EXPECT_TRUE(dr.committee);
   EXPECT_EQ(dr.n, 2u);
   EXPECT_EQ(dr.vks.size(), 2u);
+
+  // Undefined flag bits are a protocol violation, not silently ignored.
+  ByteWriter wbad;
+  encode_request_header(wbad, Method::kRegisterTenant, 12);
+  wbad.str("");
+  wbad.str("t");
+  wbad.u8(static_cast<uint8_t>(SchemeId::kRo));
+  wbad.u8(0x80);  // undefined flag
+  wbad.blob(to_bytes("pk"));
+  Bytes badreg = wbad.take();
+  ByteReader rd5(badreg);
+  (void)decode_request_header(rd5);
+  EXPECT_THROW(decode_register(rd5), ProtocolError);
 }
 
 TEST(Wire, StatsRoundTrip) {
   DaemonStats s;
   s.tenants = 3;
   s.deduped_keys = 1;
+  s.auth_failures = 2;
+  s.conns_rejected = 5;
   s.verify_accepted = 1234567890123ull;
   s.combines = 17;
+  SchemeStatsRow row;
+  row.scheme = static_cast<uint8_t>(SchemeId::kDlin);
+  row.tenants = 2;
+  row.verify_submitted = 99;
+  row.cache_misses = 4;
+  row.combines = 7;
+  s.schemes.push_back(row);
   Bytes enc = encode_stats(s);
   ByteReader rd(enc);
   DaemonStats d = decode_stats(rd);
   EXPECT_TRUE(rd.empty());
   EXPECT_EQ(d.tenants, 3u);
   EXPECT_EQ(d.deduped_keys, 1u);
+  EXPECT_EQ(d.auth_failures, 2u);
+  EXPECT_EQ(d.conns_rejected, 5u);
   EXPECT_EQ(d.verify_accepted, 1234567890123ull);
   EXPECT_EQ(d.combines, 17u);
+  ASSERT_EQ(d.schemes.size(), 1u);
+  EXPECT_EQ(d.scheme_row(SchemeId::kDlin).verify_submitted, 99u);
+  EXPECT_EQ(d.scheme_row(SchemeId::kDlin).cache_misses, 4u);
+  EXPECT_EQ(d.scheme_row(SchemeId::kDlin).combines, 7u);
+  // A row for a scheme this snapshot does not carry reads as zeros.
+  EXPECT_EQ(d.scheme_row(SchemeId::kBls).verify_submitted, 0u);
 }
 
 TEST(Wire, TruncatedBodiesThrow) {
@@ -291,7 +325,7 @@ TEST_F(RpcDaemonTest, PkDigestDedupAcrossTenants) {
     EXPECT_TRUE(client.verify_sync(t, msg, sig));
 
   // One prepared entry serves all four tenants.
-  auto cs = server_->ro_cache().stats();
+  auto cs = server_->verifier_cache().stats();
   EXPECT_EQ(cs.inserts, 1u);
   EXPECT_EQ(cs.deduped, 3u);
   EXPECT_EQ(cs.aliases, 4u);
@@ -373,7 +407,7 @@ TEST_F(RpcDaemonTest, FuzzedFramesNeverKillTheDaemon) {
     corpus.push_back(frame(encode_combine(5, c)));
     RegisterTenantRequest r;
     r.key = "fuzz-tenant";
-    r.kind = TenantKind::kRoKey;
+    r.scheme = static_cast<uint8_t>(SchemeId::kRo);
     r.pk = km.pk.serialize();
     corpus.push_back(frame(encode_register(6, r)));
   }
@@ -485,7 +519,134 @@ TEST_F(RpcDaemonTest, MidRequestDisconnectLeavesDaemonHealthy) {
     raw.send_all(partial);
   }
   EXPECT_TRUE(good.verify_sync("acme", msg, sig));
-  server_->ro_cache().stats();  // still consistent under the shard locks
+  server_->verifier_cache().stats();  // still consistent under the shard locks
+}
+
+// Every scheme the registry serves — RO, DLIN, Agg, BLS — is provisioned
+// and served through the SAME registry-dispatched daemon path: register a
+// committee, verify (accept + reject), combine over the wire, and check the
+// per-scheme stats row. Adding a plugin extends this loop automatically.
+TEST_F(RpcDaemonTest, AllRegisteredSchemesServeOverTheWire) {
+  RpcClient client("127.0.0.1", port());
+  Bytes msg = to_bytes("wire: all schemes");
+  Bytes other = to_bytes("wire: a different message");
+  Rng sample_rng("all-schemes-wire");
+
+  for (const Scheme* scheme : server_->registry().schemes()) {
+    SCOPED_TRACE(std::string(scheme->name()));
+    SchemeSample good = scheme->make_sample(3, 1, msg, sample_rng);
+    SchemeSample wrong = scheme->make_sample(3, 1, other, sample_rng);
+    std::string tenant = "tenant-" + std::string(scheme->name());
+    EXPECT_FALSE(
+        client.register_committee(tenant, scheme->id(), good.committee)
+            .get());
+
+    // Verify: the right signature accepts, a signature on another message
+    // (same scheme, same encoding) rejects.
+    EXPECT_TRUE(client.verify_bytes(tenant, msg, good.sig).get());
+    EXPECT_FALSE(client.verify_bytes(tenant, msg, wrong.sig).get());
+
+    // Combine over the wire reproduces a signature the scheme accepts.
+    CombineResult r =
+        client.combine_bytes(tenant, msg, good.partials).get();
+    EXPECT_TRUE(r.cheaters.empty());
+    auto verifier = scheme->make_verifier(good.committee.pk);
+    EXPECT_TRUE(verifier->verify(msg, scheme->parse_signature(r.sig)));
+
+    // The per-scheme stats row attributes exactly this scheme's traffic.
+    auto row = client.stats_sync().scheme_row(scheme->id());
+    EXPECT_EQ(row.tenants, 1u);
+    EXPECT_EQ(row.verify_submitted, 2u);
+    EXPECT_EQ(row.verify_accepted, 1u);
+    EXPECT_EQ(row.verify_rejected, 1u);
+    EXPECT_EQ(row.combines, 1u);
+    EXPECT_GE(row.cache_lookups, row.cache_misses);
+    EXPECT_GE(row.cache_misses, 1u);  // first group prepared its verifier
+  }
+
+  // The global fields are the sums of the rows.
+  auto st = client.stats_sync();
+  uint64_t sum_submitted = 0, sum_combines = 0, sum_tenants = 0;
+  for (const auto& row : st.schemes) {
+    sum_submitted += row.verify_submitted;
+    sum_combines += row.combines;
+    sum_tenants += row.tenants;
+  }
+  EXPECT_EQ(st.verify_submitted, sum_submitted);
+  EXPECT_EQ(st.combines, sum_combines);
+  EXPECT_EQ(st.tenants, sum_tenants);
+}
+
+TEST_F(RpcDaemonTest, AdminTokenGatesRegistration) {
+  // A daemon with an admin token: REGISTER without (or with a wrong) token
+  // is an attributable error, counted, and registers nothing; the right
+  // token works; VERIFY needs no token.
+  service::ThreadPool pool(2);
+  ServerConfig cfg;
+  cfg.port = 0;
+  cfg.params_label = "rpc-daemon/v1";
+  cfg.admin_token = "super-secret";
+  cfg.batch.max_delay = std::chrono::milliseconds(1);
+  RpcServer server(cfg, pool);
+  std::thread serving([&] { server.run(); });
+
+  auto km = keygen(3, 1);
+  auto [msg, sig] = make_signed(km, "authed");
+  {
+    RpcClient anon("127.0.0.1", server.port());
+    EXPECT_THROW(anon.register_ro_committee("acme", km).get(), RpcError);
+    anon.set_admin_token("wrong-guess");
+    EXPECT_THROW(anon.register_ro_committee("acme", km).get(), RpcError);
+    // Nothing was registered.
+    EXPECT_THROW(anon.verify_sync("acme", msg, sig), RpcError);
+
+    RpcClient admin("127.0.0.1", server.port());
+    admin.set_admin_token("super-secret");
+    EXPECT_FALSE(admin.register_ro_committee("acme", km).get());
+    // Data-plane requests are not gated — the anonymous client verifies.
+    EXPECT_TRUE(anon.verify_sync("acme", msg, sig));
+
+    auto st = anon.stats_sync();
+    EXPECT_EQ(st.auth_failures, 2u);
+    EXPECT_EQ(st.tenants, 1u);
+    EXPECT_EQ(st.protocol_errors, 0u);
+  }
+  server.stop();
+  serving.join();
+}
+
+TEST_F(RpcDaemonTest, ConnectionCapAcceptsAndCloses) {
+  service::ThreadPool pool(2);
+  ServerConfig cfg;
+  cfg.port = 0;
+  cfg.params_label = "rpc-daemon/v1";
+  cfg.max_connections = 2;
+  cfg.batch.max_delay = std::chrono::milliseconds(1);
+  RpcServer server(cfg, pool);
+  std::thread serving([&] { server.run(); });
+
+  {
+    // Two connections fit under the cap and stay serviceable.
+    RpcClient a("127.0.0.1", server.port());
+    RpcClient b("127.0.0.1", server.port());
+    a.ping().get();
+    b.ping().get();
+
+    // The third is accepted and immediately closed: clean EOF, no service.
+    RawConn overflow(server.port());
+    Bytes ping;
+    append_frame(ping, encode_empty_request(Method::kPing, 1));
+    overflow.send_all(ping);
+    EXPECT_EQ(overflow.read_to_eof(), 0u);
+
+    auto st = a.stats_sync();
+    EXPECT_GE(st.conns_rejected, 1u);
+    EXPECT_EQ(st.protocol_errors, 0u);
+    // The capped connections keep working.
+    b.ping().get();
+  }
+  server.stop();
+  serving.join();
 }
 
 TEST_F(RpcDaemonTest, GracefulShutdownDrainsInFlightBatches) {

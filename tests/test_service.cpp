@@ -463,11 +463,18 @@ struct MultiTenantFixture : testfx::RoSchemeFixture {
   KeyMaterial kmA = keygen(3, 1);
   KeyMaterial kmB = keygen(3, 1);
 
-  service::RoMultiTenantVerificationService::VerifierProvider provider() {
+  // The unified (type-erased) service surface: RO verifiers wrapped into
+  // PreparedVerifier, signatures submitted as SigHandles — the same path
+  // every scheme's tenants take through the daemon.
+  service::MultiTenantVerificationService::VerifierProvider provider() {
     return [this](const std::string& key) {
       const KeyMaterial& km = key == "A" ? kmA : kmB;
-      return std::make_shared<const RoVerifier>(scheme, km.pk);
+      return erase_verifier<RoVerifier, Signature>(SchemeId::kRo,
+                                                   RoVerifier(scheme, km.pk));
     };
+  }
+  static SigHandle erased(Signature s) {
+    return erase_signature(SchemeId::kRo, std::move(s));
   }
 };
 
@@ -476,18 +483,18 @@ TEST_F(MultiTenantFixture, DistinctKeysNeverShareAFold) {
   // flush must split into (at least) one fold per key — folding across keys
   // with either tenant's verifier would reject the other tenant's half.
   ThreadPool pool(4);
-  service::KeyCacheManager<RoVerifier> cache({.byte_budget = 16u << 20,
-                                              .shards = 4});
+  service::KeyCacheManager<PreparedVerifier> cache(
+      {.byte_budget = 16u << 20, .shards = 4});
   BatchPolicy policy{.max_batch = 16,
                      .max_delay = std::chrono::milliseconds(60000)};
-  service::RoMultiTenantVerificationService svc(cache, provider(), policy,
-                                                pool);
+  service::MultiTenantVerificationService svc(cache, provider(), policy,
+                                              pool);
   std::vector<std::future<bool>> futs;
   for (int j = 0; j < 16; ++j) {
     bool tenant_a = j % 2 == 0;
     auto [m, s] = make_signed(tenant_a ? kmA : kmB,
                               "fold split " + std::to_string(j));
-    futs.push_back(svc.submit(tenant_a ? "A" : "B", m, s));
+    futs.push_back(svc.submit(tenant_a ? "A" : "B", m, erased(s)));
   }
   for (auto& f : futs) {
     ASSERT_EQ(f.wait_for(std::chrono::seconds(120)),
@@ -509,12 +516,12 @@ TEST_F(MultiTenantFixture, ForgeriesUnderOneTenantNeverContaminateAnother) {
   // a forgery under B must neither invalidate nor be masked by A's batch.
   // Then roles swap within the same service instance.
   ThreadPool pool(4);
-  service::KeyCacheManager<RoVerifier> cache({.byte_budget = 16u << 20,
-                                              .shards = 4});
+  service::KeyCacheManager<PreparedVerifier> cache(
+      {.byte_budget = 16u << 20, .shards = 4});
   BatchPolicy policy{.max_batch = 12,
                      .max_delay = std::chrono::milliseconds(60000)};
-  service::RoMultiTenantVerificationService svc(cache, provider(), policy,
-                                                pool);
+  service::MultiTenantVerificationService svc(cache, provider(), policy,
+                                              pool);
   for (int round = 0; round < 2; ++round) {
     bool a_honest = round == 0;
     std::vector<std::pair<std::future<bool>, bool>> futs;  // future, expected
@@ -525,7 +532,7 @@ TEST_F(MultiTenantFixture, ForgeriesUnderOneTenantNeverContaminateAnother) {
           make_signed(tenant_a ? kmA : kmB,
                       "adv " + std::to_string(round) + "/" + std::to_string(j),
                       valid);
-      futs.emplace_back(svc.submit(tenant_a ? "A" : "B", m, s), valid);
+      futs.emplace_back(svc.submit(tenant_a ? "A" : "B", m, erased(s)), valid);
     }
     for (auto& [f, expected] : futs) {
       ASSERT_EQ(f.wait_for(std::chrono::seconds(120)),
@@ -545,17 +552,17 @@ TEST_F(MultiTenantFixture, CrossTenantSignatureIsRejected) {
   // A perfectly valid signature for committee A, submitted under tenant B's
   // key-id, must be rejected: attribution is per key-id, not per signature.
   ThreadPool pool(2);
-  service::KeyCacheManager<RoVerifier> cache({.byte_budget = 16u << 20,
-                                              .shards = 1});
+  service::KeyCacheManager<PreparedVerifier> cache(
+      {.byte_budget = 16u << 20, .shards = 1});
   BatchPolicy policy{.max_batch = 4,
                      .max_delay = std::chrono::milliseconds(60000)};
-  service::RoMultiTenantVerificationService svc(cache, provider(), policy,
-                                                pool);
+  service::MultiTenantVerificationService svc(cache, provider(), policy,
+                                              pool);
   auto [m, s] = make_signed(kmA, "cross-tenant");
   auto [mb, sb] = make_signed(kmB, "cross-tenant b");
-  auto fa = svc.submit("A", m, s);    // right key: accept
-  auto fb = svc.submit("B", m, s);    // A's signature under B: reject
-  auto fb2 = svc.submit("B", mb, sb); // B's own signature: accept
+  auto fa = svc.submit("A", m, erased(s));    // right key: accept
+  auto fb = svc.submit("B", m, erased(s));    // A's signature under B: reject
+  auto fb2 = svc.submit("B", mb, erased(sb)); // B's own signature: accept
   svc.drain();
   EXPECT_TRUE(fa.get());
   EXPECT_FALSE(fb.get());
@@ -564,19 +571,28 @@ TEST_F(MultiTenantFixture, CrossTenantSignatureIsRejected) {
 
 TEST_F(MultiTenantFixture, MultiTenantCombineServiceRoutesPerCommittee) {
   ThreadPool pool(2);
-  service::KeyCacheManager<RoCombiner> cache({.byte_budget = 16u << 20,
-                                              .shards = 2});
+  service::KeyCacheManager<PreparedCombiner> cache(
+      {.byte_budget = 16u << 20, .shards = 2});
   service::MultiTenantCombineService svc(
       cache,
       [this](const std::string& key) {
         const KeyMaterial& km = key == "A" ? kmA : kmB;
-        return std::make_shared<const RoCombiner>(scheme, km);
+        return erase_combiner(std::make_shared<const RoCombiner>(scheme, km));
       },
       pool);
+  auto erased_parts = [](std::vector<PartialSignature> parts) {
+    std::vector<PartialHandle> out;
+    for (auto& p : parts)
+      out.push_back(erase_partial(SchemeId::kRo, std::move(p)));
+    return out;
+  };
   Bytes m = to_bytes("combine per committee");
-  auto fa = svc.submit("A", m, first_partials(kmA, m));
-  auto fb = svc.submit("B", m, first_partials(kmB, m));
-  Signature sa = fa.get(), sb = fb.get();
+  auto fa =
+      svc.submit("A", SchemeId::kRo, m, erased_parts(first_partials(kmA, m)));
+  auto fb =
+      svc.submit("B", SchemeId::kRo, m, erased_parts(first_partials(kmB, m)));
+  Signature sa = Signature::deserialize(fa.get()),
+            sb = Signature::deserialize(fb.get());
   EXPECT_TRUE(scheme.verify(kmA.pk, m, sa));
   EXPECT_TRUE(scheme.verify(kmB.pk, m, sb));
   // Distinct committees produce distinct signatures on the same message —
