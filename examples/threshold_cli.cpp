@@ -39,6 +39,7 @@
 #include <string>
 #include <thread>
 
+#include "rpc/fault_injector.hpp"
 #include "rpc/rpc_client.hpp"
 #include "rpc/rpc_server.hpp"
 #include "service/key_cache.hpp"
@@ -156,6 +157,9 @@ int cmd_daemon(uint16_t port, size_t cache_mb, const std::string& label,
   // SIZE_MAX = flag absent (keep the ServerConfig default); an explicit
   // --max-connections=0 means unlimited, matching the config contract.
   if (max_connections != SIZE_MAX) cfg.max_connections = max_connections;
+  // Operator-facing chaos switch: BNR_FAULT_SEED + BNR_FAULT_SPEC install a
+  // deterministic fault schedule into this daemon (no-op when unset).
+  rpc::FaultInjector::install_from_env();
   rpc::RpcServer server(cfg, workers);
   g_daemon = &server;
   std::signal(SIGINT, daemon_signal);
@@ -380,6 +384,25 @@ int cmd_rpc_smoke() {
               cheaters[0] == with_cheat[0].index,
           "RO combine + cheater attribution");
 
+    // Deadline round trip: a 1 ms budget cannot survive the daemon's 5 ms
+    // batching window, so the request is shed (server-side) or expired
+    // (client-side) — either way the caller gets an attributable
+    // DeadlineExceeded, and the SAME session keeps serving afterwards.
+    bool deadline_hit = false;
+    try {
+      rpc::RequestOptions tight;
+      tight.deadline = std::chrono::milliseconds(1);
+      client.verify("ro-tenant", msg, sig, tight).get();
+    } catch (const rpc::DeadlineExceeded&) {
+      deadline_hit = true;
+    }
+    check(deadline_hit, "1 ms deadline -> DEADLINE_EXCEEDED");
+    check(client.verify_sync("ro-tenant", msg, sig),
+          "session healthy after the deadline miss");
+    auto health = client.health_sync();
+    check(health.inflight_cap == cfg.max_in_flight && health.in_flight == 0,
+          "HEALTH reports cap and drained in-flight");
+
     auto st = client.stats_sync();
     // 4 generic scheme tenants + ro-tenant + ro-alias; ro-alias deduped
     // onto ro-tenant's pk digest.
@@ -387,6 +410,40 @@ int cmd_rpc_smoke() {
               st.deduped_keys == 1 && st.protocol_errors == 0 &&
               st.auth_failures == 1,
           "stats: tenants, dedup, auth failures, no protocol errors");
+
+    // Rate-limited round trip against a second, throttled daemon: a burst
+    // over the token bucket draws BUSY, the client's backoff retries drain
+    // it, and the daemon's HEALTH counters attribute every rejection.
+    {
+      ThreadPool throttled_workers;
+      rpc::ServerConfig tcfg;
+      tcfg.port = 0;
+      tcfg.params_label = label;
+      tcfg.cache_bytes = size_t(8) << 20;
+      tcfg.conn_rate_limit = 50;
+      tcfg.conn_rate_burst = 2;
+      rpc::RpcServer throttled(tcfg, throttled_workers);
+      std::thread tserving([&] { throttled.run(); });
+      {
+        rpc::ClientConfig ccfg;
+        ccfg.retry.max_attempts = 12;
+        ccfg.retry.initial_backoff = std::chrono::milliseconds(20);
+        ccfg.retry.max_backoff = std::chrono::milliseconds(100);
+        rpc::RpcClient burst("127.0.0.1", throttled.port(), ccfg);
+        burst.register_ro_committee("ro-tenant", km).get();
+        std::vector<std::future<bool>> futs;
+        for (int j = 0; j < 6; ++j)
+          futs.push_back(burst.verify("ro-tenant", msg, sig));
+        bool all_ok = true;
+        for (auto& f : futs) all_ok = all_ok && f.get();
+        auto thealth = burst.health_sync();
+        check(all_ok && burst.client_stats().busy >= 1 &&
+                  thealth.busy_ratelimit >= 1,
+              "rate-limited burst -> BUSY, retries drain it");
+      }
+      throttled.stop();
+      tserving.join();
+    }
   } catch (const std::exception& e) {
     fprintf(stderr, "smoke exception: %s\n", e.what());
     ok = false;
@@ -395,7 +452,10 @@ int cmd_rpc_smoke() {
   server.stop();
   serving.join();
   auto vs = server.verify_stats();
-  bool drained = vs.submitted == vs.accepted + vs.rejected;
+  // Every submitted request is accounted for: verified, rejected, or shed
+  // against its deadline — nothing vanishes on shutdown.
+  bool drained =
+      vs.submitted == vs.accepted + vs.rejected + vs.deadline_sheds;
   printf("  %-46s %s\n", "graceful shutdown drained all batches",
          drained ? "ok" : "FAIL");
   ok = ok && drained;

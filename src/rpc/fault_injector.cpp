@@ -1,0 +1,174 @@
+#include "rpc/fault_injector.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace bnr::rpc {
+
+std::atomic<FaultInjector*> FaultInjector::g_active{nullptr};
+
+namespace {
+
+// splitmix64: the standard 64-bit finalizer — enough mixing that the per-site
+// decision streams are independent of each other and of the counter values.
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double parse_double(std::string_view v, std::string_view key) {
+  // from_chars(double) is still missing from some libstdc++ configurations
+  // this repo builds under; strtod on a bounded copy is equivalent here.
+  std::string s(v);
+  char* end = nullptr;
+  double d = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || s.empty())
+    throw std::invalid_argument("FaultSpec: bad value for " + std::string(key));
+  return d;
+}
+
+uint64_t parse_u64(std::string_view v, std::string_view key) {
+  uint64_t out = 0;
+  auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc() || p != v.data() + v.size())
+    throw std::invalid_argument("FaultSpec: bad value for " + std::string(key));
+  return out;
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::parse(std::string_view spec) {
+  FaultSpec s;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    std::string_view item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    size_t eq = item.find('=');
+    if (eq == std::string_view::npos)
+      throw std::invalid_argument("FaultSpec: missing '=' in " +
+                                  std::string(item));
+    std::string_view key = item.substr(0, eq);
+    std::string_view val = item.substr(eq + 1);
+    if (key == "short_read") s.short_read = parse_double(val, key);
+    else if (key == "short_write") s.short_write = parse_double(val, key);
+    else if (key == "eagain") s.eagain = parse_double(val, key);
+    else if (key == "reset") s.reset = parse_double(val, key);
+    else if (key == "accept_fail") s.accept_fail = parse_double(val, key);
+    else if (key == "frame_delay_p") s.frame_delay_p = parse_double(val, key);
+    else if (key == "task_delay_p") s.task_delay_p = parse_double(val, key);
+    else if (key == "frame_delay_us")
+      s.frame_delay_us = static_cast<uint32_t>(parse_u64(val, key));
+    else if (key == "task_delay_us")
+      s.task_delay_us = static_cast<uint32_t>(parse_u64(val, key));
+    else if (key == "reset_after") s.reset_after = parse_u64(val, key);
+    else
+      throw std::invalid_argument("FaultSpec: unknown key " + std::string(key));
+  }
+  return s;
+}
+
+double FaultInjector::decision(Site site) {
+  uint64_t k = site_counter_[site].fetch_add(1, std::memory_order_relaxed);
+  uint64_t h = mix64(seed_ ^ mix64(uint64_t(site) + 1) ^ mix64(k));
+  return double(h >> 11) * 0x1.0p-53;  // uniform in [0, 1)
+}
+
+void FaultInjector::sleep_us(uint32_t us) {
+  if (us) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+FaultInjector::IoFault FaultInjector::on_io(Site site, size_t& len) {
+  const bool read_side =
+      site == kServerRead || site == kClientRead;
+  // The byte counter advances by what the caller is ABOUT to transfer; a
+  // configured reset_after therefore fires at a reproducible offset into the
+  // connection's stream (once, at whichever site crosses it first).
+  if (spec_.reset_after) {
+    uint64_t before =
+        site_bytes_[site].fetch_add(len, std::memory_order_relaxed);
+    if (before + len > spec_.reset_after &&
+        !reset_after_fired_.exchange(true, std::memory_order_acq_rel)) {
+      resets_.fetch_add(1, std::memory_order_relaxed);
+      return IoFault::kReset;
+    }
+  }
+  double p = decision(site);
+  if (p < spec_.reset) {
+    resets_.fetch_add(1, std::memory_order_relaxed);
+    return IoFault::kReset;
+  }
+  p -= spec_.reset;
+  if (p < spec_.eagain) {
+    eagain_.fetch_add(1, std::memory_order_relaxed);
+    return IoFault::kEagain;
+  }
+  p -= spec_.eagain;
+  double short_p = read_side ? spec_.short_read : spec_.short_write;
+  if (p < short_p && len > 1) {
+    short_io_.fetch_add(1, std::memory_order_relaxed);
+    len = 1;
+    return IoFault::kShort;
+  }
+  return IoFault::kNone;
+}
+
+bool FaultInjector::on_accept() {
+  if (decision(kAccept) < spec_.accept_fail) {
+    accept_fails_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void FaultInjector::on_frame() {
+  if (spec_.frame_delay_p > 0 && decision(kFrame) < spec_.frame_delay_p) {
+    frame_delays_.fetch_add(1, std::memory_order_relaxed);
+    sleep_us(spec_.frame_delay_us);
+  }
+}
+
+void FaultInjector::on_task() {
+  if (spec_.task_delay_p > 0 && decision(kTask) < spec_.task_delay_p) {
+    task_delays_.fetch_add(1, std::memory_order_relaxed);
+    sleep_us(spec_.task_delay_us);
+  }
+}
+
+FaultInjector::Counts FaultInjector::counts() const {
+  Counts c;
+  c.short_io = short_io_.load(std::memory_order_relaxed);
+  c.eagain = eagain_.load(std::memory_order_relaxed);
+  c.resets = resets_.load(std::memory_order_relaxed);
+  c.accept_fails = accept_fails_.load(std::memory_order_relaxed);
+  c.frame_delays = frame_delays_.load(std::memory_order_relaxed);
+  c.task_delays = task_delays_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void FaultInjector::install_from_env() {
+  const char* seed_env = std::getenv("BNR_FAULT_SEED");
+  const char* spec_env = std::getenv("BNR_FAULT_SPEC");
+  if (!seed_env || !spec_env) return;
+  uint64_t seed = parse_u64(seed_env, "BNR_FAULT_SEED");
+  // Leaked intentionally: the env-configured injector lives for the whole
+  // process, exactly like the serving threads that consult it.
+  static FaultInjector* env_injector = nullptr;
+  if (env_injector) return;
+  env_injector = new FaultInjector(seed, FaultSpec::parse(spec_env));
+  install(env_injector);
+  std::fprintf(stderr,
+               "fault injection ON: BNR_FAULT_SEED=%llu BNR_FAULT_SPEC=%s\n",
+               static_cast<unsigned long long>(seed), spec_env);
+}
+
+}  // namespace bnr::rpc

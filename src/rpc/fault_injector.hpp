@@ -1,0 +1,134 @@
+// Deterministic fault injection for the RPC stack. The injector is compiled
+// in ALWAYS — the chaos suite and the production daemon run the exact same
+// binary — but costs one relaxed atomic load (against nullptr) per hook when
+// disabled, so the serving path pays nothing until a test or an operator
+// installs a schedule.
+//
+// Determinism: every hook SITE (server read, client write, accept, frame
+// dispatch, pool task) owns its own decision counter, and decision k at site
+// s is a pure function of (seed, s, k) — a splitmix64 hash, no shared RNG
+// stream. The k-th read fault is therefore identical across runs with the
+// same seed no matter how threads interleave BETWEEN sites, which is what
+// makes `BNR_FAULT_SEED=<n> ctest -R test_faults` a faithful reproduce
+// recipe: the schedule each site sees is fixed even though the wall-clock
+// order in which sites consume it is not.
+//
+// Faults modeled (configured by FaultSpec, parsed from BNR_FAULT_SPEC):
+//   short_read / short_write  probability an I/O is truncated to 1 byte
+//   eagain                    probability of a synthetic EAGAIN (storms under
+//                             load: the caller must re-poll, not spin)
+//   reset                     probability a connection is torn down at this
+//                             I/O (a peer reset at an arbitrary byte offset)
+//   reset_after               one guaranteed reset once this many bytes have
+//                             crossed the site (0 = off) — pins the "reset at
+//                             a chosen byte offset" case deterministically
+//   accept_fail               probability an accepted connection is dropped
+//                             immediately (accept() storms)
+//   frame_delay_us/_p         event-loop stall before dispatching a frame
+//   task_delay_us/_p          pool-task slowdown inside service dispatch
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+namespace bnr::rpc {
+
+struct FaultSpec {
+  double short_read = 0;
+  double short_write = 0;
+  double eagain = 0;
+  double reset = 0;
+  double accept_fail = 0;
+  double frame_delay_p = 0;
+  double task_delay_p = 0;
+  uint32_t frame_delay_us = 0;
+  uint32_t task_delay_us = 0;
+  uint64_t reset_after = 0;  // bytes through one socket site, 0 = off
+
+  /// Parses "key=value,key=value,..." over the field names above; throws
+  /// std::invalid_argument on an unknown key or unparsable value so a typo
+  /// in BNR_FAULT_SPEC fails loudly instead of silently testing nothing.
+  static FaultSpec parse(std::string_view spec);
+};
+
+class FaultInjector {
+ public:
+  /// Stable hook-site ids: the per-site decision streams (and counters) are
+  /// keyed by these, so renumbering changes every schedule.
+  enum Site : uint32_t {
+    kServerRead = 0,
+    kServerWrite,
+    kClientRead,
+    kClientWrite,
+    kAccept,
+    kFrame,
+    kTask,
+    kSiteCount,
+  };
+
+  enum class IoFault : uint8_t { kNone, kShort, kEagain, kReset };
+
+  FaultInjector(uint64_t seed, FaultSpec spec) : seed_(seed), spec_(spec) {}
+
+  /// Socket-I/O hook: may clamp `len` to 1 (short read/write), demand the
+  /// caller behave as if the syscall returned EAGAIN, or demand a reset.
+  IoFault on_io(Site site, size_t& len);
+  /// Listener hook: true = drop the just-accepted connection.
+  bool on_accept();
+  /// Frame-dispatch hook (event-loop thread): may stall before handling.
+  void on_frame();
+  /// Service-dispatch hook (pool worker): may stall inside the task.
+  void on_task();
+
+  /// Everything the chaos suite needs for exact accounting of what fired.
+  struct Counts {
+    uint64_t short_io = 0;
+    uint64_t eagain = 0;
+    uint64_t resets = 0;
+    uint64_t accept_fails = 0;
+    uint64_t frame_delays = 0;
+    uint64_t task_delays = 0;
+  };
+  Counts counts() const;
+
+  uint64_t seed() const { return seed_; }
+  const FaultSpec& spec() const { return spec_; }
+
+  /// The globally installed injector, nullptr when fault injection is off —
+  /// the ONLY cost the serving path pays in production.
+  static FaultInjector* active() {
+    return g_active.load(std::memory_order_acquire);
+  }
+  /// Installs (or, with nullptr, removes) the global injector. The caller
+  /// keeps ownership and must uninstall before destroying it.
+  static void install(FaultInjector* f) {
+    g_active.store(f, std::memory_order_release);
+  }
+  /// Installs a process-lifetime injector from BNR_FAULT_SEED/BNR_FAULT_SPEC
+  /// when both are set (daemon startup); no-op otherwise. Prints the seed so
+  /// any run is reproducible.
+  static void install_from_env();
+
+ private:
+  /// Decision k at `site`: uniform double in [0,1) from hash(seed, site, k).
+  double decision(Site site);
+  void sleep_us(uint32_t us);
+
+  uint64_t seed_;
+  FaultSpec spec_;
+  std::atomic<uint64_t> site_counter_[kSiteCount] = {};
+  std::atomic<uint64_t> site_bytes_[kSiteCount] = {};
+  std::atomic<bool> reset_after_fired_{false};
+
+  std::atomic<uint64_t> short_io_{0};
+  std::atomic<uint64_t> eagain_{0};
+  std::atomic<uint64_t> resets_{0};
+  std::atomic<uint64_t> accept_fails_{0};
+  std::atomic<uint64_t> frame_delays_{0};
+  std::atomic<uint64_t> task_delays_{0};
+
+  static std::atomic<FaultInjector*> g_active;
+};
+
+}  // namespace bnr::rpc

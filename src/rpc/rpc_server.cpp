@@ -5,9 +5,11 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -15,6 +17,7 @@
 #include <system_error>
 
 #include "common/sha256.hpp"
+#include "rpc/fault_injector.hpp"
 
 namespace bnr::rpc {
 
@@ -28,6 +31,21 @@ void set_nonblock(int fd) {
   int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
     throw_errno("fcntl(O_NONBLOCK)");
+}
+
+/// SIGPIPE hardening, once per process: every socket send in this subsystem
+/// already passes MSG_NOSIGNAL, but a peer reset racing a write on a future
+/// code path (or a third-party fd inherited into the daemon) must never be
+/// able to kill the process — writes see EPIPE and the event loop closes the
+/// connection like any other hard error.
+void ignore_sigpipe_once() {
+  static const int once = [] {
+    struct sigaction sa {};
+    sa.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &sa, nullptr);
+    return 0;
+  }();
+  (void)once;
 }
 
 std::string hex_digest(std::span<const uint8_t> data) {
@@ -68,6 +86,11 @@ struct RpcServer::Conn {
   size_t woff = 0;        // progress into wq.front()
   bool read_shut = false; // shutdown drain: no further reads
   bool paused = false;    // backpressured: wq over high-water mark
+
+  // Token bucket (event-loop thread only): starts full so a burst up to
+  // conn_rate_burst is admitted before the rate bites.
+  double tokens = 0;
+  std::chrono::steady_clock::time_point last_refill{};
 };
 
 RpcServer::RpcServer(ServerConfig cfg, service::ThreadPool& pool)
@@ -79,6 +102,7 @@ RpcServer::RpcServer(ServerConfig cfg, service::ThreadPool& pool)
                                               .shards = cfg_.cache_shards}),
       combiner_cache_(service::KeyCachePolicy{.byte_budget = cfg_.cache_bytes,
                                               .shards = cfg_.cache_shards}) {
+  ignore_sigpipe_once();
   // Providers run on pool workers (outside any shard lock). They receive
   // the CANONICAL cache key — the "<scheme>:<pk digest>" the tenant was
   // aliased onto — and read the digest-keyed registry maps, which are
@@ -234,7 +258,10 @@ void RpcServer::event_loop() {
     size_t idx = 0;
     if (pfds[idx].revents & POLLIN) {
       uint8_t buf[256];
-      while (::read(wake_fd_[0], buf, sizeof(buf)) > 0) {
+      for (;;) {
+        ssize_t n = ::read(wake_fd_[0], buf, sizeof(buf));
+        if (n > 0 || (n < 0 && errno == EINTR)) continue;
+        break;  // drained (EAGAIN) or EOF
       }
     }
     ++idx;
@@ -285,6 +312,12 @@ void RpcServer::accept_ready() {
       conns_rejected_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
+    // Injected accept failure: the peer sees an immediate close, exactly the
+    // shape of an accept() racing a dying listener.
+    if (auto* f = FaultInjector::active(); f && f->on_accept()) {
+      ::close(fd);
+      continue;
+    }
     set_nonblock(fd);
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -304,7 +337,18 @@ void RpcServer::close_conn(const std::shared_ptr<Conn>& c) {
 void RpcServer::read_ready(const std::shared_ptr<Conn>& c) {
   uint8_t buf[65536];
   for (;;) {
-    ssize_t n = ::recv(c->fd, buf, sizeof(buf), 0);
+    size_t want = sizeof(buf);
+    if (auto* f = FaultInjector::active()) {
+      // A clamped `want` models a short read (1 byte arrives); the other
+      // fault shapes map onto the exact paths a real kernel would take.
+      auto fault = f->on_io(FaultInjector::kServerRead, want);
+      if (fault == FaultInjector::IoFault::kEagain) break;
+      if (fault == FaultInjector::IoFault::kReset) {
+        close_conn(c);
+        return;
+      }
+    }
+    ssize_t n = ::recv(c->fd, buf, want, 0);
     if (n > 0) {
       c->frames.feed({buf, size_t(n)});
       // A peer streaming faster than we parse must not stage unbounded
@@ -338,9 +382,16 @@ void RpcServer::read_ready(const std::shared_ptr<Conn>& c) {
 void RpcServer::write_ready(const std::shared_ptr<Conn>& c) {
   while (!c->wq.empty()) {
     const Bytes& front = c->wq.front();
-    ssize_t n =
-        ::send(c->fd, front.data() + c->woff, front.size() - c->woff,
-               MSG_NOSIGNAL);
+    size_t len = front.size() - c->woff;
+    if (auto* f = FaultInjector::active()) {
+      auto fault = f->on_io(FaultInjector::kServerWrite, len);
+      if (fault == FaultInjector::IoFault::kEagain) return;
+      if (fault == FaultInjector::IoFault::kReset) {
+        close_conn(c);
+        return;
+      }
+    }
+    ssize_t n = ::send(c->fd, front.data() + c->woff, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       if (errno == EINTR) continue;
@@ -384,11 +435,64 @@ void RpcServer::drain_completions() {
     if (auto c = wc.lock()) send_now(c, std::move(payload));
 }
 
+// Token-bucket + in-flight-cap admission for one data-plane request.
+// Rejections are BUSY — attributable and retryable, never a teardown: under
+// overload the one thing the daemon must NOT do is make clients guess
+// whether their request died, was dropped, or is still queued.
+bool RpcServer::admit(const std::shared_ptr<Conn>& c, uint64_t id,
+                      double cost) {
+  if (cfg_.conn_rate_limit > 0) {
+    auto now = std::chrono::steady_clock::now();
+    double burst = cfg_.conn_rate_burst > 0 ? cfg_.conn_rate_burst
+                                            : cfg_.conn_rate_limit;
+    if (c->last_refill.time_since_epoch().count() == 0) {
+      c->tokens = burst;  // first request: bucket starts full
+    } else {
+      double dt = std::chrono::duration<double>(now - c->last_refill).count();
+      c->tokens = std::min(burst, c->tokens + dt * cfg_.conn_rate_limit);
+    }
+    c->last_refill = now;
+    if (c->tokens < cost) {
+      busy_ratelimit_.fetch_add(1, std::memory_order_relaxed);
+      send_now(c, encode_rejection(id, Status::kBusy,
+                                   "rate limited: connection over its "
+                                   "request budget"));
+      return false;
+    }
+    c->tokens -= cost;
+  }
+  if (cfg_.max_in_flight > 0 &&
+      in_flight_.load(std::memory_order_acquire) >= cfg_.max_in_flight) {
+    busy_inflight_.fetch_add(1, std::memory_order_relaxed);
+    send_now(c, encode_rejection(id, Status::kBusy,
+                                 "server at in-flight capacity"));
+    return false;
+  }
+  return true;
+}
+
 bool RpcServer::handle_frame(const std::shared_ptr<Conn>& c,
                              std::span<const uint8_t> payload) {
+  if (auto* f = FaultInjector::active()) f->on_frame();
   try {
     ByteReader rd(payload);
     RequestHeader h = decode_request_header(rd);
+    // A request that arrives with its deadline budget already spent is shed
+    // HERE — before admission control, before any decode of the body's
+    // crypto blobs: no cycle of work for a response nobody is waiting for.
+    auto deadline = std::chrono::steady_clock::time_point::max();
+    if (h.budget_ms) {
+      if (*h.budget_ms == 0 && h.method != Method::kPing &&
+          h.method != Method::kStats && h.method != Method::kHealth) {
+        shed_arrival_.fetch_add(1, std::memory_order_relaxed);
+        frames_in_.fetch_add(1, std::memory_order_relaxed);
+        send_now(c, encode_rejection(h.request_id, Status::kShed,
+                                     "deadline budget spent on arrival"));
+        return true;
+      }
+      deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(*h.budget_ms);
+    }
     switch (h.method) {
       case Method::kPing:
         expect_frame_done(rd, "PING");
@@ -399,18 +503,32 @@ bool RpcServer::handle_frame(const std::shared_ptr<Conn>& c,
         send_now(c, encode_ok(h.request_id, encode_stats(snapshot_stats())));
         break;
       }
+      case Method::kHealth: {
+        expect_frame_done(rd, "HEALTH");
+        send_now(c, encode_ok(h.request_id, encode_health(snapshot_health())));
+        break;
+      }
       case Method::kRegisterTenant:
         handle_register(c, h.request_id, rd);
         break;
-      case Method::kVerify:
-        dispatch_verify(c, h.request_id, decode_verify(rd));
+      case Method::kVerify: {
+        VerifyRequest req = decode_verify(rd);
+        if (admit(c, h.request_id, 1))
+          dispatch_verify(c, h.request_id, std::move(req), deadline);
         break;
-      case Method::kBatchVerify:
-        dispatch_batch_verify(c, h.request_id, decode_batch_verify(rd));
+      }
+      case Method::kBatchVerify: {
+        BatchVerifyRequest req = decode_batch_verify(rd);
+        if (admit(c, h.request_id, std::max<double>(1, req.items.size())))
+          dispatch_batch_verify(c, h.request_id, std::move(req), deadline);
         break;
-      case Method::kCombine:
-        dispatch_combine(c, h.request_id, decode_combine(rd));
+      }
+      case Method::kCombine: {
+        CombineRequest req = decode_combine(rd);
+        if (admit(c, h.request_id, 1))
+          dispatch_combine(c, h.request_id, std::move(req));
         break;
+      }
     }
     frames_in_.fetch_add(1, std::memory_order_relaxed);
     return true;
@@ -505,8 +623,9 @@ void RpcServer::handle_register(const std::shared_ptr<Conn>& c, uint64_t id,
   }
 }
 
-void RpcServer::dispatch_verify(const std::shared_ptr<Conn>& c, uint64_t id,
-                                VerifyRequest req) {
+void RpcServer::dispatch_verify(
+    const std::shared_ptr<Conn>& c, uint64_t id, VerifyRequest req,
+    std::chrono::steady_clock::time_point deadline) {
   threshold::SchemeId scheme_id;
   {
     std::lock_guard<std::mutex> l(reg_m_);
@@ -523,6 +642,10 @@ void RpcServer::dispatch_verify(const std::shared_ptr<Conn>& c, uint64_t id,
     if (err) {
       try {
         std::rethrow_exception(err);
+      } catch (const service::DeadlineShed& e) {
+        // The service dropped it before paying a pairing: SHED on the wire,
+        // so the client knows a retry of the same budget is pointless.
+        resp = encode_rejection(id, Status::kShed, e.what());
       } catch (const std::exception& e) {
         resp = encode_error(id, e.what());
       } catch (...) {
@@ -544,7 +667,7 @@ void RpcServer::dispatch_verify(const std::shared_ptr<Conn>& c, uint64_t id,
     threshold::SigHandle sig =
         registry_.at(scheme_id).parse_signature(req.sig);
     verify_->submit(req.key, std::move(req.msg), std::move(sig),
-                    std::move(done));
+                    std::move(done), deadline);
   } catch (const std::exception& e) {
     // Bad signature encoding inside a well-formed frame: attributable.
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
@@ -552,8 +675,9 @@ void RpcServer::dispatch_verify(const std::shared_ptr<Conn>& c, uint64_t id,
   }
 }
 
-void RpcServer::dispatch_batch_verify(const std::shared_ptr<Conn>& c,
-                                      uint64_t id, BatchVerifyRequest req) {
+void RpcServer::dispatch_batch_verify(
+    const std::shared_ptr<Conn>& c, uint64_t id, BatchVerifyRequest req,
+    std::chrono::steady_clock::time_point deadline) {
   threshold::SchemeId scheme_id;
   {
     std::lock_guard<std::mutex> l(reg_m_);
@@ -585,6 +709,7 @@ void RpcServer::dispatch_batch_verify(const std::shared_ptr<Conn>& c,
     std::vector<uint8_t> results;
     size_t outstanding = 0;
     std::string error;  // first exceptional failure, if any
+    bool shed = false;  // that failure was a deadline shed -> SHED response
   };
   auto st = std::make_shared<BatchState>();
   st->results.assign(req.items.size(), 0);
@@ -594,7 +719,8 @@ void RpcServer::dispatch_batch_verify(const std::shared_ptr<Conn>& c,
   auto finish = [this, st, wc, id] {
     Bytes resp;
     if (!st->error.empty()) {
-      resp = encode_error(id, st->error);
+      resp = st->shed ? encode_rejection(id, Status::kShed, st->error)
+                      : encode_error(id, st->error);
     } else {
       ByteWriter w;
       encode_response_header(w, Status::kOk, id);
@@ -615,6 +741,9 @@ void RpcServer::dispatch_batch_verify(const std::shared_ptr<Conn>& c,
         if (err && st->error.empty()) {
           try {
             std::rethrow_exception(err);
+          } catch (const service::DeadlineShed& e) {
+            st->error = e.what();
+            st->shed = true;
           } catch (const std::exception& e) {
             st->error = e.what();
           } catch (...) {
@@ -629,7 +758,7 @@ void RpcServer::dispatch_batch_verify(const std::shared_ptr<Conn>& c,
     try {
       threshold::SigHandle sig = scheme.parse_signature(req.items[j].second);
       verify_->submit(req.key, std::move(req.items[j].first), std::move(sig),
-                      item_done);
+                      item_done, deadline);
     } catch (const std::exception&) {
       bool last;
       {
@@ -690,6 +819,18 @@ void RpcServer::dispatch_combine(const std::shared_ptr<Conn>& c, uint64_t id,
 
 service::ServiceStats RpcServer::verify_stats() const {
   return verify_->stats();
+}
+
+HealthStats RpcServer::snapshot_health() const {
+  HealthStats h;
+  h.in_flight = in_flight_.load(std::memory_order_acquire);
+  h.inflight_cap = cfg_.max_in_flight;
+  h.queue_depth = verify_->pending();
+  h.busy_inflight = busy_inflight_.load(std::memory_order_relaxed);
+  h.busy_ratelimit = busy_ratelimit_.load(std::memory_order_relaxed);
+  h.shed_arrival = shed_arrival_.load(std::memory_order_relaxed);
+  h.shed_in_service = verify_->stats().deadline_sheds;
+  return h;
 }
 
 DaemonStats RpcServer::snapshot_stats() const {

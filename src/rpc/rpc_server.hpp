@@ -36,6 +36,12 @@
 //   * A mid-request disconnect drops the pending completions on the floor
 //     (they hold weak_ptrs to the connection) without disturbing the batch
 //     they were folded into.
+//   * ADMISSION CONTROL keeps overload attributable instead of fatal: a
+//     request over the global in-flight cap or its connection's token
+//     bucket gets a BUSY response (retryable, the connection stays open); a
+//     request whose wire deadline budget is already zero on arrival — or
+//     spent by the time its fold would run (see verification_service) —
+//     gets SHED. The HEALTH method reports every one of these counters.
 //   * stop() is async-signal-safe (atomic store + pipe write). Shutdown
 //     drains: buffered complete frames are still dispatched, in-flight
 //     batches finish, responses flush, then sockets close — bounded by
@@ -79,6 +85,19 @@ struct ServerConfig {
   uint32_t max_frame = kMaxFrameBytes;
   size_t write_backpressure = size_t(4) << 20;
   std::chrono::milliseconds drain_timeout{5000};
+
+  // -- Admission control ----------------------------------------------------
+  /// Global cap on dispatched-but-unanswered requests: one more VERIFY /
+  /// BATCH_VERIFY / COMBINE above it gets BUSY instead of queuing
+  /// unboundedly behind pairings it would miss its deadline waiting for.
+  /// 0 = uncapped.
+  uint64_t max_in_flight = 4096;
+  /// Per-connection token bucket over the data-plane methods (VERIFY /
+  /// BATCH_VERIFY / COMBINE; BATCH charges one token per item). Tokens
+  /// refill at `conn_rate_limit` per second up to `conn_rate_burst` (0 =
+  /// defaults to the rate). conn_rate_limit 0 = no rate limiting.
+  double conn_rate_limit = 0;
+  double conn_rate_burst = 0;
 };
 
 class RpcServer {
@@ -103,6 +122,9 @@ class RpcServer {
   void stop();
 
   DaemonStats snapshot_stats() const;
+  /// The HEALTH method's body: current in-flight / queue depth plus the
+  /// admission-control rejection counters.
+  HealthStats snapshot_health() const;
   /// The ONE cache behind every scheme's prepared verifiers.
   const service::KeyCacheManager<threshold::PreparedVerifier>&
   verifier_cache() const {
@@ -144,11 +166,17 @@ class RpcServer {
   void handle_register(const std::shared_ptr<Conn>& c, uint64_t id,
                        ByteReader& rd);
   void dispatch_verify(const std::shared_ptr<Conn>& c, uint64_t id,
-                       VerifyRequest req);
+                       VerifyRequest req,
+                       std::chrono::steady_clock::time_point deadline);
   void dispatch_batch_verify(const std::shared_ptr<Conn>& c, uint64_t id,
-                             BatchVerifyRequest req);
+                             BatchVerifyRequest req,
+                             std::chrono::steady_clock::time_point deadline);
   void dispatch_combine(const std::shared_ptr<Conn>& c, uint64_t id,
                         CombineRequest req);
+  /// Admission control shared by the dispatch_* fronts: charges the token
+  /// bucket and checks the in-flight cap; a false return already sent the
+  /// BUSY rejection.
+  bool admit(const std::shared_ptr<Conn>& c, uint64_t id, double cost);
 
   /// Queues an already-encoded response payload from any thread and wakes
   /// the event loop. Counterpart of a dispatch_* in_flight_ increment.
@@ -193,6 +221,9 @@ class RpcServer {
   std::atomic<uint64_t> auth_failures_{0};
   std::atomic<uint64_t> frames_in_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> busy_inflight_{0};   // BUSY: global in-flight cap
+  std::atomic<uint64_t> busy_ratelimit_{0};  // BUSY: token bucket empty
+  std::atomic<uint64_t> shed_arrival_{0};    // SHED: budget 0 at decode time
   std::array<std::atomic<uint64_t>, threshold::kSchemeIdCount + 1>
       deduped_by_scheme_{};
 

@@ -20,8 +20,15 @@
 //   | u32 length     |  payload (length bytes, <= max_frame)       |
 //   +----------------+---------------------------------------------+
 //
-//   request payload:   u8 method | u64 request_id | method body
+//   request payload:   u8 method | u64 request_id | [u32 budget_ms] | body
 //   response payload:  u8 status | u64 request_id | status body
+//
+// The method byte's high bit (kMethodBudgetBit) flags an OPTIONAL u32
+// deadline budget in milliseconds between the request id and the body: the
+// client's remaining per-request budget at send time, letting the server
+// shed a request whose budget is already spent BEFORE paying a pairing for
+// it. Frames without the bit are exactly the pre-budget encoding, so old
+// clients stay valid against new servers byte for byte.
 //
 // Method bodies (str = u32 len + bytes, blob = u32 len + bytes):
 //
@@ -37,12 +44,20 @@
 //                                                -> u8 deduped
 //   STATS            --                          -> DaemonStats (global u64
 //                                                   fields + per-scheme rows)
+//   HEALTH           --                          -> HealthStats (fixed u64
+//                                                   overload counters)
 //
 // REGISTER_TENANT is an ADMIN frame: when the daemon runs with an admin
 // token, `token` must match (constant-time comparison server-side) or the
 // request gets an attributable ERROR and counts as an auth failure.
 //
 // An ERROR response carries `str message` as its body regardless of method.
+// BUSY and SHED responses carry the same `str message` body and make
+// REJECTION attributable instead of a connection teardown: BUSY means the
+// daemon declined the request before doing any work (in-flight cap, rate
+// limit) and the client may retry after backoff; SHED means the request's
+// own deadline budget was already spent when the daemon got to it, so a
+// retry of the same budget is pointless.
 // A frame that is oversized, truncated, carries an unknown method id, or
 // whose body does not parse exactly (trailing bytes included) is a protocol
 // violation: the peer is not confused, it is malformed or malicious, and the
@@ -53,6 +68,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -76,11 +92,19 @@ enum class Method : uint8_t {
   kCombine = 4,
   kRegisterTenant = 5,
   kStats = 6,
+  kHealth = 7,
 };
+
+/// High bit of the request method byte: the header carries a u32 deadline
+/// budget (milliseconds remaining) after the request id. Absent bit ==
+/// pre-budget frame layout, so the extension is backward compatible.
+constexpr uint8_t kMethodBudgetBit = 0x80;
 
 enum class Status : uint8_t {
   kOk = 0,
   kError = 1,  // body: str message (unknown tenant, combine failure, ...)
+  kBusy = 2,   // body: str message; admission control declined, retryable
+  kShed = 3,   // body: str message; deadline budget spent, NOT retryable
 };
 
 /// REGISTER_TENANT flags byte. Undefined bits are a protocol violation.
@@ -101,6 +125,10 @@ struct RpcError : std::runtime_error {
 struct RequestHeader {
   Method method{};
   uint64_t request_id = 0;
+  /// Deadline budget in ms remaining at client send time; nullopt when the
+  /// request carried none (no kMethodBudgetBit). 0 means already expired —
+  /// the server sheds it without touching a service.
+  std::optional<uint32_t> budget_ms;
 };
 
 struct ResponseHeader {
@@ -191,6 +219,21 @@ struct DaemonStats {
   }
 };
 
+/// HEALTH response body: the daemon's overload counters as fixed u64 fields
+/// in declaration order (add new fields at the END). Everything an operator
+/// (or the chaos suite's exact-accounting assertions) needs to attribute
+/// rejected load: how much is in flight right now, how deep the service
+/// queue is, and how many requests each admission-control layer turned away.
+struct HealthStats {
+  uint64_t in_flight = 0;       // dispatched into the services, unanswered
+  uint64_t inflight_cap = 0;    // configured cap (0 = uncapped)
+  uint64_t queue_depth = 0;     // verify-service requests pending a flush
+  uint64_t busy_inflight = 0;   // BUSY: global in-flight cap
+  uint64_t busy_ratelimit = 0;  // BUSY: per-connection token bucket
+  uint64_t shed_arrival = 0;    // SHED: budget already spent at decode time
+  uint64_t shed_in_service = 0; // SHED: budget expired before its fold ran
+};
+
 // ---------------------------------------------------------------------------
 // Framing
 
@@ -253,9 +296,11 @@ class FrameBuffer {
 // Encoding (writers never fail; size discipline is the caller's via
 // append_frame)
 
-inline void encode_request_header(ByteWriter& w, Method m, uint64_t id) {
-  w.u8(static_cast<uint8_t>(m));
+inline void encode_request_header(ByteWriter& w, Method m, uint64_t id,
+                                  std::optional<uint32_t> budget_ms = {}) {
+  w.u8(static_cast<uint8_t>(m) | (budget_ms ? kMethodBudgetBit : 0));
   w.u64(id);
+  if (budget_ms) w.u32(*budget_ms);
 }
 
 inline void encode_response_header(ByteWriter& w, Status s, uint64_t id) {
@@ -263,18 +308,20 @@ inline void encode_response_header(ByteWriter& w, Status s, uint64_t id) {
   w.u64(id);
 }
 
-inline Bytes encode_verify(uint64_t id, const VerifyRequest& r) {
+inline Bytes encode_verify(uint64_t id, const VerifyRequest& r,
+                           std::optional<uint32_t> budget_ms = {}) {
   ByteWriter w;
-  encode_request_header(w, Method::kVerify, id);
+  encode_request_header(w, Method::kVerify, id, budget_ms);
   w.str(r.key);
   w.blob(r.msg);
   w.blob(r.sig);
   return w.take();
 }
 
-inline Bytes encode_batch_verify(uint64_t id, const BatchVerifyRequest& r) {
+inline Bytes encode_batch_verify(uint64_t id, const BatchVerifyRequest& r,
+                                 std::optional<uint32_t> budget_ms = {}) {
   ByteWriter w;
-  encode_request_header(w, Method::kBatchVerify, id);
+  encode_request_header(w, Method::kBatchVerify, id, budget_ms);
   w.str(r.key);
   w.u32(static_cast<uint32_t>(r.items.size()));
   for (const auto& [msg, sig] : r.items) {
@@ -284,9 +331,10 @@ inline Bytes encode_batch_verify(uint64_t id, const BatchVerifyRequest& r) {
   return w.take();
 }
 
-inline Bytes encode_combine(uint64_t id, const CombineRequest& r) {
+inline Bytes encode_combine(uint64_t id, const CombineRequest& r,
+                            std::optional<uint32_t> budget_ms = {}) {
   ByteWriter w;
-  encode_request_header(w, Method::kCombine, id);
+  encode_request_header(w, Method::kCombine, id, budget_ms);
   w.str(r.key);
   w.blob(r.msg);
   w.u32(static_cast<uint32_t>(r.partials.size()));
@@ -311,9 +359,10 @@ inline Bytes encode_register(uint64_t id, const RegisterTenantRequest& r) {
   return w.take();
 }
 
-inline Bytes encode_empty_request(Method m, uint64_t id) {
+inline Bytes encode_empty_request(Method m, uint64_t id,
+                                  std::optional<uint32_t> budget_ms = {}) {
   ByteWriter w;
-  encode_request_header(w, m, id);
+  encode_request_header(w, m, id, budget_ms);
   return w.take();
 }
 
@@ -327,6 +376,16 @@ inline Bytes encode_ok(uint64_t id, std::span<const uint8_t> body = {}) {
 inline Bytes encode_error(uint64_t id, std::string_view message) {
   ByteWriter w;
   encode_response_header(w, Status::kError, id);
+  w.str(message);
+  return w.take();
+}
+
+/// BUSY/SHED rejections share the ERROR body shape (str message); only the
+/// status byte differs, which is what lets the client map them onto distinct
+/// retry decisions without a second parse.
+inline Bytes encode_rejection(uint64_t id, Status s, std::string_view message) {
+  ByteWriter w;
+  encode_response_header(w, s, id);
   w.str(message);
   return w.take();
 }
@@ -360,6 +419,15 @@ inline Bytes encode_stats(const DaemonStats& s) {
   return w.take();
 }
 
+inline Bytes encode_health(const HealthStats& h) {
+  ByteWriter w;
+  for (uint64_t v : {h.in_flight, h.inflight_cap, h.queue_depth,
+                     h.busy_inflight, h.busy_ratelimit, h.shed_arrival,
+                     h.shed_in_service})
+    w.u64(v);
+  return w.take();
+}
+
 // ---------------------------------------------------------------------------
 // Decoding. Every decoder consumes from a ByteReader positioned after the
 // header and throws (out_of_range from the reader, ProtocolError for
@@ -369,18 +437,20 @@ inline Bytes encode_stats(const DaemonStats& s) {
 
 inline RequestHeader decode_request_header(ByteReader& rd) {
   RequestHeader h;
-  uint8_t m = rd.u8();
-  if (m < uint8_t(Method::kPing) || m > uint8_t(Method::kStats))
+  uint8_t raw = rd.u8();
+  uint8_t m = raw & ~kMethodBudgetBit;
+  if (m < uint8_t(Method::kPing) || m > uint8_t(Method::kHealth))
     throw ProtocolError("unknown method id " + std::to_string(m));
   h.method = static_cast<Method>(m);
   h.request_id = rd.u64();
+  if (raw & kMethodBudgetBit) h.budget_ms = rd.u32();
   return h;
 }
 
 inline ResponseHeader decode_response_header(ByteReader& rd) {
   ResponseHeader h;
   uint8_t s = rd.u8();
-  if (s > uint8_t(Status::kError))
+  if (s > uint8_t(Status::kShed))
     throw ProtocolError("unknown status " + std::to_string(s));
   h.status = static_cast<Status>(s);
   h.request_id = rd.u64();
@@ -463,6 +533,15 @@ inline CombineResult decode_combine_result(ByteReader& rd) {
   r.cheaters.reserve(n);
   for (uint32_t j = 0; j < n; ++j) r.cheaters.push_back(rd.u32());
   return r;
+}
+
+inline HealthStats decode_health(ByteReader& rd) {
+  HealthStats h;
+  for (uint64_t* f : {&h.in_flight, &h.inflight_cap, &h.queue_depth,
+                      &h.busy_inflight, &h.busy_ratelimit, &h.shed_arrival,
+                      &h.shed_in_service})
+    *f = rd.u64();
+  return h;
 }
 
 inline DaemonStats decode_stats(ByteReader& rd) {

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "rpc/fault_injector.hpp"
 #include "service/parallel.hpp"
 
 namespace bnr::service {
@@ -18,6 +19,7 @@ void accumulate(ServiceStats& into, const ServiceStats& s) {
   into.fallbacks += s.fallbacks;
   into.accepted += s.accepted;
   into.rejected += s.rejected;
+  into.deadline_sheds += s.deadline_sheds;
   into.cache_lookups += s.cache_lookups;
   into.cache_misses += s.cache_misses;
 }
@@ -56,17 +58,17 @@ ServiceStats& MultiTenantVerificationService::slice_locked(
   return by_scheme_[scheme_stats_slot(id)];
 }
 
-void MultiTenantVerificationService::submit(KeyId key, Bytes msg,
-                                            threshold::SigHandle sig,
-                                            Callback done) {
+void MultiTenantVerificationService::submit(
+    KeyId key, Bytes msg, threshold::SigHandle sig, Callback done,
+    std::chrono::steady_clock::time_point deadline) {
   bool flush_now = false;
   {
     std::unique_lock<std::mutex> l(m_);
     if (pending_.empty()) oldest_ = std::chrono::steady_clock::now();
     ++total_.submitted;
     ++slice_locked(sig.scheme).submitted;
-    pending_.push_back(
-        {std::move(key), std::move(msg), std::move(sig), std::move(done)});
+    pending_.push_back({std::move(key), std::move(msg), std::move(sig),
+                        std::move(done), deadline});
     flush_now = pending_.size() >= policy_.max_batch;
     if (flush_now) {
       ++total_.size_flushes;
@@ -161,6 +163,28 @@ void MultiTenantVerificationService::dispatch_locked(
 
 void MultiTenantVerificationService::run_group(Group& group, Rng& rng) {
   const threshold::SchemeId scheme = group.members.front().sig.scheme;
+  if (auto* f = rpc::FaultInjector::active()) f->on_task();
+  // Deadline-aware shedding: members whose budget is already spent are
+  // answered with DeadlineShed NOW, before this group pays for a prepare or
+  // a pairing — under overload the batch that finally runs only carries
+  // requests that can still make their deadline.
+  {
+    auto now = std::chrono::steady_clock::now();
+    uint64_t sheds = 0;
+    for (auto& p : group.members) {
+      if (p.deadline > now) continue;
+      p.done(false, std::make_exception_ptr(DeadlineShed()));
+      p.done = nullptr;
+      ++sheds;
+    }
+    if (sheds) {
+      std::erase_if(group.members, [](const Pending& p) { return !p.done; });
+      std::lock_guard<std::mutex> l(m_);
+      total_.deadline_sheds += sheds;
+      slice_locked(scheme).deadline_sheds += sheds;
+    }
+    if (group.members.empty()) return;
+  }
   // Pinned for the whole fold + fallback: the cache may not evict this
   // tenant's prepared state mid-batch, however hot the other shard traffic.
   // The provider only runs on a miss, which is how the per-scheme cache

@@ -62,6 +62,15 @@ struct BatchPolicy {
   std::chrono::milliseconds max_delay{5};     // ... or the oldest is this old
 };
 
+/// Raised through a submission's callback when its deadline budget was
+/// already spent before the group's fold ran: the request was SHED, not
+/// verified. Distinct from RpcError/ProtocolError so the RPC layer can map
+/// it onto the wire's SHED status (attributable, not retryable).
+struct DeadlineShed : std::runtime_error {
+  DeadlineShed()
+      : std::runtime_error("deadline budget spent before verification") {}
+};
+
 struct ServiceStats {
   uint64_t submitted = 0;
   uint64_t batches = 0;          // batch_verify folds executed (one per key
@@ -71,6 +80,8 @@ struct ServiceStats {
   uint64_t fallbacks = 0;        // folds that failed -> individual re-verify
   uint64_t accepted = 0;
   uint64_t rejected = 0;
+  uint64_t deadline_sheds = 0;   // expired members dropped before their fold
+                                 // (neither accepted nor rejected)
   // Service-observed traffic into the shared key cache (one lookup per key
   // group; a miss ran the provider). Split per SchemeId by stats(SchemeId) —
   // the cache's own stats cannot attribute by scheme.
@@ -115,7 +126,14 @@ class MultiTenantVerificationService {
   MultiTenantVerificationService& operator=(
       const MultiTenantVerificationService&) = delete;
 
-  void submit(KeyId key, Bytes msg, threshold::SigHandle sig, Callback done);
+  /// `deadline` is the request's drop-dead time: a member whose deadline has
+  /// passed when its group's fold task starts is SHED — completed with
+  /// DeadlineShed BEFORE the group pays for a prepare or a pairing, so under
+  /// overload the pool's capacity goes to requests that can still make their
+  /// budget. time_point::max() (the default) never sheds.
+  void submit(KeyId key, Bytes msg, threshold::SigHandle sig, Callback done,
+              std::chrono::steady_clock::time_point deadline =
+                  std::chrono::steady_clock::time_point::max());
 
   /// Future-based front over the callback core.
   std::future<bool> submit(KeyId key, Bytes msg, threshold::SigHandle sig);
@@ -125,6 +143,13 @@ class MultiTenantVerificationService {
 
   /// Blocks until no request is pending or in flight.
   void drain();
+
+  /// Requests accumulated but not yet dispatched into folds (the HEALTH
+  /// queue-depth counter).
+  size_t pending() const {
+    std::lock_guard<std::mutex> l(m_);
+    return pending_.size();
+  }
 
   /// Aggregate across every scheme.
   ServiceStats stats() const;
@@ -138,6 +163,7 @@ class MultiTenantVerificationService {
     Bytes msg;
     threshold::SigHandle sig;
     Callback done;  // nulled out after its one invocation
+    std::chrono::steady_clock::time_point deadline;
   };
 
   /// One per-tenant fold unit: requests sharing a key-id, plus the private
