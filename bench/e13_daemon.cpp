@@ -10,12 +10,15 @@
 //     service path — the per-request cost the socket must stay within 3x of;
 //   * daemon, 1 connection: one pipelined client with a bounded window,
 //     isolating protocol + syscall overhead;
-//   * daemon, 4 connections: four client threads, the concurrency level the
-//     acceptance gate targets (loopback throughput <= 3x in-process cost);
-//   * per-request submit->resolve latency percentiles at 4 connections.
+//   * daemon, 4 connections: four client threads spread by the kernel over
+//     the daemon's 4 SO_REUSEPORT epoll loops — the concurrency level the
+//     acceptance gate targets (loopback throughput <= 1.2x in-process cost);
+//   * per-request submit->resolve latency percentiles at 4 connections;
+//   * low-load p50: window 1 on one connection — adaptive flush must answer
+//     a lone request when the pool goes idle, not camp on the old 2ms timer.
 //
 // Emits BENCH_e13.json; CI gates daemon/request_ns_c4 vs
-// daemon/inprocess_service_ns at <= 3x (informational).
+// daemon/inprocess_service_ns at <= 1.2x (informational).
 #include <algorithm>
 #include <cstdio>
 #include <deque>
@@ -57,8 +60,12 @@ int main() {
     sigs.push_back(scheme.combine_unchecked(km.t, parts));
   }
 
+  // Adaptive flush on BOTH sides of the comparison: the 2ms timer is only
+  // the upper bound, the pool-idle edge drives the actual cadence — so the
+  // c4/in-process ratio isolates socket overhead, not flush-policy luck.
   const service::BatchPolicy policy{.max_batch = 32,
-                                    .max_delay = std::chrono::milliseconds(2)};
+                                    .max_delay = std::chrono::milliseconds(2),
+                                    .adaptive = true};
   constexpr size_t kReqs = 1500;
 
   // ---- In-process baseline: the same service stack, no socket. -----------
@@ -107,6 +114,7 @@ int main() {
   cfg.params_label = label;
   cfg.cache_bytes = size_t(64) << 20;
   cfg.batch = policy;
+  cfg.io_threads = 4;  // one epoll loop per benchmark connection
   rpc::RpcServer server(cfg, pool);
   std::thread serving([&] { server.run(); });
   {
@@ -194,6 +202,18 @@ int main() {
     out.record("daemon/latency_p50_ns", p50 * 1000.0);
     out.record("daemon/latency_p99_ns", p99 * 1000.0);
     printf("latency (window 4):      p50 %.0f us, p99 %.0f us\n", p50, p99);
+  }
+  {
+    // Low load: one request in flight at a time. Before adaptive flush a
+    // lone request always ate the full max_delay timer (2ms floor); now the
+    // pool-idle edge flushes it as soon as the workers drain.
+    std::vector<double> lat_us;
+    run_clients(1, 200, 1, &lat_us);
+    std::sort(lat_us.begin(), lat_us.end());
+    double p50 = lat_us[lat_us.size() / 2];
+    out.record("daemon/latency_lowload_p50_ns", p50 * 1000.0);
+    printf("low-load (window 1):     p50 %.0f us%s\n", p50,
+           p50 < 2000.0 ? " (under the old 2ms flush floor)" : "");
   }
 
   auto st = server.snapshot_stats();

@@ -146,7 +146,8 @@ extern "C" void daemon_signal(int) {
 }
 
 int cmd_daemon(uint16_t port, size_t cache_mb, const std::string& label,
-               const std::string& admin_token, size_t max_connections) {
+               const std::string& admin_token, size_t max_connections,
+               size_t io_threads) {
   using namespace bnr::service;
   ThreadPool workers;
   rpc::ServerConfig cfg;
@@ -157,6 +158,8 @@ int cmd_daemon(uint16_t port, size_t cache_mb, const std::string& label,
   // SIZE_MAX = flag absent (keep the ServerConfig default); an explicit
   // --max-connections=0 means unlimited, matching the config contract.
   if (max_connections != SIZE_MAX) cfg.max_connections = max_connections;
+  // 0 = auto (min(4, cores/2)); an explicit count pins the loop fan-out.
+  if (io_threads != SIZE_MAX) cfg.io_threads = io_threads;
   // Operator-facing chaos switch: BNR_FAULT_SEED + BNR_FAULT_SPEC install a
   // deterministic fault schedule into this daemon (no-op when unset).
   rpc::FaultInjector::install_from_env();
@@ -165,9 +168,10 @@ int cmd_daemon(uint16_t port, size_t cache_mb, const std::string& label,
   std::signal(SIGINT, daemon_signal);
   std::signal(SIGTERM, daemon_signal);
   printf("daemon listening on %s:%u (params label \"%s\", cache %zu MB, "
-         "admin %s, conn cap %zu)\n",
+         "admin %s, conn cap %zu, io loops %zu)\n",
          cfg.bind_addr.c_str(), server.port(), label.c_str(), cache_mb,
-         admin_token.empty() ? "open" : "token-gated", cfg.max_connections);
+         admin_token.empty() ? "open" : "token-gated", cfg.max_connections,
+         server.io_loops());
   fflush(stdout);  // scripts read the bound port from this line
   server.run();
   auto st = server.snapshot_stats();
@@ -513,6 +517,7 @@ int main(int argc, char** argv) {
     std::string admin_token;
     if (const char* env = std::getenv("BNR_ADMIN_TOKEN")) admin_token = env;
     size_t max_connections = SIZE_MAX;  // SIZE_MAX = not specified
+    size_t io_threads = SIZE_MAX;       // SIZE_MAX = not specified (auto)
     std::vector<char*> args;
     for (int i = 0; i < argc; ++i) {
       std::string a = argv[i];
@@ -520,6 +525,8 @@ int main(int argc, char** argv) {
         admin_token = a.substr(strlen("--admin-token="));
       else if (a.rfind("--max-connections=", 0) == 0)
         max_connections = std::stoul(a.substr(strlen("--max-connections=")));
+      else if (a.rfind("--io-threads=", 0) == 0)
+        io_threads = std::stoul(a.substr(strlen("--io-threads=")));
       else
         args.push_back(argv[i]);
     }
@@ -542,7 +549,8 @@ int main(int argc, char** argv) {
       return cmd_daemon(
           argc > 2 ? static_cast<uint16_t>(std::stoul(argv[2])) : 9137,
           argc > 3 ? std::stoul(argv[3]) : 256,
-          argc > 4 ? argv[4] : "bnr-rpc/v1", admin_token, max_connections);
+          argc > 4 ? argv[4] : "bnr-rpc/v1", admin_token, max_connections,
+          io_threads);
     if (cmd == "client" && argc >= 4 && argc <= 7)
       return cmd_client(argv[2], static_cast<uint16_t>(std::stoul(argv[3])),
                         argc > 4 ? std::stoul(argv[4]) : 2000,
@@ -555,7 +563,7 @@ int main(int argc, char** argv) {
             "       %s combine <dir> <message> <partial-hex>...\n"
             "       %s verify <dir> <message> <signature-hex>\n"
             "       %s daemon [port] [cache-mb] [label] [--admin-token=T]"
-            " [--max-connections=N]\n"
+            " [--max-connections=N] [--io-threads=N]\n"
             "       %s client <host> <port> [tenants] [requests] [label]"
             " [--admin-token=T]\n"
             "       %s rpc-smoke\n"

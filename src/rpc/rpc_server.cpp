@@ -4,9 +4,11 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
 #include <signal.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -15,6 +17,7 @@
 #include <cstring>
 #include <deque>
 #include <system_error>
+#include <thread>
 
 #include "common/sha256.hpp"
 #include "rpc/fault_injector.hpp"
@@ -36,8 +39,8 @@ void set_nonblock(int fd) {
 /// SIGPIPE hardening, once per process: every socket send in this subsystem
 /// already passes MSG_NOSIGNAL, but a peer reset racing a write on a future
 /// code path (or a third-party fd inherited into the daemon) must never be
-/// able to kill the process — writes see EPIPE and the event loop closes the
-/// connection like any other hard error.
+/// able to kill the process — writes see EPIPE and the owning loop closes
+/// the connection like any other hard error.
 void ignore_sigpipe_once() {
   static const int once = [] {
     struct sigaction sa {};
@@ -68,29 +71,71 @@ bool constant_time_token_equal(std::string_view a, std::string_view b) {
   return diff == 0;
 }
 
+/// Response frames gathered per writev call. IOV_MAX is 1024 on Linux; 64
+/// already amortizes the syscall while keeping the stack array small.
+constexpr size_t kMaxWriteIov = 64;
+
 }  // namespace
 
-/// Per-connection state. Owned by the event loop through `conns_`;
+/// Per-connection state. Owned by exactly one loop through IoLoop::conns;
 /// completion-queue entries hold weak_ptrs only, so a disconnect drops its
 /// pending responses without any cross-thread coordination.
 struct RpcServer::Conn {
-  Conn(int fd_, uint32_t max_frame) : fd(fd_), frames(max_frame) {}
+  Conn(int fd_, uint32_t max_frame, IoLoop* loop_)
+      : fd(fd_), loop(loop_), frames(max_frame) {}
   ~Conn() {
     if (fd >= 0) ::close(fd);
   }
 
   int fd;
+  IoLoop* loop;  // fixed at accept: a conn never migrates between loops
   FrameBuffer frames;
   std::deque<Bytes> wq;  // encoded frames awaiting write
   size_t wq_bytes = 0;
   size_t woff = 0;        // progress into wq.front()
+  uint32_t events = 0;    // currently registered epoll interest mask
   bool read_shut = false; // shutdown drain: no further reads
   bool paused = false;    // backpressured: wq over high-water mark
 
-  // Token bucket (event-loop thread only): starts full so a burst up to
+  // Token bucket (owning loop thread only): starts full so a burst up to
   // conn_rate_burst is admitted before the rate bites.
   double tokens = 0;
   std::chrono::steady_clock::time_point last_refill{};
+};
+
+/// One IO loop: its own SO_REUSEPORT listener, epoll set, eventfd wake,
+/// connection table, completion queue, and counter slice. Everything except
+/// the completion queue and the counters is touched only by the loop's own
+/// thread; the counters are relaxed atomics summed at snapshot time.
+struct RpcServer::IoLoop {
+  size_t index = 0;
+  int listen_fd = -1;
+  int epoll_fd = -1;
+  int event_fd = -1;
+  int reserve_fd = -1;  // burned to accept-and-close when out of fds
+
+  std::unordered_map<int, std::shared_ptr<Conn>> conns;  // loop thread only
+
+  std::mutex comp_m;
+  std::vector<std::pair<std::weak_ptr<Conn>, Bytes>> completions;
+
+  // Per-loop counter slice: the loop thread (and, for nothing in this
+  // struct, pool workers) writes relaxed; STATS/HEALTH sums across loops.
+  std::atomic<uint64_t> accepts{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> frames_in{0};
+  std::atomic<uint64_t> protocol_errors{0};
+  std::atomic<uint64_t> busy_inflight{0};   // BUSY: global in-flight cap
+  std::atomic<uint64_t> busy_ratelimit{0};  // BUSY: token bucket empty
+  std::atomic<uint64_t> shed_arrival{0};    // SHED: budget 0 at decode time
+
+  ~IoLoop() {
+    conns.clear();
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (epoll_fd >= 0) ::close(epoll_fd);
+    if (event_fd >= 0) ::close(event_fd);
+    if (reserve_fd >= 0) ::close(reserve_fd);
+  }
 };
 
 RpcServer::RpcServer(ServerConfig cfg, service::ThreadPool& pool)
@@ -143,160 +188,212 @@ RpcServer::RpcServer(ServerConfig cfg, service::ThreadPool& pool)
       },
       pool_, "rpc-combine");
 
-  // Listener + self-pipe.
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw_errno("socket");
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(cfg_.port);
-  if (::inet_pton(AF_INET, cfg_.bind_addr.c_str(), &addr.sin_addr) != 1)
-    throw std::invalid_argument("RpcServer: bad bind address " +
-                                cfg_.bind_addr);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
-    throw_errno("bind");
-  if (::listen(listen_fd_, 128) < 0) throw_errno("listen");
-  socklen_t alen = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen) < 0)
-    throw_errno("getsockname");
-  port_ = ntohs(addr.sin_port);
-  set_nonblock(listen_fd_);
-  if (::pipe(wake_fd_) < 0) throw_errno("pipe");
-  set_nonblock(wake_fd_[0]);
-  set_nonblock(wake_fd_[1]);
-  reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+  // One listener per loop, every one bound to the SAME port with
+  // SO_REUSEPORT: the kernel hashes incoming connections across them, so
+  // accept parallelism needs no shared listener and no lock. Loop 0 binds
+  // first (possibly ephemeral) and fixes the port for the rest.
+  size_t n_loops = cfg_.io_threads;
+  if (n_loops == 0) {
+    size_t hw = std::thread::hardware_concurrency();
+    n_loops = std::min<size_t>(4, std::max<size_t>(1, hw / 2));
+  }
+  loops_.reserve(n_loops);
+  for (size_t i = 0; i < n_loops; ++i) {
+    auto L = std::make_unique<IoLoop>();
+    L->index = i;
+    L->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (L->listen_fd < 0) throw_errno("socket");
+    int one = 1;
+    ::setsockopt(L->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::setsockopt(L->listen_fd, SOL_SOCKET, SO_REUSEPORT, &one,
+                     sizeof(one)) < 0)
+      throw_errno("setsockopt(SO_REUSEPORT)");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(i == 0 ? cfg_.port : port_);
+    if (::inet_pton(AF_INET, cfg_.bind_addr.c_str(), &addr.sin_addr) != 1)
+      throw std::invalid_argument("RpcServer: bad bind address " +
+                                  cfg_.bind_addr);
+    if (::bind(L->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0)
+      throw_errno("bind");
+    if (::listen(L->listen_fd, 128) < 0) throw_errno("listen");
+    if (i == 0) {
+      socklen_t alen = sizeof(addr);
+      if (::getsockname(L->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                        &alen) < 0)
+        throw_errno("getsockname");
+      port_ = ntohs(addr.sin_port);
+    }
+    set_nonblock(L->listen_fd);
+
+    L->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (L->epoll_fd < 0) throw_errno("epoll_create1");
+    L->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (L->event_fd < 0) throw_errno("eventfd");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = L->event_fd;
+    if (::epoll_ctl(L->epoll_fd, EPOLL_CTL_ADD, L->event_fd, &ev) < 0)
+      throw_errno("epoll_ctl(eventfd)");
+    ev.data.fd = L->listen_fd;
+    if (::epoll_ctl(L->epoll_fd, EPOLL_CTL_ADD, L->listen_fd, &ev) < 0)
+      throw_errno("epoll_ctl(listener)");
+    L->reserve_fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+    loops_.push_back(std::move(L));
+  }
 }
 
 RpcServer::~RpcServer() {
   stop_.store(true, std::memory_order_release);
-  // Services are destroyed first (member order): they drain every pool task,
-  // whose completions land harmlessly in completions_ against dead weak
-  // pointers. Then the sockets close.
+  // Offloaded decode tasks hold raw references to the services; wait for
+  // them to land first (the pool keeps running — it outlives the server).
+  {
+    std::unique_lock<std::mutex> l(decode_m_);
+    decode_cv_.wait(l, [&] { return decode_inflight_ == 0; });
+  }
+  // Services next (they drain every pool task, whose completions land
+  // harmlessly in the per-loop queues against dead weak pointers), then the
+  // loops close their sockets (member order: loops_ declared first).
   verify_.reset();
   combine_.reset();
-  conns_.clear();
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-  for (int fd : wake_fd_)
-    if (fd >= 0) ::close(fd);
-  if (reserve_fd_ >= 0) ::close(reserve_fd_);
+  loops_.clear();
 }
 
 void RpcServer::stop() {
   stop_.store(true, std::memory_order_release);
-  wake();  // a single nonblocking write: async-signal-safe
+  // loops_ is sized once in the constructor and never resized: traversing
+  // it here is a read-only walk over pre-built state, and an eventfd write
+  // is async-signal-safe.
+  for (auto& L : loops_) wake(*L);
 }
 
-void RpcServer::wake() {
-  uint8_t b = 1;
-  // A full pipe already guarantees a pending wake-up; EAGAIN is success.
-  [[maybe_unused]] ssize_t n = ::write(wake_fd_[1], &b, 1);
+void RpcServer::wake(IoLoop& L) {
+  uint64_t one = 1;
+  // A saturated eventfd counter already guarantees a pending wake-up;
+  // EAGAIN is success.
+  [[maybe_unused]] ssize_t n = ::write(L.event_fd, &one, sizeof(one));
 }
 
-void RpcServer::run() { event_loop(); }
+void RpcServer::run() {
+  std::mutex err_m;
+  std::exception_ptr err;
+  auto drive = [&](IoLoop& L) {
+    try {
+      event_loop(L);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> l(err_m);
+        if (!err) err = std::current_exception();
+      }
+      stop();  // one loop dying takes the rest down through the drain path
+    }
+  };
+  std::vector<std::thread> extra;
+  extra.reserve(loops_.size() - 1);
+  for (size_t i = 1; i < loops_.size(); ++i)
+    extra.emplace_back([&, i] { drive(*loops_[i]); });
+  drive(*loops_[0]);
+  for (auto& t : extra) t.join();
+  if (err) std::rethrow_exception(err);
+}
 
-void RpcServer::event_loop() {
+void RpcServer::event_loop(IoLoop& L) {
   using clock = std::chrono::steady_clock;
   bool draining = false;
   clock::time_point drain_deadline{};
+  std::array<epoll_event, 128> evs;
 
-  std::vector<pollfd> pfds;
-  std::vector<std::shared_ptr<Conn>> pconns;  // parallel to pfds tail
   for (;;) {
     if (stop_.load(std::memory_order_acquire) && !draining) {
       draining = true;
       drain_deadline = clock::now() + cfg_.drain_timeout;
-      if (listen_fd_ >= 0) {
-        ::close(listen_fd_);
-        listen_fd_ = -1;
+      if (L.listen_fd >= 0) {
+        ::close(L.listen_fd);  // close also removes it from the epoll set
+        L.listen_fd = -1;
       }
       // Push pending service batches out now instead of waiting for their
-      // deadline flush, and stop reading: frames already buffered were
-      // parsed as they arrived, so every accepted request is in flight.
-      verify_->flush();
-      for (auto& [fd, c] : conns_) c->read_shut = true;
+      // deadline flush (once, whichever loop gets here first), and stop
+      // reading: frames already buffered were parsed as they arrived, so
+      // every accepted request is in flight.
+      if (!drain_flushed_.exchange(true)) verify_->flush();
+      for (auto& [fd, c] : L.conns) {
+        c->read_shut = true;
+        update_interest(L, *c);
+      }
     }
     if (draining) {
       bool wq_empty = true;
-      for (auto& [fd, c] : conns_) wq_empty = wq_empty && c->wq.empty();
-      bool idle = in_flight_.load(std::memory_order_acquire) == 0;
+      for (auto& [fd, c] : L.conns) wq_empty = wq_empty && c->wq.empty();
+      // A loop with live connections must wait for the GLOBAL in-flight
+      // count: any of those requests will complete into ITS queue. A loop
+      // whose connections are all gone has nothing left to deliver.
+      bool idle = L.conns.empty() ||
+                  in_flight_.load(std::memory_order_acquire) == 0;
       if (idle) {
-        std::lock_guard<std::mutex> l(comp_m_);
-        idle = completions_.empty();
+        std::lock_guard<std::mutex> l(L.comp_m);
+        idle = L.completions.empty();
       }
       if ((idle && wq_empty) || clock::now() > drain_deadline) break;
     }
 
-    pfds.clear();
-    pconns.clear();
-    pfds.push_back({wake_fd_[0], POLLIN, 0});
-    if (listen_fd_ >= 0) pfds.push_back({listen_fd_, POLLIN, 0});
-    for (auto& [fd, c] : conns_) {
-      short ev = 0;
-      // Backpressure with hysteresis: a connection that is not draining its
-      // responses loses its read interest at the high-water mark and only
-      // regains it below half, so a queue hovering at the threshold cannot
-      // flap read interest every iteration.
-      if (c->paused && c->wq_bytes < cfg_.write_backpressure / 2)
-        c->paused = false;
-      else if (!c->paused && c->wq_bytes >= cfg_.write_backpressure)
-        c->paused = true;
-      if (!c->read_shut && !c->paused) ev |= POLLIN;
-      if (!c->wq.empty()) ev |= POLLOUT;
-      if (ev == 0) continue;
-      pfds.push_back({fd, ev, 0});
-      pconns.push_back(c);
-    }
-
     int timeout_ms = draining ? 50 : -1;
-    int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
-    if (rc < 0) {
+    int n = ::epoll_wait(L.epoll_fd, evs.data(), int(evs.size()), timeout_ms);
+    if (n < 0) {
       if (errno == EINTR) continue;
-      throw_errno("poll");
+      throw_errno("epoll_wait");
     }
 
-    size_t idx = 0;
-    if (pfds[idx].revents & POLLIN) {
-      uint8_t buf[256];
-      for (;;) {
-        ssize_t n = ::read(wake_fd_[0], buf, sizeof(buf));
-        if (n > 0 || (n < 0 && errno == EINTR)) continue;
-        break;  // drained (EAGAIN) or EOF
+    // Connection I/O first, the listener LAST: a connection closed in this
+    // batch may free an fd number the accept path immediately reuses, and
+    // processing accepts after every stale event is dispatched means a
+    // recycled fd can never route an old connection's readiness to a new
+    // one.
+    bool accept_pending = false;
+    for (int i = 0; i < n; ++i) {
+      int fd = evs[i].data.fd;
+      if (fd == L.event_fd) {
+        uint64_t v;
+        while (::read(L.event_fd, &v, sizeof(v)) < 0 && errno == EINTR) {
+        }
+        continue;
       }
+      if (fd == L.listen_fd) {
+        accept_pending = true;
+        continue;
+      }
+      auto it = L.conns.find(fd);
+      if (it == L.conns.end()) continue;  // closed earlier this batch
+      auto c = it->second;                // keep alive across handlers
+      if (evs[i].events & EPOLLOUT) write_ready(L, c);
+      if (c->fd >= 0 && (evs[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)))
+        read_ready(L, c);
+      if (c->fd >= 0) update_interest(L, *c);
     }
-    ++idx;
-    drain_completions();
-    if (listen_fd_ >= 0) {
-      if (pfds[idx].revents & POLLIN) accept_ready();
-      ++idx;
-    }
-    for (size_t k = 0; idx < pfds.size(); ++idx, ++k) {
-      auto& c = pconns[k];
-      if (c->fd < 0) continue;  // closed earlier this iteration
-      if (pfds[idx].revents & (POLLOUT)) write_ready(c);
-      if (c->fd >= 0 && (pfds[idx].revents & (POLLIN | POLLHUP | POLLERR)))
-        read_ready(c);
-    }
+    if (accept_pending && L.listen_fd >= 0) accept_ready(L);
+    drain_completions(L);
   }
 
-  conns_.clear();
+  for (auto& [fd, c] : L.conns)
+    total_conns_.fetch_sub(1, std::memory_order_relaxed);
+  L.conns.clear();
 }
 
-void RpcServer::accept_ready() {
+void RpcServer::accept_ready(IoLoop& L) {
   for (;;) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int fd = ::accept(L.listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EMFILE || errno == ENFILE) {
         // Out of fds with a connection still queued: under level-triggered
-        // poll the listener would signal POLLIN forever and busy-spin the
-        // loop. Burn the reserve fd to accept-and-close the connection
+        // epoll the listener would signal forever and busy-spin the loop.
+        // Burn the loop's reserve fd to accept-and-close the connection
         // (the peer sees a clean refusal), then re-arm the reserve.
-        if (reserve_fd_ >= 0) {
-          ::close(reserve_fd_);
-          reserve_fd_ = -1;
-          int victim = ::accept(listen_fd_, nullptr, nullptr);
+        if (L.reserve_fd >= 0) {
+          ::close(L.reserve_fd);
+          L.reserve_fd = -1;
+          int victim = ::accept(L.listen_fd, nullptr, nullptr);
           if (victim >= 0) ::close(victim);
-          reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+          L.reserve_fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
           continue;
         }
         return;
@@ -304,12 +401,14 @@ void RpcServer::accept_ready() {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
       return;  // other transient accept failures (ECONNABORTED) are skipped
     }
-    // Connection cap: overflow is accepted-and-closed so the pending queue
-    // cannot re-signal the level-triggered listener forever, and the peer
-    // sees a clean close instead of a SYN backlog timeout.
-    if (cfg_.max_connections > 0 && conns_.size() >= cfg_.max_connections) {
+    // Connection cap (GLOBAL across loops): overflow is accepted-and-closed
+    // so the pending queue cannot re-signal the level-triggered listener
+    // forever, and the peer sees a clean close instead of a SYN backlog
+    // timeout.
+    if (cfg_.max_connections > 0 &&
+        total_conns_.load(std::memory_order_acquire) >= cfg_.max_connections) {
       ::close(fd);
-      conns_rejected_.fetch_add(1, std::memory_order_relaxed);
+      L.rejected.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     // Injected accept failure: the peer sees an immediate close, exactly the
@@ -321,20 +420,53 @@ void RpcServer::accept_ready() {
     set_nonblock(fd);
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    conns_.emplace(fd, std::make_shared<Conn>(fd, cfg_.max_frame));
-    conns_accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto c = std::make_shared<Conn>(fd, cfg_.max_frame, &L);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(L.epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      c->fd = -1;
+      continue;
+    }
+    c->events = EPOLLIN;
+    L.conns.emplace(fd, std::move(c));
+    total_conns_.fetch_add(1, std::memory_order_relaxed);
+    L.accepts.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-void RpcServer::close_conn(const std::shared_ptr<Conn>& c) {
+void RpcServer::close_conn(IoLoop& L, const std::shared_ptr<Conn>& c) {
   if (c->fd < 0) return;
   int fd = c->fd;
-  ::close(fd);
+  ::close(fd);  // also removes the fd from the epoll set
   c->fd = -1;
-  conns_.erase(fd);
+  L.conns.erase(fd);
+  total_conns_.fetch_sub(1, std::memory_order_relaxed);
 }
 
-void RpcServer::read_ready(const std::shared_ptr<Conn>& c) {
+void RpcServer::update_interest(IoLoop& L, Conn& c) {
+  if (c.fd < 0) return;
+  // Backpressure with hysteresis: a connection that is not draining its
+  // responses loses its read interest at the high-water mark and only
+  // regains it below half, so a queue hovering at the threshold cannot
+  // flap read interest on every event.
+  if (c.paused && c.wq_bytes < cfg_.write_backpressure / 2)
+    c.paused = false;
+  else if (!c.paused && c.wq_bytes >= cfg_.write_backpressure)
+    c.paused = true;
+  uint32_t want = 0;
+  if (!c.read_shut && !c.paused) want |= EPOLLIN;
+  if (!c.wq.empty()) want |= EPOLLOUT;
+  if (want == c.events) return;
+  epoll_event ev{};
+  ev.events = want;  // 0 still reports EPOLLHUP/EPOLLERR: errors stay visible
+  ev.data.fd = c.fd;
+  ::epoll_ctl(L.epoll_fd, EPOLL_CTL_MOD, c.fd, &ev);
+  c.events = want;
+}
+
+void RpcServer::read_ready(IoLoop& L, const std::shared_ptr<Conn>& c) {
   uint8_t buf[65536];
   for (;;) {
     size_t want = sizeof(buf);
@@ -344,7 +476,7 @@ void RpcServer::read_ready(const std::shared_ptr<Conn>& c) {
       auto fault = f->on_io(FaultInjector::kServerRead, want);
       if (fault == FaultInjector::IoFault::kEagain) break;
       if (fault == FaultInjector::IoFault::kReset) {
-        close_conn(c);
+        close_conn(L, c);
         return;
       }
     }
@@ -353,7 +485,7 @@ void RpcServer::read_ready(const std::shared_ptr<Conn>& c) {
       c->frames.feed({buf, size_t(n)});
       // A peer streaming faster than we parse must not stage unbounded
       // memory: cap the unparsed buffer at one max frame plus one read and
-      // go parse; poll() is level-triggered, the rest re-signals.
+      // go parse; epoll is level-triggered, the rest re-signals.
       if (c->frames.buffered() > size_t(cfg_.max_frame) + sizeof(buf)) break;
       if (size_t(n) < sizeof(buf)) break;
       continue;
@@ -363,7 +495,7 @@ void RpcServer::read_ready(const std::shared_ptr<Conn>& c) {
     // EOF or hard error: a mid-request disconnect. In-flight completions
     // hold weak_ptrs and get dropped; the batches they folded into are
     // unaffected.
-    close_conn(c);
+    close_conn(L, c);
     return;
   }
 
@@ -371,75 +503,135 @@ void RpcServer::read_ready(const std::shared_ptr<Conn>& c) {
   for (;;) {
     auto r = c->frames.next(frame);
     if (r == FrameBuffer::Result::kNeedMore) return;
-    if (r == FrameBuffer::Result::kTooBig || !handle_frame(c, frame)) {
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      close_conn(c);
+    if (r == FrameBuffer::Result::kTooBig || !handle_frame(L, c, frame)) {
+      L.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      close_conn(L, c);
       return;
     }
   }
 }
 
-void RpcServer::write_ready(const std::shared_ptr<Conn>& c) {
+void RpcServer::write_ready(IoLoop& L, const std::shared_ptr<Conn>& c) {
   while (!c->wq.empty()) {
-    const Bytes& front = c->wq.front();
-    size_t len = front.size() - c->woff;
+    // Gather every queued frame (up to kMaxWriteIov) into ONE writev: the
+    // old per-frame send loop paid a syscall per response, which at batch
+    // depth is exactly the overhead a batching daemon exists to avoid.
+    iovec iov[kMaxWriteIov];
+    size_t niov = 0, total = 0;
+    size_t off = c->woff;
+    for (auto it = c->wq.begin(); it != c->wq.end() && niov < kMaxWriteIov;
+         ++it) {
+      iov[niov].iov_base = const_cast<uint8_t*>(it->data() + off);
+      iov[niov].iov_len = it->size() - off;
+      total += iov[niov].iov_len;
+      ++niov;
+      off = 0;
+    }
+    size_t len = total;
     if (auto* f = FaultInjector::active()) {
       auto fault = f->on_io(FaultInjector::kServerWrite, len);
       if (fault == FaultInjector::IoFault::kEagain) return;
       if (fault == FaultInjector::IoFault::kReset) {
-        close_conn(c);
+        close_conn(L, c);
         return;
       }
+      if (len < total) {
+        // Injected short write: clamp the gather list to `len` bytes so the
+        // kernel cannot move more than the schedule allows.
+        size_t budget = len;
+        size_t k = 0;
+        for (; k < niov && budget > 0; ++k) {
+          if (iov[k].iov_len > budget) iov[k].iov_len = budget;
+          budget -= iov[k].iov_len;
+        }
+        niov = std::max<size_t>(k, 1);
+        total = len;
+      }
     }
-    ssize_t n = ::send(c->fd, front.data() + c->woff, len, MSG_NOSIGNAL);
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = niov;
+    ssize_t n = ::sendmsg(c->fd, &mh, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       if (errno == EINTR) continue;
-      close_conn(c);
+      close_conn(L, c);
       return;
     }
-    c->woff += size_t(n);
-    if (c->woff < front.size()) return;
-    c->wq_bytes -= front.size();
-    c->wq.pop_front();
-    c->woff = 0;
+    // Consume n bytes across the queued frames.
+    size_t left = size_t(n);
+    while (left > 0) {
+      const Bytes& front = c->wq.front();
+      size_t avail = front.size() - c->woff;
+      if (left >= avail) {
+        left -= avail;
+        c->wq_bytes -= front.size();
+        c->wq.pop_front();
+        c->woff = 0;
+      } else {
+        c->woff += left;
+        left = 0;
+      }
+    }
+    if (size_t(n) < total) return;  // kernel buffer full: wait for EPOLLOUT
   }
 }
 
 void RpcServer::send_now(const std::shared_ptr<Conn>& c, Bytes payload) {
   if (c->fd < 0) return;
+  IoLoop& L = *c->loop;
   Bytes framed;
   framed.reserve(4 + payload.size());
   append_frame(framed, payload, cfg_.max_frame);
   c->wq_bytes += framed.size();
   c->wq.push_back(std::move(framed));
-  write_ready(c);  // opportunistic flush; the rest goes out via POLLOUT
+  write_ready(L, c);  // opportunistic flush; the rest goes out via EPOLLOUT
+  if (c->fd >= 0) update_interest(L, *c);
 }
 
-void RpcServer::complete(const std::weak_ptr<Conn>& c, Bytes payload) {
-  {
-    std::lock_guard<std::mutex> l(comp_m_);
-    completions_.emplace_back(c, std::move(payload));
+void RpcServer::complete(const std::weak_ptr<Conn>& wc, Bytes payload) {
+  if (auto c = wc.lock()) {
+    IoLoop& L = *c->loop;
+    {
+      std::lock_guard<std::mutex> l(L.comp_m);
+      L.completions.emplace_back(wc, std::move(payload));
+    }
+    in_flight_.fetch_sub(1, std::memory_order_release);
+    wake(L);
+  } else {
+    // The connection died: its response is dropped on the floor, but the
+    // request still leaves the in-flight window.
+    in_flight_.fetch_sub(1, std::memory_order_release);
   }
-  in_flight_.fetch_sub(1, std::memory_order_release);
-  wake();
 }
 
-void RpcServer::drain_completions() {
+void RpcServer::drain_completions(IoLoop& L) {
   std::vector<std::pair<std::weak_ptr<Conn>, Bytes>> batch;
   {
-    std::lock_guard<std::mutex> l(comp_m_);
-    batch.swap(completions_);
+    std::lock_guard<std::mutex> l(L.comp_m);
+    batch.swap(L.completions);
   }
   for (auto& [wc, payload] : batch)
     if (auto c = wc.lock()) send_now(c, std::move(payload));
+}
+
+void RpcServer::offload(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> l(decode_m_);
+    ++decode_inflight_;
+  }
+  pool_.submit([this, fn = std::move(fn)] {
+    fn();
+    std::lock_guard<std::mutex> l(decode_m_);
+    if (--decode_inflight_ == 0) decode_cv_.notify_all();
+  });
 }
 
 // Token-bucket + in-flight-cap admission for one data-plane request.
 // Rejections are BUSY — attributable and retryable, never a teardown: under
 // overload the one thing the daemon must NOT do is make clients guess
 // whether their request died, was dropped, or is still queued.
-bool RpcServer::admit(const std::shared_ptr<Conn>& c, uint64_t id,
+bool RpcServer::admit(IoLoop& L, const std::shared_ptr<Conn>& c, uint64_t id,
                       double cost) {
   if (cfg_.conn_rate_limit > 0) {
     auto now = std::chrono::steady_clock::now();
@@ -453,7 +645,7 @@ bool RpcServer::admit(const std::shared_ptr<Conn>& c, uint64_t id,
     }
     c->last_refill = now;
     if (c->tokens < cost) {
-      busy_ratelimit_.fetch_add(1, std::memory_order_relaxed);
+      L.busy_ratelimit.fetch_add(1, std::memory_order_relaxed);
       send_now(c, encode_rejection(id, Status::kBusy,
                                    "rate limited: connection over its "
                                    "request budget"));
@@ -463,7 +655,7 @@ bool RpcServer::admit(const std::shared_ptr<Conn>& c, uint64_t id,
   }
   if (cfg_.max_in_flight > 0 &&
       in_flight_.load(std::memory_order_acquire) >= cfg_.max_in_flight) {
-    busy_inflight_.fetch_add(1, std::memory_order_relaxed);
+    L.busy_inflight.fetch_add(1, std::memory_order_relaxed);
     send_now(c, encode_rejection(id, Status::kBusy,
                                  "server at in-flight capacity"));
     return false;
@@ -471,7 +663,7 @@ bool RpcServer::admit(const std::shared_ptr<Conn>& c, uint64_t id,
   return true;
 }
 
-bool RpcServer::handle_frame(const std::shared_ptr<Conn>& c,
+bool RpcServer::handle_frame(IoLoop& L, const std::shared_ptr<Conn>& c,
                              std::span<const uint8_t> payload) {
   if (auto* f = FaultInjector::active()) f->on_frame();
   try {
@@ -484,8 +676,8 @@ bool RpcServer::handle_frame(const std::shared_ptr<Conn>& c,
     if (h.budget_ms) {
       if (*h.budget_ms == 0 && h.method != Method::kPing &&
           h.method != Method::kStats && h.method != Method::kHealth) {
-        shed_arrival_.fetch_add(1, std::memory_order_relaxed);
-        frames_in_.fetch_add(1, std::memory_order_relaxed);
+        L.shed_arrival.fetch_add(1, std::memory_order_relaxed);
+        L.frames_in.fetch_add(1, std::memory_order_relaxed);
         send_now(c, encode_rejection(h.request_id, Status::kShed,
                                      "deadline budget spent on arrival"));
         return true;
@@ -513,24 +705,24 @@ bool RpcServer::handle_frame(const std::shared_ptr<Conn>& c,
         break;
       case Method::kVerify: {
         VerifyRequest req = decode_verify(rd);
-        if (admit(c, h.request_id, 1))
+        if (admit(L, c, h.request_id, 1))
           dispatch_verify(c, h.request_id, std::move(req), deadline);
         break;
       }
       case Method::kBatchVerify: {
         BatchVerifyRequest req = decode_batch_verify(rd);
-        if (admit(c, h.request_id, std::max<double>(1, req.items.size())))
+        if (admit(L, c, h.request_id, std::max<double>(1, req.items.size())))
           dispatch_batch_verify(c, h.request_id, std::move(req), deadline);
         break;
       }
       case Method::kCombine: {
         CombineRequest req = decode_combine(rd);
-        if (admit(c, h.request_id, 1))
+        if (admit(L, c, h.request_id, 1))
           dispatch_combine(c, h.request_id, std::move(req));
         break;
       }
     }
-    frames_in_.fetch_add(1, std::memory_order_relaxed);
+    L.frames_in.fetch_add(1, std::memory_order_relaxed);
     return true;
   } catch (const std::exception&) {
     // Structural violation (truncated body, bad counts, unknown ids,
@@ -659,20 +851,26 @@ void RpcServer::dispatch_verify(
     }
     complete(wc, std::move(resp));
   };
+  // The tenant's registered scheme parses the opaque signature blob; the
+  // erased handle and its prepared verifier are therefore always the same
+  // scheme by construction. parse_signature is a G1 sqrt decompression —
+  // the IO loop's old hot spot — so it runs as a pool task: the loop goes
+  // straight back to its sockets.
+  const threshold::Scheme* scheme = &registry_.at(scheme_id);
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
-  try {
-    // The tenant's registered scheme parses the opaque signature blob; the
-    // erased handle and its prepared verifier are therefore always the same
-    // scheme by construction.
-    threshold::SigHandle sig =
-        registry_.at(scheme_id).parse_signature(req.sig);
-    verify_->submit(req.key, std::move(req.msg), std::move(sig),
-                    std::move(done), deadline);
-  } catch (const std::exception& e) {
-    // Bad signature encoding inside a well-formed frame: attributable.
-    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-    send_now(c, encode_error(id, e.what()));
-  }
+  offload([this, wc, id, scheme, req = std::move(req), deadline,
+           done = std::move(done)]() mutable {
+    try {
+      threshold::SigHandle sig = scheme->parse_signature(req.sig);
+      verify_->submit(req.key, std::move(req.msg), std::move(sig),
+                      std::move(done), deadline);
+    } catch (const std::exception& e) {
+      // Bad signature encoding inside a well-formed frame: attributable.
+      complete(wc, encode_error(id, e.what()));
+    } catch (...) {
+      complete(wc, encode_error(id, "verify dispatch failed"));
+    }
+  });
 }
 
 void RpcServer::dispatch_batch_verify(
@@ -703,7 +901,7 @@ void RpcServer::dispatch_batch_verify(
   // starts at the FULL item count so no early completion can observe zero
   // while later items are still being staged; a malformed signature blob is
   // simply not a valid signature -> rejected without a service round trip,
-  // accounted on the staging thread.
+  // accounted on the staging task.
   struct BatchState {
     std::mutex m;
     std::vector<uint8_t> results;
@@ -731,44 +929,50 @@ void RpcServer::dispatch_batch_verify(
     complete(wc, std::move(resp));
   };
 
-  const threshold::Scheme& scheme = registry_.at(scheme_id);
+  // The per-item signature parses (the batch's whole decompression bill)
+  // run as ONE staging task on the pool, not on the IO loop.
+  const threshold::Scheme* scheme = &registry_.at(scheme_id);
+  auto reqp = std::make_shared<BatchVerifyRequest>(std::move(req));
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
-  for (size_t j = 0; j < req.items.size(); ++j) {
-    auto item_done = [st, j, finish](bool ok, std::exception_ptr err) {
-      bool last;
-      {
-        std::lock_guard<std::mutex> l(st->m);
-        if (err && st->error.empty()) {
-          try {
-            std::rethrow_exception(err);
-          } catch (const service::DeadlineShed& e) {
-            st->error = e.what();
-            st->shed = true;
-          } catch (const std::exception& e) {
-            st->error = e.what();
-          } catch (...) {
-            st->error = "batch item failed";
+  offload([this, st, scheme, reqp, deadline, finish] {
+    for (size_t j = 0; j < reqp->items.size(); ++j) {
+      auto item_done = [st, j, finish](bool ok, std::exception_ptr err) {
+        bool last;
+        {
+          std::lock_guard<std::mutex> l(st->m);
+          if (err && st->error.empty()) {
+            try {
+              std::rethrow_exception(err);
+            } catch (const service::DeadlineShed& e) {
+              st->error = e.what();
+              st->shed = true;
+            } catch (const std::exception& e) {
+              st->error = e.what();
+            } catch (...) {
+              st->error = "batch item failed";
+            }
           }
+          st->results[j] = (!err && ok) ? 1 : 0;
+          last = --st->outstanding == 0;
         }
-        st->results[j] = (!err && ok) ? 1 : 0;
-        last = --st->outstanding == 0;
+        if (last) finish();
+      };
+      try {
+        threshold::SigHandle sig =
+            scheme->parse_signature(reqp->items[j].second);
+        verify_->submit(reqp->key, std::move(reqp->items[j].first),
+                        std::move(sig), item_done, deadline);
+      } catch (const std::exception&) {
+        bool last;
+        {
+          std::lock_guard<std::mutex> l(st->m);
+          st->results[j] = 0;  // malformed encoding: rejected, not submitted
+          last = --st->outstanding == 0;
+        }
+        if (last) finish();
       }
-      if (last) finish();
-    };
-    try {
-      threshold::SigHandle sig = scheme.parse_signature(req.items[j].second);
-      verify_->submit(req.key, std::move(req.items[j].first), std::move(sig),
-                      item_done, deadline);
-    } catch (const std::exception&) {
-      bool last;
-      {
-        std::lock_guard<std::mutex> l(st->m);
-        st->results[j] = 0;  // malformed encoding: rejected, never submitted
-        last = --st->outstanding == 0;
-      }
-      if (last) finish();  // complete() handles the event-loop-thread case
     }
-  }
+  });
 }
 
 void RpcServer::dispatch_combine(const std::shared_ptr<Conn>& c, uint64_t id,
@@ -784,37 +988,45 @@ void RpcServer::dispatch_combine(const std::shared_ptr<Conn>& c, uint64_t id,
     }
     scheme_id = it->second.scheme;
   }
-  std::vector<threshold::PartialHandle> parts;
-  try {
-    const threshold::Scheme& scheme = registry_.at(scheme_id);
-    parts.reserve(req.partials.size());
-    for (const auto& p : req.partials)
-      parts.push_back(scheme.parse_partial(p));
-  } catch (const std::exception& e) {
-    send_now(c, encode_error(id, e.what()));
-    return;
-  }
 
   std::weak_ptr<Conn> wc = c;
+  // parse_partial per share is the same decompression bill as verify's
+  // parse_signature: staged on the pool, off the IO loop.
+  const threshold::Scheme* scheme = &registry_.at(scheme_id);
+  auto reqp = std::make_shared<CombineRequest>(std::move(req));
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
-  combine_->submit(
-      req.key, scheme_id, std::move(req.msg), std::move(parts),
-      [this, wc, id](service::CombineOutcome* out, std::exception_ptr err) {
-        Bytes resp;
-        if (err) {
-          try {
-            std::rethrow_exception(err);
-          } catch (const std::exception& e) {
-            resp = encode_error(id, e.what());
-          } catch (...) {
-            resp = encode_error(id, "combine failed");
+  offload([this, wc, id, scheme, scheme_id, reqp] {
+    std::vector<threshold::PartialHandle> parts;
+    try {
+      parts.reserve(reqp->partials.size());
+      for (const auto& p : reqp->partials)
+        parts.push_back(scheme->parse_partial(p));
+    } catch (const std::exception& e) {
+      complete(wc, encode_error(id, e.what()));
+      return;
+    } catch (...) {
+      complete(wc, encode_error(id, "combine dispatch failed"));
+      return;
+    }
+    combine_->submit(
+        reqp->key, scheme_id, std::move(reqp->msg), std::move(parts),
+        [this, wc, id](service::CombineOutcome* out, std::exception_ptr err) {
+          Bytes resp;
+          if (err) {
+            try {
+              std::rethrow_exception(err);
+            } catch (const std::exception& e) {
+              resp = encode_error(id, e.what());
+            } catch (...) {
+              resp = encode_error(id, "combine failed");
+            }
+          } else {
+            resp = encode_ok(id,
+                             encode_combine_result({out->sig, out->cheaters}));
           }
-        } else {
-          resp = encode_ok(id,
-                           encode_combine_result({out->sig, out->cheaters}));
-        }
-        complete(wc, std::move(resp));
-      });
+          complete(wc, std::move(resp));
+        });
+  });
 }
 
 service::ServiceStats RpcServer::verify_stats() const {
@@ -826,9 +1038,12 @@ HealthStats RpcServer::snapshot_health() const {
   h.in_flight = in_flight_.load(std::memory_order_acquire);
   h.inflight_cap = cfg_.max_in_flight;
   h.queue_depth = verify_->pending();
-  h.busy_inflight = busy_inflight_.load(std::memory_order_relaxed);
-  h.busy_ratelimit = busy_ratelimit_.load(std::memory_order_relaxed);
-  h.shed_arrival = shed_arrival_.load(std::memory_order_relaxed);
+  // Exact per-loop aggregation: each loop owns its slice, HEALTH sums them.
+  for (const auto& L : loops_) {
+    h.busy_inflight += L->busy_inflight.load(std::memory_order_relaxed);
+    h.busy_ratelimit += L->busy_ratelimit.load(std::memory_order_relaxed);
+    h.shed_arrival += L->shed_arrival.load(std::memory_order_relaxed);
+  }
   h.shed_in_service = verify_->stats().deadline_sheds;
   return h;
 }
@@ -843,11 +1058,15 @@ DaemonStats RpcServer::snapshot_stats() const {
     for (const auto& [key, info] : tenants_)
       ++tenants_by_scheme[threshold::scheme_stats_slot(info.scheme)];
   }
-  s.connections = conns_accepted_.load(std::memory_order_relaxed);
-  s.conns_rejected = conns_rejected_.load(std::memory_order_relaxed);
+  // Exact per-loop aggregation (the connection/frame/error counters each
+  // live on the loop that observed them).
+  for (const auto& L : loops_) {
+    s.connections += L->accepts.load(std::memory_order_relaxed);
+    s.conns_rejected += L->rejected.load(std::memory_order_relaxed);
+    s.frames_in += L->frames_in.load(std::memory_order_relaxed);
+    s.protocol_errors += L->protocol_errors.load(std::memory_order_relaxed);
+  }
   s.auth_failures = auth_failures_.load(std::memory_order_relaxed);
-  s.frames_in = frames_in_.load(std::memory_order_relaxed);
-  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
 
   auto add_cache = [&s](const service::KeyCacheStats& cs) {
     s.cache_hits += cs.hits;

@@ -1,25 +1,35 @@
-// The long-running TCP serving daemon: a poll()-driven event loop over
-// non-blocking sockets in front of the multi-tenant in-process stack — ONE
-// scheme-agnostic path since PR 5: a SchemeRegistry resolves every tenant's
-// SchemeId to its plugin, ONE KeyCacheManager<PreparedVerifier> holds the
-// prepared state of every scheme's tenants (keys namespaced by scheme name
-// + pk digest), and ONE MultiTenantVerificationService / ONE
+// The long-running TCP serving daemon: an epoll-driven MULTI-LOOP front end
+// over non-blocking sockets in front of the multi-tenant in-process stack —
+// ONE scheme-agnostic path since PR 5: a SchemeRegistry resolves every
+// tenant's SchemeId to its plugin, ONE KeyCacheManager<PreparedVerifier>
+// holds the prepared state of every scheme's tenants (keys namespaced by
+// scheme name + pk digest), and ONE MultiTenantVerificationService / ONE
 // MultiTenantCombineService serve RO, DLIN, Agg, and BLS tenants through
 // the same queue and per-key folds.
 //
-// Threading model — one I/O thread, N crypto workers:
+// Threading model since PR 7 — N IO loops, M crypto workers:
 //
-//   * The event-loop thread (the caller of run()) owns every socket: it
-//     accepts, reads, deframes, decodes, and writes. It never computes a
-//     pairing.
-//   * Decoded VERIFY/BATCH_VERIFY/COMBINE requests are submitted to the
-//     services with a COMPLETION CALLBACK; the services batch them into
-//     per-tenant RLC folds on the thread pool exactly as in-process callers
-//     get. When a callback fires (on a pool worker), the encoded response is
-//     pushed onto a completion queue and the event loop is woken through a
-//     self-pipe — the only cross-thread handoff in the subsystem.
-//   * Responses therefore complete OUT OF ORDER; the request id written by
-//     the client is echoed back so a pipelined connection can match them.
+//   * run() drives `io_threads` INDEPENDENT event loops (epoll, level-
+//     triggered). Each loop owns its own SO_REUSEPORT listener bound to the
+//     same address, so the kernel spreads incoming connections across loops
+//     with no accept lock and no fd handoff; a connection lives its whole
+//     life on the loop that accepted it. Loops never compute a pairing.
+//   * Each loop has its own completion queue woken by its own eventfd (the
+//     old shared self-pipe is gone); a completion is routed to the loop
+//     that owns its connection, so response queuing never crosses loops.
+//   * Request DECODE is off the IO loops: the wire-level body split still
+//     happens on the loop (cheap memcpy, and a malformed frame must close
+//     the connection synchronously), but `Scheme::parse_signature` /
+//     `parse_partial` — the G1 sqrt decompression hot spot — runs as a
+//     thread-pool task, which then submits to the services with a
+//     COMPLETION CALLBACK exactly as before.
+//   * Responses flush with writev (one syscall per readiness, not one per
+//     frame) and complete OUT OF ORDER; the request id written by the
+//     client is echoed back so a pipelined connection can match them.
+//   * Batch flush is ADAPTIVE (BatchPolicy::adaptive, default on for the
+//     daemon): pending folds dispatch when the pool goes idle or the batch
+//     fills — max_delay is only the upper bound, so p50 tracks load
+//     instead of a fixed timer floor.
 //
 // Robustness properties the tests pin down:
 //
@@ -28,11 +38,12 @@
 //   * REGISTER_TENANT is an ADMIN frame: with `admin_token` configured, a
 //     request whose token fails the constant-time comparison gets an
 //     attributable ERROR (counted in auth_failures) and registers nothing.
-//   * Connections over `max_connections` are accepted and immediately
-//     closed (the peer sees a clean refusal, the daemon stays level).
+//   * Connections over `max_connections` (a GLOBAL cap shared by every
+//     loop) are accepted and immediately closed (the peer sees a clean
+//     refusal, the daemon stays level).
 //   * A connection that stops draining its responses is backpressured: once
-//     its write queue exceeds `write_backpressure` bytes the loop stops
-//     reading from it (no POLLIN) until the queue drains below half.
+//     its write queue exceeds `write_backpressure` bytes its loop drops its
+//     read interest until the queue drains below half.
 //   * A mid-request disconnect drops the pending completions on the floor
 //     (they hold weak_ptrs to the connection) without disturbing the batch
 //     they were folded into.
@@ -41,17 +52,20 @@
 //     bucket gets a BUSY response (retryable, the connection stays open); a
 //     request whose wire deadline budget is already zero on arrival — or
 //     spent by the time its fold would run (see verification_service) —
-//     gets SHED. The HEALTH method reports every one of these counters.
-//   * stop() is async-signal-safe (atomic store + pipe write). Shutdown
-//     drains: buffered complete frames are still dispatched, in-flight
-//     batches finish, responses flush, then sockets close — bounded by
-//     `drain_timeout`.
+//     gets SHED. The HEALTH method reports every one of these counters,
+//     each summed EXACTLY over the per-loop slices.
+//   * stop() is async-signal-safe (atomic store + one eventfd write per
+//     loop). Shutdown drains: every loop closes its listener, buffered
+//     complete frames are still dispatched, in-flight batches finish,
+//     responses flush, then sockets close — bounded by `drain_timeout`.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -76,12 +90,19 @@ struct ServerConfig {
   /// Empty = open daemon (loopback demos, tests); non-empty = required,
   /// compared in constant time.
   std::string admin_token;
-  /// Simultaneous-connection cap; further connections are accepted and
-  /// immediately closed. 0 = unlimited.
+  /// Number of IO event loops, each with its own SO_REUSEPORT listener,
+  /// epoll set, eventfd, and completion queue. 0 = auto:
+  /// min(4, max(1, hardware_concurrency / 2)).
+  size_t io_threads = 0;
+  /// Simultaneous-connection cap ACROSS ALL LOOPS; further connections are
+  /// accepted and immediately closed. 0 = unlimited.
   size_t max_connections = 1024;
   size_t cache_bytes = size_t(256) << 20;  // verifier cache byte budget
   size_t cache_shards = 16;
-  service::BatchPolicy batch{};
+  /// The daemon defaults the service to ADAPTIVE flush: batches grow while
+  /// the pool is folding and dispatch the moment it goes idle, so response
+  /// p50 tracks load instead of the max_delay timer (see BatchPolicy).
+  service::BatchPolicy batch{.adaptive = true};
   uint32_t max_frame = kMaxFrameBytes;
   size_t write_backpressure = size_t(4) << 20;
   std::chrono::milliseconds drain_timeout{5000};
@@ -102,8 +123,8 @@ struct ServerConfig {
 
 class RpcServer {
  public:
-  /// Binds and listens (throws std::system_error on failure) but does not
-  /// serve until run(). `pool` must outlive the server.
+  /// Binds every loop's listener (throws std::system_error on failure) but
+  /// does not serve until run(). `pool` must outlive the server.
   RpcServer(ServerConfig cfg, service::ThreadPool& pool);
 
   /// The caller must stop() and join whichever thread is inside run()
@@ -114,8 +135,12 @@ class RpcServer {
   RpcServer& operator=(const RpcServer&) = delete;
 
   uint16_t port() const { return port_; }
+  /// The resolved loop count (cfg.io_threads after the 0 = auto default).
+  size_t io_loops() const { return loops_.size(); }
 
-  /// Serves until stop(). Call from exactly one thread.
+  /// Serves until stop(): spawns loops 1..N-1 as internal threads, runs
+  /// loop 0 on the calling thread, joins everything before returning. The
+  /// first exception any loop died with is rethrown here.
   void run();
 
   /// Requests shutdown; safe from any thread and from a signal handler.
@@ -123,7 +148,7 @@ class RpcServer {
 
   DaemonStats snapshot_stats() const;
   /// The HEALTH method's body: current in-flight / queue depth plus the
-  /// admission-control rejection counters.
+  /// admission-control rejection counters (summed across loops).
   HealthStats snapshot_health() const;
   /// The ONE cache behind every scheme's prepared verifiers.
   const service::KeyCacheManager<threshold::PreparedVerifier>&
@@ -136,9 +161,10 @@ class RpcServer {
 
  private:
   struct Conn;
+  struct IoLoop;
 
-  /// What the event loop needs to route a tenant's requests: which plugin
-  /// parses its blobs, and whether COMBINE is provisioned.
+  /// What a loop needs to route a tenant's requests: which plugin parses
+  /// its blobs, and whether COMBINE is provisioned.
   struct TenantInfo {
     threshold::SchemeId scheme{};
     bool combine_capable = false;
@@ -155,13 +181,16 @@ class RpcServer {
     std::shared_ptr<const threshold::Committee> committee;
   };
 
-  void event_loop();
-  void accept_ready();
-  void read_ready(const std::shared_ptr<Conn>& c);
-  void write_ready(const std::shared_ptr<Conn>& c);
+  void event_loop(IoLoop& L);
+  void accept_ready(IoLoop& L);
+  void read_ready(IoLoop& L, const std::shared_ptr<Conn>& c);
+  void write_ready(IoLoop& L, const std::shared_ptr<Conn>& c);
+  /// Recomputes the connection's epoll interest mask (read unless paused or
+  /// shut, write while the queue is non-empty) and MODs it when it changed.
+  void update_interest(IoLoop& L, Conn& c);
   /// Decodes and dispatches one request frame. Returns false on a protocol
   /// violation (caller closes the connection).
-  bool handle_frame(const std::shared_ptr<Conn>& c,
+  bool handle_frame(IoLoop& L, const std::shared_ptr<Conn>& c,
                     std::span<const uint8_t> payload);
   void handle_register(const std::shared_ptr<Conn>& c, uint64_t id,
                        ByteReader& rd);
@@ -176,58 +205,65 @@ class RpcServer {
   /// Admission control shared by the dispatch_* fronts: charges the token
   /// bucket and checks the in-flight cap; a false return already sent the
   /// BUSY rejection.
-  bool admit(const std::shared_ptr<Conn>& c, uint64_t id, double cost);
+  bool admit(IoLoop& L, const std::shared_ptr<Conn>& c, uint64_t id,
+             double cost);
 
-  /// Queues an already-encoded response payload from any thread and wakes
-  /// the event loop. Counterpart of a dispatch_* in_flight_ increment.
+  /// Runs `fn` on the thread pool, tracked so the destructor can wait for
+  /// every offloaded decode to land before tearing the services down. `fn`
+  /// must not throw.
+  void offload(std::function<void()> fn);
+
+  /// Queues an already-encoded response payload from any thread onto the
+  /// owning loop's completion queue and wakes that loop's eventfd.
+  /// Counterpart of a dispatch_* in_flight_ increment.
   void complete(const std::weak_ptr<Conn>& c, Bytes payload);
-  /// Same, from the event-loop thread itself (no queue round-trip).
+  /// Same, from the connection's own loop thread (no queue round-trip).
   void send_now(const std::shared_ptr<Conn>& c, Bytes payload);
-  void drain_completions();
-  void close_conn(const std::shared_ptr<Conn>& c);
-  void wake();
+  void drain_completions(IoLoop& L);
+  void close_conn(IoLoop& L, const std::shared_ptr<Conn>& c);
+  void wake(IoLoop& L);
 
   ServerConfig cfg_;
   service::ThreadPool& pool_;
   threshold::SystemParams params_;
   threshold::SchemeRegistry registry_;
 
-  int listen_fd_ = -1;
   uint16_t port_ = 0;
-  int wake_fd_[2] = {-1, -1};  // self-pipe: [0] polled, [1] written
-  int reserve_fd_ = -1;  // burned to accept-and-close when out of fds
-
   std::atomic<bool> stop_{false};
+  std::atomic<bool> drain_flushed_{false};  // one service flush at drain start
+  std::atomic<size_t> total_conns_{0};      // live conns across all loops
 
-  // Completion plumbing. Declared BEFORE the services so pool callbacks
-  // firing during service teardown still find it alive.
-  mutable std::mutex comp_m_;
-  std::vector<std::pair<std::weak_ptr<Conn>, Bytes>> completions_;
+  // Per-loop state (listener, epoll, eventfd, conns, completion queue,
+  // counter slices). Declared BEFORE the services so pool callbacks firing
+  // during service teardown still find the completion queues alive; sized
+  // in the constructor and never resized after, so stop() may traverse it
+  // from a signal handler.
+  std::vector<std::unique_ptr<IoLoop>> loops_;
+
   std::atomic<uint64_t> in_flight_{0};
 
-  // Tenant registry: event loop writes on REGISTER, pool workers read from
+  // Offloaded-decode tracking: the destructor must not tear the services
+  // down while a pool task still holds a reference to them.
+  std::mutex decode_m_;
+  std::condition_variable decode_cv_;
+  uint64_t decode_inflight_ = 0;  // guarded by decode_m_
+
+  // Tenant registry: loop threads write on REGISTER, pool workers read from
   // the providers. The providers read the DIGEST-keyed maps (immutable per
   // digest); `tenants_` (mutable: a tenant may rotate keys or schemes) is
-  // only read on the event loop for routing.
+  // only read on the loop threads for routing.
   mutable std::mutex reg_m_;
   std::unordered_map<std::string, TenantInfo> tenants_;
   std::unordered_map<std::string, PkEntry> pk_by_digest_;
   std::unordered_map<std::string, CommitteeEntry> committee_by_digest_;
 
-  // Lifetime counters (event loop writes, stats reads). Per-scheme slices
-  // are dense by SchemeId with an overflow slot for out-of-tree ids.
-  std::atomic<uint64_t> conns_accepted_{0};
-  std::atomic<uint64_t> conns_rejected_{0};
+  // Lifetime counters that stay GLOBAL (any loop may write; stats read).
+  // The per-loop slices (accepts, rejects, frames, protocol errors, busy /
+  // shed) live in IoLoop and are summed exactly at snapshot time. Per-scheme
+  // slices are dense by SchemeId with an overflow slot for out-of-tree ids.
   std::atomic<uint64_t> auth_failures_{0};
-  std::atomic<uint64_t> frames_in_{0};
-  std::atomic<uint64_t> protocol_errors_{0};
-  std::atomic<uint64_t> busy_inflight_{0};   // BUSY: global in-flight cap
-  std::atomic<uint64_t> busy_ratelimit_{0};  // BUSY: token bucket empty
-  std::atomic<uint64_t> shed_arrival_{0};    // SHED: budget 0 at decode time
   std::array<std::atomic<uint64_t>, threshold::kSchemeIdCount + 1>
       deduped_by_scheme_{};
-
-  std::unordered_map<int, std::shared_ptr<Conn>> conns_;  // event loop only
 
   // Caches + services last: their destructors drain every outstanding pool
   // task while the members above are still alive.

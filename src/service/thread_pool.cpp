@@ -52,6 +52,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
   {
     std::lock_guard<std::mutex> l(m_);
     if (tls_pool == this) {
@@ -100,7 +101,33 @@ void ThreadPool::worker_loop(size_t id) {
       }
     }
     task();
+    task = nullptr;  // captures released before the idle edge is observable
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      notify_if_idle();
   }
+}
+
+size_t ThreadPool::add_idle_listener(std::function<void()> cb) {
+  std::lock_guard<std::mutex> l(cb_m_);
+  size_t token = next_listener_++;
+  listeners_.emplace_back(token, std::move(cb));
+  return token;
+}
+
+void ThreadPool::remove_idle_listener(size_t token) {
+  std::lock_guard<std::mutex> l(cb_m_);
+  std::erase_if(listeners_,
+                [token](const auto& e) { return e.first == token; });
+}
+
+void ThreadPool::notify_if_idle() {
+  // Invocation holds cb_m_, which is what makes remove_idle_listener a
+  // quiescence point. Re-check under the lock: a submit racing the 1 -> 0
+  // edge means the pool is busy again and the new task's own completion
+  // will re-fire the edge.
+  std::lock_guard<std::mutex> l(cb_m_);
+  if (pending_.load(std::memory_order_acquire) != 0) return;
+  for (auto& [token, cb] : listeners_) cb();
 }
 
 void ThreadPool::parallel_for(size_t n,

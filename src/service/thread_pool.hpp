@@ -39,6 +39,22 @@ class ThreadPool {
   /// shutdown (the destructor drains the queues).
   void submit(std::function<void()> task);
 
+  /// True when no submitted task is queued or executing. A racy snapshot by
+  /// nature — callers use it as a batching HINT (is there spare capacity
+  /// right now?), never as a completion barrier.
+  bool idle() const { return pending_.load(std::memory_order_acquire) == 0; }
+
+  /// Registers a callback fired each time the pool TRANSITIONS to idle (the
+  /// last executing task finished with every queue empty). The callback runs
+  /// on a worker thread and must be cheap and non-throwing; it may submit()
+  /// but must NOT call add/remove_idle_listener (self-deadlock). This is the
+  /// hook adaptive batch flushing hangs off: "the pool has spare capacity —
+  /// stop accumulating and dispatch". Returns a token for removal.
+  size_t add_idle_listener(std::function<void()> cb);
+  /// Unregisters a listener. On return the callback is guaranteed to not be
+  /// mid-invocation and to never run again (invocations hold the same lock).
+  void remove_idle_listener(size_t token);
+
   /// Runs body(0..n-1), blocking until all iterations finished. The first
   /// exception thrown by any iteration is rethrown here (remaining
   /// iterations are skipped). Callable from within a pool task.
@@ -47,6 +63,7 @@ class ThreadPool {
  private:
   void worker_loop(size_t id);
   bool try_pop(size_t id, std::function<void()>& task);
+  void notify_if_idle();
 
   std::vector<std::deque<std::function<void()>>> queues_;
   std::vector<std::thread> workers_;
@@ -55,6 +72,14 @@ class ThreadPool {
   size_t queued_ = 0;  // total tasks across queues_ (guarded by m_)
   bool stop_ = false;
   std::atomic<size_t> rr_{0};  // round-robin cursor for outside submissions
+
+  // Idle tracking: queued + executing tasks in one counter (incremented at
+  // submit, decremented after the task body returns), so the 1 -> 0 edge is
+  // exactly the busy -> idle transition.
+  std::atomic<size_t> pending_{0};
+  std::mutex cb_m_;  // guards listeners_ AND serializes their invocation
+  std::vector<std::pair<size_t, std::function<void()>>> listeners_;
+  size_t next_listener_ = 0;  // guarded by cb_m_
 };
 
 }  // namespace bnr::service

@@ -16,6 +16,7 @@ void accumulate(ServiceStats& into, const ServiceStats& s) {
   into.batches += s.batches;
   into.size_flushes += s.size_flushes;
   into.deadline_flushes += s.deadline_flushes;
+  into.idle_flushes += s.idle_flushes;
   into.fallbacks += s.fallbacks;
   into.accepted += s.accepted;
   into.rejected += s.rejected;
@@ -38,10 +39,28 @@ MultiTenantVerificationService::MultiTenantVerificationService(
       policy_(policy),
       pool_(pool),
       rng_(Rng::from_entropy().fork(rng_label)) {
+  if (policy_.adaptive) {
+    // The pool's busy -> idle edge is the adaptive flush trigger: set the
+    // hint and poke the flusher. Runs on a worker under the pool's listener
+    // lock — cheap and non-throwing, as the contract requires.
+    idle_listener_token_ = pool_.add_idle_listener([this] {
+      {
+        std::lock_guard<std::mutex> l(m_);
+        pool_idle_hint_ = true;
+      }
+      cv_.notify_one();
+    });
+    idle_listener_registered_ = true;
+  }
   flusher_ = std::thread([this] { flusher_loop(); });
 }
 
 MultiTenantVerificationService::~MultiTenantVerificationService() {
+  // Unregister FIRST: remove_idle_listener returning guarantees no listener
+  // invocation is in flight, so nothing can touch this service's members
+  // while (or after) they are torn down.
+  if (idle_listener_registered_)
+    pool_.remove_idle_listener(idle_listener_token_);
   {
     std::unique_lock<std::mutex> l(m_);
     stop_ = true;
@@ -72,6 +91,12 @@ void MultiTenantVerificationService::submit(
     flush_now = pending_.size() >= policy_.max_batch;
     if (flush_now) {
       ++total_.size_flushes;
+      dispatch_locked(l, /*deadline=*/false);
+    } else if (policy_.adaptive && pool_.idle()) {
+      // The pool has spare capacity RIGHT NOW: accumulating further buys no
+      // amortization, only latency. (An idle() misread races a concurrent
+      // submit at worst into one undersized batch.)
+      ++total_.idle_flushes;
       dispatch_locked(l, /*deadline=*/false);
     }
   }
@@ -246,11 +271,23 @@ void MultiTenantVerificationService::flusher_loop() {
   for (;;) {
     if (stop_) return;
     if (pending_.empty()) {
+      pool_idle_hint_ = false;  // only meaningful against a live batch
       cv_.wait(l, [&] { return stop_ || !pending_.empty(); });
       continue;
     }
+    // Adaptive: a pool gone idle flushes the batch immediately; max_delay
+    // below stays as the upper bound when the pool never drains.
+    if (policy_.adaptive && pool_idle_hint_) {
+      pool_idle_hint_ = false;
+      ++total_.idle_flushes;
+      dispatch_locked(l, /*deadline=*/false);
+      continue;
+    }
     auto deadline = oldest_ + policy_.max_delay;
-    if (cv_.wait_until(l, deadline, [&] { return stop_ || pending_.empty(); }))
+    if (cv_.wait_until(l, deadline, [&] {
+          return stop_ || pending_.empty() ||
+                 (policy_.adaptive && pool_idle_hint_);
+        }))
       continue;  // state changed under us; re-evaluate
     if (std::chrono::steady_clock::now() < oldest_ + policy_.max_delay)
       continue;  // the armed deadline belonged to an already-flushed batch

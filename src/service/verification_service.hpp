@@ -60,6 +60,17 @@ namespace bnr::service {
 struct BatchPolicy {
   size_t max_batch = 64;                      // flush when this many pending
   std::chrono::milliseconds max_delay{5};     // ... or the oldest is this old
+  /// ADAPTIVE flush (PR 7): additionally dispatch the pending batch the
+  /// moment the thread pool goes idle — batches grow exactly while the
+  /// workers are busy folding (when batching buys amortization) and flush
+  /// immediately once there is spare capacity (when batching buys nothing
+  /// but latency), so p50 tracks load instead of the max_delay timer.
+  /// max_delay stays as the upper bound and max_batch still flushes.
+  /// Default OFF: timer-driven queue residency is load-bearing for callers
+  /// that camp requests to exercise deadline shedding (and for benches
+  /// whose pacing is calibrated against the timer); the RPC daemon turns
+  /// it on by default (ServerConfig).
+  bool adaptive = false;
 };
 
 /// Raised through a submission's callback when its deadline budget was
@@ -77,6 +88,7 @@ struct ServiceStats {
                                  // group per flush — never across keys)
   uint64_t size_flushes = 0;     // flushes triggered by max_batch
   uint64_t deadline_flushes = 0; // flushes triggered by max_delay
+  uint64_t idle_flushes = 0;     // adaptive flushes (pool went idle)
   uint64_t fallbacks = 0;        // folds that failed -> individual re-verify
   uint64_t accepted = 0;
   uint64_t rejected = 0;
@@ -191,6 +203,12 @@ class MultiTenantVerificationService {
   std::chrono::steady_clock::time_point oldest_{};
   size_t in_flight_ = 0;
   bool stop_ = false;
+  // Adaptive flush plumbing: the pool's idle-transition listener sets the
+  // hint (under m_) and pokes cv_; the flusher consumes it against a live
+  // batch. Registered only when policy_.adaptive.
+  bool pool_idle_hint_ = false;
+  bool idle_listener_registered_ = false;
+  size_t idle_listener_token_ = 0;
   ServiceStats total_;
   // Dense per-scheme slices (id - 1); ids outside the built-in range fold
   // into the overflow slot so an out-of-tree plugin never indexes OOB.

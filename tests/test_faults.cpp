@@ -318,7 +318,8 @@ TEST_F(FaultsTest, SpentBudgetIsShedOnArrival) {
 // accepted + rejected + deadline_sheds exactly.
 TEST_F(FaultsTest, ServiceShedsExpiredDeadlinesBeforeTheFold) {
   ServerConfig cfg = base_cfg();
-  cfg.batch.max_delay = 60ms;  // every sub-60ms deadline expires in queue
+  cfg.batch.max_delay = 60ms;   // every sub-60ms deadline expires in queue
+  cfg.batch.adaptive = false;   // pool-idle flush would beat the deadline
   Daemon d(cfg);
   auto km = keygen(3, 1);
   RpcClient client("127.0.0.1", d.port());
@@ -356,7 +357,8 @@ TEST_F(FaultsTest, ServiceShedsExpiredDeadlinesBeforeTheFold) {
 TEST_F(FaultsTest, InFlightCapSendsBusyAndRetriesRecover) {
   ServerConfig cfg = base_cfg();
   cfg.max_in_flight = 1;
-  cfg.batch.max_delay = 40ms;  // the first request camps on the only slot
+  cfg.batch.max_delay = 40ms;   // the first request camps on the only slot
+  cfg.batch.adaptive = false;   // idle flush would free the slot instantly
   Daemon d(cfg);
   auto km = keygen(3, 1);
 
@@ -561,6 +563,9 @@ TEST_F(FaultsTest, AcceptFailuresDoNotWedgeTheListener) {
 TEST_F(FaultsTest, CrashRestartReconcilesOnTheSamePort) {
   auto km = keygen(3, 1);
   auto cfg = base_cfg();
+  // Multi-loop on both sides of the crash: the restart rebinds all four
+  // SO_REUSEPORT listeners to the SAME fixed port the first daemon held.
+  cfg.io_threads = 4;
   auto first = std::make_unique<Daemon>(cfg);
   uint16_t port = first->port();
 

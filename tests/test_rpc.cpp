@@ -693,5 +693,152 @@ TEST_F(RpcDaemonTest, GracefulShutdownDrainsInFlightBatches) {
   server_.reset();  // destructor after run() returned: clean teardown
 }
 
+// ---------------------------------------------------------------------------
+// Multi-loop front end: N SO_REUSEPORT acceptor/IO loops on one port
+
+// Concurrent clients land across all four loops (the kernel hashes each
+// connect onto one listener), every request answers correctly, and a
+// graceful stop() drains EVERY loop: no pipelined request vanishes because
+// its connection happened to live on loop 2.
+TEST_F(RpcDaemonTest, MultiLoopServesConcurrentClientsAndDrainsAllLoops) {
+  service::ThreadPool pool(4);
+  ServerConfig cfg;
+  cfg.port = 0;
+  cfg.params_label = "rpc-daemon/v1";
+  cfg.io_threads = 4;
+  cfg.batch.max_delay = std::chrono::milliseconds(1);
+  RpcServer server(cfg, pool);
+  EXPECT_EQ(server.io_loops(), 4u);
+  std::thread serving([&] { server.run(); });
+
+  auto km = keygen(3, 1);
+  auto [msg, sig] = make_signed(km, "multi-loop");
+  Signature bad = forge(sig);
+  {
+    RpcClient reg("127.0.0.1", server.port());
+    EXPECT_FALSE(reg.register_ro_committee("acme", km).get());
+  }
+
+  constexpr int kClients = 8, kReqs = 24;
+  std::atomic<int> wrong{0};
+  {
+    // Keep every client alive until its futures resolve, so the drain path
+    // has live connections on (with overwhelming probability) every loop.
+    std::vector<std::thread> clients;
+    for (int cl = 0; cl < kClients; ++cl)
+      clients.emplace_back([&, cl] {
+        RpcClient client("127.0.0.1", server.port());
+        std::vector<std::pair<std::future<bool>, bool>> futs;
+        for (int j = 0; j < kReqs; ++j) {
+          bool valid = (j + cl) % 4 != 0;
+          futs.emplace_back(client.verify("acme", msg, valid ? sig : bad),
+                            valid);
+        }
+        for (auto& [f, expect] : futs)
+          if (f.get() != expect) wrong.fetch_add(1);
+      });
+    for (auto& t : clients) t.join();
+  }
+  EXPECT_EQ(wrong.load(), 0);
+
+  // The per-loop accept counters sum to exactly the connections opened:
+  // one registration client plus the eight traffic clients.
+  auto st = server.snapshot_stats();
+  EXPECT_EQ(st.connections, uint64_t(kClients) + 1);
+  EXPECT_EQ(st.protocol_errors, 0u);
+
+  server.stop();
+  serving.join();
+  auto vs = server.verify_stats();
+  EXPECT_EQ(vs.submitted, uint64_t(kClients) * kReqs);
+  EXPECT_EQ(vs.accepted + vs.rejected + vs.deadline_sheds, vs.submitted);
+}
+
+// Cross-loop accounting is EXACT, not approximate: each loop owns a counter
+// slice, and the STATS/HEALTH snapshots must sum the slices so that traffic
+// deliberately spread over separate connections (= separate loops) is fully
+// attributed: frames, protocol errors, arrival sheds, and the service-side
+// submitted == accepted + rejected + deadline_sheds split.
+TEST_F(RpcDaemonTest, PerLoopCountersAggregateExactlyAcrossLoops) {
+  service::ThreadPool pool(4);
+  ServerConfig cfg;
+  cfg.port = 0;
+  cfg.params_label = "rpc-daemon/v1";
+  cfg.io_threads = 4;
+  cfg.batch.max_delay = std::chrono::milliseconds(1);
+  RpcServer server(cfg, pool);
+  std::thread serving([&] { server.run(); });
+
+  auto km = keygen(3, 1);
+  auto [msg, sig] = make_signed(km, "per-loop");
+  RpcClient client("127.0.0.1", server.port());
+  EXPECT_FALSE(client.register_ro_committee("acme", km).get());
+
+  // Sends one framed payload on a FRESH connection (its own loop) and reads
+  // back one response frame.
+  auto raw_round_trip = [&](const Bytes& payload) {
+    RawConn raw(server.port());
+    Bytes framed;
+    append_frame(framed, payload);
+    raw.send_all(framed);
+    uint8_t chunk[4096];
+    FrameBuffer fb;
+    Bytes frame;
+    for (;;) {
+      ssize_t n = ::recv(raw.fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return Bytes{};
+      fb.feed({chunk, size_t(n)});
+      if (fb.next(frame) == FrameBuffer::Result::kFrame) return frame;
+    }
+  };
+
+  // Budget-0 requests are shed at arrival by whichever loop reads them;
+  // each rides its own connection so the sheds land on multiple loops.
+  constexpr int kSheds = 8;
+  for (int j = 0; j < kSheds; ++j) {
+    VerifyRequest req{"acme", msg, sig.serialize()};
+    Bytes resp = raw_round_trip(encode_verify(uint64_t(j + 1), req, 0u));
+    ASSERT_FALSE(resp.empty());
+    ByteReader rd(resp);
+    EXPECT_EQ(decode_response_header(rd).status, Status::kShed);
+  }
+  // Garbage frames likewise, one per connection.
+  constexpr int kGarbage = 5;
+  for (int j = 0; j < kGarbage; ++j) {
+    RawConn raw(server.port());
+    ByteWriter w;
+    w.u8(0xEE);
+    w.u64(uint64_t(j));
+    Bytes framed;
+    append_frame(framed, w.bytes());
+    raw.send_all(framed);
+    EXPECT_EQ(raw.read_to_eof(), 0u);
+  }
+  // Real traffic on top.
+  constexpr int kVerifies = 20;
+  std::vector<std::future<bool>> futs;
+  for (int j = 0; j < kVerifies; ++j)
+    futs.push_back(client.verify("acme", msg, sig));
+  for (auto& f : futs) EXPECT_TRUE(f.get());
+
+  HealthStats health = server.snapshot_health();
+  EXPECT_EQ(health.shed_arrival, uint64_t(kSheds));
+
+  auto st = server.snapshot_stats();
+  EXPECT_EQ(st.protocol_errors, uint64_t(kGarbage));
+  // 1 client + kSheds + kGarbage raw connections, each accepted by its loop.
+  EXPECT_EQ(st.connections, 1u + kSheds + kGarbage);
+  // Every parsed frame is counted by the loop that read it: registration +
+  // verifies + shed requests + the final STATS/HEALTH probes themselves.
+  EXPECT_GE(st.frames_in, 1u + kVerifies + kSheds);
+
+  server.stop();
+  serving.join();
+  auto vs = server.verify_stats();
+  EXPECT_EQ(vs.submitted, uint64_t(kVerifies));
+  EXPECT_EQ(vs.accepted + vs.rejected + vs.deadline_sheds, vs.submitted);
+  EXPECT_EQ(vs.accepted, uint64_t(kVerifies));
+}
+
 }  // namespace
 }  // namespace bnr

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Doc consistency checker for README.md and docs/*.md (stdlib only).
+
+Checks, in order:
+  1. Every relative markdown link target exists on disk.
+  2. Every intra-repo anchor (`file.md#heading` or `#heading`) resolves to
+     a real heading in the target file, using GitHub's slug rules.
+  3. Every committed bench record (bench/records/BENCH_*.json) is
+     mentioned in docs/benchmarks.md — a new baseline cannot land
+     undocumented.
+
+External http(s) links are *not* fetched (CI must not depend on the
+network); they are only syntax-checked for balanced parentheses.
+
+Exit 0 when clean, 1 with one line per problem otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# [text](target) — target may not contain whitespace or an unescaped ')'.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^()\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+
+
+def github_slug(heading):
+    """GitHub's heading → anchor id transform (close enough for ASCII +
+    the punctuation these docs use)."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path, cache={}):
+    if path not in cache:
+        body = CODE_FENCE_RE.sub("", path.read_text())
+        cache[path] = {github_slug(h) for h in HEADING_RE.findall(body)}
+    return cache[path]
+
+
+def check_file(path, problems):
+    body = CODE_FENCE_RE.sub("", path.read_text())
+    for target in LINK_RE.findall(body):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target, _, anchor = target.partition("#")
+        dest = path if not target else (path.parent / target).resolve()
+        if not dest.exists():
+            problems.append(f"{path.relative_to(ROOT)}: broken link -> {target}")
+            continue
+        if anchor and dest.suffix == ".md":
+            if anchor not in anchors_of(dest):
+                problems.append(
+                    f"{path.relative_to(ROOT)}: anchor #{anchor} not found "
+                    f"in {dest.relative_to(ROOT)}")
+
+
+def main():
+    docs = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
+    problems = []
+    for doc in docs:
+        if not doc.exists():
+            problems.append(f"missing expected doc: {doc.relative_to(ROOT)}")
+            continue
+        check_file(doc, problems)
+
+    bench_doc = ROOT / "docs" / "benchmarks.md"
+    bench_text = bench_doc.read_text() if bench_doc.exists() else ""
+    for rec in sorted((ROOT / "bench" / "records").glob("BENCH_*.json")):
+        if rec.name not in bench_text:
+            problems.append(
+                f"docs/benchmarks.md does not mention {rec.name}; "
+                "run tools/gen_bench_docs.py")
+
+    if problems:
+        for p in problems:
+            print(f"FAIL: {p}")
+        return 1
+    print(f"ok: {len(docs)} docs checked, links and bench records consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
