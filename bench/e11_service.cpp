@@ -7,9 +7,8 @@
 //      fold evaluated across the thread pool.
 //   2. The request-driven verification service: individual cached verifies
 //      vs RLC-batched flushes through the async queue (driven through the
-//      deprecated single-tenant shim, which is a thin adapter over the
-//      unified type-erased MultiTenantVerificationService — so this ladder
-//      measures the PR-5 serving core AND keeps the shim honest).
+//      unified type-erased MultiTenantVerificationService with one tenant
+//      key — the same serving core the daemon runs).
 //   3. The pool-parallel primitives (Pippenger windows, Miller-loop chunks)
 //      against their serial counterparts.
 //
@@ -134,13 +133,24 @@ int main() {
 
   service::BatchPolicy policy{.max_batch = 32,
                               .max_delay = std::chrono::milliseconds(2)};
-  service::RoVerificationService svc(verifier, policy, pool);
+  service::KeyCacheManager<threshold::PreparedVerifier> vcache(
+      service::KeyCachePolicy{.byte_budget = size_t(16) << 20, .shards = 1});
+  service::MultiTenantVerificationService svc(
+      vcache,
+      [&](const std::string&) {
+        return threshold::erase_verifier<threshold::RoVerifier,
+                                         threshold::Signature>(
+            threshold::SchemeId::kRo, threshold::RoVerifier(scheme, vkm.pk));
+      },
+      policy, pool);
   double service_ns = bench::ns_per_op(
       [&] {
         std::vector<std::future<bool>> futs;
         futs.reserve(kReqs);
         for (size_t j = 0; j < kReqs; ++j)
-          futs.push_back(svc.submit(msgs[j], sigs[j]));
+          futs.push_back(svc.submit(
+              "tenant", msgs[j],
+              threshold::erase_signature(threshold::SchemeId::kRo, sigs[j])));
         bool ok = true;
         for (auto& f : futs) ok = ok && f.get();
         sink = ok;

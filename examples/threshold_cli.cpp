@@ -12,6 +12,15 @@
 //   ./threshold_cli client  <host> <port> [tenants] [requests] [label]
 //                           [--admin-token=T]
 //   ./threshold_cli rpc-smoke
+//   ./threshold_cli cluster [nodes] [tenants] [requests]
+//   ./threshold_cli cluster-smoke
+//
+// `cluster` spins up N local daemons behind one ClusterClient (consistent-
+// hash tenant routing, replicated registrations, failover) and kills a node
+// mid-run to show traffic re-routing; `cluster-smoke` is the CI assertion
+// version: replicated registration must verify on EVERY node, killing the
+// ring owner must fail over cleanly, and every surviving node must drain
+// with its accounting identity intact.
 //
 // The daemon's ADMIN surface (REGISTER_TENANT) can be gated with a shared
 // secret: pass --admin-token=... (or set BNR_ADMIN_TOKEN) on both sides.
@@ -39,6 +48,7 @@
 #include <string>
 #include <thread>
 
+#include "rpc/cluster_client.hpp"
 #include "rpc/fault_injector.hpp"
 #include "rpc/rpc_client.hpp"
 #include "rpc/rpc_server.hpp"
@@ -467,6 +477,238 @@ int cmd_rpc_smoke() {
   return ok ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// Cluster front end: N in-process daemons behind one ClusterClient.
+
+/// N daemons on ephemeral loopback ports, individually killable — the local
+/// stand-in for a real multi-host deployment.
+struct LocalCluster {
+  service::ThreadPool pool;
+  std::vector<std::unique_ptr<rpc::RpcServer>> servers;
+  std::vector<std::thread> serving;
+
+  LocalCluster(size_t n, const std::string& label,
+               const std::string& token) {
+    for (size_t i = 0; i < n; ++i) {
+      rpc::ServerConfig cfg;
+      cfg.port = 0;
+      cfg.params_label = label;
+      cfg.cache_bytes = size_t(64) << 20;
+      cfg.admin_token = token;
+      cfg.batch.max_delay = std::chrono::milliseconds(1);
+      servers.push_back(std::make_unique<rpc::RpcServer>(cfg, pool));
+      serving.emplace_back([s = servers.back().get()] { s->run(); });
+    }
+  }
+  ~LocalCluster() {
+    for (size_t i = 0; i < servers.size(); ++i) kill(i);
+  }
+  void kill(size_t i) {
+    if (!serving[i].joinable()) return;
+    servers[i]->stop();
+    serving[i].join();
+  }
+  rpc::ClusterConfig config(const std::string& label,
+                            const std::string& token) const {
+    rpc::ClusterConfig cfg;
+    for (const auto& s : servers) cfg.nodes.push_back({"127.0.0.1", s->port()});
+    cfg.params_label = label;
+    cfg.admin_token = token;
+    cfg.down_backoff = std::chrono::milliseconds(200);
+    cfg.client.retry.max_attempts = 2;
+    cfg.client.retry.initial_backoff = std::chrono::milliseconds(5);
+    cfg.client.retry.max_backoff = std::chrono::milliseconds(40);
+    return cfg;
+  }
+};
+
+void print_rollup(rpc::ClusterClient& cluster) {
+  auto roll = cluster.stats_rollup();
+  printf("\ncluster rollup: %zu nodes, %zu up\n", roll.nodes.size(),
+         roll.nodes_up);
+  printf("  %-16s %-5s %9s %9s %9s %9s %9s\n", "node", "state", "open",
+         "accepts", "submitted", "accepted", "rejected");
+  for (const auto& row : roll.nodes)
+    printf("  %-16s %-5s %9llu %9llu %9llu %9llu %9llu\n",
+           row.endpoint.label().c_str(), row.up ? "up" : "DOWN",
+           (unsigned long long)row.stats.open_connections,
+           (unsigned long long)row.stats.connections,
+           (unsigned long long)row.stats.verify_submitted,
+           (unsigned long long)row.stats.verify_accepted,
+           (unsigned long long)row.stats.verify_rejected);
+  printf("  %-16s %-5s %9llu %9llu %9llu %9llu %9llu\n", "TOTAL", "",
+         (unsigned long long)roll.total.open_connections,
+         (unsigned long long)roll.total.connections,
+         (unsigned long long)roll.total.verify_submitted,
+         (unsigned long long)roll.total.verify_accepted,
+         (unsigned long long)roll.total.verify_rejected);
+  auto cs = cluster.cluster_stats();
+  printf("client: routed %llu, failovers %llu, failed %llu, replicated %llu "
+         "acks, resyncs %llu\n",
+         (unsigned long long)cs.routed, (unsigned long long)cs.failovers,
+         (unsigned long long)cs.failed, (unsigned long long)cs.replicated,
+         (unsigned long long)cs.resyncs);
+}
+
+/// `cluster [nodes] [tenants] [requests]`: a self-contained demo — spin up
+/// N local daemons, replicate tenant registrations across all of them,
+/// route verify traffic by consistent hash, then kill one node mid-run and
+/// show failover keeping the traffic flowing.
+int cmd_cluster(size_t nodes, size_t tenants, size_t requests) {
+  const std::string label = "cli-cluster/v1";
+  if (nodes < 2) {
+    fprintf(stderr, "cluster: need at least 2 nodes\n");
+    return 2;
+  }
+  printf("starting %zu local daemons...\n", nodes);
+  LocalCluster lc(nodes, label, /*token=*/"");
+  rpc::ClusterClient cluster(lc.config(label, ""));
+
+  RoScheme ro(SystemParams::derive(label));
+  Rng rng("cli-cluster");
+  constexpr size_t kPks = 4;
+  std::vector<KeyMaterial> kms;
+  std::vector<Bytes> msg(kPks);
+  std::vector<Bytes> sig(kPks);
+  for (size_t p = 0; p < kPks; ++p) {
+    kms.push_back(ro.dist_keygen(3, 1, rng));
+    msg[p] = to_bytes("cluster demo " + std::to_string(p));
+    std::vector<PartialSignature> parts;
+    for (uint32_t i = 1; i <= 2; ++i)
+      parts.push_back(ro.share_sign(kms[p].shares[i - 1], msg[p]));
+    sig[p] = ro.combine_unchecked(1, parts).serialize();
+  }
+
+  printf("replicating %zu tenant registrations to every node...\n", tenants);
+  for (size_t t = 0; t < tenants; ++t) {
+    const auto& km = kms[t % kPks];
+    Committee c;
+    c.pk = km.pk.serialize();
+    c.n = uint32_t(km.n);
+    c.t = uint32_t(km.t);
+    for (const auto& vk : km.vks) c.vks.push_back(vk.serialize());
+    auto out = cluster.register_committee("t-" + std::to_string(t),
+                                          SchemeId::kRo, c);
+    if (!out.all()) {
+      fprintf(stderr, "registration of t-%zu only acked %zu/%zu nodes\n", t,
+              out.acks, out.acked.size());
+      return 1;
+    }
+  }
+
+  printf("driving %zu routed verifies (killing node 0 halfway)...\n",
+         requests);
+  size_t ok = 0, failed = 0;
+  for (size_t r = 0; r < requests; ++r) {
+    if (r == requests / 2) {
+      printf("  ... killing %s\n", cluster.endpoint(0).label().c_str());
+      lc.kill(0);
+    }
+    size_t t = rng.uniform(tenants);
+    try {
+      if (cluster.verify("t-" + std::to_string(t), msg[t % kPks],
+                         sig[t % kPks]))
+        ++ok;
+      else
+        ++failed;
+    } catch (const std::exception&) {
+      ++failed;
+    }
+  }
+  printf("verified %zu/%zu (%zu failed)\n", ok, requests, failed);
+  print_rollup(cluster);
+  return failed == 0 ? 0 : 1;
+}
+
+/// The CI entry for the cluster layer: 3 daemons, a registration through
+/// the replicated admin plane must verify on EVERY node, then kill one and
+/// assert clean failover plus each survivor's accounting identity.
+int cmd_cluster_smoke() {
+  const std::string label = "cluster-smoke/v1";
+  const std::string token = "cluster-smoke-admin-token";
+  LocalCluster lc(3, label, token);
+  printf("cluster-smoke: daemons on ports %u %u %u\n", lc.servers[0]->port(),
+         lc.servers[1]->port(), lc.servers[2]->port());
+
+  bool ok = true;
+  auto check = [&](bool cond, const std::string& what) {
+    ok = ok && cond;
+    printf("  %-54s %s\n", what.c_str(), cond ? "ok" : "FAIL");
+  };
+  size_t victim = 0;
+  rpc::ClusterClient cluster(lc.config(label, token));
+  try {
+    RoScheme ro(SystemParams::derive(label));
+    Rng rng("cluster-smoke");
+    auto km = ro.dist_keygen(4, 1, rng);
+    Committee c;
+    c.pk = km.pk.serialize();
+    c.n = uint32_t(km.n);
+    c.t = uint32_t(km.t);
+    for (const auto& vk : km.vks) c.vks.push_back(vk.serialize());
+
+    auto out = cluster.register_committee("acme", SchemeId::kRo, c);
+    check(out.all() && out.acks == 3,
+          "REGISTER replicated to all 3 nodes through the admin plane");
+
+    Bytes msg = to_bytes("cluster smoke message");
+    std::vector<PartialSignature> parts;
+    for (uint32_t i = 1; i <= 2; ++i)
+      parts.push_back(ro.share_sign(km.shares[i - 1], msg));
+    Bytes sig = ro.combine_unchecked(1, parts).serialize();
+    Signature forged = ro.combine_unchecked(1, parts);
+    forged.z = (G1::from_affine(forged.z) + G1::generator()).to_affine();
+
+    bool every_node = true;
+    for (size_t i = 0; i < cluster.node_count(); ++i) {
+      every_node = every_node &&
+                   cluster.node_client(i).verify_bytes("acme", msg, sig).get();
+      every_node = every_node && !cluster.node_client(i)
+                                      .verify_bytes("acme", msg,
+                                                    forged.serialize())
+                                      .get();
+    }
+    check(every_node, "tenant verifies (and rejects forgeries) on EVERY node");
+
+    // Routed steady state, then kill the tenant's ring owner mid-traffic.
+    victim = cluster.route("acme");
+    for (int i = 0; i < 8; ++i)
+      if (!cluster.verify("acme", msg, sig)) ok = false;
+    check(cluster.cluster_stats().failovers == 0,
+          "steady state served by the ring owner");
+    lc.kill(victim);
+    bool after = true;
+    for (int i = 0; i < 16; ++i) after = after && cluster.verify("acme", msg, sig);
+    auto cs = cluster.cluster_stats();
+    check(after && cs.failovers > 0 && cs.failed == 0,
+          "kill ring owner -> clean failover, no failed calls");
+
+    auto roll = cluster.stats_rollup();
+    check(roll.nodes_up == 2 && !roll.nodes[victim].up,
+          "rollup shows 2 up / 1 down");
+  } catch (const std::exception& e) {
+    fprintf(stderr, "cluster-smoke exception: %s\n", e.what());
+    ok = false;
+  }
+
+  // Survivors drain clean: every submitted request accounted for.
+  for (size_t i = 0; i < lc.servers.size(); ++i) {
+    lc.kill(i);
+    if (i == victim) continue;
+    auto vs = lc.servers[i]->verify_stats();
+    bool drained =
+        vs.submitted == vs.accepted + vs.rejected + vs.deadline_sheds;
+    printf("  node %zu drain: %llu submitted = %llu accepted + %llu "
+           "rejected + %llu shed %s\n",
+           i, (unsigned long long)vs.submitted,
+           (unsigned long long)vs.accepted, (unsigned long long)vs.rejected,
+           (unsigned long long)vs.deadline_sheds, drained ? "ok" : "FAIL");
+    ok = ok && drained;
+  }
+  printf("cluster-smoke: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 int demo() {
   fs::path dir = fs::temp_directory_path() / "bnr-cli-demo";
   fs::remove_all(dir);
@@ -557,6 +799,11 @@ int main(int argc, char** argv) {
                         argc > 5 ? std::stoul(argv[5]) : 4000,
                         argc > 6 ? argv[6] : "bnr-rpc/v1", admin_token);
     if (cmd == "rpc-smoke" && argc == 2) return cmd_rpc_smoke();
+    if (cmd == "cluster" && argc <= 5)
+      return cmd_cluster(argc > 2 ? std::stoul(argv[2]) : 3,
+                         argc > 3 ? std::stoul(argv[3]) : 64,
+                         argc > 4 ? std::stoul(argv[4]) : 512);
+    if (cmd == "cluster-smoke" && argc == 2) return cmd_cluster_smoke();
     fprintf(stderr,
             "usage: %s keygen <dir> <label> <n> <t>\n"
             "       %s sign <dir> <server-index> <message>\n"
@@ -567,8 +814,11 @@ int main(int argc, char** argv) {
             "       %s client <host> <port> [tenants] [requests] [label]"
             " [--admin-token=T]\n"
             "       %s rpc-smoke\n"
+            "       %s cluster [nodes] [tenants] [requests]\n"
+            "       %s cluster-smoke\n"
             "(--admin-token falls back to the BNR_ADMIN_TOKEN env var)\n",
-            argv[0], argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
+            argv[0], argv[0], argv[0], argv[0], argv[0], argv[0], argv[0],
+            argv[0], argv[0]);
     return 2;
   } catch (const std::exception& e) {
     fprintf(stderr, "error: %s\n", e.what());

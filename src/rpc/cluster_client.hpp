@@ -1,0 +1,227 @@
+// The first cluster layer over the serving daemon: one ClusterClient fronts
+// N independent daemons (no daemon knows the others exist) and gives callers
+// a single tenant-addressed surface.
+//
+//   * ROUTING. Tenants are consistent-hash routed onto the nodes: each node
+//     contributes `virtual_nodes` points on a 64-bit hash ring (SHA-256 of
+//     "host:port#vnode"), and a tenant hashes by its CANONICAL key —
+//     "<scheme>:<pk-digest>", the same string the daemon's key cache dedups
+//     on — so tenants sharing a committee land on the same node and hit the
+//     same prepared entry, and the mapping is a pure function of (cluster
+//     config, registered key material): a restarted client that re-registers
+//     the same tenants routes identically. Tenants this client never
+//     registered fall back to hashing the tenant key-id (still
+//     deterministic, but blind to pk-level affinity).
+//   * ADMIN REPLICATION. REGISTER_TENANT fans out to EVERY node through an
+//     in-memory replication log with per-node acks — not consensus: the log
+//     has one writer (this client), registration is idempotent server-side
+//     (re-registering a tenant re-aliases the same canonical entry), and a
+//     node that was down simply replays its unacked suffix when it comes
+//     back (automatic on redial, or explicitly via resync()). Because every
+//     node holds every tenant, ANY node can serve a failed-over request.
+//   * FAILOVER. A data-plane call first goes to the ring owner; on
+//     connection loss, a poisoned session, persistent BUSY (the node-local
+//     RpcClient's PR 6 retry budget exhausting), or a blown deadline, it
+//     hops to the next DISTINCT node clockwise on the ring, up to
+//     max_failover_hops. Semantic errors (unknown tenant, bad material) are
+//     the request's fault and never hop. A node that proved DEAD (dial
+//     failure, poisoned session, retry budget exhausted) is marked down and
+//     not re-dialed for down_backoff, so subsequent routed calls skip
+//     straight to the successor instead of re-paying the retry budget; a
+//     merely SLOW node (deadline blown) hops without the down-mark.
+//   * ROLLUP. stats_rollup() snapshots STATS + HEALTH per node and sums the
+//     global fields (per-scheme rows merged by id) — per-node rows for
+//     debugging placement, one total for dashboards.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rpc/rpc_client.hpp"
+#include "threshold/scheme_registry.hpp"
+
+namespace bnr::rpc {
+
+struct ClusterEndpoint {
+  std::string host;
+  uint16_t port = 0;
+  std::string label() const { return host + ":" + std::to_string(port); }
+};
+
+struct ClusterConfig {
+  std::vector<ClusterEndpoint> nodes;
+  /// Ring points per node. More points = smoother balance at the cost of a
+  /// larger (still tiny) ring; 64 keeps the max/mean node share within a
+  /// few percent at 3-16 nodes.
+  size_t virtual_nodes = 64;
+  /// Must match the daemons' params label: the client canonicalizes public
+  /// keys with its own SchemeRegistry to compute routing keys, and group
+  /// elements only parse against the same derived SystemParams.
+  std::string params_label = "bnr-rpc/v1";
+  std::string admin_token;
+  /// Per-node session config (deadlines, retry budget, reconnect).
+  ClientConfig client{};
+  /// Failover hop budget per call AFTER the ring owner; 0 = every other
+  /// node may be tried (nodes - 1).
+  size_t max_failover_hops = 0;
+  /// How long a node marked down at the connection level is left un-dialed.
+  std::chrono::milliseconds down_backoff{1000};
+};
+
+/// One node's row in the cluster rollup. stats/health are zeros when !up.
+struct ClusterNodeRow {
+  ClusterEndpoint endpoint;
+  bool up = false;
+  DaemonStats stats;
+  HealthStats health;
+};
+
+struct ClusterRollup {
+  std::vector<ClusterNodeRow> nodes;
+  /// Field-wise sums over the up nodes; scheme rows merged by scheme id.
+  DaemonStats total;
+  size_t nodes_up = 0;
+};
+
+/// Client-side counters for the cluster machinery (the per-node retry and
+/// reconnect counters live in each node session's ClientStats).
+struct ClusterStats {
+  uint64_t routed = 0;        // data-plane calls answered by the ring owner
+  uint64_t failovers = 0;     // calls answered by a successor after hops
+  uint64_t failed = 0;        // calls that exhausted every permitted hop
+  uint64_t replicated = 0;    // per-node REGISTER acks recorded
+  uint64_t resyncs = 0;       // log entries replayed to lagging nodes
+};
+
+/// Result of a fan-out registration: which nodes acked. A partial ack is
+/// usable (the ring owner may already be covered) — unacked nodes catch up
+/// on redial or resync().
+struct ClusterRegisterOutcome {
+  std::vector<bool> acked;  // by node index
+  size_t acks = 0;
+  bool all() const { return acks == acked.size(); }
+};
+
+class ClusterClient {
+ public:
+  explicit ClusterClient(ClusterConfig cfg);
+  ~ClusterClient();
+
+  ClusterClient(const ClusterClient&) = delete;
+  ClusterClient& operator=(const ClusterClient&) = delete;
+
+  // -- Admin plane (replicated) ---------------------------------------------
+
+  /// Registers a verify-only tenant on every node (fan-out + log). Throws
+  /// only on locally-invalid key material; node failures surface as unacked
+  /// entries in the outcome.
+  ClusterRegisterOutcome register_key(const std::string& key,
+                                      threshold::SchemeId scheme,
+                                      Bytes pk_bytes);
+  /// Registers a committee tenant (VERIFY + COMBINE) on every node.
+  ClusterRegisterOutcome register_committee(
+      const std::string& key, threshold::SchemeId scheme,
+      const threshold::Committee& committee);
+
+  /// Replays every unacked replication-log entry to its lagging nodes.
+  /// Returns the number of entries replayed successfully.
+  size_t resync();
+
+  // -- Data plane (routed, failover) ----------------------------------------
+
+  bool verify(const std::string& key, Bytes msg, Bytes sig_bytes,
+              RequestOptions opts = {});
+  std::vector<bool> batch_verify(const std::string& key,
+                                 std::vector<std::pair<Bytes, Bytes>> items,
+                                 RequestOptions opts = {});
+  CombineResult combine(const std::string& key, Bytes msg,
+                        std::vector<Bytes> partials, RequestOptions opts = {});
+
+  // -- Cluster-wide observability -------------------------------------------
+
+  ClusterRollup stats_rollup();
+  ClusterStats cluster_stats() const;
+
+  // -- Routing / node introspection (tests, benches, CLI) -------------------
+
+  size_t node_count() const { return cfg_.nodes.size(); }
+  const ClusterEndpoint& endpoint(size_t i) const { return cfg_.nodes[i]; }
+  /// The ring owner for a tenant key (canonical routing key when this
+  /// client registered it, key-id hash otherwise).
+  size_t route(const std::string& key) const;
+  /// The full failover order for a tenant: ring owner first, then distinct
+  /// successors clockwise.
+  std::vector<size_t> route_order(const std::string& key) const;
+  /// The canonical "<scheme>:<pk-digest>" routing key this client computed
+  /// at registration; empty when the tenant was not registered here.
+  std::string routing_key(const std::string& key) const;
+  /// Direct session to one node (dials on demand; throws when the node is
+  /// down). For per-node assertions; data-plane callers use the routed API.
+  RpcClient& node_client(size_t i);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Node {
+    ClusterEndpoint ep;
+    std::mutex m;                      // guards client + retry_at
+    std::unique_ptr<RpcClient> client; // null = never dialed or marked down
+    Clock::time_point retry_at{};      // earliest redial when down
+  };
+
+  /// One replicated REGISTER_TENANT, with per-node ack state.
+  struct LogEntry {
+    std::string key;
+    threshold::SchemeId scheme{};
+    bool committee = false;
+    Bytes pk;                 // canonical bytes (verify-only)
+    threshold::Committee com; // committee registration
+    std::vector<bool> acked;
+  };
+
+  /// Live session for node i: returns the existing client, or dials and
+  /// replays the node's unacked log suffix. Throws std::system_error when
+  /// the node is down (backoff pending or dial failed).
+  RpcClient& ensure_client(size_t i);
+  void mark_down(size_t i);
+  /// Replays unacked entries to node i over `c`; called with nodes_[i].m
+  /// held, right after a successful dial. Best-effort: a mid-replay failure
+  /// leaves the remaining entries unacked.
+  void replay_unacked(size_t i, RpcClient& c);
+  size_t send_entry(RpcClient& c, const LogEntry& e);  // returns 1, throws
+  ClusterRegisterOutcome replicate(LogEntry e);
+
+  uint64_t ring_hash(const std::string& s) const;
+  std::vector<size_t> route_order_for(const std::string& routing_key) const;
+
+  template <class Fn>
+  auto with_failover(const std::string& key, Fn&& fn)
+      -> decltype(fn(std::declval<RpcClient&>()));
+
+  ClusterConfig cfg_;
+  threshold::SystemParams params_;
+  threshold::SchemeRegistry registry_;
+
+  // Sorted ring: (point, node index). Built once in the constructor from
+  // the config alone — routing is deterministic across client restarts.
+  std::vector<std::pair<uint64_t, uint32_t>> ring_;
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+
+  mutable std::mutex route_m_;  // guards route_key_
+  std::unordered_map<std::string, std::string> route_key_;
+
+  std::mutex log_m_;  // guards log_ (append + ack flips)
+  std::vector<LogEntry> log_;
+
+  mutable std::atomic<uint64_t> routed_{0}, failovers_{0}, failed_{0},
+      replicated_{0}, resyncs_{0};
+};
+
+}  // namespace bnr::rpc

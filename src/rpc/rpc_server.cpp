@@ -404,9 +404,10 @@ void RpcServer::accept_ready(IoLoop& L) {
     // Connection cap (GLOBAL across loops): overflow is accepted-and-closed
     // so the pending queue cannot re-signal the level-triggered listener
     // forever, and the peer sees a clean close instead of a SYN backlog
-    // timeout.
-    if (cfg_.max_connections > 0 &&
-        total_conns_.load(std::memory_order_acquire) >= cfg_.max_connections) {
+    // timeout. The slot is RESERVED with one compare-exchange — a plain
+    // check-then-fetch_add would let two loops racing on the last slot both
+    // pass the check and transiently over-admit past the cap.
+    if (!reserve_conn_slot()) {
       ::close(fd);
       L.rejected.fetch_add(1, std::memory_order_relaxed);
       continue;
@@ -415,6 +416,7 @@ void RpcServer::accept_ready(IoLoop& L) {
     // shape of an accept() racing a dying listener.
     if (auto* f = FaultInjector::active(); f && f->on_accept()) {
       ::close(fd);
+      total_conns_.fetch_sub(1, std::memory_order_relaxed);
       continue;
     }
     set_nonblock(fd);
@@ -427,12 +429,24 @@ void RpcServer::accept_ready(IoLoop& L) {
     if (::epoll_ctl(L.epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
       ::close(fd);
       c->fd = -1;
+      total_conns_.fetch_sub(1, std::memory_order_relaxed);
       continue;
     }
     c->events = EPOLLIN;
     L.conns.emplace(fd, std::move(c));
-    total_conns_.fetch_add(1, std::memory_order_relaxed);
     L.accepts.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool RpcServer::reserve_conn_slot() {
+  size_t cur = total_conns_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cfg_.max_connections > 0 && cur >= cfg_.max_connections) return false;
+    if (total_conns_.compare_exchange_weak(cur, cur + 1,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed))
+      return true;
+    // cur was reloaded by the failed CAS; re-check against the cap.
   }
 }
 
@@ -1059,13 +1073,16 @@ DaemonStats RpcServer::snapshot_stats() const {
       ++tenants_by_scheme[threshold::scheme_stats_slot(info.scheme)];
   }
   // Exact per-loop aggregation (the connection/frame/error counters each
-  // live on the loop that observed them).
+  // live on the loop that observed them). `connections` is the LIFETIME
+  // accept count; the live gauge is total_conns_, which accept reservation
+  // increments and close_conn decrements.
   for (const auto& L : loops_) {
     s.connections += L->accepts.load(std::memory_order_relaxed);
     s.conns_rejected += L->rejected.load(std::memory_order_relaxed);
     s.frames_in += L->frames_in.load(std::memory_order_relaxed);
     s.protocol_errors += L->protocol_errors.load(std::memory_order_relaxed);
   }
+  s.open_connections = total_conns_.load(std::memory_order_acquire);
   s.auth_failures = auth_failures_.load(std::memory_order_relaxed);
 
   auto add_cache = [&s](const service::KeyCacheStats& cs) {

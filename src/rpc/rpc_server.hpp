@@ -222,6 +222,12 @@ class RpcServer {
   void drain_completions(IoLoop& L);
   void close_conn(IoLoop& L, const std::shared_ptr<Conn>& c);
   void wake(IoLoop& L);
+  /// Atomically reserves one slot under cfg_.max_connections (CAS loop on
+  /// total_conns_, so check and increment are ONE reservation across the
+  /// SO_REUSEPORT accept loops). False = at the cap, nothing reserved. Every
+  /// true return must be paired with a fetch_sub when the connection closes
+  /// or fails setup.
+  bool reserve_conn_slot();
 
   ServerConfig cfg_;
   service::ThreadPool& pool_;

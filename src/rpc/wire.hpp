@@ -193,7 +193,7 @@ struct SchemeStatsRow {
 struct DaemonStats {
   uint64_t tenants = 0;          // registered tenant key-ids
   uint64_t deduped_keys = 0;     // tenants sharing an already-known pk digest
-  uint64_t connections = 0;      // accepted over the daemon's lifetime
+  uint64_t connections = 0;      // LIFETIME accepts — never decremented
   uint64_t conns_rejected = 0;   // over the connection cap: accept-and-close
   uint64_t auth_failures = 0;    // ADMIN frames with a bad token
   uint64_t frames_in = 0;        // well-formed request frames handled
@@ -209,6 +209,7 @@ struct DaemonStats {
   uint64_t verify_accepted = 0;
   uint64_t verify_rejected = 0;
   uint64_t combines = 0;
+  uint64_t open_connections = 0;  // connections open RIGHT NOW (gauge)
   std::vector<SchemeStatsRow> schemes;
 
   /// The row for one scheme id (zeros when the daemon has no such scheme).
@@ -405,7 +406,8 @@ inline Bytes encode_stats(const DaemonStats& s) {
         s.auth_failures, s.frames_in, s.protocol_errors, s.cache_hits,
         s.cache_misses, s.cache_evictions, s.cache_resident_entries,
         s.cache_resident_bytes, s.verify_submitted, s.verify_batches,
-        s.verify_fallbacks, s.verify_accepted, s.verify_rejected, s.combines})
+        s.verify_fallbacks, s.verify_accepted, s.verify_rejected, s.combines,
+        s.open_connections})
     w.u64(v);
   w.u32(static_cast<uint32_t>(s.schemes.size()));
   for (const auto& r : s.schemes) {
@@ -552,7 +554,7 @@ inline DaemonStats decode_stats(ByteReader& rd) {
         &s.cache_misses, &s.cache_evictions, &s.cache_resident_entries,
         &s.cache_resident_bytes, &s.verify_submitted, &s.verify_batches,
         &s.verify_fallbacks, &s.verify_accepted, &s.verify_rejected,
-        &s.combines})
+        &s.combines, &s.open_connections})
     *f = rd.u64();
   uint32_t rows = rd.count(81);  // u8 id + 10 u64 fields per row
   s.schemes.reserve(rows);

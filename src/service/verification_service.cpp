@@ -407,44 +407,7 @@ MultiTenantCombineService::Stats MultiTenantCombineService::stats(
 }
 
 // ---------------------------------------------------------------------------
-// Shims + evaluators
-
-CombineService::CombineService(const threshold::RoScheme& scheme,
-                               const threshold::KeyMaterial& km,
-                               ThreadPool& pool, std::string_view rng_label)
-    : cache_(KeyCachePolicy{
-          .byte_budget = std::numeric_limits<size_t>::max(), .shards = 1}),
-      combiner_(threshold::erase_combiner(
-          std::make_shared<const threshold::RoCombiner>(scheme, km))),
-      core_(
-          cache_, [c = combiner_](const std::string&) { return c; }, pool,
-          rng_label) {}
-
-std::future<threshold::Signature> CombineService::submit(
-    Bytes msg, std::vector<threshold::PartialSignature> parts) {
-  std::vector<threshold::PartialHandle> erased;
-  erased.reserve(parts.size());
-  for (auto& p : parts)
-    erased.push_back(
-        threshold::erase_partial(threshold::SchemeId::kRo, std::move(p)));
-  auto promise = std::make_shared<std::promise<threshold::Signature>>();
-  auto fut = promise->get_future();
-  core_.submit(kKey, threshold::SchemeId::kRo, std::move(msg),
-               std::move(erased),
-               [promise](CombineOutcome* out, std::exception_ptr err) {
-                 if (err) {
-                   promise->set_exception(err);
-                   return;
-                 }
-                 try {
-                   promise->set_value(
-                       threshold::Signature::deserialize(out->sig));
-                 } catch (...) {
-                   promise->set_exception(std::current_exception());
-                 }
-               });
-  return fut;
-}
+// Evaluators
 
 threshold::FoldEvaluator make_fold_evaluator(ThreadPool& pool) {
   return [&pool](std::span<const G1Affine> points,

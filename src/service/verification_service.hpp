@@ -18,8 +18,9 @@
 // `threshold::PreparedVerifier` out of a single shared KeyCacheManager —
 // RO, DLIN, Agg, and BLS tenants all flow through the same queue, the same
 // per-key fold grouping, and the same cache, with per-SchemeId stats split
-// out for observability. The old per-scheme templated services survive only
-// as the thin deprecated single-tenant shims at the bottom of this header.
+// out for observability. The pre-PR-5 per-scheme templated services (and
+// their deprecated single-tenant shims) are gone; construct a provider over
+// `Scheme::make_verifier` instead.
 //
 // Verifiers are not owned by the service: they are pinned out of the shared
 // `KeyCacheManager` for the duration of each group's fold (prepared state
@@ -46,12 +47,9 @@
 #include <utility>
 #include <vector>
 
-#include "baselines/boldyreva.hpp"
 #include "common/rng.hpp"
 #include "service/key_cache.hpp"
 #include "service/thread_pool.hpp"
-#include "threshold/aggregate_scheme.hpp"
-#include "threshold/dlin_scheme.hpp"
 #include "threshold/ro_scheme.hpp"
 #include "threshold/scheme_api.hpp"
 
@@ -217,8 +215,8 @@ class MultiTenantVerificationService {
 };
 
 /// What a combine request resolves to on success: the SERIALIZED combined
-/// signature (scheme-native encoding — the daemon puts it on the wire, the
-/// typed shim deserializes) plus the indices of bad partials identified
+/// signature (scheme-native encoding — the daemon puts it straight on the
+/// wire) plus the indices of bad partials identified
 /// along the way (non-empty only when the fold failed and the fallback scan
 /// attributed cheaters but still found t+1 valid shares — robustness with
 /// attribution).
@@ -295,104 +293,6 @@ class MultiTenantCombineService {
   Rng rng_;
   Stats total_;
   std::array<Stats, threshold::kSchemeIdCount + 1> by_scheme_{};
-};
-
-// ---------------------------------------------------------------------------
-// DEPRECATED single-tenant shims. These keep the pre-PR-5 typed fronts
-// compiling for one release: each wraps its typed verifier in the erased
-// interface and adapts submissions into SigHandles, so all the
-// flush/fold/fallback semantics still live in the ONE unified core above.
-// New code should use MultiTenantVerificationService with the scheme
-// registry (`Scheme::make_verifier`) directly.
-
-namespace shim_detail {
-template <class Verifier>
-struct SchemeTagOf;
-template <>
-struct SchemeTagOf<threshold::RoVerifier> {
-  static constexpr threshold::SchemeId value = threshold::SchemeId::kRo;
-};
-template <>
-struct SchemeTagOf<threshold::DlinVerifier> {
-  static constexpr threshold::SchemeId value = threshold::SchemeId::kDlin;
-};
-template <>
-struct SchemeTagOf<threshold::AggVerifier> {
-  static constexpr threshold::SchemeId value = threshold::SchemeId::kAgg;
-};
-template <>
-struct SchemeTagOf<baselines::BlsVerifier> {
-  static constexpr threshold::SchemeId value = threshold::SchemeId::kBls;
-};
-}  // namespace shim_detail
-
-/// Single-tenant front end over one fixed typed verifier: a thin adapter
-/// over the unified core with one key-id and an unbounded private cache
-/// (the verifier is owned for the service's lifetime, so nothing ever
-/// misses or evicts).
-template <class Verifier, class Sig>
-class BatchVerificationService {
- public:
-  static constexpr threshold::SchemeId kTag =
-      shim_detail::SchemeTagOf<Verifier>::value;
-
-  BatchVerificationService(Verifier verifier, BatchPolicy policy,
-                           ThreadPool& pool,
-                           std::string_view rng_label = "verification-service")
-      : cache_(KeyCachePolicy{
-            .byte_budget = std::numeric_limits<size_t>::max(), .shards = 1}),
-        verifier_(threshold::erase_verifier<Verifier, Sig>(
-            kTag, std::move(verifier))),
-        core_(
-            cache_, [v = verifier_](const std::string&) { return v; }, policy,
-            pool, rng_label) {}
-
-  BatchVerificationService(const BatchVerificationService&) = delete;
-  BatchVerificationService& operator=(const BatchVerificationService&) = delete;
-
-  std::future<bool> submit(Bytes msg, Sig sig) {
-    return core_.submit(kKey, std::move(msg),
-                        threshold::erase_signature(kTag, std::move(sig)));
-  }
-  void flush() { core_.flush(); }
-  void drain() { core_.drain(); }
-  ServiceStats stats() const { return core_.stats(); }
-
- private:
-  static constexpr const char* kKey = "single-tenant";
-  KeyCacheManager<threshold::PreparedVerifier> cache_;
-  std::shared_ptr<const threshold::PreparedVerifier> verifier_;
-  // Last member: drains (and releases its pins) before the cache dies.
-  MultiTenantVerificationService core_;
-};
-
-using RoVerificationService =
-    BatchVerificationService<threshold::RoVerifier, threshold::Signature>;
-using DlinVerificationService =
-    BatchVerificationService<threshold::DlinVerifier,
-                             threshold::DlinSignature>;
-using AggVerificationService =
-    BatchVerificationService<threshold::AggVerifier, threshold::Signature>;
-using BlsVerificationService =
-    BatchVerificationService<baselines::BlsVerifier, G1Affine>;
-
-/// Single-committee Combine front end: adapter over the multi-tenant core
-/// with one key-id and an unbounded private cache, mirroring
-/// BatchVerificationService. DEPRECATED alongside it.
-class CombineService {
- public:
-  CombineService(const threshold::RoScheme& scheme,
-                 const threshold::KeyMaterial& km, ThreadPool& pool,
-                 std::string_view rng_label = "combine-service");
-
-  std::future<threshold::Signature> submit(
-      Bytes msg, std::vector<threshold::PartialSignature> parts);
-
- private:
-  static constexpr const char* kKey = "single-committee";
-  KeyCacheManager<threshold::PreparedCombiner> cache_;
-  std::shared_ptr<const threshold::PreparedCombiner> combiner_;
-  MultiTenantCombineService core_;  // last member: drains before cache_ dies
 };
 
 /// Batched Combine with the fold's pairing product and MSMs evaluated across

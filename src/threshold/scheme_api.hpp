@@ -212,8 +212,8 @@ class Scheme {
 
 // ---------------------------------------------------------------------------
 // Erasure helpers: wrap an existing typed cached verifier / signature into
-// the erased interface. Used by the deprecated single-tenant service shims
-// and by tests/benches that construct scheme objects directly.
+// the erased interface. Used by tests/benches that construct scheme objects
+// directly.
 
 template <class Sig>
 SigHandle erase_signature(SchemeId id, Sig sig) {

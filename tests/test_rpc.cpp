@@ -133,6 +133,8 @@ TEST(Wire, StatsRoundTrip) {
   s.conns_rejected = 5;
   s.verify_accepted = 1234567890123ull;
   s.combines = 17;
+  s.connections = 400;       // lifetime accepts
+  s.open_connections = 12;   // live gauge, independent of the accept total
   SchemeStatsRow row;
   row.scheme = static_cast<uint8_t>(SchemeId::kDlin);
   row.tenants = 2;
@@ -150,6 +152,8 @@ TEST(Wire, StatsRoundTrip) {
   EXPECT_EQ(d.conns_rejected, 5u);
   EXPECT_EQ(d.verify_accepted, 1234567890123ull);
   EXPECT_EQ(d.combines, 17u);
+  EXPECT_EQ(d.connections, 400u);
+  EXPECT_EQ(d.open_connections, 12u);
   ASSERT_EQ(d.schemes.size(), 1u);
   EXPECT_EQ(d.scheme_row(SchemeId::kDlin).verify_submitted, 99u);
   EXPECT_EQ(d.scheme_row(SchemeId::kDlin).cache_misses, 4u);
@@ -659,6 +663,100 @@ TEST_F(RpcDaemonTest, ConnectionCapAcceptsAndCloses) {
     EXPECT_EQ(st.protocol_errors, 0u);
     // The capped connections keep working.
     b.ping().get();
+  }
+  server.stop();
+  serving.join();
+}
+
+// `connections` is the LIFETIME accept counter and `open_connections` the
+// live gauge: connect/disconnect must move the gauge both ways while the
+// lifetime counter only ever grows. (Before the split, STATS reported the
+// accept total under a name that read like a live-connection count.)
+TEST_F(RpcDaemonTest, OpenConnectionsGaugeVsLifetimeAccepts) {
+  RpcClient a("127.0.0.1", port());
+  auto st1 = a.stats_sync();
+  EXPECT_GE(st1.connections, 1u);
+  EXPECT_GE(st1.open_connections, 1u);
+
+  uint64_t lifetime_before;
+  {
+    RpcClient b("127.0.0.1", port());
+    b.ping().get();
+    auto st2 = a.stats_sync();
+    lifetime_before = st2.connections;
+    EXPECT_GE(st2.connections, st1.connections + 1);
+    EXPECT_GE(st2.open_connections, 2u);
+  }
+  // b's socket closed: the gauge falls back while the lifetime counter
+  // NEVER decrements. The close is observed asynchronously by b's loop.
+  DaemonStats st3;
+  for (int spin = 0; spin < 500; ++spin) {
+    st3 = a.stats_sync();
+    if (st3.open_connections <= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(st3.open_connections, 1u);
+  EXPECT_GE(st3.connections, lifetime_before);
+}
+
+// Regression for the cap race: the old admission path did a relaxed load
+// check then a separate fetch_add, so two SO_REUSEPORT accept loops could
+// each pass the check at cap-1 and BOTH admit. Admitted connections are
+// never force-closed later, so any over-admit persists — storm the cap from
+// many threads, hold every accepted socket open, and assert the live gauge
+// never exceeds the cap once every attempt is accounted for.
+TEST_F(RpcDaemonTest, MultiLoopAcceptStormNeverExceedsCap) {
+  service::ThreadPool pool(2);
+  ServerConfig cfg;
+  cfg.port = 0;
+  cfg.params_label = "rpc-daemon/v1";
+  cfg.io_threads = 4;
+  cfg.max_connections = 4;
+  cfg.batch.max_delay = std::chrono::milliseconds(1);
+  RpcServer server(cfg, pool);
+  std::thread serving([&] { server.run(); });
+
+  constexpr int kRounds = 8;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 3;  // 12 attempts/round vs a cap of 4
+  for (int round = 0; round < kRounds; ++round) {
+    auto st0 = server.snapshot_stats();
+    const uint64_t base = st0.connections + st0.conns_rejected;
+    std::vector<std::unique_ptr<RawConn>> held[kThreads];
+    std::vector<std::thread> stormers;
+    for (int t = 0; t < kThreads; ++t)
+      stormers.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          try {
+            held[t].push_back(std::make_unique<RawConn>(server.port()));
+          } catch (const std::exception&) {
+            // connect refused under load: counts as neither accept nor
+            // rejection, handled by the drain loop below
+          }
+        }
+      });
+    for (auto& th : stormers) th.join();
+    size_t attempts = 0;
+    for (auto& v : held) attempts += v.size();
+
+    // Wait until every connect attempt is attributed (accepted into a loop
+    // or rejected at the cap), then the gauge must respect the cap.
+    DaemonStats st;
+    for (int spin = 0; spin < 1000; ++spin) {
+      st = server.snapshot_stats();
+      if (st.connections + st.conns_rejected >= base + attempts) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_LE(st.open_connections, cfg.max_connections)
+        << "round " << round << ": cap breached";
+
+    for (auto& v : held) v.clear();  // drop the held sockets
+    // Drain to zero before the next round so each round starts clean.
+    for (int spin = 0; spin < 1000; ++spin) {
+      if (server.snapshot_stats().open_connections == 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(server.snapshot_stats().open_connections, 0u);
   }
   server.stop();
   serving.join();

@@ -287,7 +287,20 @@ TEST(DlinCombiner, BatchedCombineMatchesSequentialAndPinpointsCheater) {
 struct ServiceFixture : testfx::RoSchemeFixture {
   ServiceFixture() : RoSchemeFixture("service-queue") {}
   KeyMaterial km = keygen(3, 1);
-  RoVerifier verifier{scheme, km.pk};
+  // One committee through the unified multi-tenant surface: the provider
+  // prepares the fixture committee's verifier on the first miss, and every
+  // submission rides the erased SigHandle path the daemon uses.
+  service::KeyCacheManager<PreparedVerifier> cache{
+      service::KeyCachePolicy{.byte_budget = 16u << 20, .shards = 1}};
+  service::MultiTenantVerificationService::VerifierProvider provider() {
+    return [this](const std::string&) {
+      return erase_verifier<RoVerifier, Signature>(SchemeId::kRo,
+                                                   RoVerifier(scheme, km.pk));
+    };
+  }
+  static SigHandle erased(Signature s) {
+    return erase_signature(SchemeId::kRo, std::move(s));
+  }
 
   std::pair<Bytes, Signature> make_signed(const std::string& label,
                                           bool valid = true) {
@@ -299,11 +312,12 @@ TEST_F(ServiceFixture, FlushOnSize) {
   ThreadPool pool(2);
   BatchPolicy policy{.max_batch = 4,
                      .max_delay = std::chrono::milliseconds(60000)};
-  service::RoVerificationService svc(verifier, policy, pool);
+  service::MultiTenantVerificationService svc(cache, provider(), policy,
+                                              pool);
   std::vector<std::future<bool>> futs;
   for (int j = 0; j < 4; ++j) {
     auto [m, s] = make_signed("size flush " + std::to_string(j));
-    futs.push_back(svc.submit(m, s));
+    futs.push_back(svc.submit("tenant", m, erased(s)));
   }
   // The 4th submission hits max_batch and flushes without any deadline wait.
   for (auto& f : futs) {
@@ -323,9 +337,10 @@ TEST_F(ServiceFixture, FlushOnDeadline) {
   ThreadPool pool(2);
   BatchPolicy policy{.max_batch = 1000,
                      .max_delay = std::chrono::milliseconds(50)};
-  service::RoVerificationService svc(verifier, policy, pool);
+  service::MultiTenantVerificationService svc(cache, provider(), policy,
+                                              pool);
   auto [m, s] = make_signed("deadline flush");
-  auto f = svc.submit(m, s);
+  auto f = svc.submit("tenant", m, erased(s));
   // Far below max_batch, so only the deadline can flush this.
   ASSERT_EQ(f.wait_for(std::chrono::seconds(60)), std::future_status::ready);
   EXPECT_TRUE(f.get());
@@ -338,12 +353,13 @@ TEST_F(ServiceFixture, MixedValidAndInvalidAreAttributedExactly) {
   ThreadPool pool(2);
   BatchPolicy policy{.max_batch = 8,
                      .max_delay = std::chrono::milliseconds(60000)};
-  service::RoVerificationService svc(verifier, policy, pool);
+  service::MultiTenantVerificationService svc(cache, provider(), policy,
+                                              pool);
   std::vector<std::future<bool>> futs;
   for (int j = 0; j < 8; ++j) {
     bool valid = j % 3 != 0;
     auto [m, s] = make_signed("mixed " + std::to_string(j), valid);
-    futs.push_back(svc.submit(m, s));
+    futs.push_back(svc.submit("tenant", m, erased(s)));
   }
   for (int j = 0; j < 8; ++j) {
     ASSERT_EQ(futs[j].wait_for(std::chrono::seconds(120)),
@@ -364,7 +380,8 @@ TEST_F(ServiceFixture, DeterministicMultiThreadStress) {
   ThreadPool pool(4);
   BatchPolicy policy{.max_batch = 16,
                      .max_delay = std::chrono::milliseconds(5)};
-  service::RoVerificationService svc(verifier, policy, pool);
+  service::MultiTenantVerificationService svc(cache, provider(), policy,
+                                              pool);
 
   constexpr int kThreads = 4, kPerThread = 16;
   // Pre-build requests so submitter threads only touch the service.
@@ -382,7 +399,7 @@ TEST_F(ServiceFixture, DeterministicMultiThreadStress) {
   for (int th = 0; th < kThreads; ++th)
     submitters.emplace_back([&, th] {
       for (auto& [m, s, valid] : reqs[th])
-        futs[th].push_back(svc.submit(m, s));
+        futs[th].push_back(svc.submit("tenant", m, erased(s)));
     });
   for (auto& t : submitters) t.join();
 
@@ -407,9 +424,10 @@ TEST_F(ServiceFixture, DrainFlushesPendingRequests) {
   ThreadPool pool(2);
   BatchPolicy policy{.max_batch = 1000,
                      .max_delay = std::chrono::milliseconds(60000)};
-  service::RoVerificationService svc(verifier, policy, pool);
+  service::MultiTenantVerificationService svc(cache, provider(), policy,
+                                              pool);
   auto [m, s] = make_signed("drained");
-  auto f = svc.submit(m, s);
+  auto f = svc.submit("tenant", m, erased(s));
   svc.drain();
   ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
   EXPECT_TRUE(f.get());
@@ -421,9 +439,10 @@ TEST_F(ServiceFixture, DestructorResolvesPendingFutures) {
   {
     BatchPolicy policy{.max_batch = 1000,
                        .max_delay = std::chrono::milliseconds(60000)};
-    service::RoVerificationService svc(verifier, policy, pool);
+    service::MultiTenantVerificationService svc(cache, provider(), policy,
+                                              pool);
     auto [m, s] = make_signed("shutdown");
-    f = svc.submit(m, s);
+    f = svc.submit("tenant", m, erased(s));
   }
   ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
   EXPECT_TRUE(f.get());
@@ -431,24 +450,32 @@ TEST_F(ServiceFixture, DestructorResolvesPendingFutures) {
 
 TEST_F(ServiceFixture, CombineServiceProducesValidSignatures) {
   ThreadPool pool(2);
-  service::CombineService svc(scheme, km, pool);
+  service::KeyCacheManager<PreparedCombiner> ccache(
+      service::KeyCachePolicy{.byte_budget = 16u << 20, .shards = 1});
+  service::MultiTenantCombineService svc(
+      ccache,
+      [this](const std::string&) {
+        return erase_combiner(std::make_shared<const RoCombiner>(scheme, km));
+      },
+      pool);
   Bytes m1 = to_bytes("combine request 1");
   Bytes m2 = to_bytes("combine request 2");
   auto parts_for = [&](const Bytes& m) {
-    std::vector<PartialSignature> parts;
+    std::vector<PartialHandle> parts;
     for (uint32_t i = 1; i <= km.t + 1; ++i)
-      parts.push_back(scheme.share_sign(km.shares[i - 1], m));
+      parts.push_back(erase_partial(SchemeId::kRo,
+                                    scheme.share_sign(km.shares[i - 1], m)));
     return parts;
   };
-  auto f1 = svc.submit(m1, parts_for(m1));
-  auto f2 = svc.submit(m2, parts_for(m2));
-  EXPECT_TRUE(scheme.verify(km.pk, m1, f1.get()));
-  EXPECT_TRUE(scheme.verify(km.pk, m2, f2.get()));
+  auto f1 = svc.submit("tenant", SchemeId::kRo, m1, parts_for(m1));
+  auto f2 = svc.submit("tenant", SchemeId::kRo, m2, parts_for(m2));
+  EXPECT_TRUE(scheme.verify(km.pk, m1, Signature::deserialize(f1.get())));
+  EXPECT_TRUE(scheme.verify(km.pk, m2, Signature::deserialize(f2.get())));
 
   // Too few valid partials -> the future carries Combine's exception.
   auto bad = parts_for(m1);
   bad.resize(1);
-  auto f3 = svc.submit(m1, bad);
+  auto f3 = svc.submit("tenant", SchemeId::kRo, m1, std::move(bad));
   EXPECT_THROW(f3.get(), std::runtime_error);
 }
 

@@ -52,6 +52,13 @@ EXPERIMENTS = {
             "bench/e14_overload.cpp — open-loop load at 2x/4x/10x measured "
             "capacity with 100 ms budgets: in-deadline goodput with "
             "admission control + shedding vs the uncapped configuration."),
+    "e15": ("Cluster routing and failover",
+            "bench/e15_cluster.cpp — 1M distinct tenant keys through the "
+            "consistent-hash ring (ns/route, balance, restart determinism), "
+            "Zipf traffic over 3 local daemons with replicated "
+            "registrations (aggregate hit rate, steady goodput), and "
+            "goodput retention through a kill-one-node failover "
+            "(CI floor 70%, informational)."),
 }
 
 HEADER = """\
