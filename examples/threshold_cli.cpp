@@ -14,6 +14,16 @@
 //   ./threshold_cli rpc-smoke
 //   ./threshold_cli cluster [nodes] [tenants] [requests]
 //   ./threshold_cli cluster-smoke
+//   ./threshold_cli metrics <host:port> [--raw]
+//   ./threshold_cli cluster-metrics <host:port>... [--raw]
+//
+// `metrics` scrapes one daemon's METRICS plane (per-stage latency
+// histograms, named counters/gauges, the slow-request trace ring) and
+// prints a human summary; --raw prints the server-rendered Prometheus text
+// exposition instead — pipe it straight into promtool or a file_sd scrape.
+// `cluster-metrics` does the same across N daemons, merged client-side
+// (counters summed, histogram buckets merged element-wise, globally
+// slowest traces kept).
 //
 // `cluster` spins up N local daemons behind one ClusterClient (consistent-
 // hash tenant routing, replicated registrations, failover) and kills a node
@@ -39,12 +49,14 @@
 // pk dedup) and the admin-token gate, and asserts a clean drain-down.
 //
 // Run without arguments for a self-contained demo in a temp directory.
+#include <cctype>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 
@@ -299,6 +311,46 @@ int cmd_client(const std::string& host, uint16_t port, size_t tenants,
   return (correct == requests && combines_ok == committees) ? 0 : 1;
 }
 
+/// Prometheus text exposition sanity: every non-comment line must be
+/// `series[{labels}] value` with a parseable value, and within each
+/// histogram the cumulative `_bucket` series must be non-decreasing in
+/// declaration order (the renderer emits them in ascending `le`).
+bool prometheus_text_well_formed(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  size_t series = 0;
+  std::string bucket_prefix;  // current histogram's series+label prefix
+  double last_bucket = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) return false;  // renderer never emits blank lines
+    if (line[0] == '#') continue;
+    size_t sp = line.rfind(' ');
+    if (sp == std::string::npos || sp == 0 || sp + 1 >= line.size())
+      return false;
+    std::string name = line.substr(0, sp);
+    if (!(std::isalpha(static_cast<unsigned char>(name[0])) || name[0] == '_'))
+      return false;
+    double value = 0;
+    try {
+      value = std::stod(line.substr(sp + 1));
+    } catch (...) {
+      return false;
+    }
+    size_t le = name.find("le=\"");
+    if (name.find("_bucket{") != std::string::npos && le != std::string::npos) {
+      std::string prefix = name.substr(0, le);
+      if (prefix != bucket_prefix) {
+        bucket_prefix = prefix;
+        last_bucket = 0;
+      }
+      if (value + 1e-9 < last_bucket) return false;  // cumulative must grow
+      last_bucket = value;
+    }
+    ++series;
+  }
+  return series > 0;
+}
+
 // CI smoke: ephemeral daemon, one client round trip per REGISTERED SCHEME
 // (register committee, verify accept/reject, combine over the wire), plus
 // the RO-specific extras (batch verify, cheater attribution, pk-digest
@@ -424,6 +476,33 @@ int cmd_rpc_smoke() {
               st.deduped_keys == 1 && st.protocol_errors == 0 &&
               st.auth_failures == 1,
           "stats: tenants, dedup, auth failures, no protocol errors");
+
+    // METRICS plane, both encodings, against live traffic. The text scrape
+    // must be Prometheus-parseable; the structured snapshot's verify
+    // histogram must account for exactly the verdicts STATS reports (the
+    // PR 9 coherence invariant, checked end to end over the wire).
+    {
+      std::string text = client.metrics_text_sync();
+      check(prometheus_text_well_formed(text), "METRICS text well-formed");
+      check(text.find("# TYPE bnr_verify_latency_seconds histogram") !=
+                    std::string::npos &&
+                text.find("bnr_verify_latency_seconds_bucket") !=
+                    std::string::npos,
+            "METRICS text exposes verify latency histogram");
+      auto m = client.metrics_sync();
+      uint64_t hist_verdicts = 0;
+      for (const auto& h : m.histograms)
+        if (h.name == "bnr_verify_latency_seconds")
+          hist_verdicts += h.snap.count;
+      auto st2 = client.stats_sync();
+      check(hist_verdicts == st2.verify_accepted + st2.verify_rejected,
+            "verify histogram count == accepted + rejected");
+      bool traces_ok = !m.slow_traces.empty();
+      for (const auto& t : m.slow_traces)
+        traces_ok = traces_ok && t.has(bnr::obs::Stage::kReceived) &&
+                    t.has(bnr::obs::Stage::kFlushed);
+      check(traces_ok, "slow-trace ring holds completed requests");
+    }
 
     // Rate-limited round trip against a second, throttled daemon: a burst
     // over the token bucket draws BUSY, the client's backoff retries drain
@@ -709,6 +788,111 @@ int cmd_cluster_smoke() {
   return ok ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// METRICS scrape fronts.
+
+std::pair<std::string, uint16_t> parse_endpoint(const std::string& s) {
+  size_t pos = s.rfind(':');
+  if (pos == std::string::npos || pos == 0 || pos + 1 >= s.size())
+    throw std::invalid_argument("endpoint must be host:port, got \"" + s +
+                                "\"");
+  return {s.substr(0, pos),
+          static_cast<uint16_t>(std::stoul(s.substr(pos + 1)))};
+}
+
+const char* method_name(uint8_t m) {
+  switch (static_cast<rpc::Method>(m)) {
+    case rpc::Method::kPing: return "PING";
+    case rpc::Method::kVerify: return "VERIFY";
+    case rpc::Method::kBatchVerify: return "BATCH_VERIFY";
+    case rpc::Method::kCombine: return "COMBINE";
+    case rpc::Method::kRegisterTenant: return "REGISTER";
+    case rpc::Method::kStats: return "STATS";
+    case rpc::Method::kHealth: return "HEALTH";
+    case rpc::Method::kMetrics: return "METRICS";
+  }
+  return "?";
+}
+
+void print_metrics_summary(const bnr::obs::MetricsSnapshot& m) {
+  printf("points (%zu):\n", m.points.size());
+  for (const auto& p : m.points) {
+    std::string series =
+        p.name + (p.labels.empty() ? "" : "{" + p.labels + "}");
+    printf("  %-52s %-7s %llu\n", series.c_str(),
+           p.kind == bnr::obs::MetricKind::kGauge ? "gauge" : "counter",
+           (unsigned long long)p.value);
+  }
+  printf("histograms (%zu):\n", m.histograms.size());
+  for (const auto& h : m.histograms) {
+    std::string series =
+        h.name + (h.labels.empty() ? "" : "{" + h.labels + "}");
+    bool seconds = h.name.size() >= 8 &&
+                   h.name.compare(h.name.size() - 8, 8, "_seconds") == 0;
+    // Latency series record nanoseconds; display milliseconds.
+    double scale = seconds ? 1e-6 : 1.0;
+    const char* unit = seconds ? " ms" : "";
+    printf("  %-52s count %-8llu p50 %.3f%s  p99 %.3f%s  max %.3f%s\n",
+           series.c_str(), (unsigned long long)h.snap.count,
+           double(h.snap.percentile(0.5)) * scale, unit,
+           double(h.snap.percentile(0.99)) * scale, unit,
+           double(h.snap.max) * scale, unit);
+  }
+  if (!m.slow_traces.empty()) {
+    printf("slowest requests (%zu of cap %zu):\n", m.slow_traces.size(),
+           m.slow_trace_cap);
+    size_t shown = 0;
+    for (const auto& t : m.slow_traces) {
+      if (++shown > 8) break;
+      printf("  id=%llu %s total %.3f ms |",
+             (unsigned long long)t.request_id, method_name(t.method),
+             double(t.total_ns) / 1e6);
+      for (size_t s = 0; s < bnr::obs::kStageCount; ++s) {
+        auto stage = static_cast<bnr::obs::Stage>(s);
+        if (!t.has(stage)) continue;
+        printf(" %s=%.3f", bnr::obs::stage_name(stage),
+               double(t.offset_ns(stage)) / 1e6);
+      }
+      printf("\n");
+    }
+  }
+}
+
+int cmd_metrics(const std::string& endpoint, bool raw) {
+  auto [host, port] = parse_endpoint(endpoint);
+  rpc::RpcClient client(host, port);
+  if (raw) {
+    fputs(client.metrics_text_sync().c_str(), stdout);
+    return 0;
+  }
+  print_metrics_summary(client.metrics_sync());
+  return 0;
+}
+
+int cmd_cluster_metrics(const std::vector<std::string>& endpoints, bool raw,
+                        const std::string& admin_token) {
+  rpc::ClusterConfig cfg;
+  for (const auto& e : endpoints) {
+    auto [host, port] = parse_endpoint(e);
+    cfg.nodes.push_back({host, port});
+  }
+  cfg.admin_token = admin_token;
+  rpc::ClusterClient cluster(cfg);
+  auto roll = cluster.metrics_rollup();
+  if (raw) {
+    fputs(bnr::obs::render_prometheus(roll.total).c_str(), stdout);
+    return roll.nodes_up == roll.nodes.size() ? 0 : 1;
+  }
+  printf("cluster metrics: %zu nodes, %zu up\n", roll.nodes.size(),
+         roll.nodes_up);
+  for (const auto& row : roll.nodes)
+    printf("  %-22s %s\n", row.endpoint.label().c_str(),
+           row.up ? "up" : "DOWN");
+  printf("\nmerged across up nodes:\n");
+  print_metrics_summary(roll.total);
+  return roll.nodes_up == roll.nodes.size() ? 0 : 1;
+}
+
 int demo() {
   fs::path dir = fs::temp_directory_path() / "bnr-cli-demo";
   fs::remove_all(dir);
@@ -760,6 +944,7 @@ int main(int argc, char** argv) {
     if (const char* env = std::getenv("BNR_ADMIN_TOKEN")) admin_token = env;
     size_t max_connections = SIZE_MAX;  // SIZE_MAX = not specified
     size_t io_threads = SIZE_MAX;       // SIZE_MAX = not specified (auto)
+    bool raw = false;                   // metrics: Prometheus text, not summary
     std::vector<char*> args;
     for (int i = 0; i < argc; ++i) {
       std::string a = argv[i];
@@ -769,6 +954,8 @@ int main(int argc, char** argv) {
         max_connections = std::stoul(a.substr(strlen("--max-connections=")));
       else if (a.rfind("--io-threads=", 0) == 0)
         io_threads = std::stoul(a.substr(strlen("--io-threads=")));
+      else if (a == "--raw")
+        raw = true;
       else
         args.push_back(argv[i]);
     }
@@ -804,6 +991,10 @@ int main(int argc, char** argv) {
                          argc > 3 ? std::stoul(argv[3]) : 64,
                          argc > 4 ? std::stoul(argv[4]) : 512);
     if (cmd == "cluster-smoke" && argc == 2) return cmd_cluster_smoke();
+    if (cmd == "metrics" && argc == 3) return cmd_metrics(argv[2], raw);
+    if (cmd == "cluster-metrics" && argc >= 3)
+      return cmd_cluster_metrics(
+          std::vector<std::string>(argv + 2, argv + argc), raw, admin_token);
     fprintf(stderr,
             "usage: %s keygen <dir> <label> <n> <t>\n"
             "       %s sign <dir> <server-index> <message>\n"
@@ -816,9 +1007,11 @@ int main(int argc, char** argv) {
             "       %s rpc-smoke\n"
             "       %s cluster [nodes] [tenants] [requests]\n"
             "       %s cluster-smoke\n"
+            "       %s metrics <host:port> [--raw]\n"
+            "       %s cluster-metrics <host:port>... [--raw] [--admin-token=T]\n"
             "(--admin-token falls back to the BNR_ADMIN_TOKEN env var)\n",
             argv[0], argv[0], argv[0], argv[0], argv[0], argv[0], argv[0],
-            argv[0], argv[0]);
+            argv[0], argv[0], argv[0], argv[0]);
     return 2;
   } catch (const std::exception& e) {
     fprintf(stderr, "error: %s\n", e.what());

@@ -1,0 +1,161 @@
+// Fixed-footprint log-bucketed latency histograms, HDR-style. The bucket
+// layout is log-linear: values below 64 get exact unit buckets, and every
+// power-of-two range above that is split into 64 linear sub-buckets, so the
+// relative quantization error is bounded by 1/64 (~1.6%, two significant
+// digits) across the full u64 range. The layout is a pure function of the
+// value — no configuration, no rescaling — which makes snapshots from
+// different shards, different processes, and different nodes mergeable by
+// plain element-wise addition (merge is associative and commutative).
+//
+// recording is one relaxed fetch_add on the bucket plus a relaxed sum/max
+// update; there is no lock anywhere on the record path. Percentiles are
+// extracted from a Snapshot by walking cumulative counts and returning the
+// bucket's UPPER bound, so a reported p99 never understates the true p99 by
+// more than the bucket width.
+//
+// ShardedHistogram gives each IO loop / pool worker its own cache-line-
+// padded Histogram so concurrent recorders do not contend on hot buckets;
+// snapshot() merges the shards.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace bnr::obs {
+
+/// Sub-bucket resolution: 2^6 linear buckets per power-of-two range.
+constexpr uint32_t kSubBits = 6;
+constexpr uint32_t kSubBuckets = 1u << kSubBits;  // 64
+
+/// Total bucket count covering all of u64: 64 exact unit buckets plus
+/// (63 - 6 + 1) = 58 half-open power-of-two ranges of 64 sub-buckets each.
+constexpr uint32_t kBucketCount = kSubBuckets + (64 - kSubBits) * kSubBuckets;
+
+/// Bucket index for a value; pure function of the value.
+constexpr uint32_t bucket_index(uint64_t v) {
+  if (v < kSubBuckets) return static_cast<uint32_t>(v);
+  uint32_t k = static_cast<uint32_t>(std::bit_width(v)) - 1;  // >= kSubBits
+  uint32_t sub =
+      static_cast<uint32_t>(v >> (k - kSubBits)) - kSubBuckets;  // [0, 64)
+  return kSubBuckets + (k - kSubBits) * kSubBuckets + sub;
+}
+
+/// Largest value mapping to bucket `idx` (inclusive upper bound). Percentile
+/// extraction reports this bound so quantiles never understate.
+constexpr uint64_t bucket_upper(uint32_t idx) {
+  if (idx < kSubBuckets) return idx;
+  uint32_t b = idx - kSubBuckets;
+  uint32_t k = b / kSubBuckets + kSubBits;
+  uint32_t sub = b % kSubBuckets;
+  uint64_t low = (uint64_t(1) << k) + (uint64_t(sub) << (k - kSubBits));
+  return low + ((uint64_t(1) << (k - kSubBits)) - 1);
+}
+
+/// Immutable copy of a histogram's state. Dense bucket vector (empty means
+/// "all zero"); merge is element-wise and associative.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  std::vector<uint64_t> buckets;  // size kBucketCount, or empty when count==0
+
+  void merge(const HistogramSnapshot& o) {
+    count += o.count;
+    sum += o.sum;
+    max = std::max(max, o.max);
+    if (o.buckets.empty()) return;
+    if (buckets.empty()) {
+      buckets = o.buckets;
+      return;
+    }
+    for (size_t i = 0; i < kBucketCount; ++i) buckets[i] += o.buckets[i];
+  }
+
+  /// Value at quantile q in [0, 1]: the upper bound of the bucket holding
+  /// the ceil(q * count)-th recorded value. 0 when empty; max for q >= 1.
+  uint64_t percentile(double q) const {
+    if (count == 0 || buckets.empty()) return 0;
+    if (q >= 1.0) return max;
+    if (q < 0.0) q = 0.0;
+    uint64_t target = static_cast<uint64_t>(q * double(count));
+    if (target < count) ++target;  // rank is 1-based
+    uint64_t cum = 0;
+    for (uint32_t i = 0; i < kBucketCount; ++i) {
+      cum += buckets[i];
+      if (cum >= target) return std::min(bucket_upper(i), max);
+    }
+    return max;
+  }
+
+  double mean() const { return count ? double(sum) / double(count) : 0.0; }
+};
+
+/// One recorder: kBucketCount relaxed-atomic counters plus sum/max. ~30 KiB.
+class Histogram {
+ public:
+  Histogram() : buckets_(new std::atomic<uint64_t>[kBucketCount]()) {}
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(uint64_t v) {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    uint64_t m = max_.load(std::memory_order_relaxed);
+    while (v > m &&
+           !max_.compare_exchange_weak(m, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramSnapshot snapshot() const {
+    HistogramSnapshot s;
+    s.buckets.resize(kBucketCount);
+    for (uint32_t i = 0; i < kBucketCount; ++i) {
+      s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+      s.count += s.buckets[i];
+    }
+    s.sum = sum_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    if (s.count == 0) s.buckets.clear();
+    return s;
+  }
+
+ private:
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// N independent Histograms, one per concurrent recorder (IO loop index,
+/// pool worker index), so hot buckets never bounce between cores. The shard
+/// index is the caller's identity, not a hash — loops/workers are numbered.
+class ShardedHistogram {
+ public:
+  explicit ShardedHistogram(size_t shards)
+      : shards_(std::max<size_t>(1, shards)) {}
+
+  void record(size_t shard, uint64_t v) {
+    shards_[shard % shards_.size()].hist.record(v);
+  }
+
+  size_t shard_count() const { return shards_.size(); }
+
+  HistogramSnapshot snapshot() const {
+    HistogramSnapshot s;
+    for (const auto& sh : shards_) s.merge(sh.hist.snapshot());
+    return s;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    Histogram hist;
+  };
+  std::vector<Shard> shards_;
+};
+
+}  // namespace bnr::obs

@@ -1,0 +1,146 @@
+#include "obs/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace bnr::obs {
+
+namespace {
+
+LogLevel level_from_env() {
+  const char* e = std::getenv("BNR_LOG_LEVEL");
+  if (!e) return LogLevel::kWarn;
+  std::string_view v(e);
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  if (v == "off" || v == "none") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::atomic<uint8_t> g_level{static_cast<uint8_t>(level_from_env())};
+
+std::mutex g_sink_mutex;
+std::function<void(std::string_view)>& sink_slot() {
+  static std::function<void(std::string_view)> s;
+  return s;
+}
+
+uint64_t now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel lvl) {
+  g_level.store(static_cast<uint8_t>(lvl), std::memory_order_relaxed);
+}
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+void set_log_sink(std::function<void(std::string_view)> sink) {
+  std::lock_guard<std::mutex> lk(g_sink_mutex);
+  sink_slot() = std::move(sink);
+}
+
+bool LogSite::admit(uint64_t& suppressed_out) {
+  // Lock-free refill: advance the clock with a CAS so exactly one caller
+  // claims each elapsed interval's tokens, then take one token if the
+  // balance allows. A losing racer just sees fewer tokens — never a double
+  // refill.
+  uint64_t now = now_ns();
+  uint64_t last = last_ns_.load(std::memory_order_relaxed);
+  if (last == 0 && last_ns_.compare_exchange_strong(
+                       last, now, std::memory_order_relaxed)) {
+    last = now;
+  }
+  if (now > last &&
+      last_ns_.compare_exchange_strong(last, now,
+                                       std::memory_order_relaxed)) {
+    int64_t refill =
+        int64_t(double(now - last) * (kPerSec * 1000.0) / 1e9);
+    if (refill > 0) {
+      int64_t cap = int64_t(kBurst * 1000);
+      int64_t cur = tokens_milli_.fetch_add(refill,
+                                            std::memory_order_relaxed) +
+                    refill;
+      if (cur > cap)
+        tokens_milli_.fetch_sub(cur - cap, std::memory_order_relaxed);
+    }
+  }
+  int64_t after = tokens_milli_.fetch_sub(1000, std::memory_order_relaxed) -
+                  1000;
+  if (after < 0) {
+    tokens_milli_.fetch_add(1000, std::memory_order_relaxed);
+    suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  suppressed_out = suppressed_.exchange(0, std::memory_order_relaxed);
+  return true;
+}
+
+std::string kv(std::string_view key, std::string_view value) {
+  std::string out;
+  out.reserve(key.size() + value.size() + 5);
+  out += ' ';
+  out += key;
+  out += "=\"";
+  for (char c : value) {
+    if (c == '"' || c == '\\') {
+      out += '\'';
+    } else if (c == '\n' || c == '\r') {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void log_emit(LogLevel lvl, std::string_view component, std::string_view event,
+              std::string_view kvs, uint64_t suppressed) {
+  std::string line;
+  line.reserve(64 + kvs.size());
+  line += "ts_ms=";
+  line += std::to_string(now_ns() / 1000000);
+  line += " level=";
+  line += level_name(lvl);
+  line += " comp=";
+  line += component;
+  line += " event=";
+  line += event;
+  line += kvs;
+  if (suppressed > 0) {
+    line += " suppressed=";
+    line += std::to_string(suppressed);
+  }
+  std::lock_guard<std::mutex> lk(g_sink_mutex);
+  if (sink_slot()) {
+    sink_slot()(line);
+  } else {
+    line += '\n';
+    // One fwrite keeps the line atomic against concurrent emitters.
+    fwrite(line.data(), 1, line.size(), stderr);
+  }
+}
+
+}  // namespace bnr::obs

@@ -1,0 +1,114 @@
+// Leveled, rate-limited, structured logging for the serving stack. One line
+// per event, key=value grammar, written atomically to stderr (or an injected
+// sink for tests):
+//
+//   ts_ms=182934 level=warn comp=rpc event=protocol_error fd=12 err="..."
+//
+// Every BNR_LOG call site owns a static token bucket (burst 8, refill
+// 8/sec): a storm of identical events (a peer spraying malformed frames, a
+// shed storm under overload) degrades to one line per refill instead of a
+// stderr flood, and the first line that gets through after suppression
+// carries `suppressed=N` so the count is never silently lost.
+//
+// The level comes from BNR_LOG_LEVEL (debug|info|warn|error|off, default
+// warn) and can be changed at runtime (tests, operators via a future admin
+// plane). Below-level sites cost one relaxed load.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace bnr::obs {
+
+enum class LogLevel : uint8_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+LogLevel log_level();
+void set_log_level(LogLevel lvl);
+const char* level_name(LogLevel lvl);
+
+/// Replace the line sink (nullptr restores stderr). The sink receives the
+/// complete formatted line WITHOUT the trailing newline. Used by tests to
+/// assert on emitted lines; the swap is mutex-guarded.
+void set_log_sink(std::function<void(std::string_view)> sink);
+
+/// True when a message at `lvl` would be emitted (modulo rate limiting).
+inline bool log_enabled(LogLevel lvl) {
+  return static_cast<uint8_t>(lvl) >= static_cast<uint8_t>(log_level());
+}
+
+/// Per-call-site token bucket. Static storage at each BNR_LOG site.
+class LogSite {
+ public:
+  /// Returns true when this event may be emitted; on true, `suppressed_out`
+  /// receives the number of events dropped since the last emitted one.
+  bool admit(uint64_t& suppressed_out);
+
+ private:
+  static constexpr double kBurst = 8.0;
+  static constexpr double kPerSec = 8.0;
+  std::atomic<uint64_t> last_ns_{0};
+  std::atomic<int64_t> tokens_milli_{int64_t(kBurst * 1000)};
+  std::atomic<uint64_t> suppressed_{0};
+};
+
+/// Formats and emits one line. `kvs` is the pre-rendered " k=v k=v" tail.
+void log_emit(LogLevel lvl, std::string_view component, std::string_view event,
+              std::string_view kvs, uint64_t suppressed);
+
+/// " key=value" fragment builders for the BNR_LOG kvs argument. Strings are
+/// quoted (embedded quotes/newlines replaced) so a hostile error message
+/// cannot break the one-line grammar.
+std::string kv(std::string_view key, std::string_view value);
+inline std::string kv(std::string_view key, const char* value) {
+  return kv(key, std::string_view(value ? value : ""));
+}
+inline std::string kv(std::string_view key, const std::string& value) {
+  return kv(key, std::string_view(value));
+}
+inline std::string kv(std::string_view key, uint64_t value) {
+  return " " + std::string(key) + "=" + std::to_string(value);
+}
+inline std::string kv(std::string_view key, int64_t value) {
+  return " " + std::string(key) + "=" + std::to_string(value);
+}
+inline std::string kv(std::string_view key, int value) {
+  return kv(key, int64_t(value));
+}
+inline std::string kv(std::string_view key, unsigned value) {
+  return kv(key, uint64_t(value));
+}
+inline std::string kv(std::string_view key, double value) {
+  std::ostringstream os;
+  os << " " << key << "=" << value;
+  return os.str();
+}
+inline std::string kv(std::string_view key, bool value) {
+  return " " + std::string(key) + "=" + (value ? "true" : "false");
+}
+
+}  // namespace bnr::obs
+
+/// Emit one structured log line, rate-limited per call site.
+///   BNR_LOG(bnr::obs::LogLevel::kWarn, "rpc", "protocol_error",
+///           bnr::obs::kv("fd", fd) + bnr::obs::kv("err", what));
+#define BNR_LOG(lvl, component, event, kvs)                          \
+  do {                                                               \
+    if (bnr::obs::log_enabled(lvl)) {                                \
+      static bnr::obs::LogSite bnr_log_site_;                        \
+      uint64_t bnr_log_suppressed_ = 0;                              \
+      if (bnr_log_site_.admit(bnr_log_suppressed_))                  \
+        bnr::obs::log_emit(lvl, component, event, kvs,               \
+                           bnr_log_suppressed_);                     \
+    }                                                                \
+  } while (0)

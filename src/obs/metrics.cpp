@@ -1,0 +1,136 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <string_view>
+#include <utility>
+
+namespace bnr::obs {
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& p : other.points) {
+    bool found = false;
+    for (auto& mine : points) {
+      if (mine.name == p.name && mine.labels == p.labels) {
+        mine.value += p.value;
+        found = true;
+        break;
+      }
+    }
+    if (!found) points.push_back(p);
+  }
+  for (const auto& h : other.histograms) {
+    bool found = false;
+    for (auto& mine : histograms) {
+      if (mine.name == h.name && mine.labels == h.labels) {
+        mine.snap.merge(h.snap);
+        found = true;
+        break;
+      }
+    }
+    if (!found) histograms.push_back(h);
+  }
+  slow_traces.insert(slow_traces.end(), other.slow_traces.begin(),
+                     other.slow_traces.end());
+  std::sort(slow_traces.begin(), slow_traces.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return a.total_ns > b.total_ns;
+            });
+  size_t cap = std::max(slow_trace_cap, other.slow_trace_cap);
+  slow_trace_cap = cap;
+  if (slow_traces.size() > cap) slow_traces.resize(cap);
+}
+
+const MetricPoint* MetricsSnapshot::find_point(std::string_view name,
+                                               std::string_view labels) const {
+  for (const auto& p : points)
+    if (p.name == name && p.labels == labels) return &p;
+  return nullptr;
+}
+
+const MetricHistogram* MetricsSnapshot::find_histogram(
+    std::string_view name, std::string_view labels) const {
+  for (const auto& h : histograms)
+    if (h.name == name && h.labels == labels) return &h;
+  return nullptr;
+}
+
+namespace {
+
+bool is_seconds_metric(std::string_view name) {
+  constexpr std::string_view suffix = "_seconds";
+  return name.size() >= suffix.size() &&
+         name.substr(name.size() - suffix.size()) == suffix;
+}
+
+void append_series(std::string& out, const std::string& name,
+                   const std::string& labels, const std::string& extra_label,
+                   const std::string& value) {
+  out += name;
+  if (!labels.empty() || !extra_label.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra_label.empty()) out += ',';
+    out += extra_label;
+    out += '}';
+  }
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_prometheus(const MetricsSnapshot& snap) {
+  std::string out;
+  out.reserve(4096);
+
+  // Group points by name so each name gets exactly one # TYPE header even
+  // when it carries several label sets (per-scheme series).
+  std::map<std::string, std::vector<const MetricPoint*>> by_name;
+  for (const auto& p : snap.points) by_name[p.name].push_back(&p);
+  for (const auto& [name, pts] : by_name) {
+    out += "# TYPE " + name +
+           (pts.front()->kind == MetricKind::kGauge ? " gauge\n"
+                                                    : " counter\n");
+    for (const MetricPoint* p : pts)
+      append_series(out, name, p->labels, "", std::to_string(p->value));
+  }
+
+  std::map<std::string, std::vector<const MetricHistogram*>> hists_by_name;
+  for (const auto& h : snap.histograms) hists_by_name[h.name].push_back(&h);
+  for (const auto& [name, hists] : hists_by_name) {
+    out += "# TYPE " + name + " histogram\n";
+    double scale = is_seconds_metric(name) ? 1e-9 : 1.0;
+    for (const MetricHistogram* h : hists) {
+      uint64_t cum = 0;
+      if (!h->snap.buckets.empty()) {
+        for (uint32_t i = 0; i < kBucketCount; ++i) {
+          if (h->snap.buckets[i] == 0) continue;
+          cum += h->snap.buckets[i];
+          append_series(out, name + "_bucket", h->labels,
+                        "le=\"" + fmt_double(double(bucket_upper(i)) * scale) +
+                            "\"",
+                        std::to_string(cum));
+        }
+      }
+      append_series(out, name + "_bucket", h->labels, "le=\"+Inf\"",
+                    std::to_string(h->snap.count));
+      append_series(out, name + "_sum", h->labels, "",
+                    fmt_double(double(h->snap.sum) * scale));
+      append_series(out, name + "_count", h->labels, "",
+                    std::to_string(h->snap.count));
+    }
+  }
+  return out;
+}
+
+}  // namespace bnr::obs

@@ -1,0 +1,65 @@
+// Neutral metrics model: what a daemon exposes over the METRICS wire method
+// and what ClusterClient::metrics_rollup aggregates across nodes. The model
+// is deliberately self-describing — named points (counter|gauge) and named
+// histograms, each with an optional pre-rendered Prometheus label set — so
+// the wire codec and the text renderer need no per-metric knowledge and a
+// new instrumented subsystem shows up everywhere automatically.
+//
+// merge() implements cross-node rollup: counters and gauges sum by
+// (name, labels), histograms merge element-wise (associative), and the
+// slow-trace list keeps the globally slowest entries.
+//
+// render_prometheus() emits Prometheus text exposition format v0.0.4:
+// `# TYPE` headers, cumulative `_bucket{le=...}` series (only buckets that
+// contain observations, plus +Inf), `_sum`/`_count`, durations in SECONDS
+// (recorded nanoseconds divided out at render time).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
+
+namespace bnr::obs {
+
+enum class MetricKind : uint8_t { kCounter = 0, kGauge = 1 };
+
+/// One scalar sample. `labels` is the rendered Prometheus label body
+/// without braces (e.g. `scheme="ro"`), empty for unlabeled series.
+struct MetricPoint {
+  std::string name;
+  std::string labels;
+  MetricKind kind = MetricKind::kCounter;
+  uint64_t value = 0;
+};
+
+/// One histogram series; values are recorded in the unit named by the
+/// metric (our latency series record NANOSECONDS and render as seconds —
+/// any name ending in `_seconds` is scaled by 1e-9 at render time).
+struct MetricHistogram {
+  std::string name;
+  std::string labels;
+  HistogramSnapshot snap;
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricPoint> points;
+  std::vector<MetricHistogram> histograms;
+  std::vector<TraceRecord> slow_traces;
+  size_t slow_trace_cap = 32;
+
+  /// Cross-node rollup: sum scalars and merge histograms by (name, labels),
+  /// keep the slowest traces overall.
+  void merge(const MetricsSnapshot& other);
+
+  const MetricPoint* find_point(std::string_view name,
+                                std::string_view labels = "") const;
+  const MetricHistogram* find_histogram(std::string_view name,
+                                        std::string_view labels = "") const;
+};
+
+std::string render_prometheus(const MetricsSnapshot& snap);
+
+}  // namespace bnr::obs

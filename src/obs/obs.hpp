@@ -1,0 +1,39 @@
+// Master switch for the observability subsystem. Every instrumentation site
+// in the serving stack guards its work with `obs::enabled()` — a single
+// relaxed atomic load — so a daemon run with BNR_OBS=off pays exactly one
+// predictable branch per site and allocates no per-request trace state.
+//
+// The flag is process-global and runtime-togglable (set_enabled) so the
+// overhead bench can measure instrumented vs uninstrumented cost inside one
+// binary without re-exec'ing.
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace bnr::obs {
+
+namespace detail {
+
+inline bool enabled_from_env() {
+  const char* e = std::getenv("BNR_OBS");
+  if (!e) return true;
+  std::string_view v(e);
+  return !(v == "off" || v == "0" || v == "false");
+}
+
+inline std::atomic<bool> g_enabled{enabled_from_env()};
+
+}  // namespace detail
+
+/// One relaxed load; the instrumentation guard on every hot-path site.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+inline void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+}  // namespace bnr::obs

@@ -1,0 +1,162 @@
+// Per-request stage tracing. A RequestTrace is allocated when a request
+// frame arrives (only when obs::enabled()) and carries monotonic-clock
+// offsets for each pipeline stage the request passes through:
+//
+//   received  -> frame parsed off the socket by an IO loop
+//   admitted  -> passed admission control (in-flight cap, rate limit, budget)
+//   decoded   -> body parsed (on a pool worker for offloaded methods)
+//   queued    -> handed to a service, waiting in a batch group
+//   frozen    -> its batch group was frozen for execution
+//   crypto_start / crypto_done -> the pairing work itself
+//   flushed   -> response bytes fully drained to the socket
+//
+// Stages the request never reaches stay unset (a shed request stops at
+// admitted; a PING never sees queued). Stamps are relaxed atomics because
+// the IO loop, a pool worker, and the service flusher all touch the same
+// trace; each stage is stamped by exactly one thread.
+//
+// On flush the trace is folded into a value-type TraceRecord and offered to
+// a SlowTraceRing that keeps the N slowest completed requests — the ring
+// holds no pointers into connection or service state, so entries stay valid
+// after every socket involved is gone (chaos-tested).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace bnr::obs {
+
+enum class Stage : uint8_t {
+  kReceived = 0,
+  kAdmitted = 1,
+  kDecoded = 2,
+  kQueued = 3,
+  kFrozen = 4,
+  kCryptoStart = 5,
+  kCryptoDone = 6,
+  kFlushed = 7,
+};
+constexpr size_t kStageCount = 8;
+
+constexpr const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kReceived: return "received";
+    case Stage::kAdmitted: return "admitted";
+    case Stage::kDecoded: return "decoded";
+    case Stage::kQueued: return "queued";
+    case Stage::kFrozen: return "frozen";
+    case Stage::kCryptoStart: return "crypto_start";
+    case Stage::kCryptoDone: return "crypto_done";
+    case Stage::kFlushed: return "flushed";
+  }
+  return "?";
+}
+
+/// Live per-request trace. Offsets are nanoseconds since `start`, stored
+/// +1 so 0 can mean "never reached" (received itself stamps as 1).
+struct RequestTrace {
+  uint64_t request_id = 0;
+  uint8_t method = 0;
+
+  RequestTrace(uint64_t id, uint8_t m)
+      : request_id(id), method(m),
+        start(std::chrono::steady_clock::now()) {
+    stage_ns_[size_t(Stage::kReceived)].store(1, std::memory_order_relaxed);
+  }
+
+  void stamp(Stage s) {
+    uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    stage_ns_[size_t(s)].store(ns + 1, std::memory_order_relaxed);
+  }
+
+  /// Offset in ns for a stamped stage; 0 both for "unset" and for the
+  /// received stamp (which is by definition at offset zero).
+  uint64_t stage_offset_ns(Stage s) const {
+    uint64_t v = stage_ns_[size_t(s)].load(std::memory_order_relaxed);
+    return v ? v - 1 : 0;
+  }
+  bool stamped(Stage s) const {
+    return stage_ns_[size_t(s)].load(std::memory_order_relaxed) != 0;
+  }
+
+  std::chrono::steady_clock::time_point start;
+
+ private:
+  std::array<std::atomic<uint64_t>, kStageCount> stage_ns_{};
+};
+
+/// Value-type fold of a completed trace: safe to retain and ship over the
+/// wire after the connection and trace are gone.
+struct TraceRecord {
+  uint64_t request_id = 0;
+  uint8_t method = 0;
+  uint64_t total_ns = 0;  // received -> flushed (or last stamped stage)
+  std::array<uint64_t, kStageCount> stage_ns{};  // offset+1; 0 = unset
+
+  static TraceRecord from(const RequestTrace& t) {
+    TraceRecord r;
+    r.request_id = t.request_id;
+    r.method = t.method;
+    for (size_t i = 0; i < kStageCount; ++i) {
+      r.stage_ns[i] = t.stamped(Stage(i)) ? t.stage_offset_ns(Stage(i)) + 1 : 0;
+      if (r.stage_ns[i]) r.total_ns = std::max(r.total_ns, r.stage_ns[i] - 1);
+    }
+    return r;
+  }
+
+  bool has(Stage s) const { return stage_ns[size_t(s)] != 0; }
+  uint64_t offset_ns(Stage s) const {
+    uint64_t v = stage_ns[size_t(s)];
+    return v ? v - 1 : 0;
+  }
+};
+
+/// Keeps the `cap` slowest completed TraceRecords. offer() is a mutex-
+/// guarded min-replace — called once per completed request, far off the
+/// per-byte hot path. snapshot() returns records sorted slowest-first.
+class SlowTraceRing {
+ public:
+  explicit SlowTraceRing(size_t cap = 32) : cap_(cap ? cap : 1) {}
+
+  void offer(const TraceRecord& r) {
+    std::lock_guard<std::mutex> lk(m_);
+    if (entries_.size() < cap_) {
+      entries_.push_back(r);
+      return;
+    }
+    size_t min_i = 0;
+    for (size_t i = 1; i < entries_.size(); ++i)
+      if (entries_[i].total_ns < entries_[min_i].total_ns) min_i = i;
+    if (r.total_ns > entries_[min_i].total_ns) entries_[min_i] = r;
+  }
+
+  std::vector<TraceRecord> snapshot() const {
+    std::vector<TraceRecord> out;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      out = entries_;
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceRecord& a, const TraceRecord& b) {
+                return a.total_ns > b.total_ns;
+              });
+    return out;
+  }
+
+  size_t capacity() const { return cap_; }
+
+ private:
+  size_t cap_;
+  mutable std::mutex m_;
+  std::vector<TraceRecord> entries_;
+};
+
+}  // namespace bnr::obs

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/sha256.hpp"
+#include "obs/log.hpp"
 
 namespace bnr::rpc {
 
@@ -133,6 +134,8 @@ RpcClient& ClusterClient::ensure_client(size_t i) {
     n.client = std::move(c);
   } catch (...) {
     n.retry_at = now + cfg_.down_backoff;
+    BNR_LOG(obs::LogLevel::kWarn, "cluster", "dial_failed",
+            obs::kv("node", n.ep.label()));
     throw;
   }
   // A node that just (re)joined replays its unacked replication suffix so
@@ -152,6 +155,9 @@ void ClusterClient::mark_down(size_t i) {
   if (!n.client && n.retry_at > Clock::now()) return;
   n.client.reset();
   n.retry_at = Clock::now() + cfg_.down_backoff;
+  BNR_LOG(obs::LogLevel::kWarn, "cluster", "node_down",
+          obs::kv("node", n.ep.label()) +
+              obs::kv("backoff_ms", uint64_t(cfg_.down_backoff.count())));
 }
 
 size_t ClusterClient::send_entry(RpcClient& c, const LogEntry& e) {
@@ -316,9 +322,15 @@ auto ClusterClient::with_failover(const std::string& key, Fn&& fn)
       // A dead node is marked down so the NEXT routed call skips straight
       // to the successor instead of re-paying the retry budget here.
       if (ec == ErrClass::kNodeDead) mark_down(order[hop]);
+      BNR_LOG(obs::LogLevel::kInfo, "cluster", "failover_hop",
+              obs::kv("node", cfg_.nodes[order[hop]].label()) +
+                  obs::kv("hop", uint64_t(hop)) +
+                  obs::kv("dead", ec == ErrClass::kNodeDead));
     }
   }
   failed_.fetch_add(1, std::memory_order_relaxed);
+  BNR_LOG(obs::LogLevel::kWarn, "cluster", "failover_exhausted",
+          obs::kv("key", key) + obs::kv("hops", uint64_t(tries)));
   std::rethrow_exception(last);
 }
 
@@ -388,6 +400,9 @@ ClusterRollup ClusterClient::stats_rollup() {
     t.verify_fallbacks += s.verify_fallbacks;
     t.verify_accepted += s.verify_accepted;
     t.verify_rejected += s.verify_rejected;
+    t.verify_sheds += s.verify_sheds;
+    t.verify_errors += s.verify_errors;
+    t.verify_in_progress += s.verify_in_progress;
     t.combines += s.combines;
     for (const auto& r : s.schemes) {
       auto it = std::find_if(t.schemes.begin(), t.schemes.end(),
@@ -405,10 +420,34 @@ ClusterRollup ClusterClient::stats_rollup() {
       it->verify_fallbacks += r.verify_fallbacks;
       it->verify_accepted += r.verify_accepted;
       it->verify_rejected += r.verify_rejected;
+      it->verify_sheds += r.verify_sheds;
+      it->verify_errors += r.verify_errors;
+      it->verify_in_progress += r.verify_in_progress;
       it->cache_lookups += r.cache_lookups;
       it->cache_misses += r.cache_misses;
       it->combines += r.combines;
     }
+  }
+  return roll;
+}
+
+ClusterMetricsRollup ClusterClient::metrics_rollup(uint8_t flags) {
+  ClusterMetricsRollup roll;
+  roll.nodes.resize(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    ClusterMetricsRollup::NodeRow& row = roll.nodes[i];
+    row.endpoint = cfg_.nodes[i];
+    try {
+      RpcClient& c = ensure_client(i);
+      row.snapshot = c.metrics(flags).get();
+      row.up = true;
+      ++roll.nodes_up;
+    } catch (...) {
+      if (classify(std::current_exception()) == ErrClass::kNodeDead)
+        mark_down(i);
+      continue;
+    }
+    roll.total.merge(row.snapshot);
   }
   return roll;
 }

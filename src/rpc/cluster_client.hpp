@@ -89,6 +89,20 @@ struct ClusterRollup {
   size_t nodes_up = 0;
 };
 
+/// Cluster-wide METRICS rollup: one merged snapshot (counters summed,
+/// histograms merged element-wise, globally slowest traces kept) plus the
+/// per-node snapshots for placement debugging.
+struct ClusterMetricsRollup {
+  struct NodeRow {
+    ClusterEndpoint endpoint;
+    bool up = false;
+    obs::MetricsSnapshot snapshot;
+  };
+  std::vector<NodeRow> nodes;
+  obs::MetricsSnapshot total;
+  size_t nodes_up = 0;
+};
+
 /// Client-side counters for the cluster machinery (the per-node retry and
 /// reconnect counters live in each node session's ClientStats).
 struct ClusterStats {
@@ -146,6 +160,10 @@ class ClusterClient {
   // -- Cluster-wide observability -------------------------------------------
 
   ClusterRollup stats_rollup();
+  /// Scrapes METRICS from every reachable node and merges: the histogram
+  /// buckets are a pure function of the value, so percentiles over the
+  /// merged snapshot are cluster-wide percentiles.
+  ClusterMetricsRollup metrics_rollup(uint8_t flags = kMetricsTraces);
   ClusterStats cluster_stats() const;
 
   // -- Routing / node introspection (tests, benches, CLI) -------------------

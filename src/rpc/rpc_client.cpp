@@ -808,4 +808,43 @@ std::future<HealthStats> RpcClient::health(RequestOptions opts) {
   return fut;
 }
 
+std::future<obs::MetricsSnapshot> RpcClient::metrics(uint8_t flags,
+                                                     RequestOptions opts) {
+  auto prom = std::make_shared<std::promise<obs::MetricsSnapshot>>();
+  auto fut = prom->get_future();
+  // The text bit selects the server-side rendering; this front always wants
+  // the structured body (metrics_text() is the rendered front).
+  flags &= ~kMetricsText;
+  enqueue(Method::kMetrics, true,
+          [flags](uint64_t id, std::optional<uint32_t> b) {
+            return encode_metrics_request(id, flags, b);
+          },
+          {[prom](ByteReader& rd) {
+             obs::MetricsSnapshot m = decode_metrics_snapshot(rd);
+             expect_frame_done(rd, "METRICS response");
+             prom->set_value(std::move(m));
+           },
+           [prom](std::exception_ptr e) { settle_exception(prom, e); }},
+          opts);
+  return fut;
+}
+
+std::future<std::string> RpcClient::metrics_text(RequestOptions opts) {
+  auto prom = std::make_shared<std::promise<std::string>>();
+  auto fut = prom->get_future();
+  enqueue(Method::kMetrics, true,
+          [](uint64_t id, std::optional<uint32_t> b) {
+            return encode_metrics_request(id, kMetricsText | kMetricsTraces,
+                                          b);
+          },
+          {[prom](ByteReader& rd) {
+             std::string text = decode_str(rd);
+             expect_frame_done(rd, "METRICS text response");
+             prom->set_value(std::move(text));
+           },
+           [prom](std::exception_ptr e) { settle_exception(prom, e); }},
+          opts);
+  return fut;
+}
+
 }  // namespace bnr::rpc

@@ -188,6 +188,14 @@ class RpcClient {
   /// The daemon's overload counters (in-flight, queue depth, BUSY/SHED
   /// totals); see HealthStats.
   std::future<HealthStats> health(RequestOptions opts = {});
+  /// The daemon's full metrics plane (named points, latency histograms,
+  /// optionally the slow-trace ring). `flags` is a kMetricsTraces mask;
+  /// pass 0 for points + histograms only.
+  std::future<obs::MetricsSnapshot> metrics(uint8_t flags = kMetricsTraces,
+                                            RequestOptions opts = {});
+  /// The same plane rendered server-side as Prometheus text exposition —
+  /// what a scrape endpoint would serve.
+  std::future<std::string> metrics_text(RequestOptions opts = {});
 
   // -- Typed conveniences for the paper's schemes ---------------------------
 
@@ -237,6 +245,10 @@ class RpcClient {
   }
   DaemonStats stats_sync() { return stats().get(); }
   HealthStats health_sync() { return health().get(); }
+  obs::MetricsSnapshot metrics_sync(uint8_t flags = kMetricsTraces) {
+    return metrics(flags).get();
+  }
+  std::string metrics_text_sync() { return metrics_text().get(); }
 
   /// True once the session can no longer carry requests: close() was
   /// called, the stream was poisoned by a protocol violation, or the

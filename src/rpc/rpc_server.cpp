@@ -20,6 +20,8 @@
 #include <thread>
 
 #include "common/sha256.hpp"
+#include "obs/log.hpp"
+#include "obs/obs.hpp"
 #include "rpc/fault_injector.hpp"
 
 namespace bnr::rpc {
@@ -87,10 +89,18 @@ struct RpcServer::Conn {
     if (fd >= 0) ::close(fd);
   }
 
+  /// One encoded response awaiting write. The trace (null unless obs was on
+  /// when the request arrived) is stamped kFlushed when the LAST byte of
+  /// this frame drains, which is the only latency a client can observe.
+  struct OutFrame {
+    Bytes bytes;
+    std::shared_ptr<obs::RequestTrace> trace;
+  };
+
   int fd;
   IoLoop* loop;  // fixed at accept: a conn never migrates between loops
   FrameBuffer frames;
-  std::deque<Bytes> wq;  // encoded frames awaiting write
+  std::deque<OutFrame> wq;  // encoded frames awaiting write
   size_t wq_bytes = 0;
   size_t woff = 0;        // progress into wq.front()
   uint32_t events = 0;    // currently registered epoll interest mask
@@ -116,8 +126,13 @@ struct RpcServer::IoLoop {
 
   std::unordered_map<int, std::shared_ptr<Conn>> conns;  // loop thread only
 
+  struct Completion {
+    std::weak_ptr<Conn> conn;
+    Bytes payload;
+    std::shared_ptr<obs::RequestTrace> trace;
+  };
   std::mutex comp_m;
-  std::vector<std::pair<std::weak_ptr<Conn>, Bytes>> completions;
+  std::vector<Completion> completions;
 
   // Per-loop counter slice: the loop thread (and, for nothing in this
   // struct, pool workers) writes relaxed; STATS/HEALTH sums across loops.
@@ -197,6 +212,7 @@ RpcServer::RpcServer(ServerConfig cfg, service::ThreadPool& pool)
     size_t hw = std::thread::hardware_concurrency();
     n_loops = std::min<size_t>(4, std::max<size_t>(1, hw / 2));
   }
+  request_hist_ = std::make_unique<obs::ShardedHistogram>(n_loops);
   loops_.reserve(n_loops);
   for (size_t i = 0; i < n_loops; ++i) {
     auto L = std::make_unique<IoLoop>();
@@ -410,6 +426,8 @@ void RpcServer::accept_ready(IoLoop& L) {
     if (!reserve_conn_slot()) {
       ::close(fd);
       L.rejected.fetch_add(1, std::memory_order_relaxed);
+      BNR_LOG(obs::LogLevel::kWarn, "rpc", "conn_cap_reject",
+              obs::kv("cap", uint64_t(cfg_.max_connections)));
       continue;
     }
     // Injected accept failure: the peer sees an immediate close, exactly the
@@ -519,6 +537,12 @@ void RpcServer::read_ready(IoLoop& L, const std::shared_ptr<Conn>& c) {
     if (r == FrameBuffer::Result::kNeedMore) return;
     if (r == FrameBuffer::Result::kTooBig || !handle_frame(L, c, frame)) {
       L.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      // This close used to be silent: the peer sees the disconnect but the
+      // operator had only a bare counter. One rate-limited line attributes
+      // the teardown.
+      BNR_LOG(obs::LogLevel::kWarn, "rpc", "protocol_error_close",
+              obs::kv("fd", int64_t(c->fd)) +
+                  obs::kv("oversized", r == FrameBuffer::Result::kTooBig));
       close_conn(L, c);
       return;
     }
@@ -535,8 +559,8 @@ void RpcServer::write_ready(IoLoop& L, const std::shared_ptr<Conn>& c) {
     size_t off = c->woff;
     for (auto it = c->wq.begin(); it != c->wq.end() && niov < kMaxWriteIov;
          ++it) {
-      iov[niov].iov_base = const_cast<uint8_t*>(it->data() + off);
-      iov[niov].iov_len = it->size() - off;
+      iov[niov].iov_base = const_cast<uint8_t*>(it->bytes.data() + off);
+      iov[niov].iov_len = it->bytes.size() - off;
       total += iov[niov].iov_len;
       ++niov;
       off = 0;
@@ -572,14 +596,17 @@ void RpcServer::write_ready(IoLoop& L, const std::shared_ptr<Conn>& c) {
       close_conn(L, c);
       return;
     }
-    // Consume n bytes across the queued frames.
+    // Consume n bytes across the queued frames. A fully drained frame is
+    // the response's observable completion: stamp its trace and fold it
+    // into the slow-trace ring before the frame is dropped.
     size_t left = size_t(n);
     while (left > 0) {
-      const Bytes& front = c->wq.front();
-      size_t avail = front.size() - c->woff;
+      Conn::OutFrame& front = c->wq.front();
+      size_t avail = front.bytes.size() - c->woff;
       if (left >= avail) {
         left -= avail;
-        c->wq_bytes -= front.size();
+        c->wq_bytes -= front.bytes.size();
+        if (front.trace) on_frame_flushed(L, *front.trace);
         c->wq.pop_front();
         c->woff = 0;
       } else {
@@ -591,24 +618,34 @@ void RpcServer::write_ready(IoLoop& L, const std::shared_ptr<Conn>& c) {
   }
 }
 
-void RpcServer::send_now(const std::shared_ptr<Conn>& c, Bytes payload) {
+void RpcServer::send_now(const std::shared_ptr<Conn>& c, Bytes payload,
+                         std::shared_ptr<obs::RequestTrace> trace) {
   if (c->fd < 0) return;
   IoLoop& L = *c->loop;
   Bytes framed;
   framed.reserve(4 + payload.size());
   append_frame(framed, payload, cfg_.max_frame);
   c->wq_bytes += framed.size();
-  c->wq.push_back(std::move(framed));
+  c->wq.push_back(Conn::OutFrame{std::move(framed), std::move(trace)});
   write_ready(L, c);  // opportunistic flush; the rest goes out via EPOLLOUT
   if (c->fd >= 0) update_interest(L, *c);
 }
 
-void RpcServer::complete(const std::weak_ptr<Conn>& wc, Bytes payload) {
+void RpcServer::on_frame_flushed(IoLoop& L, obs::RequestTrace& trace) {
+  trace.stamp(obs::Stage::kFlushed);
+  obs::TraceRecord rec = obs::TraceRecord::from(trace);
+  request_hist_->record(L.index, rec.total_ns);
+  trace_ring_.offer(rec);
+}
+
+void RpcServer::complete(const std::weak_ptr<Conn>& wc, Bytes payload,
+                         std::shared_ptr<obs::RequestTrace> trace) {
   if (auto c = wc.lock()) {
     IoLoop& L = *c->loop;
     {
       std::lock_guard<std::mutex> l(L.comp_m);
-      L.completions.emplace_back(wc, std::move(payload));
+      L.completions.push_back(
+          IoLoop::Completion{wc, std::move(payload), std::move(trace)});
     }
     in_flight_.fetch_sub(1, std::memory_order_release);
     wake(L);
@@ -620,13 +657,14 @@ void RpcServer::complete(const std::weak_ptr<Conn>& wc, Bytes payload) {
 }
 
 void RpcServer::drain_completions(IoLoop& L) {
-  std::vector<std::pair<std::weak_ptr<Conn>, Bytes>> batch;
+  std::vector<IoLoop::Completion> batch;
   {
     std::lock_guard<std::mutex> l(L.comp_m);
     batch.swap(L.completions);
   }
-  for (auto& [wc, payload] : batch)
-    if (auto c = wc.lock()) send_now(c, std::move(payload));
+  for (auto& comp : batch)
+    if (auto c = comp.conn.lock())
+      send_now(c, std::move(comp.payload), std::move(comp.trace));
 }
 
 void RpcServer::offload(std::function<void()> fn) {
@@ -660,6 +698,8 @@ bool RpcServer::admit(IoLoop& L, const std::shared_ptr<Conn>& c, uint64_t id,
     c->last_refill = now;
     if (c->tokens < cost) {
       L.busy_ratelimit.fetch_add(1, std::memory_order_relaxed);
+      BNR_LOG(obs::LogLevel::kInfo, "rpc", "busy_ratelimit",
+              obs::kv("request_id", id) + obs::kv("cost", cost));
       send_now(c, encode_rejection(id, Status::kBusy,
                                    "rate limited: connection over its "
                                    "request budget"));
@@ -670,6 +710,9 @@ bool RpcServer::admit(IoLoop& L, const std::shared_ptr<Conn>& c, uint64_t id,
   if (cfg_.max_in_flight > 0 &&
       in_flight_.load(std::memory_order_acquire) >= cfg_.max_in_flight) {
     L.busy_inflight.fetch_add(1, std::memory_order_relaxed);
+    BNR_LOG(obs::LogLevel::kInfo, "rpc", "busy_inflight",
+            obs::kv("request_id", id) +
+                obs::kv("cap", uint64_t(cfg_.max_in_flight)));
     send_now(c, encode_rejection(id, Status::kBusy,
                                  "server at in-flight capacity"));
     return false;
@@ -689,9 +732,13 @@ bool RpcServer::handle_frame(IoLoop& L, const std::shared_ptr<Conn>& c,
     auto deadline = std::chrono::steady_clock::time_point::max();
     if (h.budget_ms) {
       if (*h.budget_ms == 0 && h.method != Method::kPing &&
-          h.method != Method::kStats && h.method != Method::kHealth) {
+          h.method != Method::kStats && h.method != Method::kHealth &&
+          h.method != Method::kMetrics) {
         L.shed_arrival.fetch_add(1, std::memory_order_relaxed);
         L.frames_in.fetch_add(1, std::memory_order_relaxed);
+        BNR_LOG(obs::LogLevel::kInfo, "rpc", "shed_arrival",
+                obs::kv("request_id", h.request_id) +
+                    obs::kv("method", uint64_t(h.method)));
         send_now(c, encode_rejection(h.request_id, Status::kShed,
                                      "deadline budget spent on arrival"));
         return true;
@@ -699,6 +746,17 @@ bool RpcServer::handle_frame(IoLoop& L, const std::shared_ptr<Conn>& c,
       deadline = std::chrono::steady_clock::now() +
                  std::chrono::milliseconds(*h.budget_ms);
     }
+    // Data-plane requests get a stage trace while obs is on: kReceived
+    // stamps at construction (here, on the IO loop), the rest as the
+    // request moves through admission, pool decode, the service, and the
+    // response flush. Control-plane methods are never traced.
+    std::shared_ptr<obs::RequestTrace> trace;
+    bool data_plane = h.method == Method::kVerify ||
+                      h.method == Method::kBatchVerify ||
+                      h.method == Method::kCombine;
+    if (data_plane && obs::enabled())
+      trace = std::make_shared<obs::RequestTrace>(h.request_id,
+                                                  uint8_t(h.method));
     switch (h.method) {
       case Method::kPing:
         expect_frame_done(rd, "PING");
@@ -714,25 +772,50 @@ bool RpcServer::handle_frame(IoLoop& L, const std::shared_ptr<Conn>& c,
         send_now(c, encode_ok(h.request_id, encode_health(snapshot_health())));
         break;
       }
+      case Method::kMetrics: {
+        uint8_t flags = rd.u8();
+        expect_frame_done(rd, "METRICS");
+        if (flags & ~(kMetricsText | kMetricsTraces))
+          throw ProtocolError("METRICS: undefined flag bits");
+        obs::MetricsSnapshot m = metrics_snapshot(flags & kMetricsTraces);
+        Bytes body;
+        if (flags & kMetricsText) {
+          ByteWriter w;
+          w.str(render_prometheus(m));
+          body = w.take();
+        } else {
+          body = encode_metrics_snapshot(m);
+        }
+        send_now(c, encode_ok(h.request_id, body));
+        break;
+      }
       case Method::kRegisterTenant:
         handle_register(c, h.request_id, rd);
         break;
       case Method::kVerify: {
         VerifyRequest req = decode_verify(rd);
-        if (admit(L, c, h.request_id, 1))
-          dispatch_verify(c, h.request_id, std::move(req), deadline);
+        if (admit(L, c, h.request_id, 1)) {
+          if (trace) trace->stamp(obs::Stage::kAdmitted);
+          dispatch_verify(c, h.request_id, std::move(req), deadline,
+                          std::move(trace));
+        }
         break;
       }
       case Method::kBatchVerify: {
         BatchVerifyRequest req = decode_batch_verify(rd);
-        if (admit(L, c, h.request_id, std::max<double>(1, req.items.size())))
-          dispatch_batch_verify(c, h.request_id, std::move(req), deadline);
+        if (admit(L, c, h.request_id, std::max<double>(1, req.items.size()))) {
+          if (trace) trace->stamp(obs::Stage::kAdmitted);
+          dispatch_batch_verify(c, h.request_id, std::move(req), deadline,
+                                std::move(trace));
+        }
         break;
       }
       case Method::kCombine: {
         CombineRequest req = decode_combine(rd);
-        if (admit(L, c, h.request_id, 1))
-          dispatch_combine(c, h.request_id, std::move(req));
+        if (admit(L, c, h.request_id, 1)) {
+          if (trace) trace->stamp(obs::Stage::kAdmitted);
+          dispatch_combine(c, h.request_id, std::move(req), std::move(trace));
+        }
         break;
       }
     }
@@ -754,6 +837,8 @@ void RpcServer::handle_register(const std::shared_ptr<Conn>& c, uint64_t id,
   if (!cfg_.admin_token.empty() &&
       !constant_time_token_equal(req.token, cfg_.admin_token)) {
     auth_failures_.fetch_add(1, std::memory_order_relaxed);
+    BNR_LOG(obs::LogLevel::kWarn, "rpc", "auth_failure",
+            obs::kv("request_id", id) + obs::kv("tenant", req.key));
     send_now(c, encode_error(id, "unauthorized: bad admin token"));
     return;
   }
@@ -831,7 +916,8 @@ void RpcServer::handle_register(const std::shared_ptr<Conn>& c, uint64_t id,
 
 void RpcServer::dispatch_verify(
     const std::shared_ptr<Conn>& c, uint64_t id, VerifyRequest req,
-    std::chrono::steady_clock::time_point deadline) {
+    std::chrono::steady_clock::time_point deadline,
+    std::shared_ptr<obs::RequestTrace> trace) {
   threshold::SchemeId scheme_id;
   {
     std::lock_guard<std::mutex> l(reg_m_);
@@ -843,7 +929,7 @@ void RpcServer::dispatch_verify(
     scheme_id = it->second.scheme;
   }
   std::weak_ptr<Conn> wc = c;
-  auto done = [this, wc, id](bool ok, std::exception_ptr err) {
+  auto done = [this, wc, id, trace](bool ok, std::exception_ptr err) {
     Bytes resp;
     if (err) {
       try {
@@ -863,7 +949,7 @@ void RpcServer::dispatch_verify(
       w.u8(ok ? 1 : 0);
       resp = w.take();
     }
-    complete(wc, std::move(resp));
+    complete(wc, std::move(resp), std::move(trace));
   };
   // The tenant's registered scheme parses the opaque signature blob; the
   // erased handle and its prepared verifier are therefore always the same
@@ -873,11 +959,12 @@ void RpcServer::dispatch_verify(
   const threshold::Scheme* scheme = &registry_.at(scheme_id);
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
   offload([this, wc, id, scheme, req = std::move(req), deadline,
-           done = std::move(done)]() mutable {
+           trace = std::move(trace), done = std::move(done)]() mutable {
     try {
       threshold::SigHandle sig = scheme->parse_signature(req.sig);
+      if (trace) trace->stamp(obs::Stage::kDecoded);
       verify_->submit(req.key, std::move(req.msg), std::move(sig),
-                      std::move(done), deadline);
+                      std::move(done), deadline, std::move(trace));
     } catch (const std::exception& e) {
       // Bad signature encoding inside a well-formed frame: attributable.
       complete(wc, encode_error(id, e.what()));
@@ -889,7 +976,8 @@ void RpcServer::dispatch_verify(
 
 void RpcServer::dispatch_batch_verify(
     const std::shared_ptr<Conn>& c, uint64_t id, BatchVerifyRequest req,
-    std::chrono::steady_clock::time_point deadline) {
+    std::chrono::steady_clock::time_point deadline,
+    std::shared_ptr<obs::RequestTrace> trace) {
   threshold::SchemeId scheme_id;
   {
     std::lock_guard<std::mutex> l(reg_m_);
@@ -928,7 +1016,7 @@ void RpcServer::dispatch_batch_verify(
   st->outstanding = req.items.size();
   std::weak_ptr<Conn> wc = c;
 
-  auto finish = [this, st, wc, id] {
+  auto finish = [this, st, wc, id, trace] {
     Bytes resp;
     if (!st->error.empty()) {
       resp = st->shed ? encode_rejection(id, Status::kShed, st->error)
@@ -940,15 +1028,20 @@ void RpcServer::dispatch_batch_verify(
       for (uint8_t r : st->results) w.u8(r);
       resp = w.take();
     }
-    complete(wc, std::move(resp));
+    complete(wc, std::move(resp), trace);
   };
 
   // The per-item signature parses (the batch's whole decompression bill)
-  // run as ONE staging task on the pool, not on the IO loop.
+  // run as ONE staging task on the pool, not on the IO loop. The batch
+  // shares ONE trace; kDecoded marks the staging task starting its parses
+  // and the service stamps (queued/frozen/crypto) follow the LAST item to
+  // touch each stage, which is what end-to-end latency is made of.
   const threshold::Scheme* scheme = &registry_.at(scheme_id);
   auto reqp = std::make_shared<BatchVerifyRequest>(std::move(req));
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
-  offload([this, st, scheme, reqp, deadline, finish] {
+  offload([this, st, scheme, reqp, deadline, trace = std::move(trace),
+           finish] {
+    if (trace) trace->stamp(obs::Stage::kDecoded);
     for (size_t j = 0; j < reqp->items.size(); ++j) {
       auto item_done = [st, j, finish](bool ok, std::exception_ptr err) {
         bool last;
@@ -975,7 +1068,7 @@ void RpcServer::dispatch_batch_verify(
         threshold::SigHandle sig =
             scheme->parse_signature(reqp->items[j].second);
         verify_->submit(reqp->key, std::move(reqp->items[j].first),
-                        std::move(sig), item_done, deadline);
+                        std::move(sig), item_done, deadline, trace);
       } catch (const std::exception&) {
         bool last;
         {
@@ -990,7 +1083,8 @@ void RpcServer::dispatch_batch_verify(
 }
 
 void RpcServer::dispatch_combine(const std::shared_ptr<Conn>& c, uint64_t id,
-                                 CombineRequest req) {
+                                 CombineRequest req,
+                                 std::shared_ptr<obs::RequestTrace> trace) {
   threshold::SchemeId scheme_id;
   {
     std::lock_guard<std::mutex> l(reg_m_);
@@ -1009,7 +1103,7 @@ void RpcServer::dispatch_combine(const std::shared_ptr<Conn>& c, uint64_t id,
   const threshold::Scheme* scheme = &registry_.at(scheme_id);
   auto reqp = std::make_shared<CombineRequest>(std::move(req));
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
-  offload([this, wc, id, scheme, scheme_id, reqp] {
+  offload([this, wc, id, scheme, scheme_id, reqp, trace = std::move(trace)] {
     std::vector<threshold::PartialHandle> parts;
     try {
       parts.reserve(reqp->partials.size());
@@ -1022,9 +1116,11 @@ void RpcServer::dispatch_combine(const std::shared_ptr<Conn>& c, uint64_t id,
       complete(wc, encode_error(id, "combine dispatch failed"));
       return;
     }
+    if (trace) trace->stamp(obs::Stage::kDecoded);
     combine_->submit(
         reqp->key, scheme_id, std::move(reqp->msg), std::move(parts),
-        [this, wc, id](service::CombineOutcome* out, std::exception_ptr err) {
+        [this, wc, id,
+         trace](service::CombineOutcome* out, std::exception_ptr err) {
           Bytes resp;
           if (err) {
             try {
@@ -1038,8 +1134,9 @@ void RpcServer::dispatch_combine(const std::shared_ptr<Conn>& c, uint64_t id,
             resp = encode_ok(id,
                              encode_combine_result({out->sig, out->cheaters}));
           }
-          complete(wc, std::move(resp));
-        });
+          complete(wc, std::move(resp), trace);
+        },
+        trace);
   });
 }
 
@@ -1100,12 +1197,23 @@ DaemonStats RpcServer::snapshot_stats() const {
   // would double-count the same tenants).
   s.deduped_keys = vc.deduped;
 
-  service::ServiceStats vs = verify_->stats();
+  // ONE lock acquisition for the verify totals AND every per-scheme slice:
+  // separate stats() calls could interleave with a flush committing
+  // verdicts, making the global row disagree with the sum of the per-scheme
+  // rows and transiently breaking the accounting identity
+  //   submitted == accepted + rejected + sheds + errors + in_progress
+  // that the chaos tests (and any alerting built on STATS) assert on.
+  service::MultiTenantVerificationService::StatsBundle vb =
+      verify_->stats_all();
+  const service::ServiceStats& vs = vb.total;
   s.verify_submitted = vs.submitted;
   s.verify_batches = vs.batches;
   s.verify_fallbacks = vs.fallbacks;
   s.verify_accepted = vs.accepted;
   s.verify_rejected = vs.rejected;
+  s.verify_sheds = vs.deadline_sheds;
+  s.verify_errors = vs.errors;
+  s.verify_in_progress = vs.in_progress;
   s.combines = combine_->stats().submitted;
 
   // One row per scheme the registry serves — the registry knows every
@@ -1116,12 +1224,16 @@ DaemonStats RpcServer::snapshot_stats() const {
     row.tenants = tenants_by_scheme[threshold::scheme_stats_slot(scheme->id())];
     row.deduped = deduped_by_scheme_[threshold::scheme_stats_slot(scheme->id())].load(
         std::memory_order_relaxed);
-    service::ServiceStats sv = verify_->stats(scheme->id());
+    const service::ServiceStats& sv =
+        vb.by_scheme[threshold::scheme_stats_slot(scheme->id())];
     row.verify_submitted = sv.submitted;
     row.verify_batches = sv.batches;
     row.verify_fallbacks = sv.fallbacks;
     row.verify_accepted = sv.accepted;
     row.verify_rejected = sv.rejected;
+    row.verify_sheds = sv.deadline_sheds;
+    row.verify_errors = sv.errors;
+    row.verify_in_progress = sv.in_progress;
     auto cs = combine_->stats(scheme->id());
     row.cache_lookups = sv.cache_lookups + cs.cache_lookups;
     row.cache_misses = sv.cache_misses + cs.cache_misses;
@@ -1129,6 +1241,107 @@ DaemonStats RpcServer::snapshot_stats() const {
     s.schemes.push_back(row);
   }
   return s;
+}
+
+obs::MetricsSnapshot RpcServer::metrics_snapshot(bool include_traces) const {
+  obs::MetricsSnapshot m;
+  DaemonStats s = snapshot_stats();
+  HealthStats h = snapshot_health();
+
+  using obs::MetricKind;
+  auto point = [&m](std::string name, std::string labels, MetricKind kind,
+                    uint64_t value) {
+    m.points.push_back(
+        obs::MetricPoint{std::move(name), std::move(labels), kind, value});
+  };
+
+  point("bnr_tenants", "", MetricKind::kGauge, s.tenants);
+  point("bnr_deduped_keys_total", "", MetricKind::kCounter, s.deduped_keys);
+  point("bnr_connections_total", "", MetricKind::kCounter, s.connections);
+  point("bnr_connections_rejected_total", "", MetricKind::kCounter,
+        s.conns_rejected);
+  point("bnr_open_connections", "", MetricKind::kGauge, s.open_connections);
+  point("bnr_frames_in_total", "", MetricKind::kCounter, s.frames_in);
+  point("bnr_protocol_errors_total", "", MetricKind::kCounter,
+        s.protocol_errors);
+  point("bnr_auth_failures_total", "", MetricKind::kCounter, s.auth_failures);
+  point("bnr_cache_hits_total", "", MetricKind::kCounter, s.cache_hits);
+  point("bnr_cache_misses_total", "", MetricKind::kCounter, s.cache_misses);
+  point("bnr_cache_evictions_total", "", MetricKind::kCounter,
+        s.cache_evictions);
+  point("bnr_cache_resident_entries", "", MetricKind::kGauge,
+        s.cache_resident_entries);
+  point("bnr_cache_resident_bytes", "", MetricKind::kGauge,
+        s.cache_resident_bytes);
+  point("bnr_verify_submitted_total", "", MetricKind::kCounter,
+        s.verify_submitted);
+  point("bnr_verify_batches_total", "", MetricKind::kCounter,
+        s.verify_batches);
+  point("bnr_verify_fallbacks_total", "", MetricKind::kCounter,
+        s.verify_fallbacks);
+  point("bnr_verify_accepted_total", "", MetricKind::kCounter,
+        s.verify_accepted);
+  point("bnr_verify_rejected_total", "", MetricKind::kCounter,
+        s.verify_rejected);
+  point("bnr_verify_sheds_total", "", MetricKind::kCounter, s.verify_sheds);
+  point("bnr_verify_errors_total", "", MetricKind::kCounter, s.verify_errors);
+  point("bnr_verify_in_progress", "", MetricKind::kGauge,
+        s.verify_in_progress);
+  point("bnr_combines_total", "", MetricKind::kCounter, s.combines);
+  point("bnr_in_flight", "", MetricKind::kGauge, h.in_flight);
+  point("bnr_in_flight_cap", "", MetricKind::kGauge, h.inflight_cap);
+  point("bnr_queue_depth", "", MetricKind::kGauge, h.queue_depth);
+  point("bnr_busy_inflight_total", "", MetricKind::kCounter, h.busy_inflight);
+  point("bnr_busy_ratelimit_total", "", MetricKind::kCounter,
+        h.busy_ratelimit);
+  point("bnr_shed_arrival_total", "", MetricKind::kCounter, h.shed_arrival);
+  point("bnr_shed_in_service_total", "", MetricKind::kCounter,
+        h.shed_in_service);
+
+  for (const threshold::Scheme* scheme : registry_.schemes()) {
+    const SchemeStatsRow* row = nullptr;
+    for (const auto& r : s.schemes)
+      if (r.scheme == uint8_t(scheme->id())) row = &r;
+    if (!row) continue;
+    std::string lbl = "scheme=\"" + std::string(scheme->name()) + "\"";
+    point("bnr_scheme_tenants", lbl, MetricKind::kGauge, row->tenants);
+    point("bnr_scheme_verify_submitted_total", lbl, MetricKind::kCounter,
+          row->verify_submitted);
+    point("bnr_scheme_verify_accepted_total", lbl, MetricKind::kCounter,
+          row->verify_accepted);
+    point("bnr_scheme_verify_rejected_total", lbl, MetricKind::kCounter,
+          row->verify_rejected);
+    point("bnr_scheme_verify_sheds_total", lbl, MetricKind::kCounter,
+          row->verify_sheds);
+    point("bnr_scheme_verify_errors_total", lbl, MetricKind::kCounter,
+          row->verify_errors);
+    point("bnr_scheme_combines_total", lbl, MetricKind::kCounter,
+          row->combines);
+
+    obs::HistogramSnapshot vlat = verify_->latency(scheme->id());
+    if (vlat.count)
+      m.histograms.push_back(obs::MetricHistogram{
+          "bnr_verify_latency_seconds", lbl, std::move(vlat)});
+    obs::HistogramSnapshot clat = combine_->latency(scheme->id());
+    if (clat.count)
+      m.histograms.push_back(obs::MetricHistogram{
+          "bnr_combine_latency_seconds", lbl, std::move(clat)});
+  }
+
+  m.histograms.push_back(obs::MetricHistogram{
+      "bnr_request_latency_seconds", "", request_hist_->snapshot()});
+  m.histograms.push_back(obs::MetricHistogram{
+      "bnr_pool_task_wait_seconds", "", pool_.task_wait_latency()});
+  m.histograms.push_back(obs::MetricHistogram{
+      "bnr_pool_task_exec_seconds", "", pool_.task_exec_latency()});
+  m.histograms.push_back(obs::MetricHistogram{
+      "bnr_pool_queue_depth", "", pool_.queue_depth_samples()});
+
+  if (include_traces) {
+    m.slow_traces = trace_ring_.snapshot();
+    m.slow_trace_cap = trace_ring_.capacity();
+  }
+  return m;
 }
 
 }  // namespace bnr::rpc

@@ -72,6 +72,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rpc/wire.hpp"
 #include "service/key_cache.hpp"
 #include "service/thread_pool.hpp"
@@ -150,6 +153,13 @@ class RpcServer {
   /// The HEALTH method's body: current in-flight / queue depth plus the
   /// admission-control rejection counters (summed across loops).
   HealthStats snapshot_health() const;
+  /// The METRICS method's body: every STATS/HEALTH scalar as a named point,
+  /// the per-scheme verify/combine latency histograms, the end-to-end
+  /// request-latency histogram, the pool's wait/exec/depth histograms, and
+  /// (when asked) the slowest-request trace ring. The verify counters and
+  /// per-scheme rows come from ONE service lock acquisition, so the
+  /// accounting identity holds inside the snapshot.
+  obs::MetricsSnapshot metrics_snapshot(bool include_traces) const;
   /// The ONE cache behind every scheme's prepared verifiers.
   const service::KeyCacheManager<threshold::PreparedVerifier>&
   verifier_cache() const {
@@ -196,12 +206,15 @@ class RpcServer {
                        ByteReader& rd);
   void dispatch_verify(const std::shared_ptr<Conn>& c, uint64_t id,
                        VerifyRequest req,
-                       std::chrono::steady_clock::time_point deadline);
+                       std::chrono::steady_clock::time_point deadline,
+                       std::shared_ptr<obs::RequestTrace> trace);
   void dispatch_batch_verify(const std::shared_ptr<Conn>& c, uint64_t id,
                              BatchVerifyRequest req,
-                             std::chrono::steady_clock::time_point deadline);
+                             std::chrono::steady_clock::time_point deadline,
+                             std::shared_ptr<obs::RequestTrace> trace);
   void dispatch_combine(const std::shared_ptr<Conn>& c, uint64_t id,
-                        CombineRequest req);
+                        CombineRequest req,
+                        std::shared_ptr<obs::RequestTrace> trace);
   /// Admission control shared by the dispatch_* fronts: charges the token
   /// bucket and checks the in-flight cap; a false return already sent the
   /// BUSY rejection.
@@ -215,10 +228,18 @@ class RpcServer {
 
   /// Queues an already-encoded response payload from any thread onto the
   /// owning loop's completion queue and wakes that loop's eventfd.
-  /// Counterpart of a dispatch_* in_flight_ increment.
-  void complete(const std::weak_ptr<Conn>& c, Bytes payload);
+  /// Counterpart of a dispatch_* in_flight_ increment. The trace (null when
+  /// obs is off) rides along so the flush stamp lands when the response
+  /// bytes actually drain to the socket.
+  void complete(const std::weak_ptr<Conn>& c, Bytes payload,
+                std::shared_ptr<obs::RequestTrace> trace = nullptr);
   /// Same, from the connection's own loop thread (no queue round-trip).
-  void send_now(const std::shared_ptr<Conn>& c, Bytes payload);
+  void send_now(const std::shared_ptr<Conn>& c, Bytes payload,
+                std::shared_ptr<obs::RequestTrace> trace = nullptr);
+  /// Called by write_ready when a traced response frame fully drained:
+  /// stamps kFlushed, records end-to-end latency, offers the record to the
+  /// slow-trace ring.
+  void on_frame_flushed(IoLoop& L, obs::RequestTrace& trace);
   void drain_completions(IoLoop& L);
   void close_conn(IoLoop& L, const std::shared_ptr<Conn>& c);
   void wake(IoLoop& L);
@@ -262,6 +283,14 @@ class RpcServer {
   std::unordered_map<std::string, TenantInfo> tenants_;
   std::unordered_map<std::string, PkEntry> pk_by_digest_;
   std::unordered_map<std::string, CommitteeEntry> committee_by_digest_;
+
+  // Observability (PR 9): end-to-end request latency (received -> response
+  // bytes flushed), sharded one slot per IO loop and recorded only on the
+  // owning loop thread; the ring keeps the slowest completed traces as
+  // VALUE records (no connection pointers). Built in the constructor once
+  // the loop count is known.
+  std::unique_ptr<obs::ShardedHistogram> request_hist_;
+  obs::SlowTraceRing trace_ring_{32};
 
   // Lifetime counters that stay GLOBAL (any loop may write; stats read).
   // The per-loop slices (accepts, rejects, frames, protocol errors, busy /

@@ -46,6 +46,15 @@
 //                                                   fields + per-scheme rows)
 //   HEALTH           --                          -> HealthStats (fixed u64
 //                                                   overload counters)
+//   METRICS          u8 flags                    -> flags bit0 (kMetricsText):
+//                                                   blob of Prometheus text;
+//                                                   else a structured
+//                                                   MetricsSnapshot (named
+//                                                   points + histograms +
+//                                                   slow traces, see
+//                                                   obs/metrics.hpp); flags
+//                                                   bit1 includes the
+//                                                   slow-trace ring
 //
 // REGISTER_TENANT is an ADMIN frame: when the daemon runs with an admin
 // token, `token` must match (constant-time comparison server-side) or the
@@ -76,6 +85,7 @@
 
 #include "common/bytes.hpp"
 #include "common/serde.hpp"
+#include "obs/metrics.hpp"
 #include "threshold/scheme_api.hpp"
 
 namespace bnr::rpc {
@@ -93,7 +103,12 @@ enum class Method : uint8_t {
   kRegisterTenant = 5,
   kStats = 6,
   kHealth = 7,
+  kMetrics = 8,
 };
+
+/// METRICS request flags byte. Undefined bits are a protocol violation.
+constexpr uint8_t kMetricsText = 0x01;    // respond with Prometheus text
+constexpr uint8_t kMetricsTraces = 0x02;  // include the slow-trace ring
 
 /// High bit of the request method byte: the header carries a u32 deadline
 /// budget (milliseconds remaining) after the request id. Absent bit ==
@@ -183,6 +198,14 @@ struct SchemeStatsRow {
   uint64_t cache_lookups = 0;    // verify+combine groups routed via the cache
   uint64_t cache_misses = 0;     // ... that had to prepare
   uint64_t combines = 0;
+  // PR 9 coherence tail: with these, one STATS frame carries the exact
+  // accounting identity  submitted == accepted + rejected + sheds + errors
+  // + in_progress  (snapshotted under ONE service lock, so it holds even
+  // mid-flight).
+  uint64_t verify_sheds = 0;        // in-service deadline sheds (submitted,
+                                    // then dropped before their fold ran)
+  uint64_t verify_errors = 0;       // completions by exception
+  uint64_t verify_in_progress = 0;  // submitted, outcome not yet committed
 };
 
 /// One aggregate stats snapshot over the whole daemon: global fixed u64
@@ -210,6 +233,10 @@ struct DaemonStats {
   uint64_t verify_rejected = 0;
   uint64_t combines = 0;
   uint64_t open_connections = 0;  // connections open RIGHT NOW (gauge)
+  uint64_t verify_sheds = 0;        // in-service deadline sheds (submitted,
+                                    // then dropped before their fold ran)
+  uint64_t verify_errors = 0;       // verify completions by exception
+  uint64_t verify_in_progress = 0;  // in the service, outcome uncommitted
   std::vector<SchemeStatsRow> schemes;
 
   /// The row for one scheme id (zeros when the daemon has no such scheme).
@@ -407,7 +434,8 @@ inline Bytes encode_stats(const DaemonStats& s) {
         s.cache_misses, s.cache_evictions, s.cache_resident_entries,
         s.cache_resident_bytes, s.verify_submitted, s.verify_batches,
         s.verify_fallbacks, s.verify_accepted, s.verify_rejected, s.combines,
-        s.open_connections})
+        s.open_connections, s.verify_sheds, s.verify_errors,
+        s.verify_in_progress})
     w.u64(v);
   w.u32(static_cast<uint32_t>(s.schemes.size()));
   for (const auto& r : s.schemes) {
@@ -415,8 +443,57 @@ inline Bytes encode_stats(const DaemonStats& s) {
     for (uint64_t v :
          {r.tenants, r.deduped, r.verify_submitted, r.verify_batches,
           r.verify_fallbacks, r.verify_accepted, r.verify_rejected,
-          r.cache_lookups, r.cache_misses, r.combines})
+          r.cache_lookups, r.cache_misses, r.combines, r.verify_sheds,
+          r.verify_errors, r.verify_in_progress})
       w.u64(v);
+  }
+  return w.take();
+}
+
+inline Bytes encode_metrics_request(uint64_t id, uint8_t flags,
+                                    std::optional<uint32_t> budget_ms = {}) {
+  ByteWriter w;
+  encode_request_header(w, Method::kMetrics, id, budget_ms);
+  w.u8(flags);
+  return w.take();
+}
+
+/// Structured METRICS response body. Histograms go over the wire SPARSELY
+/// (only non-zero buckets); the layout is a pure function of the value, so
+/// sparse entries from any node merge into any dense snapshot.
+inline Bytes encode_metrics_snapshot(const obs::MetricsSnapshot& m) {
+  ByteWriter w;
+  w.u32(static_cast<uint32_t>(m.points.size()));
+  for (const auto& p : m.points) {
+    w.str(p.name);
+    w.str(p.labels);
+    w.u8(static_cast<uint8_t>(p.kind));
+    w.u64(p.value);
+  }
+  w.u32(static_cast<uint32_t>(m.histograms.size()));
+  for (const auto& h : m.histograms) {
+    w.str(h.name);
+    w.str(h.labels);
+    w.u64(h.snap.count);
+    w.u64(h.snap.sum);
+    w.u64(h.snap.max);
+    uint32_t nnz = 0;
+    for (uint32_t i = 0; i < uint32_t(h.snap.buckets.size()); ++i)
+      if (h.snap.buckets[i]) ++nnz;
+    w.u32(nnz);
+    for (uint32_t i = 0; i < uint32_t(h.snap.buckets.size()); ++i) {
+      if (!h.snap.buckets[i]) continue;
+      w.u32(i);
+      w.u64(h.snap.buckets[i]);
+    }
+  }
+  w.u32(static_cast<uint32_t>(m.slow_traces.size()));
+  for (const auto& t : m.slow_traces) {
+    w.u64(t.request_id);
+    w.u8(t.method);
+    w.u64(t.total_ns);
+    w.u8(static_cast<uint8_t>(obs::kStageCount));
+    for (uint64_t v : t.stage_ns) w.u64(v);
   }
   return w.take();
 }
@@ -441,7 +518,7 @@ inline RequestHeader decode_request_header(ByteReader& rd) {
   RequestHeader h;
   uint8_t raw = rd.u8();
   uint8_t m = raw & ~kMethodBudgetBit;
-  if (m < uint8_t(Method::kPing) || m > uint8_t(Method::kHealth))
+  if (m < uint8_t(Method::kPing) || m > uint8_t(Method::kMetrics))
     throw ProtocolError("unknown method id " + std::to_string(m));
   h.method = static_cast<Method>(m);
   h.request_id = rd.u64();
@@ -554,9 +631,10 @@ inline DaemonStats decode_stats(ByteReader& rd) {
         &s.cache_misses, &s.cache_evictions, &s.cache_resident_entries,
         &s.cache_resident_bytes, &s.verify_submitted, &s.verify_batches,
         &s.verify_fallbacks, &s.verify_accepted, &s.verify_rejected,
-        &s.combines, &s.open_connections})
+        &s.combines, &s.open_connections, &s.verify_sheds, &s.verify_errors,
+        &s.verify_in_progress})
     *f = rd.u64();
-  uint32_t rows = rd.count(81);  // u8 id + 10 u64 fields per row
+  uint32_t rows = rd.count(105);  // u8 id + 13 u64 fields per row
   s.schemes.reserve(rows);
   for (uint32_t j = 0; j < rows; ++j) {
     SchemeStatsRow r;
@@ -564,11 +642,64 @@ inline DaemonStats decode_stats(ByteReader& rd) {
     for (uint64_t* f :
          {&r.tenants, &r.deduped, &r.verify_submitted, &r.verify_batches,
           &r.verify_fallbacks, &r.verify_accepted, &r.verify_rejected,
-          &r.cache_lookups, &r.cache_misses, &r.combines})
+          &r.cache_lookups, &r.cache_misses, &r.combines, &r.verify_sheds,
+          &r.verify_errors, &r.verify_in_progress})
       *f = rd.u64();
     s.schemes.push_back(r);
   }
   return s;
+}
+
+inline obs::MetricsSnapshot decode_metrics_snapshot(ByteReader& rd) {
+  obs::MetricsSnapshot m;
+  uint32_t npoints = rd.count(17);  // 2 empty strs + kind + u64 value
+  m.points.reserve(npoints);
+  for (uint32_t i = 0; i < npoints; ++i) {
+    obs::MetricPoint p;
+    p.name = decode_str(rd);
+    p.labels = decode_str(rd);
+    uint8_t kind = rd.u8();
+    if (kind > uint8_t(obs::MetricKind::kGauge))
+      throw ProtocolError("METRICS: unknown point kind");
+    p.kind = static_cast<obs::MetricKind>(kind);
+    p.value = rd.u64();
+    m.points.push_back(std::move(p));
+  }
+  uint32_t nhists = rd.count(36);  // 2 strs + count/sum/max + nnz
+  m.histograms.reserve(nhists);
+  for (uint32_t i = 0; i < nhists; ++i) {
+    obs::MetricHistogram h;
+    h.name = decode_str(rd);
+    h.labels = decode_str(rd);
+    h.snap.count = rd.u64();
+    h.snap.sum = rd.u64();
+    h.snap.max = rd.u64();
+    uint32_t nnz = rd.count(12);  // u32 idx + u64 count
+    if (nnz) h.snap.buckets.resize(obs::kBucketCount);
+    for (uint32_t j = 0; j < nnz; ++j) {
+      uint32_t idx = rd.u32();
+      if (idx >= obs::kBucketCount)
+        throw ProtocolError("METRICS: bucket index out of range");
+      h.snap.buckets[idx] = rd.u64();
+    }
+    m.histograms.push_back(std::move(h));
+  }
+  uint32_t ntraces = rd.count(18);  // id + method + total + stage count
+  m.slow_traces.reserve(ntraces);
+  for (uint32_t i = 0; i < ntraces; ++i) {
+    obs::TraceRecord t;
+    t.request_id = rd.u64();
+    t.method = rd.u8();
+    t.total_ns = rd.u64();
+    uint8_t stages = rd.u8();
+    if (stages > 16) throw ProtocolError("METRICS: trace stage count");
+    for (uint8_t j = 0; j < stages; ++j) {
+      uint64_t v = rd.u64();
+      if (j < obs::kStageCount) t.stage_ns[j] = v;
+    }
+    m.slow_traces.push_back(t);
+  }
+  return m;
 }
 
 }  // namespace bnr::rpc

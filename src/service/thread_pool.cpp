@@ -4,6 +4,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace bnr::service {
 
 namespace {
@@ -37,6 +39,8 @@ size_t default_threads() {
 ThreadPool::ThreadPool(size_t threads) {
   if (threads == 0) threads = default_threads();
   queues_.resize(threads);
+  wait_hist_ = std::make_unique<obs::ShardedHistogram>(threads);
+  exec_hist_ = std::make_unique<obs::ShardedHistogram>(threads);
   workers_.reserve(threads);
   for (size_t id = 0; id < threads; ++id)
     workers_.emplace_back([this, id] { worker_loop(id); });
@@ -52,22 +56,27 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
-  pending_.fetch_add(1, std::memory_order_acq_rel);
+  size_t depth = pending_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  QueuedTask qt{std::move(task), {}};
+  if (obs::enabled()) {
+    qt.enqueued = std::chrono::steady_clock::now();
+    depth_hist_.record(depth);
+  }
   {
     std::lock_guard<std::mutex> l(m_);
     if (tls_pool == this) {
-      queues_[tls_worker].push_front(std::move(task));  // stays local, LIFO
+      queues_[tls_worker].push_front(std::move(qt));  // stays local, LIFO
     } else {
       size_t target = rr_.fetch_add(1, std::memory_order_relaxed) %
                       queues_.size();
-      queues_[target].push_back(std::move(task));
+      queues_[target].push_back(std::move(qt));
     }
     ++queued_;
   }
   cv_.notify_one();
 }
 
-bool ThreadPool::try_pop(size_t id, std::function<void()>& task) {
+bool ThreadPool::try_pop(size_t id, QueuedTask& task) {
   // Caller holds m_. Own queue first (front = newest), then steal the oldest
   // task from the nearest victim.
   if (!queues_[id].empty()) {
@@ -91,7 +100,7 @@ void ThreadPool::worker_loop(size_t id) {
   tls_pool = this;
   tls_worker = id;
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> l(m_);
       cv_.wait(l, [&] { return stop_ || queued_ > 0; });
@@ -100,8 +109,25 @@ void ThreadPool::worker_loop(size_t id) {
         continue;
       }
     }
-    task();
-    task = nullptr;  // captures released before the idle edge is observable
+    // Tasks enqueued while obs was off carry no timestamp and record
+    // nothing, so a mid-run toggle never produces a bogus wait.
+    std::chrono::steady_clock::time_point start{};
+    if (task.enqueued.time_since_epoch().count() != 0 && obs::enabled()) {
+      start = std::chrono::steady_clock::now();
+      wait_hist_->record(
+          id, static_cast<uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      start - task.enqueued)
+                      .count()));
+    }
+    task.fn();
+    if (start.time_since_epoch().count() != 0)
+      exec_hist_->record(
+          id, static_cast<uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count()));
+    task.fn = nullptr;  // captures released before the idle edge shows
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1)
       notify_if_idle();
   }

@@ -13,12 +13,16 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/histogram.hpp"
 
 namespace bnr::service {
 
@@ -60,12 +64,33 @@ class ThreadPool {
   /// iterations are skipped). Callable from within a pool task.
   void parallel_for(size_t n, const std::function<void(size_t)>& body);
 
+  /// Instrumentation (PR 9): time a task spent queued before a worker
+  /// picked it up, time the task body ran, and the queue depth sampled at
+  /// each submit. Recording is per-worker sharded and only happens while
+  /// obs::enabled(); with BNR_OBS=off the submit/worker paths pay one
+  /// relaxed load and take zero clock reads.
+  obs::HistogramSnapshot task_wait_latency() const {
+    return wait_hist_->snapshot();
+  }
+  obs::HistogramSnapshot task_exec_latency() const {
+    return exec_hist_->snapshot();
+  }
+  obs::HistogramSnapshot queue_depth_samples() const {
+    return depth_hist_.snapshot();
+  }
+
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    // Unset (epoch) when obs was disabled at submit time.
+    std::chrono::steady_clock::time_point enqueued{};
+  };
+
   void worker_loop(size_t id);
-  bool try_pop(size_t id, std::function<void()>& task);
+  bool try_pop(size_t id, QueuedTask& task);
   void notify_if_idle();
 
-  std::vector<std::deque<std::function<void()>>> queues_;
+  std::vector<std::deque<QueuedTask>> queues_;
   std::vector<std::thread> workers_;
   mutable std::mutex m_;
   std::condition_variable cv_;
@@ -80,6 +105,13 @@ class ThreadPool {
   std::mutex cb_m_;  // guards listeners_ AND serializes their invocation
   std::vector<std::pair<size_t, std::function<void()>>> listeners_;
   size_t next_listener_ = 0;  // guarded by cb_m_
+
+  // Built in the constructor once the worker count is known (one shard per
+  // worker; submissions from outside record into shard 0's neighborhood via
+  // the round-robin cursor).
+  std::unique_ptr<obs::ShardedHistogram> wait_hist_;
+  std::unique_ptr<obs::ShardedHistogram> exec_hist_;
+  obs::Histogram depth_hist_;
 };
 
 }  // namespace bnr::service

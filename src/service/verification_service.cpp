@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "obs/log.hpp"
+#include "obs/obs.hpp"
 #include "rpc/fault_injector.hpp"
 #include "service/parallel.hpp"
 
@@ -21,6 +23,8 @@ void accumulate(ServiceStats& into, const ServiceStats& s) {
   into.accepted += s.accepted;
   into.rejected += s.rejected;
   into.deadline_sheds += s.deadline_sheds;
+  into.errors += s.errors;
+  into.in_progress += s.in_progress;
   into.cache_lookups += s.cache_lookups;
   into.cache_misses += s.cache_misses;
 }
@@ -79,15 +83,25 @@ ServiceStats& MultiTenantVerificationService::slice_locked(
 
 void MultiTenantVerificationService::submit(
     KeyId key, Bytes msg, threshold::SigHandle sig, Callback done,
-    std::chrono::steady_clock::time_point deadline) {
+    std::chrono::steady_clock::time_point deadline,
+    std::shared_ptr<obs::RequestTrace> trace) {
+  std::chrono::steady_clock::time_point submitted_at{};
+  if (obs::enabled()) {
+    submitted_at = std::chrono::steady_clock::now();
+    if (trace) trace->stamp(obs::Stage::kQueued);
+  }
   bool flush_now = false;
   {
     std::unique_lock<std::mutex> l(m_);
     if (pending_.empty()) oldest_ = std::chrono::steady_clock::now();
     ++total_.submitted;
-    ++slice_locked(sig.scheme).submitted;
+    ++total_.in_progress;
+    ServiceStats& slice = slice_locked(sig.scheme);
+    ++slice.submitted;
+    ++slice.in_progress;
     pending_.push_back({std::move(key), std::move(msg), std::move(sig),
-                        std::move(done), deadline});
+                        std::move(done), deadline, submitted_at,
+                        std::move(trace)});
     flush_now = pending_.size() >= policy_.max_batch;
     if (flush_now) {
       ++total_.size_flushes;
@@ -139,6 +153,26 @@ ServiceStats MultiTenantVerificationService::stats(
   return by_scheme_[scheme_stats_slot(id)];
 }
 
+MultiTenantVerificationService::StatsBundle
+MultiTenantVerificationService::stats_all() const {
+  StatsBundle b;
+  std::lock_guard<std::mutex> l(m_);
+  b.total = total_;
+  b.by_scheme = by_scheme_;
+  return b;
+}
+
+obs::HistogramSnapshot MultiTenantVerificationService::latency(
+    threshold::SchemeId id) const {
+  return latency_[scheme_stats_slot(id)].snapshot();
+}
+
+obs::HistogramSnapshot MultiTenantVerificationService::latency() const {
+  obs::HistogramSnapshot s;
+  for (const auto& h : latency_) s.merge(h.snapshot());
+  return s;
+}
+
 // Moves the pending batch out, splits it into per-key groups (arrival
 // order preserved within each group), and hands each group to the pool as
 // its own fold task. Caller holds m_.
@@ -162,6 +196,9 @@ void MultiTenantVerificationService::dispatch_locked(
   for (auto& g : groups) {
     ++total_.batches;
     ++slice_locked(g.members.front().sig.scheme).batches;
+    if (obs::enabled())
+      for (auto& p : g.members)
+        if (p.trace) p.trace->stamp(obs::Stage::kFrozen);
     // The group is frozen; only NOW are its fold coefficients drawable.
     Rng group_rng = rng_.fork("batch");
     ++in_flight_;
@@ -173,10 +210,32 @@ void MultiTenantVerificationService::dispatch_locked(
       } catch (...) {
         // A throwing verifier/provider (or bad_alloc) must not escape the
         // worker (std::terminate) or strand the submitters: every callback
-        // not yet invoked carries the exception instead.
+        // not yet invoked carries the exception instead. These completions
+        // are neither verdicts nor sheds — they are counted as `errors`
+        // (stats BEFORE callbacks, like every other outcome) so the
+        // accounting identity keeps holding after a failure.
+        std::exception_ptr err = std::current_exception();
+        uint64_t errors = 0;
+        for (auto& p : shared->members)
+          if (p.done) ++errors;
+        if (errors) {
+          const threshold::SchemeId scheme =
+              shared->members.front().sig.scheme;
+          {
+            std::lock_guard<std::mutex> l(m_);
+            ServiceStats& slice = slice_locked(scheme);
+            total_.errors += errors;
+            slice.errors += errors;
+            total_.in_progress -= errors;
+            slice.in_progress -= errors;
+          }
+          BNR_LOG(obs::LogLevel::kError, "service", "verify_group_error",
+                  obs::kv("key", shared->key) +
+                      obs::kv("members", uint64_t(errors)));
+        }
         for (auto& p : shared->members) {
           if (!p.done) continue;  // already answered before the throw
-          p.done(false, std::current_exception());
+          p.done(false, err);
           p.done = nullptr;
         }
       }
@@ -205,11 +264,17 @@ void MultiTenantVerificationService::run_group(Group& group, Rng& rng) {
     if (sheds) {
       std::erase_if(group.members, [](const Pending& p) { return !p.done; });
       std::lock_guard<std::mutex> l(m_);
+      ServiceStats& slice = slice_locked(scheme);
       total_.deadline_sheds += sheds;
-      slice_locked(scheme).deadline_sheds += sheds;
+      slice.deadline_sheds += sheds;
+      total_.in_progress -= sheds;
+      slice.in_progress -= sheds;
     }
     if (group.members.empty()) return;
   }
+  if (obs::enabled())
+    for (auto& p : group.members)
+      if (p.trace) p.trace->stamp(obs::Stage::kCryptoStart);
   // Pinned for the whole fold + fallback: the cache may not evict this
   // tenant's prepared state mid-batch, however hot the other shard traffic.
   // The provider only runs on a miss, which is how the per-scheme cache
@@ -259,6 +324,23 @@ void MultiTenantVerificationService::run_group(Group& group, Rng& rng) {
     total_.rejected += rejected;
     slice.accepted += accepted;
     slice.rejected += rejected;
+    total_.in_progress -= batch.size();
+    slice.in_progress -= batch.size();
+  }
+  if (obs::enabled()) {
+    // Latency records alongside the verdict commit (also before the
+    // callbacks), so histogram totals and the accepted/rejected counters
+    // can never disagree for an observer.
+    auto now = std::chrono::steady_clock::now();
+    obs::Histogram& hist = latency_[scheme_stats_slot(scheme)];
+    for (auto& p : batch) {
+      if (p.trace) p.trace->stamp(obs::Stage::kCryptoDone);
+      if (p.submitted_at.time_since_epoch().count() != 0)
+        hist.record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                now - p.submitted_at)
+                .count()));
+    }
   }
   for (size_t j = 0; j < batch.size(); ++j) {
     batch[j].done(results[j], nullptr);
@@ -323,7 +405,13 @@ MultiTenantCombineService::Stats& MultiTenantCombineService::slice_locked(
 
 void MultiTenantCombineService::submit(
     KeyId key, threshold::SchemeId scheme, Bytes msg,
-    std::vector<threshold::PartialHandle> parts, Callback done) {
+    std::vector<threshold::PartialHandle> parts, Callback done,
+    std::shared_ptr<obs::RequestTrace> trace) {
+  std::chrono::steady_clock::time_point submitted_at{};
+  if (obs::enabled()) {
+    submitted_at = std::chrono::steady_clock::now();
+    if (trace) trace->stamp(obs::Stage::kQueued);
+  }
   Rng task_rng = [&] {
     std::lock_guard<std::mutex> l(m_);
     ++in_flight_;
@@ -337,10 +425,12 @@ void MultiTenantCombineService::submit(
       std::make_shared<std::vector<threshold::PartialHandle>>(
           std::move(parts));
   auto done_shared = std::make_shared<Callback>(std::move(done));
-  pool_.submit([this, scheme, state, parts_shared, done_shared] {
+  pool_.submit([this, scheme, state, parts_shared, done_shared, submitted_at,
+                trace = std::move(trace)] {
     bool missed = false;
     CombineOutcome out;
     std::exception_ptr error;
+    if (trace) trace->stamp(obs::Stage::kCryptoStart);
     try {
       // Pinned across the whole combine: the committee's prepared state
       // cannot be evicted mid-fold. Prepared from the alias-resolved
@@ -371,6 +461,18 @@ void MultiTenantCombineService::submit(
         ++slice.failed;
       }
     }
+    if (obs::enabled()) {
+      if (trace) trace->stamp(obs::Stage::kCryptoDone);
+      if (submitted_at.time_since_epoch().count() != 0)
+        latency_[scheme_stats_slot(scheme)].record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - submitted_at)
+                .count()));
+    }
+    if (error)
+      BNR_LOG(obs::LogLevel::kInfo, "service", "combine_failed",
+              obs::kv("key", std::get<0>(*state)) +
+                  obs::kv("scheme", uint64_t(scheme)));
     if (error)
       (*done_shared)(nullptr, error);
     else
@@ -404,6 +506,17 @@ MultiTenantCombineService::Stats MultiTenantCombineService::stats(
     threshold::SchemeId id) const {
   std::lock_guard<std::mutex> l(m_);
   return by_scheme_[scheme_stats_slot(id)];
+}
+
+obs::HistogramSnapshot MultiTenantCombineService::latency(
+    threshold::SchemeId id) const {
+  return latency_[scheme_stats_slot(id)].snapshot();
+}
+
+obs::HistogramSnapshot MultiTenantCombineService::latency() const {
+  obs::HistogramSnapshot s;
+  for (const auto& h : latency_) s.merge(h.snapshot());
+  return s;
 }
 
 // ---------------------------------------------------------------------------

@@ -48,6 +48,8 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
 #include "service/key_cache.hpp"
 #include "service/thread_pool.hpp"
 #include "threshold/ro_scheme.hpp"
@@ -92,6 +94,13 @@ struct ServiceStats {
   uint64_t rejected = 0;
   uint64_t deadline_sheds = 0;   // expired members dropped before their fold
                                  // (neither accepted nor rejected)
+  uint64_t errors = 0;           // completed exceptionally (provider or
+                                 // verifier threw; not a verdict)
+  uint64_t in_progress = 0;      // submitted, outcome not yet committed.
+                                 // Under m_ the exact identity holds AT ALL
+                                 // TIMES, not just at drain:
+                                 //   submitted == accepted + rejected +
+                                 //     deadline_sheds + errors + in_progress
   // Service-observed traffic into the shared key cache (one lookup per key
   // group; a miss ran the provider). Split per SchemeId by stats(SchemeId) —
   // the cache's own stats cannot attribute by scheme.
@@ -143,7 +152,8 @@ class MultiTenantVerificationService {
   /// budget. time_point::max() (the default) never sheds.
   void submit(KeyId key, Bytes msg, threshold::SigHandle sig, Callback done,
               std::chrono::steady_clock::time_point deadline =
-                  std::chrono::steady_clock::time_point::max());
+                  std::chrono::steady_clock::time_point::max(),
+              std::shared_ptr<obs::RequestTrace> trace = nullptr);
 
   /// Future-based front over the callback core.
   std::future<bool> submit(KeyId key, Bytes msg, threshold::SigHandle sig);
@@ -167,6 +177,24 @@ class MultiTenantVerificationService {
   /// lookups/misses attributed to that scheme's groups).
   ServiceStats stats(threshold::SchemeId id) const;
 
+  /// The aggregate AND every per-scheme slice captured under ONE lock
+  /// acquisition, so an observer polling mid-flight sees a coherent
+  /// snapshot: the total equals the sum of the slices, and the accounting
+  /// identity (see ServiceStats::in_progress) holds in every row. STATS
+  /// built from separate stats() calls cannot promise either.
+  struct StatsBundle {
+    ServiceStats total;
+    std::array<ServiceStats, threshold::kSchemeIdCount + 1> by_scheme{};
+  };
+  StatsBundle stats_all() const;
+
+  /// Verify latency (submit -> verdict commit, nanoseconds) for one
+  /// scheme's requests / merged across schemes. Only completed verdicts
+  /// record — sheds and exceptional completions never do, so
+  /// snapshot().count == accepted + rejected exactly.
+  obs::HistogramSnapshot latency(threshold::SchemeId id) const;
+  obs::HistogramSnapshot latency() const;
+
  private:
   struct Pending {
     KeyId key;
@@ -174,6 +202,8 @@ class MultiTenantVerificationService {
     threshold::SigHandle sig;
     Callback done;  // nulled out after its one invocation
     std::chrono::steady_clock::time_point deadline;
+    std::chrono::steady_clock::time_point submitted_at{};
+    std::shared_ptr<obs::RequestTrace> trace;  // null unless obs::enabled()
   };
 
   /// One per-tenant fold unit: requests sharing a key-id, plus the private
@@ -211,6 +241,9 @@ class MultiTenantVerificationService {
   // Dense per-scheme slices (id - 1); ids outside the built-in range fold
   // into the overflow slot so an out-of-tree plugin never indexes OOB.
   std::array<ServiceStats, threshold::kSchemeIdCount + 1> by_scheme_{};
+  // Verify-latency histograms, one per scheme slot. Relaxed-atomic inside,
+  // so recording happens OUTSIDE m_ on the worker.
+  std::array<obs::Histogram, threshold::kSchemeIdCount + 1> latency_;
   std::thread flusher_;  // last member: started after everything else exists
 };
 
@@ -263,7 +296,8 @@ class MultiTenantCombineService {
   /// caller resolved the tenant's scheme already) so even a degenerate
   /// empty-partials request lands in the right row.
   void submit(KeyId key, threshold::SchemeId scheme, Bytes msg,
-              std::vector<threshold::PartialHandle> parts, Callback done);
+              std::vector<threshold::PartialHandle> parts, Callback done,
+              std::shared_ptr<obs::RequestTrace> trace = nullptr);
 
   /// Future-based front over the callback core (cheater attribution
   /// dropped; use the callback form to observe it). Resolves to the
@@ -280,6 +314,11 @@ class MultiTenantCombineService {
   Stats stats() const;
   Stats stats(threshold::SchemeId id) const;
 
+  /// Combine latency (submit -> outcome, ns); failures record too (the
+  /// pairing work was paid either way).
+  obs::HistogramSnapshot latency(threshold::SchemeId id) const;
+  obs::HistogramSnapshot latency() const;
+
  private:
   Stats& slice_locked(threshold::SchemeId id);
 
@@ -293,6 +332,7 @@ class MultiTenantCombineService {
   Rng rng_;
   Stats total_;
   std::array<Stats, threshold::kSchemeIdCount + 1> by_scheme_{};
+  std::array<obs::Histogram, threshold::kSchemeIdCount + 1> latency_;
 };
 
 /// Batched Combine with the fold's pairing product and MSMs evaluated across

@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "fixtures.hpp"
+#include "obs/log.hpp"
+#include "obs/obs.hpp"
 #include "rpc/fault_injector.hpp"
 #include "rpc/rpc_client.hpp"
 #include "rpc/rpc_server.hpp"
@@ -666,6 +668,106 @@ TEST_F(FaultsTest, StalledServerBoundsDeadlinesAndTeardown) {
   ::close(lfd);
   acceptor.join();
   for (int fd : parked) ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// PR 9: telemetry under chaos
+
+// The observability layer itself must keep its invariants while the fault
+// injector mangles IO under it:
+//   1. the verify latency histogram holds EXACTLY one sample per committed
+//      verdict — retries, short IO and injected delays never double-record;
+//   2. the slow-trace ring holds only value-type records of COMPLETED
+//      requests, still readable (over a fresh connection) after every
+//      connection that produced them is gone — no pointers into freed
+//      connection state (ASan enforces the "freed" half in CI);
+//   3. a log-site storm suppresses at the site and the first line admitted
+//      after the bucket refills carries the suppressed count.
+TEST_F(FaultsTest, TelemetryInvariantsSurviveIoChaos) {
+  bool obs_was = obs::enabled();
+  obs::set_enabled(true);
+
+  // Capture log lines for invariant 3; lines still reach the test's stderr
+  // sink mutex-ordered, so counting is race-free.
+  struct Capture {
+    std::mutex m;
+    std::vector<std::string> lines;
+  } cap;
+  obs::set_log_sink([&cap](std::string_view line) {
+    std::lock_guard<std::mutex> lk(cap.m);
+    cap.lines.emplace_back(line);
+  });
+
+  Daemon d(base_cfg());
+  auto km = keygen(3, 1);
+  {
+    RpcClient client("127.0.0.1", d.port());
+    EXPECT_FALSE(client.register_ro_committee("acme", km).get());
+    auto [msg, sig] = make_signed(km, "telemetry chaos");
+    Signature bad = forge(sig);
+
+    FaultSpec spec = FaultSpec::parse(
+        "short_read=0.25,short_write=0.25,eagain=0.15,"
+        "frame_delay_p=0.1,frame_delay_us=200,task_delay_p=0.2,"
+        "task_delay_us=300");
+    ScopedInjector chaos(fault_seed(), spec);
+    constexpr int kReqs = 120;
+    std::vector<std::pair<std::future<bool>, bool>> futs;
+    for (int j = 0; j < kReqs; ++j) {
+      bool valid = j % 3 != 0;
+      futs.emplace_back(client.verify("acme", msg, valid ? sig : bad),
+                        valid);
+    }
+    for (auto& [f, expect] : futs) EXPECT_EQ(f.get(), expect);
+    EXPECT_GT(chaos.inj->counts().short_io, 0u);  // the chaos actually ran
+  }  // traffic client gone: every connection that produced traces is freed
+
+  // Invariant 1+2, read over a FRESH connection.
+  auto vs = d.server->verify_stats();
+  RpcClient probe("127.0.0.1", d.port());
+  auto m = probe.metrics_sync();
+  uint64_t hist_total = 0;
+  for (const auto& h : m.histograms)
+    if (h.name == "bnr_verify_latency_seconds") hist_total += h.snap.count;
+  EXPECT_EQ(hist_total, vs.accepted + vs.rejected);
+
+  ASSERT_FALSE(m.slow_traces.empty());
+  for (const auto& t : m.slow_traces) {
+    EXPECT_TRUE(t.has(obs::Stage::kReceived));
+    EXPECT_TRUE(t.has(obs::Stage::kFlushed));  // only COMPLETED requests
+    EXPECT_EQ(t.total_ns, t.offset_ns(obs::Stage::kFlushed));
+    EXPECT_GT(t.request_id, 0u);
+  }
+  EXPECT_LE(m.slow_traces.size(), m.slow_trace_cap);
+
+  // Invariant 3: hammer one site (malformed frames -> protocol_error_close)
+  // past its burst, let the bucket refill, and require the resync marker.
+  for (int j = 0; j < 30; ++j) {
+    ByteWriter w;
+    w.u8(0xEE);
+    w.u64(uint64_t(j));
+    raw_round_trip(d.port(), w.bytes());
+  }
+  std::this_thread::sleep_for(400ms);  // refill at 8/sec: >1 token back
+  {
+    ByteWriter w;
+    w.u8(0xEE);
+    w.u64(999);
+    raw_round_trip(d.port(), w.bytes());
+  }
+  bool saw_resync = false;
+  {
+    std::lock_guard<std::mutex> lk(cap.m);
+    for (const std::string& line : cap.lines)
+      saw_resync = saw_resync ||
+                   (line.find("event=protocol_error_close") !=
+                        std::string::npos &&
+                    line.find("suppressed=") != std::string::npos);
+  }
+  EXPECT_TRUE(saw_resync);
+
+  obs::set_log_sink(nullptr);
+  obs::set_enabled(obs_was);
 }
 
 }  // namespace

@@ -1,0 +1,419 @@
+// The observability layer in isolation: the log-linear histogram's bucket
+// geometry and percentile extraction against a client-side sorted-vector
+// oracle, snapshot merge associativity, the sharded recorder under an
+// 8-thread storm, the per-site log rate limiter (suppression + resync
+// line), request-trace stage folding, the slow-trace ring's min-replace
+// policy, and the Prometheus text renderer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "obs/histogram.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
+namespace bnr {
+namespace {
+
+using obs::bucket_index;
+using obs::bucket_upper;
+using obs::Histogram;
+using obs::HistogramSnapshot;
+using obs::kBucketCount;
+using obs::kSubBuckets;
+using obs::ShardedHistogram;
+
+// ---------------------------------------------------------------------------
+// Bucket geometry
+
+TEST(ObsHistogram, UnitBucketsAreExact) {
+  for (uint64_t v = 0; v < kSubBuckets; ++v) {
+    EXPECT_EQ(bucket_index(v), v);
+    EXPECT_EQ(bucket_upper(bucket_index(v)), v);
+  }
+}
+
+TEST(ObsHistogram, BucketsPartitionTheValueSpace) {
+  // Index is monotone, upper bounds strictly increase, and every value maps
+  // into the bucket whose upper bound is the first one >= the value.
+  uint64_t probes[] = {0,    1,     63,        64,        65,       127,
+                       128,  1000,  4095,      4096,      65537,    1u << 20,
+                       1u << 30, (uint64_t(1) << 40) + 12345,
+                       uint64_t(-1) >> 1, uint64_t(-1)};
+  for (uint64_t v : probes) {
+    uint32_t idx = bucket_index(v);
+    ASSERT_LT(idx, kBucketCount) << v;
+    EXPECT_LE(v, bucket_upper(idx)) << v;
+    if (idx > 0) EXPECT_GT(v, bucket_upper(idx - 1)) << v;
+  }
+  for (uint32_t i = 1; i < kBucketCount; ++i)
+    ASSERT_GT(bucket_upper(i), bucket_upper(i - 1)) << i;
+}
+
+TEST(ObsHistogram, RelativeErrorBoundedBySubBucketWidth) {
+  // The reported upper bound overstates the true value by at most one
+  // sub-bucket width = value / 64 (the 1/64 relative error contract that
+  // the percentile-vs-oracle tests below lean on).
+  Rng rng("obs-bucket-error");
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = rng.next_u64() >> (rng.next_u64() % 40);
+    uint64_t up = bucket_upper(bucket_index(v));
+    EXPECT_GE(up, v);
+    EXPECT_LE(up - v, v / kSubBuckets + 1) << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Percentiles vs a sorted-vector oracle
+
+// True quantile from the raw samples: 1-based rank ceil(q*n).
+uint64_t oracle_percentile(std::vector<uint64_t> sorted, double q) {
+  size_t n = sorted.size();
+  size_t rank = static_cast<size_t>(q * double(n));
+  if (rank < n) ++rank;
+  return sorted[rank - 1];
+}
+
+void check_against_oracle(const HistogramSnapshot& s,
+                          std::vector<uint64_t> samples) {
+  std::sort(samples.begin(), samples.end());
+  ASSERT_EQ(s.count, samples.size());
+  EXPECT_EQ(s.max, samples.back());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    uint64_t truth = oracle_percentile(samples, q);
+    uint64_t est = s.percentile(q);
+    // Never understates; overstates by at most one sub-bucket width.
+    EXPECT_GE(est, truth) << q;
+    EXPECT_LE(est, truth + truth / kSubBuckets + 1) << q;
+  }
+  EXPECT_EQ(s.percentile(1.0), samples.back());
+}
+
+TEST(ObsHistogram, PercentilesMatchOracleUniform) {
+  Histogram h;
+  Rng rng("obs-pctl-uniform");
+  std::vector<uint64_t> samples;
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t v = rng.next_u64() % 10'000'000;  // ~10 ms in ns
+    h.record(v);
+    samples.push_back(v);
+  }
+  check_against_oracle(h.snapshot(), std::move(samples));
+}
+
+TEST(ObsHistogram, PercentilesMatchOracleHeavyTail) {
+  // Latency-shaped: a tight body plus a 1% tail three decades slower, the
+  // regime where fixed-width buckets fall over and log buckets must not.
+  Histogram h;
+  Rng rng("obs-pctl-tail");
+  std::vector<uint64_t> samples;
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t v = 20'000 + rng.next_u64() % 5'000;       // ~20 us body
+    if (rng.next_u64() % 100 == 0) v += 30'000'000;     // 30 ms stragglers
+    h.record(v);
+    samples.push_back(v);
+  }
+  check_against_oracle(h.snapshot(), std::move(samples));
+}
+
+TEST(ObsHistogram, EmptyAndSingletonEdges) {
+  Histogram h;
+  HistogramSnapshot empty = h.snapshot();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.percentile(0.99), 0u);
+  EXPECT_TRUE(empty.buckets.empty());
+
+  h.record(0);
+  HistogramSnapshot one = h.snapshot();
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_EQ(one.percentile(0.5), 0u);
+  EXPECT_EQ(one.max, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Merge
+
+TEST(ObsHistogram, MergeIsAssociativeAndOrderFree) {
+  Rng rng("obs-merge");
+  Histogram a, b, c;
+  std::vector<uint64_t> all;
+  for (int i = 0; i < 3000; ++i) {
+    uint64_t v = rng.next_u64() % 1'000'000;
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).record(v);
+    all.push_back(v);
+  }
+  // (a+b)+c and a+(b+c) must be byte-identical and match one histogram that
+  // saw every sample.
+  HistogramSnapshot ab = a.snapshot();
+  ab.merge(b.snapshot());
+  ab.merge(c.snapshot());
+  HistogramSnapshot bc = b.snapshot();
+  bc.merge(c.snapshot());
+  HistogramSnapshot a_bc = a.snapshot();
+  a_bc.merge(bc);
+  EXPECT_EQ(ab.count, a_bc.count);
+  EXPECT_EQ(ab.sum, a_bc.sum);
+  EXPECT_EQ(ab.max, a_bc.max);
+  EXPECT_EQ(ab.buckets, a_bc.buckets);
+
+  Histogram whole;
+  for (uint64_t v : all) whole.record(v);
+  HistogramSnapshot w = whole.snapshot();
+  EXPECT_EQ(ab.count, w.count);
+  EXPECT_EQ(ab.sum, w.sum);
+  EXPECT_EQ(ab.buckets, w.buckets);
+  check_against_oracle(ab, std::move(all));
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: 8 recorder threads, nothing lost, oracle still holds
+
+TEST(ObsHistogram, ShardedEightThreadStress) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 40000;
+  ShardedHistogram sh(kThreads);
+  std::vector<std::vector<uint64_t>> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      Rng rng("obs-stress-" + std::to_string(t));
+      for (size_t i = 0; i < kPerThread; ++i) {
+        uint64_t v = rng.next_u64() % 50'000'000;
+        sh.record(t, v);
+        per_thread[t].push_back(v);
+      }
+    });
+  for (auto& th : threads) th.join();
+
+  std::vector<uint64_t> all;
+  for (auto& v : per_thread) all.insert(all.end(), v.begin(), v.end());
+  HistogramSnapshot s = sh.snapshot();
+  ASSERT_EQ(s.count, kThreads * kPerThread);  // no sample lost to a race
+  check_against_oracle(s, std::move(all));
+}
+
+TEST(ObsHistogram, ConcurrentSnapshotWhileRecording) {
+  // Snapshots taken mid-storm must be internally consistent enough to use:
+  // bucket total == count, and count only moves forward.
+  ShardedHistogram sh(4);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (size_t t = 0; t < 4; ++t)
+    writers.emplace_back([&, t] {
+      Rng rng("obs-live-" + std::to_string(t));
+      while (!stop.load(std::memory_order_relaxed))
+        sh.record(t, rng.next_u64() % 1'000'000);
+    });
+  uint64_t prev = 0;
+  for (int i = 0; i < 50; ++i) {
+    HistogramSnapshot s = sh.snapshot();
+    uint64_t total = 0;
+    for (uint64_t b : s.buckets) total += b;
+    EXPECT_EQ(total, s.count);
+    EXPECT_GE(s.count, prev);
+    prev = s.count;
+  }
+  stop.store(true);
+  for (auto& th : writers) th.join();
+}
+
+// ---------------------------------------------------------------------------
+// Structured logging: rate limiter, suppression resync, kv grammar
+
+struct SinkCapture {
+  std::mutex m;
+  std::vector<std::string> lines;
+
+  SinkCapture() {
+    obs::set_log_sink([this](std::string_view line) {
+      std::lock_guard<std::mutex> lk(m);
+      lines.emplace_back(line);
+    });
+  }
+  ~SinkCapture() { obs::set_log_sink(nullptr); }
+  size_t count() {
+    std::lock_guard<std::mutex> lk(m);
+    return lines.size();
+  }
+  std::string at(size_t i) {
+    std::lock_guard<std::mutex> lk(m);
+    return lines.at(i);
+  }
+};
+
+TEST(ObsLog, SiteTokenBucketSuppressesAndResyncs) {
+  SinkCapture sink;
+  obs::set_log_level(obs::LogLevel::kInfo);
+  // One call site hammered 100x back to back: the burst (8) gets through,
+  // the rest are suppressed at the site. The token bucket is per CALL SITE
+  // (a static inside the macro expansion), so the refill probe on iteration
+  // 100 must go through the same BNR_LOG statement as the storm.
+  size_t burst = 0;
+  for (int i = 0; i <= 100; ++i) {
+    if (i == 100) {
+      burst = sink.count();
+      EXPECT_GE(burst, 1u);
+      EXPECT_LE(burst, 8u);
+      // Let the bucket refill (8/sec) so the probe is admitted.
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    }
+    BNR_LOG(obs::LogLevel::kWarn, "test", "storm", obs::kv("i", i));
+  }
+  // The first line admitted after suppression carries the dropped-event
+  // count so the storm is never silently lost.
+  ASSERT_EQ(sink.count(), burst + 1);
+  std::string resync = sink.at(burst);
+  EXPECT_NE(resync.find("suppressed="), std::string::npos) << resync;
+  EXPECT_NE(resync.find("event=storm"), std::string::npos) << resync;
+  obs::set_log_level(obs::LogLevel::kWarn);
+}
+
+TEST(ObsLog, BelowLevelSitesEmitNothing) {
+  SinkCapture sink;
+  obs::set_log_level(obs::LogLevel::kError);
+  BNR_LOG(obs::LogLevel::kWarn, "test", "quiet", obs::kv("x", 1));
+  BNR_LOG(obs::LogLevel::kInfo, "test", "quiet", obs::kv("x", 2));
+  EXPECT_EQ(sink.count(), 0u);
+  obs::set_log_level(obs::LogLevel::kWarn);
+}
+
+TEST(ObsLog, HostileStringsCannotBreakTheLineGrammar) {
+  SinkCapture sink;
+  BNR_LOG(obs::LogLevel::kError, "test", "hostile",
+          obs::kv("err", std::string("multi\nline \"quoted\" payload")));
+  ASSERT_EQ(sink.count(), 1u);
+  std::string line = sink.at(0);
+  EXPECT_EQ(line.find('\n'), std::string::npos) << line;
+  EXPECT_NE(line.find("level=error"), std::string::npos);
+  EXPECT_NE(line.find("comp=test"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Traces and the slow ring
+
+TEST(ObsTrace, StagesFoldIntoRecord) {
+  obs::RequestTrace t(42, 1);
+  EXPECT_TRUE(t.stamped(obs::Stage::kReceived));
+  EXPECT_FALSE(t.stamped(obs::Stage::kQueued));
+  t.stamp(obs::Stage::kAdmitted);
+  t.stamp(obs::Stage::kCryptoStart);
+  t.stamp(obs::Stage::kCryptoDone);
+  t.stamp(obs::Stage::kFlushed);
+
+  obs::TraceRecord r = obs::TraceRecord::from(t);
+  EXPECT_EQ(r.request_id, 42u);
+  EXPECT_TRUE(r.has(obs::Stage::kReceived));
+  EXPECT_TRUE(r.has(obs::Stage::kFlushed));
+  EXPECT_FALSE(r.has(obs::Stage::kQueued));  // never reached -> stays unset
+  // Offsets are monotone along the pipeline; total covers the last stamp.
+  EXPECT_LE(r.offset_ns(obs::Stage::kAdmitted),
+            r.offset_ns(obs::Stage::kCryptoStart));
+  EXPECT_LE(r.offset_ns(obs::Stage::kCryptoStart),
+            r.offset_ns(obs::Stage::kCryptoDone));
+  EXPECT_EQ(r.total_ns, r.offset_ns(obs::Stage::kFlushed));
+}
+
+TEST(ObsTrace, SlowRingKeepsTheSlowest) {
+  obs::SlowTraceRing ring(4);
+  for (uint64_t i = 1; i <= 100; ++i) {
+    obs::TraceRecord r;
+    r.request_id = i;
+    r.total_ns = i * 1000;
+    ring.offer(r);
+  }
+  auto slow = ring.snapshot();
+  ASSERT_EQ(slow.size(), 4u);
+  // Slowest-first, and exactly the four largest totals survived.
+  EXPECT_EQ(slow[0].total_ns, 100'000u);
+  EXPECT_EQ(slow[1].total_ns, 99'000u);
+  EXPECT_EQ(slow[2].total_ns, 98'000u);
+  EXPECT_EQ(slow[3].total_ns, 97'000u);
+}
+
+TEST(ObsTrace, SlowRingConcurrentOffer) {
+  obs::SlowTraceRing ring(8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([&, t] {
+      for (uint64_t i = 0; i < 1000; ++i) {
+        obs::TraceRecord r;
+        r.request_id = uint64_t(t) * 1000 + i;
+        r.total_ns = r.request_id;
+        ring.offer(r);
+      }
+    });
+  for (auto& th : threads) th.join();
+  auto slow = ring.snapshot();
+  ASSERT_EQ(slow.size(), 8u);
+  for (const auto& r : slow) EXPECT_GE(r.total_ns, 7992u);  // top 8 of 8000
+}
+
+// ---------------------------------------------------------------------------
+// Metrics snapshot plumbing
+
+TEST(ObsMetrics, MergeSumsPointsAndHistograms) {
+  obs::MetricsSnapshot a, b;
+  a.points.push_back({"bnr_x_total", "", obs::MetricKind::kCounter, 3});
+  a.points.push_back({"bnr_y", "scheme=\"ro\"", obs::MetricKind::kGauge, 1});
+  b.points.push_back({"bnr_x_total", "", obs::MetricKind::kCounter, 4});
+  b.points.push_back({"bnr_y", "scheme=\"bls\"", obs::MetricKind::kGauge, 9});
+
+  Histogram h1, h2;
+  h1.record(100);
+  h2.record(200);
+  h2.record(300);
+  a.histograms.push_back({"bnr_lat_seconds", "", h1.snapshot()});
+  b.histograms.push_back({"bnr_lat_seconds", "", h2.snapshot()});
+
+  a.merge(b);
+  const obs::MetricPoint* x = a.find_point("bnr_x_total");
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(x->value, 7u);  // summed by (name, labels)
+  EXPECT_NE(a.find_point("bnr_y", "scheme=\"ro\""), nullptr);
+  EXPECT_NE(a.find_point("bnr_y", "scheme=\"bls\""), nullptr);
+  const obs::MetricHistogram* h = a.find_histogram("bnr_lat_seconds");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->snap.count, 3u);
+  EXPECT_EQ(h->snap.max, 300u);
+}
+
+TEST(ObsMetrics, PrometheusRendererScalesSecondsAndOrdersBuckets) {
+  obs::MetricsSnapshot m;
+  m.points.push_back({"bnr_reqs_total", "", obs::MetricKind::kCounter, 5});
+  Histogram h;
+  h.record(1'000'000'000);  // exactly 1 second, recorded in ns
+  m.histograms.push_back({"bnr_lat_seconds", "", h.snapshot()});
+  std::string text = obs::render_prometheus(m);
+
+  EXPECT_NE(text.find("# TYPE bnr_reqs_total counter"), std::string::npos);
+  EXPECT_NE(text.find("bnr_reqs_total 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE bnr_lat_seconds histogram"), std::string::npos);
+  // The ns-recorded sum renders in seconds: 1e9 ns -> 1.
+  EXPECT_NE(text.find("bnr_lat_seconds_count 1"), std::string::npos);
+  EXPECT_NE(text.find("bnr_lat_seconds_sum 1"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  // +Inf bucket equals count.
+  size_t inf = text.find("le=\"+Inf\"} 1");
+  EXPECT_NE(inf, std::string::npos) << text;
+}
+
+TEST(ObsEnabled, ToggleIsObservable) {
+  bool was = obs::enabled();
+  obs::set_enabled(false);
+  EXPECT_FALSE(obs::enabled());
+  obs::set_enabled(true);
+  EXPECT_TRUE(obs::enabled());
+  obs::set_enabled(was);
+}
+
+}  // namespace
+}  // namespace bnr

@@ -19,6 +19,8 @@
 #include <thread>
 
 #include "fixtures.hpp"
+#include "obs/histogram.hpp"
+#include "obs/obs.hpp"
 #include "rpc/rpc_client.hpp"
 #include "rpc/rpc_server.hpp"
 #include "service/thread_pool.hpp"
@@ -936,6 +938,179 @@ TEST_F(RpcDaemonTest, PerLoopCountersAggregateExactlyAcrossLoops) {
   EXPECT_EQ(vs.submitted, uint64_t(kVerifies));
   EXPECT_EQ(vs.accepted + vs.rejected + vs.deadline_sheds, vs.submitted);
   EXPECT_EQ(vs.accepted, uint64_t(kVerifies));
+}
+
+// ---------------------------------------------------------------------------
+// The METRICS plane (PR 9)
+
+TEST(Wire, MetricsSnapshotRoundTrip) {
+  obs::MetricsSnapshot m;
+  m.points.push_back({"bnr_x_total", "", obs::MetricKind::kCounter, 42});
+  m.points.push_back(
+      {"bnr_y", "scheme=\"ro\"", obs::MetricKind::kGauge, 7});
+  obs::Histogram h;
+  h.record(500);
+  h.record(1'000'000);
+  m.histograms.push_back({"bnr_lat_seconds", "", h.snapshot()});
+  obs::TraceRecord t;
+  t.request_id = 99;
+  t.method = uint8_t(Method::kVerify);
+  t.stage_ns[size_t(obs::Stage::kReceived)] = 1;
+  t.stage_ns[size_t(obs::Stage::kFlushed)] = 123456 + 1;
+  t.total_ns = 123456;
+  m.slow_traces.push_back(t);
+
+  Bytes enc = encode_metrics_snapshot(m);
+  ByteReader rd(enc);
+  obs::MetricsSnapshot d = decode_metrics_snapshot(rd);
+  EXPECT_EQ(rd.remaining(), 0u);
+  ASSERT_EQ(d.points.size(), 2u);
+  EXPECT_EQ(d.points[1].labels, "scheme=\"ro\"");
+  EXPECT_EQ(d.points[0].value, 42u);
+  ASSERT_EQ(d.histograms.size(), 1u);
+  // Sparse bucket transport reconstructs the identical dense snapshot:
+  // same count/sum/max and the same percentile read-out.
+  EXPECT_EQ(d.histograms[0].snap.count, 2u);
+  EXPECT_EQ(d.histograms[0].snap.sum, 1'000'500u);
+  EXPECT_EQ(d.histograms[0].snap.max, 1'000'000u);
+  EXPECT_EQ(d.histograms[0].snap.percentile(0.5),
+            m.histograms[0].snap.percentile(0.5));
+  ASSERT_EQ(d.slow_traces.size(), 1u);
+  EXPECT_EQ(d.slow_traces[0].request_id, 99u);
+  EXPECT_EQ(d.slow_traces[0].total_ns, 123456u);
+  EXPECT_TRUE(d.slow_traces[0].has(obs::Stage::kFlushed));
+  EXPECT_FALSE(d.slow_traces[0].has(obs::Stage::kQueued));
+}
+
+// The wire histogram's percentiles are validated against a CLIENT-side
+// sorted-vector oracle: the client times every round trip itself, and since
+// the server-recorded verify latency is a strict sub-interval of the
+// client's wall time for that same request, every order statistic of the
+// server distribution is bounded by the client's (plus the histogram's
+// 1/64 bucket quantization). This pins the whole chain — record on a pool
+// worker, shard merge, sparse encode, decode — to externally-observed time.
+TEST_F(RpcDaemonTest, MetricsRoundTripAgainstClientOracle) {
+  bool obs_was = obs::enabled();
+  obs::set_enabled(true);
+  auto km = keygen(3, 1);
+  RpcClient client("127.0.0.1", port());
+  EXPECT_FALSE(client.register_ro_committee("acme", km).get());
+  auto [msg, sig] = make_signed(km, "metrics oracle");
+  Signature bad = forge(sig);
+
+  constexpr int kReqs = 48;
+  std::vector<uint64_t> client_ns;
+  for (int i = 0; i < kReqs; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    bool accept = client.verify_sync("acme", msg, (i % 4) ? sig : bad);
+    client_ns.push_back(uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+    EXPECT_EQ(accept, (i % 4) != 0);
+  }
+
+  auto m = client.metrics_sync();
+  const obs::MetricHistogram* vh =
+      m.find_histogram("bnr_verify_latency_seconds", "scheme=\"ro\"");
+  ASSERT_NE(vh, nullptr);
+  // Every verdict — and ONLY verdicts — landed in the histogram.
+  EXPECT_EQ(vh->snap.count, uint64_t(kReqs));
+  std::sort(client_ns.begin(), client_ns.end());
+  for (double q : {0.5, 0.99}) {
+    size_t rank = size_t(q * kReqs);
+    if (rank < size_t(kReqs)) ++rank;
+    uint64_t client_q = client_ns[rank - 1];
+    uint64_t server_q = vh->snap.percentile(q);
+    // Server-side latency for request i <= client wall time for request i,
+    // so the server's q-quantile cannot exceed the client's; allow the
+    // bucket upper-bound overstatement (one sub-bucket width).
+    EXPECT_LE(server_q, client_q + client_q / obs::kSubBuckets + 1) << q;
+    EXPECT_GT(server_q, 0u) << q;
+  }
+  EXPECT_LE(vh->snap.max, client_ns.back() + client_ns.back() / 64 + 1);
+
+  // The structured and text planes agree on the same scrape.
+  std::string text = client.metrics_text_sync();
+  EXPECT_NE(text.find("# TYPE bnr_verify_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("bnr_verify_latency_seconds_count{scheme=\"ro\"} " +
+                std::to_string(kReqs)),
+      std::string::npos)
+      << text.substr(0, 512);
+
+  // Slow-trace ring: every record is a COMPLETED request with monotone
+  // stage offsets ending at flush.
+  ASSERT_FALSE(m.slow_traces.empty());
+  for (const auto& t : m.slow_traces) {
+    EXPECT_TRUE(t.has(obs::Stage::kReceived));
+    EXPECT_TRUE(t.has(obs::Stage::kFlushed));
+    EXPECT_EQ(t.total_ns, t.offset_ns(obs::Stage::kFlushed));
+    if (t.has(obs::Stage::kCryptoStart) && t.has(obs::Stage::kCryptoDone))
+      EXPECT_LE(t.offset_ns(obs::Stage::kCryptoStart),
+                t.offset_ns(obs::Stage::kCryptoDone));
+  }
+  obs::set_enabled(obs_was);
+}
+
+TEST_F(RpcDaemonTest, MetricsUndefinedFlagBitsAreProtocolError) {
+  RawConn raw(port());
+  Bytes framed;
+  append_frame(framed, encode_metrics_request(1, 0x80));  // undefined bit
+  raw.send_all(framed);
+  // The daemon closes the connection rather than guessing at future flags.
+  EXPECT_EQ(raw.read_to_eof(), 0u);
+  auto st = server_->snapshot_stats();
+  EXPECT_EQ(st.protocol_errors, 1u);
+}
+
+// Satellite (a): the accounting identity  submitted == accepted + rejected
+// + sheds + errors + in_progress  must hold in EVERY snapshot, not just at
+// drain — STATS is polled from a second connection while a load thread
+// keeps requests permanently mid-flight, so snapshots routinely catch
+// requests between submit and verdict.
+TEST_F(RpcDaemonTest, StatsIdentityHoldsInEverySnapshotUnderLoad) {
+  auto km = keygen(3, 1);
+  RpcClient load_client("127.0.0.1", port());
+  EXPECT_FALSE(load_client.register_ro_committee("acme", km).get());
+  auto [msg, sig] = make_signed(km, "coherence");
+  Signature bad = forge(sig);
+
+  std::atomic<bool> stop{false};
+  std::thread load([&] {
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<std::future<bool>> futs;
+      for (int j = 0; j < 16; ++j)
+        futs.push_back(load_client.verify("acme", msg, (j % 3) ? sig : bad));
+      for (auto& f : futs) f.get();
+      ++i;
+    }
+  });
+
+  RpcClient probe("127.0.0.1", port());
+  for (int poll = 0; poll < 60; ++poll) {
+    auto st = probe.stats_sync();
+    // The one-lock snapshot makes this exact, never "eventually".
+    ASSERT_EQ(st.verify_submitted,
+              st.verify_accepted + st.verify_rejected + st.verify_sheds +
+                  st.verify_errors + st.verify_in_progress)
+        << "poll " << poll;
+    auto row = st.scheme_row(SchemeId::kRo);
+    ASSERT_EQ(row.verify_submitted,
+              row.verify_accepted + row.verify_rejected + row.verify_sheds +
+                  row.verify_errors + row.verify_in_progress)
+        << "poll " << poll;
+  }
+  stop.store(true);
+  load.join();
+
+  // Drained: in_progress settles to zero and the identity still holds.
+  auto st = probe.stats_sync();
+  EXPECT_EQ(st.verify_in_progress, 0u);
+  EXPECT_EQ(st.verify_submitted, st.verify_accepted + st.verify_rejected +
+                                     st.verify_sheds + st.verify_errors);
 }
 
 }  // namespace

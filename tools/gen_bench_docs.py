@@ -59,6 +59,13 @@ EXPERIMENTS = {
             "registrations (aggregate hit rate, steady goodput), and "
             "goodput retention through a kill-one-node failover "
             "(CI floor 70%, informational)."),
+    "e16": ("Observability overhead",
+            "bench/e16_obs.cpp — ns/op for every obs primitive (histogram "
+            "record, trace stamp+fold, suppressed/below-level log sites, "
+            "Prometheus render) and the serving-path A/B: cached-verify RPC "
+            "traffic with the obs master switch off vs on, windows "
+            "interleaved to cancel drift. CI gates "
+            "obs/verify_ns_on <= 1.05x obs/verify_ns_off (informational)."),
 }
 
 HEADER = """\
