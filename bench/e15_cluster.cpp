@@ -172,7 +172,8 @@ int main() {
     out.record("cluster/balance_max_over_mean", double(max_hits) / mean);
     printf("  %zu keys in %.0f ms (%.0f ns/route), shares", kRoutes, ms,
            ms * 1e6 / double(kRoutes));
-    for (uint64_t h : hits) printf(" %.1f%%", 100.0 * double(h) / kRoutes);
+    for (uint64_t h : hits)
+      printf(" %.1f%%", 100.0 * double(h) / double(kRoutes));
     printf(" (max/mean %.3f)\n", double(max_hits) / mean);
 
     // Determinism: an independent client over the same config must produce

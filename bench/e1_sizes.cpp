@@ -56,7 +56,7 @@ int main() {
       parts.push_back(s.share_sign(km.shares[i - 1], m, rng));
     auto sig = s.combine(km, m, parts, rng);
     printf("%-28s %13zu B %13d b %15zu B\n", "this paper, std model (S.4)",
-           sig.serialize().size(), 4 * 256 + 2 * 512, 2 * 32 + 4);
+           sig.serialize().size(), 4 * 256 + 2 * 512, size_t(2 * 32 + 4));
   }
   {  // Aggregate scheme (App. G): per-signature size identical; PK larger.
     threshold::AggregateScheme s(sp);
@@ -73,7 +73,7 @@ int main() {
       parts.push_back(s.share_sign(km.shares[i - 1], m));
     auto sig = s.combine(km, m, parts);
     printf("%-28s %13zu B %13d b %15zu B   (static security only)\n",
-           "Boldyreva BLS [10]", g1_to_bytes(sig).size(), 256, 4 + 32);
+           "Boldyreva BLS [10]", g1_to_bytes(sig).size(), 256, size_t(4 + 32));
   }
   {  // Shoup RSA baseline, measured at 512 bits + analytic at 3072.
     auto km = baselines::ShoupRsa::dealer_keygen(rng, n, t, 512);

@@ -23,7 +23,7 @@ void run_case(const threshold::RoScheme& scheme, size_t n, size_t t,
   printf("%4zu %4zu %8s %7zu %9zu %10zu %11zu %12zu %10.1f %12.2f\n", n, t,
          faulty ? "faulty" : "honest", km.transcript.rounds,
          s.broadcast_messages, s.direct_messages, s.broadcast_bytes,
-         s.direct_bytes, ms, ms / n);
+         s.direct_bytes, ms, ms / double(n));
   out.record("dkg/" + std::string(faulty ? "faulty" : "honest") + "/n" +
                  std::to_string(n),
              ms * 1e6);

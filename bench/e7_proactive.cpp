@@ -25,7 +25,8 @@ int main() {
     threshold::KeyShare rec;
     double recover_ms =
         time_ms([&] { rec = scheme.recover(km, rng, 1, helpers); });
-    if (!(rec.a == km.shares[0].a && rec.b == km.shares[0].b)) {
+    if (!(rec.a.reveal() == km.shares[0].a.reveal() &&
+          rec.b.reveal() == km.shares[0].b.reveal())) {
       printf("recovery mismatch at n=%zu\n", n);
       return 1;
     }

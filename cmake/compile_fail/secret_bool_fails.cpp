@@ -1,0 +1,8 @@
+// MUST NOT COMPILE: branching on a Secret<T> via contextual bool conversion.
+#include "common/secret.hpp"
+
+int main() {
+  bnr::Secret<int> a(1);
+  if (a) return 1;
+  return 0;
+}

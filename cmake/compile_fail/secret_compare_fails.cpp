@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: comparing two Secret<T> values branches on secret data.
+// The deleted operator== is the whole point of the taint type — if this file
+// ever compiles, the hygiene guarantee is gone and CMake configure fails.
+#include "common/secret.hpp"
+
+int main() {
+  bnr::Secret<int> a(1), b(2);
+  return a == b ? 0 : 1;
+}

@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: passing a Secret<T> to the structured-log kv() builder.
+// The deleted template overload in obs/log.hpp must win over any implicit
+// conversion, so key material cannot reach a log line.
+#include "common/secret.hpp"
+#include "obs/log.hpp"
+
+int main() {
+  bnr::Secret<unsigned long> share(42);
+  std::string line = bnr::obs::kv("share", share);
+  return int(line.size());
+}

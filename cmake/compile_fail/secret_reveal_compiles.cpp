@@ -1,0 +1,18 @@
+// MUST COMPILE: positive twin for the compile-fail checks. Exercises the
+// same headers and the audited reveal()/ct_equal paths, proving the negative
+// tests fail for the right reason (deleted members) and not because of a
+// broken include path or a header error.
+#include <cstdint>
+
+#include "common/secret.hpp"
+#include "obs/log.hpp"
+
+int main() {
+  bnr::Secret<int> a(1), b(2);
+  bool eq = a.reveal() == b.reveal();  // audited boundary crossing
+  uint8_t x[4] = {1, 2, 3, 4}, y[4] = {1, 2, 3, 4};
+  bool ct = bnr::ct_equal(std::span<const uint8_t>(x),
+                          std::span<const uint8_t>(y));
+  std::string line = bnr::obs::kv("len", uint64_t(sizeof(x)));
+  return (eq && ct && !line.empty()) ? 0 : 1;
+}

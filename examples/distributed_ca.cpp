@@ -66,7 +66,7 @@ int main() {
   }
   printf("Aggregated chain signature: %zu bytes (%.1fx compression).\n",
          aggregate->serialize().size(),
-         double(individual_bytes) / aggregate->serialize().size());
+         double(individual_bytes) / double(aggregate->serialize().size()));
 
   bool ok = scheme.aggregate_verify(chain, *aggregate);
   printf("Aggregate-Verify(chain) = %s\n", ok ? "ACCEPT" : "REJECT");

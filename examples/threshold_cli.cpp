@@ -295,7 +295,7 @@ int cmd_client(const std::string& host, uint16_t port, size_t tenants,
   printf("\n%zu requests in %.0f ms (%.0f req/s over the socket): %llu "
          "accepted, %llu rejected, %zu/%zu attributed correctly; %zu/%zu "
          "combines ok\n",
-         requests, ms, requests / ms * 1000.0,
+         requests, ms, double(requests) / ms * 1000.0,
          (unsigned long long)st.verify_accepted,
          (unsigned long long)st.verify_rejected, correct, requests,
          combines_ok, committees);

@@ -16,7 +16,7 @@ BlsKeyMaterial BoldyrevaBls::dealer_keygen(size_t n, size_t t,
   km.pk.pk = G2::generator().mul(x).to_affine();
   for (const auto& s : shares) {
     km.shares.push_back({s.index, s.value});
-    km.vks.push_back(G2::generator().mul(s.value).to_affine());
+    km.vks.push_back(G2::generator().mul(s.value.reveal()).to_affine());
   }
   return km;
 }
@@ -40,7 +40,7 @@ BlsKeyMaterial BoldyrevaBls::dist_keygen(
   const auto& view = res.outputs[honest - 1];
   km.pk.pk = view.public_key[0];
   for (uint32_t i = 1; i <= n; ++i) {
-    km.shares.push_back({i, res.outputs[i - 1].secret_share[0]});
+    km.shares.push_back({i, Secret<Fr>(res.outputs[i - 1].secret_share.reveal()[0])});
     km.vks.push_back(view.verification_keys[i - 1][0]);
   }
   return km;
@@ -53,7 +53,7 @@ G1Affine BoldyrevaBls::hash_message(std::span<const uint8_t> msg) const {
 BlsPartialSignature BoldyrevaBls::share_sign(
     const BlsKeyShare& share, std::span<const uint8_t> msg) const {
   return {share.index,
-          G1::from_affine(hash_message(msg)).mul(share.x).to_affine()};
+          G1::from_affine(hash_message(msg)).mul(share.x.reveal()).to_affine()};
 }
 
 bool BoldyrevaBls::share_verify(const G2Affine& vk,

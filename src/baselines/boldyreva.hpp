@@ -18,7 +18,7 @@ struct BlsPublicKey {
 
 struct BlsKeyShare {
   uint32_t index = 0;
-  Fr x;  // one scalar
+  Secret<Fr> x;  // one scalar
 };
 
 struct BlsPartialSignature {

@@ -44,7 +44,10 @@ Rng::Rng(const std::array<uint8_t, 32>& seed) {
   state_[15] = 0;
 }
 
-Rng::Rng(std::string_view label) : Rng(Sha256::hash(label)) {}
+Rng::Rng(std::string_view label) : Rng([&] {
+  auto seed = Sha256::hash(label);
+  return seed;
+}()) {}
 
 Rng Rng::from_entropy() {
   std::random_device rd;
@@ -53,7 +56,9 @@ Rng Rng::from_entropy() {
     uint32_t v = rd();
     std::memcpy(seed.data() + i, &v, 4);
   }
-  return Rng(seed);
+  Rng out(seed);
+  secure_wipe(seed);
+  return out;
 }
 
 void Rng::refill() {

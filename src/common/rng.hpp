@@ -10,6 +10,7 @@
 #include <span>
 
 #include "common/bytes.hpp"
+#include "common/secret.hpp"
 
 namespace bnr {
 
@@ -36,6 +37,18 @@ class Rng {
   /// Derives an independent child generator (used to hand each simulated
   /// player its own coins without sharing state).
   Rng fork(std::string_view label);
+
+  Rng(const Rng&) = default;
+  Rng(Rng&&) = default;
+  Rng& operator=(const Rng&) = default;
+  Rng& operator=(Rng&&) = default;
+  /// The cipher state derives future RLC coefficients and key material:
+  /// wiped on destruction so a freed generator cannot be replayed from
+  /// dirty heap/stack memory.
+  ~Rng() {
+    secure_wipe(state_);
+    secure_wipe(block_);
+  }
 
  private:
   void refill();

@@ -1,0 +1,155 @@
+// Taint-typed secret material and constant-time primitives.
+//
+// The paper's security argument assumes key shares, DKG polynomial
+// coefficients, signing nonces, and RNG state never influence control flow
+// and never outlive their use. Nothing in C++ enforces that by default, so
+// this header moves the invariants into the type system:
+//
+//   Secret<T>     wrapper for secret values. Comparisons and bool conversion
+//                 are deleted, so secret-dependent branching is a COMPILE
+//                 error (cmake/compile_fail/ proves it stays one). The only
+//                 way out is reveal()/reveal_mut() — every call site is an
+//                 audited boundary crossing (see docs/static-analysis.md for
+//                 the audit policy). Destruction and move-from wipe the
+//                 underlying bytes.
+//   secure_wipe   best-effort optimizer-proof zeroization (volatile byte
+//                 stores + a compiler barrier; the dead-store eliminator
+//                 cannot prove the writes unobservable).
+//   ct_equal      constant-time equality: the running time depends only on
+//                 the lengths, never on where the inputs first differ.
+//                 Lint rule BNR-L004 bans raw memcmp on secret material in
+//                 favor of this.
+//
+// What this does NOT defend against: cache-timing of table lookups inside
+// field arithmetic, compiler-spilled registers, swap, or core dumps. It is
+// hygiene against accidental leaks (logs, branches, freed-but-dirty heap),
+// not a hardened constant-time arithmetic library.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace bnr {
+
+/// Zeroizes `n` bytes at `p` through a volatile pointer, then issues a
+/// compiler barrier. The volatile qualification makes each store observable
+/// behavior, so the optimizer cannot elide the loop even though the buffer
+/// is about to be freed (the memset_s guarantee, without requiring C11
+/// Annex K).
+inline void secure_wipe(void* p, size_t n) {
+  volatile uint8_t* vp = static_cast<volatile uint8_t*>(p);
+  for (size_t i = 0; i < n; ++i) vp[i] = 0;
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+}
+
+/// Wipes a trivially-copyable object in place (field elements, fixed arrays
+/// of field elements, POD seed blocks).
+template <class T>
+  requires std::is_trivially_copyable_v<T>
+inline void secure_wipe(T& v) {
+  secure_wipe(static_cast<void*>(&v), sizeof(T));
+}
+
+/// Wipes a vector's heap buffer before the size is reset. Recurses for
+/// nested containers (e.g. the vector<vector<Fr>> share tables handled by
+/// proactive refresh).
+template <class T>
+inline void secure_wipe(std::vector<T>& v) {
+  if constexpr (std::is_trivially_copyable_v<T>) {
+    if (!v.empty()) secure_wipe(static_cast<void*>(v.data()), v.size() * sizeof(T));
+  } else {
+    for (auto& e : v) secure_wipe(e);
+  }
+  v.clear();
+}
+
+/// Wipes a string's buffer (admin tokens and other shared-secret strings).
+inline void secure_wipe(std::string& s) {
+  if (!s.empty()) secure_wipe(static_cast<void*>(s.data()), s.size());
+  s.clear();
+}
+
+/// Constant-time equality on byte ranges. Length mismatch returns early —
+/// lengths are considered public (wire framing reveals them anyway); the
+/// CONTENT comparison accumulates XOR over every byte with no early exit,
+/// so timing carries no information about where two equal-length inputs
+/// first diverge.
+inline bool ct_equal(std::span<const uint8_t> a, std::span<const uint8_t> b) {
+  if (a.size() != b.size()) return false;
+  uint8_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i)
+    diff = static_cast<uint8_t>(diff | (a[i] ^ b[i]));
+  return diff == 0;
+}
+
+inline bool ct_equal(std::string_view a, std::string_view b) {
+  return ct_equal(
+      std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(a.data()),
+                               a.size()),
+      std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(b.data()),
+                               b.size()));
+}
+
+/// Taint wrapper for secret values. See the file comment for the contract.
+///
+/// Copying is permitted: the simulated n-server protocols legitimately hand
+/// shares around in memory, and each copy wipes itself independently. What
+/// is NOT permitted is anything that turns the value into a branch or a
+/// log line without an explicit, greppable reveal().
+template <class T>
+class Secret {
+ public:
+  Secret() = default;
+  explicit Secret(T v) : value_(std::move(v)) {}
+
+  Secret(const Secret& o) : value_(o.value_) {}
+  Secret& operator=(const Secret& o) {
+    if (this != &o) {
+      secure_wipe(value_);
+      value_ = o.value_;
+    }
+    return *this;
+  }
+  /// Move wipes the source: a moved-from Secret holds only zeroed storage.
+  Secret(Secret&& o) noexcept : value_(std::move(o.value_)) {
+    secure_wipe(o.value_);
+  }
+  Secret& operator=(Secret&& o) noexcept {
+    if (this != &o) {
+      secure_wipe(value_);
+      value_ = std::move(o.value_);
+      secure_wipe(o.value_);
+    }
+    return *this;
+  }
+  ~Secret() { secure_wipe(value_); }
+
+  /// Audited boundary crossing: arithmetic on the underlying value,
+  /// serialization to an encrypted/authorized channel, test assertions.
+  /// Every call site is enumerable with `grep -rn 'reveal('` and reviewed
+  /// per the policy in docs/static-analysis.md.
+  const T& reveal() const { return value_; }
+  T& reveal_mut() { return value_; }
+
+  // Secret-dependent branching is a compile error, not a code-review item.
+  bool operator==(const Secret&) const = delete;
+  bool operator!=(const Secret&) const = delete;
+  bool operator<(const Secret&) const = delete;
+  bool operator>(const Secret&) const = delete;
+  bool operator<=(const Secret&) const = delete;
+  bool operator>=(const Secret&) const = delete;
+  explicit operator bool() const = delete;
+
+ private:
+  T value_{};
+};
+
+}  // namespace bnr

@@ -380,14 +380,14 @@ Player::Output Player::finalize() const {
 
   // My share: sum of qualified dealers' contributions (zero if I was
   // disqualified).
-  out.secret_share.assign(cfg_->m, Fr::zero());
+  auto& sk = out.secret_share.reveal_mut();
+  sk.assign(cfg_->m, Fr::zero());
   if (!disqualified_.contains(index_)) {
     for (uint32_t j : out.qualified) {
       auto sit = received_.find(j);
       if (sit == received_.end())
         throw std::logic_error("dkg: missing share from qualified dealer");
-      for (size_t k = 0; k < cfg_->m; ++k)
-        out.secret_share[k] = out.secret_share[k] + sit->second.values[k];
+      for (size_t k = 0; k < cfg_->m; ++k) sk[k] = sk[k] + sit->second.values[k];
     }
   }
   return out;

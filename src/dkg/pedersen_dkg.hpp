@@ -27,6 +27,7 @@
 
 #include "curve/g2.hpp"
 #include "common/rng.hpp"
+#include "common/secret.hpp"
 #include "net/network.hpp"
 #include "sss/shamir.hpp"
 
@@ -79,6 +80,15 @@ struct Round1Broadcast {
 struct Round1Share {
   std::vector<Fr> values;  // m entries: the j-th evaluations of my polynomials
 
+  Round1Share() = default;
+  Round1Share(const Round1Share&) = default;
+  Round1Share(Round1Share&&) = default;
+  Round1Share& operator=(const Round1Share&) = default;
+  Round1Share& operator=(Round1Share&&) = default;
+  // A received dealing share is secret material: wipe the buffer on free so
+  // a disqualified dealer's contribution does not linger on the heap.
+  ~Round1Share() { secure_wipe(values); }
+
   Bytes serialize() const;
   static Round1Share deserialize(std::span<const uint8_t> data);
 };
@@ -116,7 +126,7 @@ struct Behavior {
 struct InternalState {
   std::vector<Polynomial> polynomials;          // my m sharing polynomials
   std::map<uint32_t, Round1Share> received;     // shares received from others
-  std::vector<Fr> final_share;                  // SK_i (once finalized)
+  Secret<std::vector<Fr>> final_share;          // SK_i (once finalized)
 };
 
 // --------------------------------------------------------------------------
@@ -154,7 +164,7 @@ class Player {
   struct Output {
     std::vector<uint32_t> qualified;
     std::vector<G2Affine> public_key;  // one element per row
-    std::vector<Fr> secret_share;      // SK_i: m values
+    Secret<std::vector<Fr>> secret_share;  // SK_i: m values
     // verification_keys[i-1][row] = VK_i; disqualified players get identity.
     std::vector<std::vector<G2Affine>> verification_keys;
   };

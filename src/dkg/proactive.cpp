@@ -34,7 +34,7 @@ RefreshResult refresh_shares(const Config& cfg, Rng& seed_rng,
   out.new_shares.resize(cfg.n);
   out.new_vks.resize(cfg.n);
   for (uint32_t i = 1; i <= cfg.n; ++i) {
-    const auto& delta = out.transcript.outputs[i - 1].secret_share;
+    const auto& delta = out.transcript.outputs[i - 1].secret_share.reveal();
     out.new_shares[i - 1].resize(cfg.m);
     for (size_t k = 0; k < cfg.m; ++k)
       out.new_shares[i - 1][k] = old_shares[i - 1][k] + delta[k];
@@ -91,7 +91,8 @@ std::vector<Fr> recover_share(const Config& cfg, Rng& rng, uint32_t lost,
       Fr mask = Fr::zero();
       for (size_t j = 0; j < helpers.size(); ++j)
         mask = mask + blinds[j][k].evaluate_at_index(l);
-      masked[k].push_back({l, shares[l - 1][k] + mask});
+      masked[k].push_back({l, Secret<Fr>(shares[l - 1][k] + mask)});
+      secure_wipe(mask);  // the mask alone reveals a helper's share point
     }
   }
 

@@ -23,6 +23,11 @@
 #include <string>
 #include <string_view>
 
+namespace bnr {
+template <class T>
+class Secret;  // common/secret.hpp; only named here to delete kv() for it
+}
+
 namespace bnr::obs {
 
 enum class LogLevel : uint8_t {
@@ -96,6 +101,13 @@ inline std::string kv(std::string_view key, double value) {
 inline std::string kv(std::string_view key, bool value) {
   return " " + std::string(key) + "=" + (value ? "true" : "false");
 }
+
+/// Secret-typed values must never reach a log line, even via an implicit
+/// conversion an overload above would otherwise pick up. Deleting the
+/// overload turns `kv("share", secret)` into a compile error instead of a
+/// key-material leak (rule BNR-L005 catches the non-template cases).
+template <class T>
+std::string kv(std::string_view key, const Secret<T>& value) = delete;
 
 }  // namespace bnr::obs
 

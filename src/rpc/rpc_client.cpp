@@ -13,6 +13,7 @@
 #include <limits>
 #include <system_error>
 
+#include "common/rng.hpp"
 #include "rpc/fault_injector.hpp"
 
 namespace bnr::rpc {
@@ -60,7 +61,10 @@ void settle_exception(const std::shared_ptr<std::promise<T>>& prom,
 }  // namespace
 
 RpcClient::RpcClient(const std::string& host, uint16_t port, ClientConfig cfg)
-    : cfg_(cfg), host_(host), port_(port), rng_(std::random_device{}()) {
+    : cfg_(cfg),
+      host_(host),
+      port_(port),
+      rng_(Rng::from_entropy().next_u64()) {
   int fd = connect_tcp(host, port);
   fd_ = fd;
   wfd_ = fd;

@@ -19,6 +19,7 @@
 #include <system_error>
 #include <thread>
 
+#include "common/secret.hpp"
 #include "common/sha256.hpp"
 #include "obs/log.hpp"
 #include "obs/obs.hpp"
@@ -59,18 +60,16 @@ std::string hex_digest(std::span<const uint8_t> data) {
   return to_hex(hs.finalize());
 }
 
-/// Constant-time shared-secret comparison: both sides are hashed and the
-/// digests compared without early exit, so the comparison's timing carries
-/// no information about where a guessed token first diverges.
+/// Constant-time shared-secret comparison: both sides are hashed (so even
+/// the length comparison inside ct_equal leaks nothing — digests are fixed
+/// width) and the digests compared without early exit.
 bool constant_time_token_equal(std::string_view a, std::string_view b) {
   Sha256 ha, hb;
   ha.update(a);
   hb.update(b);
   auto da = ha.finalize();
   auto db = hb.finalize();
-  uint8_t diff = 0;
-  for (size_t i = 0; i < da.size(); ++i) diff |= uint8_t(da[i] ^ db[i]);
-  return diff == 0;
+  return ct_equal(std::span<const uint8_t>(da), std::span<const uint8_t>(db));
 }
 
 /// Response frames gathered per writev call. IOV_MAX is 1024 on Linux; 64
@@ -390,8 +389,7 @@ void RpcServer::event_loop(IoLoop& L) {
     drain_completions(L);
   }
 
-  for (auto& [fd, c] : L.conns)
-    total_conns_.fetch_sub(1, std::memory_order_relaxed);
+  total_conns_.fetch_sub(L.conns.size(), std::memory_order_relaxed);
   L.conns.clear();
 }
 
@@ -803,7 +801,8 @@ bool RpcServer::handle_frame(IoLoop& L, const std::shared_ptr<Conn>& c,
       }
       case Method::kBatchVerify: {
         BatchVerifyRequest req = decode_batch_verify(rd);
-        if (admit(L, c, h.request_id, std::max<double>(1, req.items.size()))) {
+        if (admit(L, c, h.request_id,
+                  std::max(1.0, double(req.items.size())))) {
           if (trace) trace->stamp(obs::Stage::kAdmitted);
           dispatch_batch_verify(c, h.request_id, std::move(req), deadline,
                                 std::move(trace));

@@ -13,22 +13,6 @@ namespace {
 
 using threshold::scheme_stats_slot;
 
-void accumulate(ServiceStats& into, const ServiceStats& s) {
-  into.submitted += s.submitted;
-  into.batches += s.batches;
-  into.size_flushes += s.size_flushes;
-  into.deadline_flushes += s.deadline_flushes;
-  into.idle_flushes += s.idle_flushes;
-  into.fallbacks += s.fallbacks;
-  into.accepted += s.accepted;
-  into.rejected += s.rejected;
-  into.deadline_sheds += s.deadline_sheds;
-  into.errors += s.errors;
-  into.in_progress += s.in_progress;
-  into.cache_lookups += s.cache_lookups;
-  into.cache_misses += s.cache_misses;
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------------------

@@ -13,20 +13,23 @@ Polynomial Polynomial::random(Rng& rng, size_t degree) {
 Polynomial Polynomial::random_with_constant(Rng& rng, size_t degree,
                                             const Fr& constant) {
   Polynomial p = random(rng, degree);
-  p.coeffs_[0] = constant;
+  p.coeffs_.reveal_mut()[0] = constant;
   return p;
 }
 
 Fr Polynomial::evaluate(const Fr& x) const {
+  const auto& c = coeffs_.reveal();
   Fr acc = Fr::zero();
-  for (size_t i = coeffs_.size(); i-- > 0;) acc = acc * x + coeffs_[i];
+  for (size_t i = c.size(); i-- > 0;) acc = acc * x + c[i];
   return acc;
 }
 
 Polynomial Polynomial::operator+(const Polynomial& o) const {
-  std::vector<Fr> out(std::max(coeffs_.size(), o.coeffs_.size()), Fr::zero());
-  for (size_t i = 0; i < coeffs_.size(); ++i) out[i] = coeffs_[i];
-  for (size_t i = 0; i < o.coeffs_.size(); ++i) out[i] = out[i] + o.coeffs_[i];
+  const auto& a = coeffs_.reveal();
+  const auto& b = o.coeffs_.reveal();
+  std::vector<Fr> out(std::max(a.size(), b.size()), Fr::zero());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i];
+  for (size_t i = 0; i < b.size(); ++i) out[i] = out[i] + b[i];
   return Polynomial(std::move(out));
 }
 

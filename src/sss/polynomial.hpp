@@ -1,10 +1,14 @@
 // Polynomials over the scalar field Fr — the degree-t sharing polynomials
-// A_ik[X], B_ik[X] of the Dist-Keygen protocol.
+// A_ik[X], B_ik[X] of the Dist-Keygen protocol. The coefficient vector IS
+// the secret being shared, so it lives in a Secret<> wrapper: storage is
+// wiped on destruction and the coefficients only come out through the
+// audited coefficients() boundary (commitment computation, evaluation).
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "common/secret.hpp"
 #include "field/fp.hpp"
 
 namespace bnr {
@@ -14,7 +18,8 @@ class Rng;
 class Polynomial {
  public:
   Polynomial() = default;
-  explicit Polynomial(std::vector<Fr> coeffs) : coeffs_(std::move(coeffs)) {}
+  explicit Polynomial(std::vector<Fr> coeffs)
+      : coeffs_(std::move(coeffs)) {}
 
   /// Uniformly random polynomial of degree `degree`.
   static Polynomial random(Rng& rng, size_t degree);
@@ -23,9 +28,17 @@ class Polynomial {
   static Polynomial random_with_constant(Rng& rng, size_t degree,
                                          const Fr& constant);
 
-  size_t degree() const { return coeffs_.empty() ? 0 : coeffs_.size() - 1; }
-  const std::vector<Fr>& coefficients() const { return coeffs_; }
-  Fr constant_term() const { return coeffs_.empty() ? Fr::zero() : coeffs_[0]; }
+  size_t degree() const {
+    const auto& c = coeffs_.reveal();
+    return c.empty() ? 0 : c.size() - 1;
+  }
+  /// Audited reveal: VSS commitment rows commit these coefficients in the
+  /// exponent; Horner evaluation reads them. No other consumers.
+  const std::vector<Fr>& coefficients() const { return coeffs_.reveal(); }
+  Fr constant_term() const {
+    const auto& c = coeffs_.reveal();
+    return c.empty() ? Fr::zero() : c[0];
+  }
 
   /// Horner evaluation.
   Fr evaluate(const Fr& x) const;
@@ -33,10 +46,8 @@ class Polynomial {
 
   Polynomial operator+(const Polynomial& o) const;
 
-  bool operator==(const Polynomial& o) const { return coeffs_ == o.coeffs_; }
-
  private:
-  std::vector<Fr> coeffs_;  // coeffs_[i] is the coefficient of X^i
+  Secret<std::vector<Fr>> coeffs_;  // coefficient of X^i at position i
 };
 
 }  // namespace bnr

@@ -14,7 +14,7 @@ std::vector<Share> shamir_share(Rng& rng, const Fr& secret, size_t t,
   std::vector<Share> shares;
   shares.reserve(n);
   for (uint32_t i = 1; i <= n; ++i)
-    shares.push_back({i, poly.evaluate_at_index(i)});
+    shares.push_back({i, Secret<Fr>(poly.evaluate_at_index(i))});
   return shares;
 }
 
@@ -49,7 +49,7 @@ Fr shamir_interpolate_at(std::span<const Share> shares, const Fr& x) {
   auto coeffs = lagrange_coefficients(indices, x);
   Fr acc = Fr::zero();
   for (size_t i = 0; i < shares.size(); ++i)
-    acc = acc + shares[i].value * coeffs[i];
+    acc = acc + shares[i].value.reveal() * coeffs[i];
   return acc;
 }
 

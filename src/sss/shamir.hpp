@@ -6,13 +6,14 @@
 #include <span>
 #include <vector>
 
+#include "common/secret.hpp"
 #include "sss/polynomial.hpp"
 
 namespace bnr {
 
 struct Share {
   uint32_t index;  // player index, 1-based (x-coordinate)
-  Fr value;
+  Secret<Fr> value;
 };
 
 /// Splits `secret` into n shares with threshold t (any t+1 reconstruct).

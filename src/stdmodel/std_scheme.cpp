@@ -94,8 +94,8 @@ StdKeyMaterial StdScheme::dist_keygen(
   km.shares.resize(n);
   for (uint32_t i = 1; i <= n; ++i) {
     km.vks[i - 1].v = view.verification_keys[i - 1][0];
-    const auto& sv = km.transcript.outputs[i - 1].secret_share;
-    km.shares[i - 1] = {i, sv[0], sv[1]};
+    const auto& sv = km.transcript.outputs[i - 1].secret_share.reveal();
+    km.shares[i - 1] = {i, Secret<Fr>(sv[0]), Secret<Fr>(sv[1])};
   }
   return km;
 }
@@ -123,7 +123,8 @@ StdSignature StdScheme::sign_centralized(const Fr& a, const Fr& b,
 StdPartialSignature StdScheme::share_sign(const StdKeyShare& share,
                                           std::span<const uint8_t> msg,
                                           Rng& rng) const {
-  return {share.index, sign_centralized(share.a, share.b, msg, rng)};
+  return {share.index,
+          sign_centralized(share.a.reveal(), share.b.reveal(), msg, rng)};
 }
 
 bool StdScheme::verify_equation(const gs::Crs& crs, const gs::Commitment& c_z,

@@ -15,6 +15,7 @@
 
 #include <map>
 
+#include "common/secret.hpp"
 #include "dkg/pedersen_dkg.hpp"
 #include "gs/groth_sahai.hpp"
 #include "threshold/params.hpp"
@@ -46,7 +47,7 @@ struct StdPublicKey {
 
 struct StdKeyShare {
   uint32_t index = 0;
-  Fr a, b;  // A(i), B(i) — two scalars, no erasures needed (§4 remark)
+  Secret<Fr> a, b;  // A(i), B(i) — two scalars, no erasures needed (§4 remark)
 };
 
 struct StdVerificationKey {

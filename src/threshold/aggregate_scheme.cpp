@@ -122,7 +122,7 @@ AggKeyMaterial AggregateScheme::dist_keygen(
     km.vks[i - 1].v = {view.verification_keys[i - 1][0],
                        view.verification_keys[i - 1][1]};
     km.shares[i - 1] =
-        RoScheme::to_key_share(i, transcript.outputs[i - 1].secret_share);
+        RoScheme::to_key_share(i, transcript.outputs[i - 1].secret_share.reveal());
   }
   return km;
 }
@@ -152,8 +152,10 @@ PartialSignature AggregateScheme::share_sign(
   G1 h1 = G1::from_affine(h[0]), h2 = G1::from_affine(h[1]);
   PartialSignature out;
   out.index = share.index;
-  out.z = (h1.mul(-share.a[0]) + h2.mul(-share.a[1])).to_affine();
-  out.r = (h1.mul(-share.b[0]) + h2.mul(-share.b[1])).to_affine();
+  const auto& a = share.a.reveal();
+  const auto& b = share.b.reveal();
+  out.z = (h1.mul(-a[0]) + h2.mul(-a[1])).to_affine();
+  out.r = (h1.mul(-b[0]) + h2.mul(-b[1])).to_affine();
   return out;
 }
 

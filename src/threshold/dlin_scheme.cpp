@@ -37,10 +37,13 @@ DlinPublicKey DlinPublicKey::deserialize(std::span<const uint8_t> data) {
 Bytes DlinKeyShare::serialize() const {
   ByteWriter w;
   w.u32(index);
+  const auto& av = a.reveal();
+  const auto& bv = b.reveal();
+  const auto& cv = c.reveal();
   for (size_t k = 0; k < 3; ++k) {
-    w.raw(a[k].to_bytes_be());
-    w.raw(b[k].to_bytes_be());
-    w.raw(c[k].to_bytes_be());
+    w.raw(av[k].to_bytes_be());
+    w.raw(bv[k].to_bytes_be());
+    w.raw(cv[k].to_bytes_be());
   }
   return w.take();
 }
@@ -142,12 +145,15 @@ DlinKeyMaterial DlinScheme::dist_keygen(
       km.vks[i - 1].u[k] = view.verification_keys[i - 1][k];
       km.vks[i - 1].z[k] = view.verification_keys[i - 1][3 + k];
     }
-    const auto& sv = km.transcript.outputs[i - 1].secret_share;
+    const auto& sv = km.transcript.outputs[i - 1].secret_share.reveal();
     km.shares[i - 1].index = i;
+    auto& sa = km.shares[i - 1].a.reveal_mut();
+    auto& sb = km.shares[i - 1].b.reveal_mut();
+    auto& sc = km.shares[i - 1].c.reveal_mut();
     for (size_t k = 0; k < 3; ++k) {
-      km.shares[i - 1].a[k] = sv[idx_a(k)];
-      km.shares[i - 1].b[k] = sv[idx_b(k)];
-      km.shares[i - 1].c[k] = sv[idx_c(k)];
+      sa[k] = sv[idx_a(k)];
+      sb[k] = sv[idx_b(k)];
+      sc[k] = sv[idx_c(k)];
     }
   }
   return km;
@@ -163,11 +169,14 @@ DlinPartialSignature DlinScheme::share_sign(
     const DlinKeyShare& share, std::span<const uint8_t> msg) const {
   auto h = hash_message(msg);
   G1 z, r, u;
+  const auto& sa = share.a.reveal();
+  const auto& sb = share.b.reveal();
+  const auto& sc = share.c.reveal();
   for (size_t k = 0; k < 3; ++k) {
     G1 hk = G1::from_affine(h[k]);
-    z = z + hk.mul(-share.a[k]);
-    r = r + hk.mul(-share.b[k]);
-    u = u + hk.mul(-share.c[k]);
+    z = z + hk.mul(-sa[k]);
+    r = r + hk.mul(-sb[k]);
+    u = u + hk.mul(-sc[k]);
   }
   return {share.index, z.to_affine(), r.to_affine(), u.to_affine()};
 }

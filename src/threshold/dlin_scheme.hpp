@@ -8,6 +8,7 @@
 #include <array>
 #include <map>
 
+#include "common/secret.hpp"
 #include "dkg/pedersen_dkg.hpp"
 #include "pairing/pairing.hpp"
 #include "threshold/params.hpp"
@@ -24,7 +25,7 @@ struct DlinPublicKey {
 
 struct DlinKeyShare {
   uint32_t index = 0;
-  std::array<Fr, 3> a{}, b{}, c{};
+  Secret<std::array<Fr, 3>> a, b, c;
 
   Bytes serialize() const;
 };

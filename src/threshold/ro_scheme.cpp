@@ -31,8 +31,8 @@ PublicKey PublicKey::deserialize(std::span<const uint8_t> data) {
 Bytes KeyShare::serialize() const {
   ByteWriter w;
   w.u32(index);
-  for (const auto& v : a) w.raw(v.to_bytes_be());
-  for (const auto& v : b) w.raw(v.to_bytes_be());
+  for (const auto& v : a.reveal()) w.raw(v.to_bytes_be());
+  for (const auto& v : b.reveal()) w.raw(v.to_bytes_be());
   return w.take();
 }
 
@@ -40,8 +40,8 @@ KeyShare KeyShare::deserialize(std::span<const uint8_t> data) {
   ByteReader rd(data);
   KeyShare s;
   s.index = rd.u32();
-  for (auto& v : s.a) v = Fr::from_bytes_be(rd.raw(32));
-  for (auto& v : s.b) v = Fr::from_bytes_be(rd.raw(32));
+  for (auto& v : s.a.reveal_mut()) v = Fr::from_bytes_be(rd.raw(32));
+  for (auto& v : s.b.reveal_mut()) v = Fr::from_bytes_be(rd.raw(32));
   expect_done(rd, "KeyShare");
   return s;
 }
@@ -103,13 +103,15 @@ KeyShare RoScheme::to_key_share(uint32_t index, std::span<const Fr> m_vector) {
     throw std::invalid_argument("to_key_share: expected 4 scalars");
   KeyShare s;
   s.index = index;
-  s.a = {m_vector[0], m_vector[2]};
-  s.b = {m_vector[1], m_vector[3]};
+  s.a = Secret<std::array<Fr, 2>>({m_vector[0], m_vector[2]});
+  s.b = Secret<std::array<Fr, 2>>({m_vector[1], m_vector[3]});
   return s;
 }
 
 std::vector<Fr> RoScheme::to_m_vector(const KeyShare& share) {
-  return {share.a[0], share.b[0], share.a[1], share.b[1]};
+  const auto& a = share.a.reveal();
+  const auto& b = share.b.reveal();
+  return {a[0], b[0], a[1], b[1]};
 }
 
 dkg::Config RoScheme::dkg_config(size_t n, size_t t) const {
@@ -146,7 +148,7 @@ KeyMaterial RoScheme::dist_keygen(
     km.vks[i - 1].v = {view.verification_keys[i - 1][0],
                        view.verification_keys[i - 1][1]};
     km.shares[i - 1] =
-        to_key_share(i, km.transcript.outputs[i - 1].secret_share);
+        to_key_share(i, km.transcript.outputs[i - 1].secret_share.reveal());
   }
   return km;
 }
@@ -166,8 +168,10 @@ PartialSignature RoScheme::share_sign(const KeyShare& share,
   G1 h1 = G1::from_affine(h[0]), h2 = G1::from_affine(h[1]);
   PartialSignature out;
   out.index = share.index;
-  out.z = (h1.mul(-share.a[0]) + h2.mul(-share.a[1])).to_affine();
-  out.r = (h1.mul(-share.b[0]) + h2.mul(-share.b[1])).to_affine();
+  const auto& a = share.a.reveal();
+  const auto& b = share.b.reveal();
+  out.z = (h1.mul(-a[0]) + h2.mul(-a[1])).to_affine();
+  out.r = (h1.mul(-b[0]) + h2.mul(-b[1])).to_affine();
   return out;
 }
 
@@ -358,6 +362,9 @@ void RoScheme::refresh(KeyMaterial& km, Rng& rng,
     km.vks[i - 1].v = {refreshed.new_vks[i - 1][0],
                        refreshed.new_vks[i - 1][1]};
   }
+  // Both share tables hold live key material copies; scrub before free.
+  secure_wipe(old_shares);
+  secure_wipe(refreshed.new_shares);
 }
 
 // ---------------------------------------------------------------------------
@@ -537,7 +544,10 @@ KeyShare RoScheme::recover(const KeyMaterial& km, Rng& rng, uint32_t lost,
                                    km.vks[lost - 1].v[1]};
   auto recovered =
       dkg::recover_share(cfg, rng, lost, helpers, shares, lost_vk);
-  return to_key_share(lost, recovered);
+  KeyShare out = to_key_share(lost, recovered);
+  secure_wipe(shares);
+  secure_wipe(recovered);
+  return out;
 }
 
 }  // namespace bnr::threshold

@@ -14,6 +14,7 @@
 #include <map>
 
 #include "common/rng.hpp"
+#include "common/secret.hpp"
 #include "common/sha256.hpp"
 #include "dkg/pedersen_dkg.hpp"
 #include "dkg/proactive.hpp"
@@ -32,8 +33,8 @@ struct PublicKey {
 
 struct KeyShare {
   uint32_t index = 0;
-  std::array<Fr, 2> a{};  // A_1(i), A_2(i)
-  std::array<Fr, 2> b{};  // B_1(i), B_2(i)
+  Secret<std::array<Fr, 2>> a;  // A_1(i), A_2(i)
+  Secret<std::array<Fr, 2>> b;  // B_1(i), B_2(i)
 
   Bytes serialize() const;  // O(1): 4 scalars, regardless of n
   static KeyShare deserialize(std::span<const uint8_t> data);

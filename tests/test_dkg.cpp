@@ -31,7 +31,7 @@ struct DkgFixture : ::testing::Test {
                         std::span<const uint32_t> from) {
     std::vector<Share> shares;
     for (uint32_t i : from)
-      shares.push_back({i, res.outputs[i - 1].secret_share[k]});
+      shares.push_back({i, Secret<Fr>(res.outputs[i - 1].secret_share.reveal()[k])});
     return shamir_reconstruct(
         std::span<const Share>(shares.data(), cfg.t + 1));
   }
@@ -79,7 +79,7 @@ TEST_F(DkgFixture, VerificationKeysMatchShares) {
   Rng rng("dkg-vk");
   auto res = run_dkg(cfg, rng, {});
   for (uint32_t i = 1; i <= 5; ++i) {
-    const auto& share = res.outputs[i - 1].secret_share;
+    const auto& share = res.outputs[i - 1].secret_share.reveal();
     G2 expect = G2::from_affine(sp.g_z).mul(share[0]) +
                 G2::from_affine(sp.g_r).mul(share[1]);
     EXPECT_EQ(G2::from_affine(res.outputs[0].verification_keys[i - 1][0]),
@@ -99,7 +99,7 @@ TEST_F(DkgFixture, BadShareTriggersComplaintButHonestResponseSurvives) {
   EXPECT_EQ(res.rounds, 3u);
   EXPECT_EQ(res.qualified.size(), 5u);
   // Player 4's final share is consistent with the public VKs.
-  const auto& share = res.outputs[3].secret_share;
+  const auto& share = res.outputs[3].secret_share.reveal();
   G2 expect = G2::from_affine(sp.g_z).mul(share[0]) +
               G2::from_affine(sp.g_r).mul(share[1]);
   EXPECT_EQ(G2::from_affine(res.outputs[0].verification_keys[3][0]), expect);
@@ -185,7 +185,7 @@ TEST_F(DkgFixture, InternalStateIsErasureFree) {
   ASSERT_EQ(st.polynomials.size(), cfg.m);
   EXPECT_EQ(st.polynomials[0].degree(), cfg.t);
   ASSERT_EQ(st.received.size(), cfg.n);  // incl. self
-  EXPECT_EQ(st.final_share, res.outputs[1].secret_share);
+  EXPECT_EQ(st.final_share.reveal(), res.outputs[1].secret_share.reveal());
   // The dump is consistent: share received from player 3 equals player 3's
   // polynomial evaluated at 2.
   auto st3 = players[2].internal_state();
@@ -246,7 +246,7 @@ TEST_F(DkgFixture, RefreshPreservesSecretAndChangesShares) {
   std::vector<std::vector<Fr>> shares;
   std::vector<std::vector<G2Affine>> vks;
   for (uint32_t i = 1; i <= 5; ++i) {
-    shares.push_back(res.outputs[i - 1].secret_share);
+    shares.push_back(res.outputs[i - 1].secret_share.reveal());
     vks.push_back(res.outputs[0].verification_keys[i - 1]);
   }
   auto refreshed = refresh_shares(cfg, rng, shares, vks);
@@ -257,7 +257,7 @@ TEST_F(DkgFixture, RefreshPreservesSecretAndChangesShares) {
   // ...but the secret did not.
   std::vector<Share> new_shares;
   for (uint32_t i : from)
-    new_shares.push_back({i, refreshed.new_shares[i - 1][0]});
+    new_shares.push_back({i, Secret<Fr>(refreshed.new_shares[i - 1][0])});
   EXPECT_EQ(shamir_reconstruct(new_shares), secret_a);
   // New VKs are consistent with new shares.
   for (uint32_t i = 1; i <= 5; ++i) {
@@ -274,15 +274,15 @@ TEST_F(DkgFixture, MixedEpochSharesDoNotReconstruct) {
   std::vector<std::vector<Fr>> shares;
   std::vector<std::vector<G2Affine>> vks;
   for (uint32_t i = 1; i <= 5; ++i) {
-    shares.push_back(res.outputs[i - 1].secret_share);
+    shares.push_back(res.outputs[i - 1].secret_share.reveal());
     vks.push_back(res.outputs[0].verification_keys[i - 1]);
   }
   Fr secret = reconstruct_secret(cfg, res, 0, std::vector<uint32_t>{1, 2, 3});
   auto refreshed = refresh_shares(cfg, rng, shares, vks);
   // Old share from player 1, new shares from players 2-3: wrong secret.
-  std::vector<Share> mixed = {{1, shares[0][0]},
-                              {2, refreshed.new_shares[1][0]},
-                              {3, refreshed.new_shares[2][0]}};
+  std::vector<Share> mixed = {{1, Secret<Fr>(shares[0][0])},
+                              {2, Secret<Fr>(refreshed.new_shares[1][0])},
+                              {3, Secret<Fr>(refreshed.new_shares[2][0])}};
   EXPECT_NE(shamir_reconstruct(mixed), secret);
 }
 
@@ -292,7 +292,7 @@ TEST_F(DkgFixture, ShareRecoveryRestoresExactShare) {
   auto res = run_dkg(cfg, rng, {});
   std::vector<std::vector<Fr>> shares;
   for (uint32_t i = 1; i <= 5; ++i)
-    shares.push_back(res.outputs[i - 1].secret_share);
+    shares.push_back(res.outputs[i - 1].secret_share.reveal());
 
   uint32_t lost = 3;
   std::vector<uint32_t> helpers = {1, 2, 5};
@@ -308,7 +308,7 @@ TEST_F(DkgFixture, ShareRecoveryDetectsLyingHelper) {
   auto res = run_dkg(cfg, rng, {});
   std::vector<std::vector<Fr>> shares;
   for (uint32_t i = 1; i <= 5; ++i)
-    shares.push_back(res.outputs[i - 1].secret_share);
+    shares.push_back(res.outputs[i - 1].secret_share.reveal());
   // Helper 2's stored share is corrupted.
   shares[1][0] = shares[1][0] + Fr::one();
   std::vector<uint32_t> helpers = {1, 2, 5};
@@ -323,7 +323,7 @@ TEST_F(DkgFixture, RecoveryRequiresEnoughHelpers) {
   auto res = run_dkg(cfg, rng, {});
   std::vector<std::vector<Fr>> shares;
   for (uint32_t i = 1; i <= 5; ++i)
-    shares.push_back(res.outputs[i - 1].secret_share);
+    shares.push_back(res.outputs[i - 1].secret_share.reveal());
   std::vector<uint32_t> helpers = {1, 2};  // t+1 = 3 needed
   EXPECT_THROW(recover_share(cfg, rng, 3, helpers, shares,
                              res.outputs[0].verification_keys[2]),

@@ -134,7 +134,9 @@ TEST(Fp2, Axioms) {
     EXPECT_EQ((a * b) * c, a * (b * c));
     EXPECT_EQ(a * (b + c), a * b + a * c);
     EXPECT_EQ(a.squared(), a * a);
-    if (!a.is_zero()) EXPECT_EQ(a * a.inverse(), Fp2::one());
+    if (!a.is_zero()) {
+      EXPECT_EQ(a * a.inverse(), Fp2::one());
+    }
   }
 }
 
@@ -195,7 +197,9 @@ TEST(Fp6, Axioms) {
     EXPECT_EQ(a * b, b * a);
     EXPECT_EQ((a * b) * c, a * (b * c));
     EXPECT_EQ(a * (b + c), a * b + a * c);
-    if (!a.is_zero()) EXPECT_EQ(a * a.inverse(), Fp6::one());
+    if (!a.is_zero()) {
+      EXPECT_EQ(a * a.inverse(), Fp6::one());
+    }
   }
 }
 
@@ -221,7 +225,9 @@ TEST(Fp12, Axioms) {
     EXPECT_EQ(a * b, b * a);
     EXPECT_EQ((a * b) * c, a * (b * c));
     EXPECT_EQ(a.squared(), a * a);
-    if (!a.is_zero()) EXPECT_EQ(a * a.inverse(), Fp12::one());
+    if (!a.is_zero()) {
+      EXPECT_EQ(a * a.inverse(), Fp12::one());
+    }
   }
 }
 

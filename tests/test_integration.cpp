@@ -183,11 +183,16 @@ TEST_P(FaultMatrixTest, SingleFaultPattern) {
   std::vector<PartialSignature> parts;
   for (uint32_t i = 3; parts.size() < t + 1 && i <= n; ++i)
     parts.push_back(scheme.share_sign(km.shares[i - 1], m));
-  if (parts.size() == t + 1)
+  if (parts.size() == t + 1) {
     EXPECT_TRUE(scheme.verify(km.pk, m, scheme.combine(km, m, parts)))
         << fc.name;
+  }
 }
 
+// Designated initializers deliberately name only the faulty knob per case;
+// the remaining Behavior fields value-initialize to "honest".
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmissing-field-initializers"
 FaultCase fault_cases[] = {
     {"honest", {}, true},
     {"bad_share_then_honest_response",
@@ -200,14 +205,15 @@ FaultCase fault_cases[] = {
     {"crash", {.crash = true}, false},
     {"false_accusation", {.false_accusations = {4}}, true},
 };
+#pragma GCC diagnostic pop
 
 INSTANTIATE_TEST_SUITE_P(
     Faults, FaultMatrixTest,
     ::testing::Combine(::testing::ValuesIn(fault_cases),
                        ::testing::Values(size_t(5), size_t(9))),
-    [](const ::testing::TestParamInfo<std::tuple<FaultCase, size_t>>& info) {
-      return std::string(std::get<0>(info.param).name) + "_n" +
-             std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<std::tuple<FaultCase, size_t>>& tpi) {
+      return std::string(std::get<0>(tpi.param).name) + "_n" +
+             std::to_string(std::get<1>(tpi.param));
     });
 
 // ---------------------------------------------------------------------------
@@ -256,8 +262,8 @@ TEST(WireFormat, KeyMaterialRoundTrips) {
 
   KeyShare share = KeyShare::deserialize(km.shares[2].serialize());
   EXPECT_EQ(share.index, km.shares[2].index);
-  EXPECT_EQ(share.a, km.shares[2].a);
-  EXPECT_EQ(share.b, km.shares[2].b);
+  EXPECT_EQ(share.a.reveal(), km.shares[2].a.reveal());
+  EXPECT_EQ(share.b.reveal(), km.shares[2].b.reveal());
 
   VerificationKey vk = VerificationKey::deserialize(km.vks[1].serialize());
   EXPECT_EQ(vk.v, km.vks[1].v);

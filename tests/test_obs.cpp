@@ -53,7 +53,9 @@ TEST(ObsHistogram, BucketsPartitionTheValueSpace) {
     uint32_t idx = bucket_index(v);
     ASSERT_LT(idx, kBucketCount) << v;
     EXPECT_LE(v, bucket_upper(idx)) << v;
-    if (idx > 0) EXPECT_GT(v, bucket_upper(idx - 1)) << v;
+    if (idx > 0) {
+      EXPECT_GT(v, bucket_upper(idx - 1)) << v;
+    }
   }
   for (uint32_t i = 1; i < kBucketCount; ++i)
     ASSERT_GT(bucket_upper(i), bucket_upper(i - 1)) << i;

@@ -391,7 +391,7 @@ TEST_F(RpcDaemonTest, FuzzedFramesNeverKillTheDaemon) {
     seed = std::strtoull(env, nullptr, 0);
   printf("fuzz seed: %llu (BNR_RPC_FUZZ_SEED reproduces)\n",
          (unsigned long long)seed);
-  Rng rng("rpc-fuzz-" + std::to_string(seed));
+  Rng fuzz_rng("rpc-fuzz-" + std::to_string(seed));
 
   // Corpus of valid frames covering every method.
   std::vector<Bytes> corpus;
@@ -420,20 +420,20 @@ TEST_F(RpcDaemonTest, FuzzedFramesNeverKillTheDaemon) {
 
   constexpr int kRounds = 120;
   for (int round = 0; round < kRounds; ++round) {
-    Bytes mutated = corpus[rng.uniform(corpus.size())];
-    switch (rng.uniform(3)) {
+    Bytes mutated = corpus[fuzz_rng.uniform(corpus.size())];
+    switch (fuzz_rng.uniform(3)) {
       case 0:  // truncate somewhere (possibly mid-header)
-        mutated.resize(rng.uniform(mutated.size()) + 1);
+        mutated.resize(fuzz_rng.uniform(mutated.size()) + 1);
         break;
       case 1: {  // flip 1-8 bits anywhere
-        size_t flips = 1 + rng.uniform(8);
+        size_t flips = 1 + fuzz_rng.uniform(8);
         for (size_t f = 0; f < flips; ++f)
-          mutated[rng.uniform(mutated.size())] ^=
-              uint8_t(1u << rng.uniform(8));
+          mutated[fuzz_rng.uniform(mutated.size())] ^=
+              uint8_t(1u << fuzz_rng.uniform(8));
         break;
       }
       case 2: {  // inflate/deflate the length prefix
-        uint32_t fake = uint32_t(rng.next_u64());
+        uint32_t fake = uint32_t(fuzz_rng.next_u64());
         mutated[0] = uint8_t(fake >> 24);
         mutated[1] = uint8_t(fake >> 16);
         mutated[2] = uint8_t(fake >> 8);
@@ -553,29 +553,29 @@ TEST_F(RpcDaemonTest, AllRegisteredSchemesServeOverTheWire) {
   Bytes other = to_bytes("wire: a different message");
   Rng sample_rng("all-schemes-wire");
 
-  for (const Scheme* scheme : server_->registry().schemes()) {
-    SCOPED_TRACE(std::string(scheme->name()));
-    SchemeSample good = scheme->make_sample(3, 1, msg, sample_rng);
-    SchemeSample wrong = scheme->make_sample(3, 1, other, sample_rng);
-    std::string tenant = "tenant-" + std::string(scheme->name());
+  for (const Scheme* sch : server_->registry().schemes()) {
+    SCOPED_TRACE(std::string(sch->name()));
+    SchemeSample good = sch->make_sample(3, 1, msg, sample_rng);
+    SchemeSample wrong = sch->make_sample(3, 1, other, sample_rng);
+    std::string tenant = "tenant-" + std::string(sch->name());
     EXPECT_FALSE(
-        client.register_committee(tenant, scheme->id(), good.committee)
+        client.register_committee(tenant, sch->id(), good.committee)
             .get());
 
     // Verify: the right signature accepts, a signature on another message
-    // (same scheme, same encoding) rejects.
+    // (same sch, same encoding) rejects.
     EXPECT_TRUE(client.verify_bytes(tenant, msg, good.sig).get());
     EXPECT_FALSE(client.verify_bytes(tenant, msg, wrong.sig).get());
 
-    // Combine over the wire reproduces a signature the scheme accepts.
+    // Combine over the wire reproduces a signature the sch accepts.
     CombineResult r =
         client.combine_bytes(tenant, msg, good.partials).get();
     EXPECT_TRUE(r.cheaters.empty());
-    auto verifier = scheme->make_verifier(good.committee.pk);
-    EXPECT_TRUE(verifier->verify(msg, scheme->parse_signature(r.sig)));
+    auto verifier = sch->make_verifier(good.committee.pk);
+    EXPECT_TRUE(verifier->verify(msg, sch->parse_signature(r.sig)));
 
-    // The per-scheme stats row attributes exactly this scheme's traffic.
-    auto row = client.stats_sync().scheme_row(scheme->id());
+    // The per-sch stats row attributes exactly this sch's traffic.
+    auto row = client.stats_sync().scheme_row(sch->id());
     EXPECT_EQ(row.tenants, 1u);
     EXPECT_EQ(row.verify_submitted, 2u);
     EXPECT_EQ(row.verify_accepted, 1u);
@@ -1047,9 +1047,10 @@ TEST_F(RpcDaemonTest, MetricsRoundTripAgainstClientOracle) {
     EXPECT_TRUE(t.has(obs::Stage::kReceived));
     EXPECT_TRUE(t.has(obs::Stage::kFlushed));
     EXPECT_EQ(t.total_ns, t.offset_ns(obs::Stage::kFlushed));
-    if (t.has(obs::Stage::kCryptoStart) && t.has(obs::Stage::kCryptoDone))
+    if (t.has(obs::Stage::kCryptoStart) && t.has(obs::Stage::kCryptoDone)) {
       EXPECT_LE(t.offset_ns(obs::Stage::kCryptoStart),
                 t.offset_ns(obs::Stage::kCryptoDone));
+    }
   }
   obs::set_enabled(obs_was);
 }

@@ -64,7 +64,9 @@ TEST_P(ShamirTnTest, ShareAndReconstruct) {
     std::set<uint32_t> idx;
     bool distinct = true;
     for (const auto& s : subset) distinct &= idx.insert(s.index).second;
-    if (distinct) EXPECT_EQ(shamir_reconstruct(subset), secret);
+    if (distinct) {
+      EXPECT_EQ(shamir_reconstruct(subset), secret);
+    }
   }
 }
 
@@ -79,7 +81,8 @@ TEST_P(ShamirTnTest, TSharesAreUnderdetermined) {
   std::vector<Share> partial(shares.begin(), shares.begin() + t);
   for (uint64_t candidate : {7ull, 1234567ull}) {
     std::vector<Share> padded = partial;
-    padded.push_back({static_cast<uint32_t>(n + 1), Fr::from_u64(candidate)});
+    padded.push_back(
+        {static_cast<uint32_t>(n + 1), Secret<Fr>(Fr::from_u64(candidate))});
     EXPECT_NE(shamir_reconstruct(padded), secret);
   }
 }
@@ -88,9 +91,9 @@ INSTANTIATE_TEST_SUITE_P(
     Thresholds, ShamirTnTest,
     ::testing::Values(TnCase{1, 3}, TnCase{1, 4}, TnCase{2, 5}, TnCase{3, 7},
                       TnCase{5, 11}, TnCase{8, 17}, TnCase{10, 21}),
-    [](const ::testing::TestParamInfo<TnCase>& info) {
-      return "t" + std::to_string(info.param.t) + "n" +
-             std::to_string(info.param.n);
+    [](const ::testing::TestParamInfo<TnCase>& tpi) {
+      return "t" + std::to_string(tpi.param.t) + "n" +
+             std::to_string(tpi.param.n);
     });
 
 TEST(Lagrange, CoefficientsSumToOneAtZeroForConstantPoly) {
@@ -115,7 +118,7 @@ TEST(Lagrange, InterpolateAtArbitraryPoint) {
   Polynomial p = Polynomial::random(rng, 4);
   std::vector<Share> shares;
   for (uint32_t i = 1; i <= 5; ++i)
-    shares.push_back({i, p.evaluate_at_index(i)});
+    shares.push_back({i, Secret<Fr>(p.evaluate_at_index(i))});
   Fr x = Fr::from_u64(77);
   EXPECT_EQ(shamir_interpolate_at(shares, x), p.evaluate(x));
 }
@@ -128,7 +131,7 @@ TEST(Lagrange, CombineInExponentMatchesScalarPath) {
   std::vector<G1> points;
   std::vector<uint32_t> indices;
   for (size_t i = 0; i < 3; ++i) {
-    points.push_back(G1::generator().mul(shares[i].value));
+    points.push_back(G1::generator().mul(shares[i].value.reveal()));
     indices.push_back(shares[i].index);
   }
   G1 combined = combine_in_exponent<G1>(points, indices);

@@ -160,7 +160,7 @@ TEST_F(RoFixture, ProactiveRefreshKeepsPublicKey) {
   scheme.refresh(km, rng);
   EXPECT_EQ(km.pk, pk_before);
   // Shares rotated.
-  EXPECT_NE(km.shares[0].a[0], old_share.a[0]);
+  EXPECT_NE(km.shares[0].a.reveal()[0], old_share.a.reveal()[0]);
   // New shares still sign under the same public key.
   Bytes m2 = msg_bytes("after refresh");
   auto sig_after =
@@ -185,8 +185,8 @@ TEST_F(RoFixture, RecoverLostShareAndSign) {
   auto lost_share = km.shares[2];
   std::vector<uint32_t> helpers = {1, 2, 4};
   KeyShare recovered = scheme.recover(km, rng, 3, helpers);
-  EXPECT_EQ(recovered.a, lost_share.a);
-  EXPECT_EQ(recovered.b, lost_share.b);
+  EXPECT_EQ(recovered.a.reveal(), lost_share.a.reveal());
+  EXPECT_EQ(recovered.b.reveal(), lost_share.b.reveal());
   Bytes m = msg_bytes("recovered");
   auto p = scheme.share_sign(recovered, m);
   EXPECT_TRUE(scheme.share_verify(km.vks[2], m, p));
@@ -212,9 +212,9 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<size_t, size_t>{2, 5},
                       std::pair<size_t, size_t>{3, 7},
                       std::pair<size_t, size_t>{4, 9}),
-    [](const ::testing::TestParamInfo<std::pair<size_t, size_t>>& info) {
-      return "t" + std::to_string(info.param.first) + "n" +
-             std::to_string(info.param.second);
+    [](const ::testing::TestParamInfo<std::pair<size_t, size_t>>& tpi) {
+      return "t" + std::to_string(tpi.param.first) + "n" +
+             std::to_string(tpi.param.second);
     });
 
 // ---------------------------------------------------------------------------

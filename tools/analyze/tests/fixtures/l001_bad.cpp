@@ -1,0 +1,21 @@
+// Fixture: BNR-L001 violation — wire length drives an allocation directly.
+#include "common/serde.hpp"
+
+namespace fixture {
+
+struct Msg {
+  std::vector<uint32_t> items;
+};
+
+Msg decode(bnr::ByteReader& rd) {
+  Msg m;
+  uint32_t n = rd.u32();
+  m.items.reserve(n);  // EXPECT: BNR-L001
+  for (uint32_t i = 0; i < n; ++i) m.items.push_back(rd.u32());
+  std::vector<uint8_t> buf;
+  uint64_t len = rd.u64();
+  buf.resize(len);  // EXPECT: BNR-L001
+  return m;
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: clean twin of l001_bad — lengths flow through ByteReader::count,
+// so every allocation is bounded by the bytes actually present.
+#include "common/serde.hpp"
+
+namespace fixture {
+
+struct Msg {
+  std::vector<uint32_t> items;
+};
+
+Msg decode(bnr::ByteReader& rd) {
+  Msg m;
+  uint32_t n = rd.count(4);
+  m.items.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) m.items.push_back(rd.u32());
+  // A raw u32 that is NOT used to size a container is fine.
+  uint32_t index = rd.u32();
+  (void)index;
+  // "resize(n)" in a comment must not trigger, nor this string: "reserve(n)".
+  const char* msg = "call resize(n) later";
+  (void)msg;
+  return m;
+}
+
+}  // namespace fixture

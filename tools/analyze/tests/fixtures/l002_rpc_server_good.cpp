@@ -1,0 +1,22 @@
+// Fixture: clean twin of l002_rpc_server_bad — the decompression runs inside
+// an offload(...) region, so the IO loop goes straight back to its sockets.
+#include <functional>
+#include <utility>
+
+namespace fixture {
+
+struct Scheme {
+  int parse_signature(int x) const { return x; }
+};
+
+void offload(std::function<void()> task);
+
+void handle_frame(const Scheme& scheme, int payload) {
+  // A comment naming parse_signature( must not trigger the rule.
+  offload([&scheme, payload]() {
+    int sig = scheme.parse_signature(payload);
+    (void)sig;
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: BNR-L003 violation — ad-hoc randomness outside common/rng.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+unsigned jitter_seed() {
+  std::random_device rd;  // EXPECT: BNR-L003
+  return rd();
+}
+
+int dice() {
+  srand(42);          // EXPECT: BNR-L003
+  return rand() % 6;  // EXPECT: BNR-L003
+}
+
+}  // namespace fixture

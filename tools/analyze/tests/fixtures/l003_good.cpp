@@ -1,0 +1,16 @@
+// Fixture: clean twin of l003_bad — coins come from the project generator.
+#include "common/rng.hpp"
+
+namespace fixture {
+
+uint64_t jitter_seed() {
+  // Words like "random_device" in comments or "rand()" in strings are fine.
+  const char* doc = "seeded from std::random_device inside common/rng";
+  (void)doc;
+  return bnr::Rng::from_entropy().next_u64();
+}
+
+// An identifier merely containing "rand" (operand, grandTotal) is not a call.
+int operand_total(int operand) { return operand + 1; }
+
+}  // namespace fixture

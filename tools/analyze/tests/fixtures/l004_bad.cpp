@@ -1,0 +1,18 @@
+// Fixture: BNR-L004 violation — early-exit compare on secret material.
+#include <cstring>
+#include <string>
+
+namespace fixture {
+
+bool check_token(const std::string& presented, const std::string& admin_token) {
+  if (presented.size() != admin_token.size()) return false;
+  return std::memcmp(presented.data(), admin_token.data(),  // EXPECT: BNR-L004
+                     admin_token.size()) == 0;
+}
+
+bool same_share(const unsigned char* share_bytes, const unsigned char* other,
+                unsigned long n) {
+  return memcmp(share_bytes, other, n) == 0;  // EXPECT: BNR-L004
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: clean twin of l004_bad — constant-time compare for secrets;
+// memcmp stays fine for non-secret data.
+#include <cstring>
+#include <string>
+
+#include "common/secret.hpp"
+
+namespace fixture {
+
+bool check_token(const std::string& presented, const std::string& admin_token) {
+  return bnr::ct_equal(presented, admin_token);
+}
+
+// memcmp on plainly public data does not trigger.
+bool same_header(const unsigned char* frame_a, const unsigned char* frame_b) {
+  return std::memcmp(frame_a, frame_b, 8) == 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: BNR-L005 violation — secret values reach a log statement.
+#include "obs/log.hpp"
+
+namespace fixture {
+
+struct KeyShare {
+  unsigned index;
+  bnr::Secret<unsigned long> a;
+};
+
+void debug_dump(const KeyShare& share) {
+  BNR_LOG(kInfo, "dkg", "share_dump",  // EXPECT: BNR-L005
+          bnr::obs::kv("index", share.index) +
+              bnr::obs::kv("value", share.a.reveal()));
+}
+
+void log_seed(unsigned long seed_word) {
+  BNR_LOG(kDebug, "rng", "reseed", bnr::obs::kv("seed", seed_word));  // EXPECT: BNR-L005
+}
+
+}  // namespace fixture

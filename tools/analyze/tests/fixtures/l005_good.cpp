@@ -1,0 +1,16 @@
+// Fixture: clean twin of l005_bad — logs sizes and indices, never values.
+#include "obs/log.hpp"
+
+namespace fixture {
+
+struct KeyShare {
+  unsigned index;
+};
+
+void debug_dump(const KeyShare& share, unsigned long n_components) {
+  BNR_LOG(kInfo, "dkg", "share_dump",
+          bnr::obs::kv("index", share.index) +
+              bnr::obs::kv("components", n_components));
+}
+
+}  // namespace fixture

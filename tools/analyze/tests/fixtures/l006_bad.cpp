@@ -1,0 +1,21 @@
+// Fixture: BNR-L006 violation — atomic RMW with the default seq_cst order.
+#include <atomic>
+
+namespace fixture {
+
+struct Stats {
+  std::atomic<unsigned long> requests{0};
+  std::atomic<unsigned long> bytes{0};
+};
+
+void on_request(Stats& s, unsigned long n) {
+  s.requests.fetch_add(1);  // EXPECT: BNR-L006
+  s.bytes.fetch_add(  // EXPECT: BNR-L006
+      n);
+}
+
+void on_close(Stats& s) {
+  s.requests.fetch_sub(1);  // EXPECT: BNR-L006
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: clean twin of l006_bad — every RMW names its ordering, including
+// a deliberate acq_rel (allowed: the rule wants intent stated, not relaxed
+// everywhere).
+#include <atomic>
+
+namespace fixture {
+
+struct Stats {
+  std::atomic<unsigned long> requests{0};
+  std::atomic<unsigned long> in_flight{0};
+};
+
+void on_request(Stats& s) {
+  s.requests.fetch_add(1, std::memory_order_relaxed);
+  s.in_flight.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void on_done(Stats& s) {
+  s.in_flight.fetch_sub(
+      1,
+      std::memory_order_release);
+}
+
+}  // namespace fixture
